@@ -1,0 +1,383 @@
+package cachier
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (see EXPERIMENTS.md for the experiment index):
+//
+//	BenchmarkFig6/<name>          — Figure 6 bars: normalized execution time
+//	                                 per variant for each of the five
+//	                                 benchmarks (E1)
+//	BenchmarkJacobiCost/...       — Section 2.1 check-out counts (E2)
+//	BenchmarkRestructure          — Section 5 check-out counts and speedup (E4)
+//	BenchmarkInputSensitivity     — Section 4.5 train-vs-test input delta (E5)
+//	BenchmarkTrapCostSweep        — ablation: CICO's value vs Dir1SW trap cost
+//	BenchmarkProgrammerVsPerformance — ablation: Programmer CICO run as
+//	                                 directives vs Performance CICO (Sec. 4.1)
+//	BenchmarkFullMapBaseline      — ablation: the same annotations under a
+//	                                 full-map hardware directory
+//	BenchmarkPostStore            — extension: KSR-1 post-store check-ins
+//
+// Custom metrics (reported via b.ReportMetric, suffix explains the unit):
+// normalized execution times, measured check-out counts, and percentage
+// deltas. Wall-clock ns/op measures the simulator itself.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"cachier/internal/bench"
+	"cachier/internal/cico"
+	"cachier/internal/core"
+	"cachier/internal/dir1sw"
+	"cachier/internal/parc"
+	"cachier/internal/sim"
+)
+
+// BenchmarkFig6 regenerates Figure 6 (experiment E1): each sub-benchmark
+// traces, annotates, and measures one program, reporting the normalized
+// execution times of the hand-annotated and Cachier-annotated versions.
+func BenchmarkFig6(b *testing.B) {
+	for _, bm := range bench.All() {
+		b.Run(bm.Name, func(b *testing.B) {
+			var row *bench.Row
+			for i := 0; i < b.N; i++ {
+				var err error
+				row, err = bench.RunBenchmark(bm)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(row.Normalized(bench.VariantHand), "hand/none")
+			b.ReportMetric(row.Normalized(bench.VariantCachier), "cachier/none")
+			b.ReportMetric(row.Normalized(bench.VariantCachierPrefetch), "cachier+pf/none")
+			b.ReportMetric(100*row.SharingLoads, "%shared-loads")
+		})
+	}
+}
+
+// BenchmarkJacobiCost regenerates the Section 2.1 cost-model numbers (E2):
+// measured check-outs must equal the closed forms exactly.
+func BenchmarkJacobiCost(b *testing.B) {
+	p := bench.JacobiParams
+	cases := []struct {
+		name    string
+		src     string
+		formula int64
+	}{
+		{"WholeFit", bench.JacobiWholeFit(p),
+			cico.JacobiWholeMatrixCheckouts(int64(p.N), int64(p.P), int64(p.Steps), 4)},
+		{"RowFit", bench.JacobiRowFit(p),
+			cico.JacobiColumnCheckouts(int64(p.N), int64(p.P), int64(p.Steps), 4)},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			cfg := sim.DefaultConfig()
+			cfg.Nodes = p.P * p.P
+			var got uint64
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(parc.MustParse(c.src), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				got = res.PerVar["U"].CheckOuts()
+			}
+			if int64(got) != c.formula {
+				b.Fatalf("measured %d check-outs, formula %d", got, c.formula)
+			}
+			b.ReportMetric(float64(got), "checkouts")
+			b.ReportMetric(float64(c.formula), "formula")
+		})
+	}
+}
+
+// BenchmarkRestructure regenerates the Section 5 comparison (E4): the
+// annotated original's N^3 racy check-outs of C versus the restructured
+// program's N^2*P/2.
+func BenchmarkRestructure(b *testing.B) {
+	bm := bench.MatMul()
+	cfg := sim.DefaultConfig()
+	cfg.Nodes = bm.Nodes
+	var orig, restr *sim.Result
+	for i := 0; i < b.N; i++ {
+		row, err := bench.RunBenchmark(bm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run(parc.MustParse(row.AnnotatedSource), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		orig = res
+		restr, err = sim.Run(parc.MustParse(bench.RestructuredMatMul(bm.Train)), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(orig.PerVar["C"].CheckOuts()), "orig-C-checkouts")
+	b.ReportMetric(float64(restr.PerVar["C"].CheckOuts()), "restr-C-checkouts")
+	b.ReportMetric(float64(restr.Cycles)/float64(orig.Cycles), "restr/orig-cycles")
+}
+
+// BenchmarkInputSensitivity regenerates the Section 4.5 measurement (E5):
+// the cost of annotating with a training input and measuring on a test
+// input, for the dynamic Barnes benchmark.
+func BenchmarkInputSensitivity(b *testing.B) {
+	bm := bench.Barnes()
+	cfg := sim.DefaultConfig()
+	cfg.Nodes = bm.Nodes
+	traceCfg := cfg
+	traceCfg.Mode = sim.ModeTrace
+
+	annotateWith := func(train bench.Params) string {
+		src := bm.Source(train)
+		tr, err := sim.Run(parc.MustParse(src), traceCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ann, err := core.Annotate(src, tr.Trace, core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return ann.Source
+	}
+	var diff float64
+	for i := 0; i < b.N; i++ {
+		crossSrc := annotateWith(bm.Train)
+		sameSrc := annotateWith(bm.Test)
+		// Both measured on the test input.
+		cross, err := sim.Run(parc.MustParse(replaceSeed(crossSrc, bm.Train.Seed, bm.Test.Seed)), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		same, err := sim.Run(parc.MustParse(sameSrc), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		diff = 100 * math.Abs(float64(cross.Cycles)-float64(same.Cycles)) / float64(same.Cycles)
+	}
+	b.ReportMetric(diff, "%cross-input-delta")
+}
+
+func replaceSeed(src string, from, to int64) string {
+	old := fmt.Sprintf("const SEED = %d;", from)
+	nw := fmt.Sprintf("const SEED = %d;", to)
+	out := ""
+	for len(src) > 0 {
+		i := 0
+		for ; i+len(old) <= len(src); i++ {
+			if src[i:i+len(old)] == old {
+				return out + src[:i] + nw + src[i+len(old):]
+			}
+		}
+		break
+	}
+	return src
+}
+
+// BenchmarkTrapCostSweep is the DESIGN.md ablation: how the value of CICO
+// annotations scales with the Dir1SW software-trap cost. The annotations'
+// whole purpose is trap avoidance, so the normalized time should fall as
+// traps get more expensive.
+func BenchmarkTrapCostSweep(b *testing.B) {
+	bm := bench.Mp3d()
+	for _, scale := range []float64{0.5, 1, 2, 4} {
+		b.Run(fmt.Sprintf("trap-x%g", scale), func(b *testing.B) {
+			cfg := sim.DefaultConfig()
+			cfg.Nodes = bm.Nodes
+			cfg.Costs.Trap = uint64(float64(dir1sw.DefaultCosts().Trap) * scale)
+			traceCfg := cfg
+			traceCfg.Mode = sim.ModeTrace
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				src := bm.Source(bm.Train)
+				tr, err := sim.Run(parc.MustParse(src), traceCfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ann, err := core.Annotate(src, tr.Trace, core.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				base, err := sim.Run(parc.MustParse(src), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				annotated, err := sim.Run(parc.MustParse(ann.Source), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = float64(annotated.Cycles) / float64(base.Cycles)
+			}
+			b.ReportMetric(ratio, "cachier/none")
+		})
+	}
+}
+
+// BenchmarkProgrammerVsPerformance is the Section 4.1 ablation: running
+// Programmer CICO annotations as directives pays for the explicit
+// check_out_s that Dir1SW already performs implicitly; Performance CICO
+// omits them.
+func BenchmarkProgrammerVsPerformance(b *testing.B) {
+	bm := bench.MatMul()
+	cfg := sim.DefaultConfig()
+	cfg.Nodes = bm.Nodes
+	traceCfg := cfg
+	traceCfg.Mode = sim.ModeTrace
+	var prg, perf uint64
+	for i := 0; i < b.N; i++ {
+		src := bm.Source(bm.Train)
+		tr, err := sim.Run(parc.MustParse(src), traceCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := core.DefaultOptions()
+		opts.Style = core.StyleProgrammer
+		annP, err := core.Annotate(src, tr.Trace, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts.Style = core.StylePerformance
+		annF, err := core.Annotate(src, tr.Trace, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resP, err := sim.Run(parc.MustParse(annP.Source), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resF, err := sim.Run(parc.MustParse(annF.Source), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prg, perf = resP.Cycles, resF.Cycles
+	}
+	b.ReportMetric(float64(prg), "programmer-cycles")
+	b.ReportMetric(float64(perf), "performance-cycles")
+	b.ReportMetric(float64(prg)/float64(perf), "programmer/performance")
+}
+
+// BenchmarkPostStore is an extension ablation: the paper's introduction
+// notes the KSR-1's post-store instruction is "similar, though not
+// identical, to a check-in". Running the Cachier-annotated Ocean with
+// post-store semantics pushes checked-in boundary rows straight back to
+// their readers. The result illustrates the "not identical": read misses
+// drop, but on Ocean's migratory write pattern total cycles get WORSE —
+// every pushed copy is re-invalidated (with a trap broadcast) when the
+// owner rewrites the row next sweep. Post-store pays off only for
+// write-once/read-many handoffs (see the dir1sw unit tests), which is why
+// Dir1SW's check-in returns blocks to Idle instead.
+func BenchmarkPostStore(b *testing.B) {
+	bm := bench.Ocean()
+	traceCfg := sim.DefaultConfig()
+	traceCfg.Nodes = bm.Nodes
+	traceCfg.Mode = sim.ModeTrace
+	src := bm.Source(bm.Train)
+	tr, err := sim.Run(parc.MustParse(src), traceCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ann, err := core.Annotate(src, tr.Trace, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var plain, ksr *sim.Result
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig()
+		cfg.Nodes = bm.Nodes
+		plain, err = sim.Run(parc.MustParse(ann.Source), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.PostStore = true
+		ksr, err = sim.Run(parc.MustParse(ann.Source), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(plain.Stats.ReadMisses), "dir1sw-read-misses")
+	b.ReportMetric(float64(ksr.Stats.ReadMisses), "poststore-read-misses")
+	b.ReportMetric(float64(ksr.Cycles)/float64(plain.Cycles), "poststore/dir1sw-cycles")
+}
+
+// BenchmarkSimulator measures the substrate itself: simulated cycles per
+// wall-clock second on the matrix multiply.
+func BenchmarkSimulator(b *testing.B) {
+	bm := bench.MatMul()
+	cfg := sim.DefaultConfig()
+	cfg.Nodes = bm.Nodes
+	prog := parc.MustParse(bm.Source(bm.Train))
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(prog, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "simulated-cycles")
+}
+
+// BenchmarkAnnotate measures Cachier's own speed (trace processing through
+// unparse) on the largest benchmark trace.
+func BenchmarkAnnotate(b *testing.B) {
+	bm := bench.Barnes()
+	traceCfg := sim.DefaultConfig()
+	traceCfg.Nodes = bm.Nodes
+	traceCfg.Mode = sim.ModeTrace
+	src := bm.Source(bm.Train)
+	tr, err := sim.Run(parc.MustParse(src), traceCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Annotate(src, tr.Trace, core.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullMapBaseline is the protocol-sensitivity ablation: under a
+// full-map hardware directory (the Dir_N class Dir1SW was designed as a
+// cheap alternative to) no transition traps to software and invalidations
+// are directed, so the unannotated baseline is much faster and CICO
+// annotations have far less left to save. The annotations' value is a
+// property of Dir1SW's hardware/software split, exactly as the cooperative
+// shared memory work argues.
+func BenchmarkFullMapBaseline(b *testing.B) {
+	bm := bench.MatMul()
+	traceCfg := sim.DefaultConfig()
+	traceCfg.Nodes = bm.Nodes
+	traceCfg.Mode = sim.ModeTrace
+	src := bm.Source(bm.Train)
+	tr, err := sim.Run(parc.MustParse(src), traceCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ann, err := core.Annotate(src, tr.Trace, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ratio := func(fullMap bool) float64 {
+		cfg := sim.DefaultConfig()
+		cfg.Nodes = bm.Nodes
+		cfg.FullMap = fullMap
+		base, err := sim.Run(parc.MustParse(src), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		annotated, err := sim.Run(parc.MustParse(ann.Source), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return float64(annotated.Cycles) / float64(base.Cycles)
+	}
+	var dir1swRatio, fullMapRatio float64
+	for i := 0; i < b.N; i++ {
+		dir1swRatio = ratio(false)
+		fullMapRatio = ratio(true)
+	}
+	b.ReportMetric(dir1swRatio, "cachier/none-dir1sw")
+	b.ReportMetric(fullMapRatio, "cachier/none-fullmap")
+}

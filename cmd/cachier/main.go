@@ -1,0 +1,130 @@
+// Command cachier automatically inserts CICO annotations into a ParC
+// shared-memory program, reproducing the paper's tool: it combines the
+// dynamic information in an execution trace (produced by wwt -trace on the
+// same source) with static analysis of the program, writes the annotated
+// program, and reports the data races and false sharing it found.
+//
+// Usage:
+//
+//	cachier [flags] program.parc
+//
+//	-trace FILE     execution trace of the unannotated program (required,
+//	                unless -self traces internally)
+//	-self           run the tracing simulation internally instead of
+//	                reading a trace file
+//	-o FILE         write the annotated program here (default stdout)
+//	-style STYLE    "performance" (default) or "programmer" (Section 4.1)
+//	-prefetch       also insert prefetch annotations
+//	-cache BYTES    cache capacity assumed by placement (default 262144)
+//	-nodes N        nodes for -self tracing (default 32)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cachier/internal/core"
+	"cachier/internal/parc"
+	"cachier/internal/sim"
+	"cachier/internal/trace"
+)
+
+func main() {
+	var (
+		traceFile = flag.String("trace", "", "execution trace file(s) from wwt -trace, comma-separated for a training set")
+		selfTrace = flag.Bool("self", false, "trace internally instead of reading a file")
+		out       = flag.String("o", "", "output file (default stdout)")
+		style     = flag.String("style", "performance", `"performance" or "programmer"`)
+		prefetch  = flag.Bool("prefetch", false, "insert prefetch annotations")
+		report    = flag.Bool("report", false, "print the CICO communication cost report")
+		cache     = flag.Int("cache", 256*1024, "cache capacity for placement decisions")
+		nodes     = flag.Int("nodes", 32, "nodes for -self tracing")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cachier [flags] program.parc")
+		flag.Usage()
+		os.Exit(2)
+	}
+	srcBytes, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	src := string(srcBytes)
+
+	var traces []*trace.Trace
+	switch {
+	case *selfTrace:
+		prog, err := parc.Parse(src)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := sim.DefaultConfig()
+		cfg.Nodes = *nodes
+		cfg.Mode = sim.ModeTrace
+		res, err := sim.Run(prog, cfg)
+		if err != nil {
+			fatal(fmt.Errorf("tracing: %w", err))
+		}
+		traces = []*trace.Trace{res.Trace}
+	case *traceFile != "":
+		// Comma-separated files form a training set (Section 4.5's
+		// alternative to a single input data set).
+		for _, name := range strings.Split(*traceFile, ",") {
+			f, err := os.Open(name)
+			if err != nil {
+				fatal(err)
+			}
+			tr, err := trace.Read(f)
+			if err != nil {
+				fatal(err)
+			}
+			f.Close()
+			traces = append(traces, tr)
+		}
+	default:
+		fatal(fmt.Errorf("either -trace FILE[,FILE...] or -self is required"))
+	}
+
+	opts := core.DefaultOptions()
+	opts.Prefetch = *prefetch
+	opts.CacheSize = *cache
+	switch *style {
+	case "performance":
+		opts.Style = core.StylePerformance
+	case "programmer":
+		opts.Style = core.StyleProgrammer
+	default:
+		fatal(fmt.Errorf("unknown style %q", *style))
+	}
+
+	res, err := core.AnnotateMulti(src, traces, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		fmt.Print(res.Source)
+	} else if err := os.WriteFile(*out, []byte(res.Source), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "cachier: inserted %d annotation statement(s) (%s CICO)\n",
+		res.Annotations, opts.Style)
+	for _, r := range res.Reports {
+		loc := ""
+		if r.Pos.IsValid() {
+			loc = fmt.Sprintf(" at %s", r.Pos)
+		}
+		fmt.Fprintf(os.Stderr, "cachier: %s on %s%s (first seen epoch %d, %d address(es))\n",
+			r.Kind, r.Var, loc, r.Epoch, r.Addrs)
+	}
+	if *report {
+		fmt.Fprint(os.Stderr, res.Cost.String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cachier:", err)
+	os.Exit(1)
+}

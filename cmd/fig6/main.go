@@ -1,0 +1,90 @@
+// Command fig6 regenerates the paper's Figure 6: normalized execution times
+// of the five benchmarks, comparing the unannotated, hand-annotated, and
+// Cachier-annotated versions (with and without prefetch) on the simulated
+// Dir1SW machine. Each benchmark is traced on its training input and
+// measured on a different test input, as in Section 6.
+//
+// Usage:
+//
+//	fig6 [-bench NAME] [-sharing] [-stats] [-source]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cachier/internal/bench"
+)
+
+func main() {
+	var (
+		only    = flag.String("bench", "", "run a single benchmark by name")
+		sharing = flag.Bool("sharing", false, "print the sharing-degree table (Section 6)")
+		stats   = flag.Bool("stats", false, "print per-variant protocol statistics")
+		source  = flag.Bool("source", false, "print each Cachier-annotated program")
+		big     = flag.Bool("big", false, "near-paper-scale inputs (takes minutes)")
+	)
+	flag.Parse()
+
+	var benches []*bench.Benchmark
+	if *only != "" {
+		b, err := bench.ByName(*only)
+		if err != nil {
+			fatal(err)
+		}
+		benches = []*bench.Benchmark{b}
+	} else {
+		benches = bench.All()
+	}
+
+	var rows []*bench.Row
+	for _, b := range benches {
+		if *big {
+			b.UseBig()
+		}
+		fmt.Fprintf(os.Stderr, "running %s (%d nodes)...\n", b.Name, b.Nodes)
+		row, err := bench.RunBenchmark(b)
+		if err != nil {
+			fatal(err)
+		}
+		rows = append(rows, row)
+	}
+
+	fmt.Println("Figure 6: execution time normalized to the unannotated version")
+	fmt.Print(bench.FormatRows(rows))
+
+	if *sharing {
+		fmt.Println("\nSharing degree of the unannotated runs (cf. Section 6):")
+		for _, r := range rows {
+			fmt.Printf("  %-16s %5.1f%% shared loads, %5.1f%% shared stores\n",
+				r.Benchmark, 100*r.SharingLoads, 100*r.SharingStores)
+		}
+	}
+	if *stats {
+		for _, r := range rows {
+			fmt.Printf("\n%s protocol statistics:\n", r.Benchmark)
+			for _, v := range bench.Variants() {
+				s := r.Stats[v]
+				fmt.Printf("  %-17s cycles=%-10d misses=%-7d faults=%-6d traps=%-6d msgs=%d\n",
+					v, r.Cycles[v], s.Misses(), s.WriteFaults, s.Traps, s.TotalMsgs())
+			}
+			if len(r.Reports) > 0 {
+				fmt.Println("  conflicts flagged by Cachier:")
+				for _, rep := range r.Reports {
+					fmt.Printf("    %s on %s (epoch %d)\n", rep.Kind, rep.Var, rep.Epoch)
+				}
+			}
+		}
+	}
+	if *source {
+		for _, r := range rows {
+			fmt.Printf("\n===== %s, Cachier-annotated =====\n%s\n", r.Benchmark, r.AnnotatedSource)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fig6:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,144 @@
+// Command tracestat summarizes an execution trace produced by wwt -trace:
+// per-epoch miss counts by kind, attribution of misses to the labelled
+// shared regions (the paper's address-to-data-structure mapping), and the
+// data races and false sharing Cachier's analysis finds in the trace.
+//
+// Usage:
+//
+//	tracestat [-races] [-vars] trace-file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"cachier/internal/core"
+	"cachier/internal/trace"
+)
+
+func main() {
+	races := flag.Bool("races", false, "list data races and false sharing per epoch")
+	vars := flag.Bool("vars", false, "attribute misses to labelled regions")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracestat [flags] trace-file")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("trace: %d nodes, %d-byte blocks, %d epochs, %d labelled regions\n",
+		tr.Nodes, tr.BlockSize, len(tr.Epochs), len(tr.Labels))
+
+	labelOf := makeLabeler(tr.Labels)
+	var totR, totW, totF int
+	for _, ep := range tr.Epochs {
+		var r, w, fl int
+		for _, m := range ep.Misses {
+			switch m.Kind {
+			case trace.ReadMiss:
+				r++
+			case trace.WriteMiss:
+				w++
+			case trace.WriteFault:
+				fl++
+			}
+		}
+		totR, totW, totF = totR+r, totW+w, totF+fl
+		fmt.Printf("epoch %2d (barrier pc %4d): %6d read misses, %6d write misses, %6d write faults\n",
+			ep.Index, ep.BarrierPC, r, w, fl)
+	}
+	fmt.Printf("total: %d read misses, %d write misses, %d write faults\n", totR, totW, totF)
+
+	if *vars {
+		counts := map[string]int{}
+		for _, ep := range tr.Epochs {
+			for _, m := range ep.Misses {
+				counts[labelOf(m.Addr)]++
+			}
+		}
+		names := make([]string, 0, len(counts))
+		for n := range counts {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool { return counts[names[i]] > counts[names[j]] })
+		fmt.Println("\nmisses by labelled region:")
+		for _, n := range names {
+			fmt.Printf("  %-16s %d\n", n, counts[n])
+		}
+	}
+
+	if *races {
+		epochs := core.ProcessTrace(tr)
+		conflicts := core.FindAllConflicts(epochs, tr.BlockSize)
+		fmt.Println("\nconflicts (potential data races and false sharing):")
+		any := false
+		for i, c := range conflicts {
+			byVar := map[string][2]int{}
+			for a := range c.Race {
+				v := byVar[labelOf(a)]
+				v[0]++
+				byVar[labelOf(a)] = v
+			}
+			for a := range c.FalseShare {
+				v := byVar[labelOf(a)]
+				v[1]++
+				byVar[labelOf(a)] = v
+			}
+			names := make([]string, 0, len(byVar))
+			for n := range byVar {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				v := byVar[n]
+				any = true
+				fmt.Printf("  epoch %2d: %-16s %d raced address(es), %d falsely shared\n",
+					i, n, v[0], v[1])
+			}
+		}
+		if !any {
+			fmt.Println("  none")
+		}
+	}
+}
+
+// makeLabeler maps addresses to region labels using the trace's labelling
+// information (Section 4.3's labelling macro output).
+func makeLabeler(labels []trace.Label) func(uint64) string {
+	type span struct {
+		name     string
+		base, hi uint64
+	}
+	spans := make([]span, 0, len(labels))
+	for _, l := range labels {
+		elems := 1
+		for _, d := range l.Dims {
+			elems *= d
+		}
+		spans = append(spans, span{l.Name, l.Base, l.Base + uint64(elems*l.Elem)})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].base < spans[j].base })
+	return func(addr uint64) string {
+		i := sort.Search(len(spans), func(i int) bool { return spans[i].hi > addr })
+		if i < len(spans) && addr >= spans[i].base {
+			return spans[i].name
+		}
+		return "(unlabelled)"
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracestat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,16 @@
+// Package cachier is a from-scratch Go reproduction of "Cachier: A Tool for
+// Automatically Inserting CICO Annotations" (Chilimbi & Larus, ICPP 1994).
+//
+// The system comprises a small SPMD shared-memory language (ParC), an
+// execution-driven simulator of a Dir1SW cache-coherent machine in the
+// style of the Wisconsin Wind Tunnel, and Cachier itself: a tool that
+// combines a barrier-flushed miss trace with static program analysis to
+// insert check-in/check-out (CICO) annotations, which the simulated memory
+// system consumes as directives.
+//
+// See README.md for usage, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-reproduction results. The top-level
+// bench_test.go regenerates every table and figure:
+//
+//	go test -bench=. -benchmem
+package cachier

@@ -1,0 +1,94 @@
+// Racefinder: besides inserting annotations, Cachier flags potential data
+// races and false sharing (Section 4.3), which the programmer fixes with
+// locks or padding. This example plants one of each in a small program,
+// shows Cachier's report, and demonstrates that padding the falsely-shared
+// counters removes both the flag and the coherence traffic.
+//
+//	go run ./examples/racefinder
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cachier/internal/core"
+	"cachier/internal/parc"
+	"cachier/internal/sim"
+)
+
+// counters[pid()] puts the four counters in one 32-byte cache block (false
+// sharing); total is read-modify-written by everyone without a lock (data
+// race).
+const buggy = `
+const ROUNDS = 50;
+shared float counters[4] label "counters";
+shared float total label "total";
+
+func main() {
+    for r = 1 to ROUNDS {
+        counters[pid()] = counters[pid()] + 1.0;
+        total = total + 1.0;
+    }
+    barrier;
+}
+`
+
+// The fix suggested by the flags: pad each counter to its own block, and
+// accumulate privately with a single lock-protected update of the shared
+// total. (The epoch model deliberately ignores locks — paper Section 3.1 —
+// so the remaining locked update is still reported as a potential race;
+// the lock makes it benign.)
+const fixed = `
+const ROUNDS = 50;
+shared float counters[4][4] label "counters";
+shared float total label "total";
+
+func main() {
+    var mine float = 0.0;
+    for r = 1 to ROUNDS {
+        counters[pid()][0] = counters[pid()][0] + 1.0;
+        mine = mine + 1.0;
+    }
+    lock(0);
+    total = total + mine;
+    unlock(0);
+    barrier;
+}
+`
+
+func report(name, src string) *sim.Result {
+	cfg := sim.DefaultConfig()
+	cfg.Nodes = 4
+
+	traceCfg := cfg
+	traceCfg.Mode = sim.ModeTrace
+	traced, err := sim.Run(parc.MustParse(src), traceCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ann, err := core.Annotate(src, traced.Trace, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== %s ===\n", name)
+	if len(ann.Reports) == 0 {
+		fmt.Println("cachier: no data races or false sharing found")
+	}
+	for _, r := range ann.Reports {
+		fmt.Printf("cachier: %s on %s at %s (%d address(es))\n", r.Kind, r.Var, r.Pos, r.Addrs)
+	}
+	res, err := sim.Run(parc.MustParse(src), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unannotated run: %d cycles, %d traps, %d invalidations\n\n",
+		res.Cycles, res.Stats.Traps, res.Stats.Invalidations)
+	return res
+}
+
+func main() {
+	before := report("buggy: shared counters in one block, unlocked total", buggy)
+	after := report("fixed: padded counters, locked total", fixed)
+	fmt.Printf("coherence traps %d -> %d after applying Cachier's diagnosis\n",
+		before.Stats.Traps, after.Stats.Traps)
+}

@@ -1,0 +1,3 @@
+module cachier
+
+go 1.22

@@ -1,0 +1,313 @@
+// Package analysis computes the static program information Cachier combines
+// with the dynamic trace (paper Sections 3.4 and 4.2-4.3): for every
+// statement, its enclosing block and position, its enclosing loop nest, its
+// function, and the shared-array references it contains. Because ParC has
+// structured control flow only, loop nesting and parent links subsume the
+// control-flow graph for the placement decisions Cachier makes: check-outs
+// hoist outward through loop levels and stop at barriers and function
+// boundaries.
+package analysis
+
+import (
+	"cachier/internal/parc"
+)
+
+// Ref is one static shared-array reference site.
+type Ref struct {
+	Stmt    parc.Stmt   // statement containing the reference
+	Var     string      // shared variable name
+	Indices []parc.Expr // subscripts (nil for shared scalars)
+	Write   bool
+}
+
+// Info is the static analysis result for one program.
+type Info struct {
+	Prog *parc.Program
+
+	parentBlock map[int]*parc.Block // stmt ID -> enclosing block
+	parentIndex map[int]int         // stmt ID -> index within enclosing block
+	parentStmt  map[int]parc.Stmt   // stmt ID -> immediate parent statement
+	loops       map[int][]*parc.ForStmt
+	fn          map[int]*parc.FuncDecl
+	refs        map[int][]Ref
+	hasBarrier  map[int]bool // stmt ID -> subtree contains a barrier
+}
+
+// Analyze builds static information for the whole program.
+func Analyze(prog *parc.Program) *Info {
+	in := &Info{
+		Prog:        prog,
+		parentBlock: make(map[int]*parc.Block),
+		parentIndex: make(map[int]int),
+		parentStmt:  make(map[int]parc.Stmt),
+		loops:       make(map[int][]*parc.ForStmt),
+		fn:          make(map[int]*parc.FuncDecl),
+		refs:        make(map[int][]Ref),
+		hasBarrier:  make(map[int]bool),
+	}
+	for _, f := range prog.Funcs {
+		in.visit(f.Body, f, nil)
+	}
+	return in
+}
+
+// visit records parent/loop/function links for s's subtree. loops is the
+// enclosing for-loop chain, outermost first.
+func (in *Info) visit(s parc.Stmt, f *parc.FuncDecl, loops []*parc.ForStmt) bool {
+	if s == nil {
+		return false
+	}
+	in.fn[s.ID()] = f
+	in.loops[s.ID()] = append([]*parc.ForStmt(nil), loops...)
+	barrier := false
+	switch n := s.(type) {
+	case *parc.Block:
+		for i, c := range n.Stmts {
+			in.parentBlock[c.ID()] = n
+			in.parentIndex[c.ID()] = i
+			in.parentStmt[c.ID()] = n
+			if in.visit(c, f, loops) {
+				barrier = true
+			}
+		}
+	case *parc.IfStmt:
+		in.parentStmt[n.Then.ID()] = n
+		if in.visit(n.Then, f, loops) {
+			barrier = true
+		}
+		if n.Else != nil {
+			in.parentStmt[n.Else.ID()] = n
+			if in.visit(n.Else, f, loops) {
+				barrier = true
+			}
+		}
+		in.collectRefs(n.ID(), nil, n.Cond)
+	case *parc.WhileStmt:
+		in.parentStmt[n.Body.ID()] = n
+		if in.visit(n.Body, f, loops) {
+			barrier = true
+		}
+		in.collectRefs(n.ID(), nil, n.Cond)
+	case *parc.ForStmt:
+		in.parentStmt[n.Body.ID()] = n
+		if in.visit(n.Body, f, append(loops, n)) {
+			barrier = true
+		}
+		in.collectRefs(n.ID(), nil, n.From, n.To, n.Step)
+	case *parc.BarrierStmt:
+		barrier = true
+	case *parc.VarDeclStmt:
+		in.collectRefs(n.ID(), nil, n.Init)
+	case *parc.AssignStmt:
+		if _, shared := in.Prog.SharedMap[n.LHS.Name]; shared {
+			in.refs[n.ID()] = append(in.refs[n.ID()], Ref{
+				Stmt: n, Var: n.LHS.Name, Indices: n.LHS.Indices, Write: true,
+			})
+			if n.Op != parc.OpSet {
+				// Compound assignment also reads the destination.
+				in.refs[n.ID()] = append(in.refs[n.ID()], Ref{
+					Stmt: n, Var: n.LHS.Name, Indices: n.LHS.Indices, Write: false,
+				})
+			}
+		}
+		in.collectRefs(n.ID(), n, n.RHS)
+		for _, ix := range n.LHS.Indices {
+			in.collectRefs(n.ID(), n, ix)
+		}
+	case *parc.LockStmt:
+		in.collectRefs(n.ID(), nil, n.LockID)
+	case *parc.UnlockStmt:
+		in.collectRefs(n.ID(), nil, n.LockID)
+	case *parc.ReturnStmt:
+		in.collectRefs(n.ID(), nil, n.Value)
+	case *parc.ExprStmt:
+		in.collectRefs(n.ID(), nil, n.Call)
+	case *parc.PrintStmt:
+		in.collectRefs(n.ID(), nil, n.Args...)
+	}
+	in.hasBarrier[s.ID()] = barrier
+	return barrier
+}
+
+// collectRefs records shared reads inside the given expressions, attributed
+// to statement id. owner, when non-nil, is used as the Ref's statement; it
+// is the statement the trace PC will name.
+func (in *Info) collectRefs(id int, owner parc.Stmt, exprs ...parc.Expr) {
+	if owner == nil {
+		owner = in.Prog.Stmts[id]
+	}
+	for _, e := range exprs {
+		in.walkExpr(id, owner, e)
+	}
+}
+
+func (in *Info) walkExpr(id int, owner parc.Stmt, e parc.Expr) {
+	switch n := e.(type) {
+	case nil:
+	case *parc.VarRef:
+		if d, ok := in.Prog.SharedMap[n.Name]; ok && len(d.DimSizes) == 0 {
+			in.refs[id] = append(in.refs[id], Ref{Stmt: owner, Var: n.Name, Write: false})
+		}
+	case *parc.IndexExpr:
+		if _, ok := in.Prog.SharedMap[n.Name]; ok {
+			in.refs[id] = append(in.refs[id], Ref{Stmt: owner, Var: n.Name, Indices: n.Indices, Write: false})
+		}
+		for _, ix := range n.Indices {
+			in.walkExpr(id, owner, ix)
+		}
+	case *parc.CallExpr:
+		for _, a := range n.Args {
+			in.walkExpr(id, owner, a)
+		}
+	case *parc.UnaryExpr:
+		in.walkExpr(id, owner, n.X)
+	case *parc.BinaryExpr:
+		in.walkExpr(id, owner, n.X)
+		in.walkExpr(id, owner, n.Y)
+	}
+}
+
+// Block returns the block directly containing the statement and the
+// statement's index within it. ok is false for function bodies themselves.
+func (in *Info) Block(id int) (b *parc.Block, index int, ok bool) {
+	b, ok = in.parentBlock[id]
+	return b, in.parentIndex[id], ok
+}
+
+// Parent returns the immediate parent statement (a block, if, while, or for).
+func (in *Info) Parent(id int) parc.Stmt { return in.parentStmt[id] }
+
+// Loops returns the for-loops enclosing the statement, outermost first.
+func (in *Info) Loops(id int) []*parc.ForStmt { return in.loops[id] }
+
+// Func returns the function whose body contains the statement.
+func (in *Info) Func(id int) *parc.FuncDecl { return in.fn[id] }
+
+// Refs returns the shared-array references contained in the statement
+// (not including nested statements).
+func (in *Info) Refs(id int) []Ref { return in.refs[id] }
+
+// ContainsBarrier reports whether the statement's subtree contains a
+// barrier; check-outs must not hoist above such statements, since their
+// bodies span epochs.
+func (in *Info) ContainsBarrier(s parc.Stmt) bool { return in.hasBarrier[s.ID()] }
+
+// AllRefs returns every shared reference site in the program, in statement
+// ID order.
+func (in *Info) AllRefs() []Ref {
+	var out []Ref
+	parc.WalkProgram(in.Prog, func(s parc.Stmt) bool {
+		out = append(out, in.refs[s.ID()]...)
+		return true
+	})
+	return out
+}
+
+// MentionsVar reports whether the expression references the given name.
+func MentionsVar(e parc.Expr, name string) bool {
+	found := false
+	var walk func(parc.Expr)
+	walk = func(e parc.Expr) {
+		if found || e == nil {
+			return
+		}
+		switch n := e.(type) {
+		case *parc.VarRef:
+			if n.Name == name {
+				found = true
+			}
+		case *parc.IndexExpr:
+			if n.Name == name {
+				found = true
+			}
+			for _, ix := range n.Indices {
+				walk(ix)
+			}
+		case *parc.CallExpr:
+			for _, a := range n.Args {
+				walk(a)
+			}
+		case *parc.UnaryExpr:
+			walk(n.X)
+		case *parc.BinaryExpr:
+			walk(n.X)
+			walk(n.Y)
+		}
+	}
+	walk(e)
+	return found
+}
+
+// AffineInVar decomposes an index expression as (var + offset) when the
+// expression is the loop variable itself or the loop variable plus/minus an
+// expression not mentioning it. It returns the offset expression (nil for
+// zero) and whether the decomposition succeeded. Hoisting a check-out above
+// a loop substitutes the loop bounds into such indices; non-affine uses
+// (v*2, A[v%k]) block hoisting past that loop.
+func AffineInVar(e parc.Expr, v string) (offset parc.Expr, negated bool, ok bool) {
+	switch n := e.(type) {
+	case *parc.VarRef:
+		if n.Name == v {
+			return nil, false, true
+		}
+	case *parc.BinaryExpr:
+		if n.Op == parc.TokPlus {
+			if vr, isVar := n.X.(*parc.VarRef); isVar && vr.Name == v && !MentionsVar(n.Y, v) {
+				return n.Y, false, true
+			}
+			if vr, isVar := n.Y.(*parc.VarRef); isVar && vr.Name == v && !MentionsVar(n.X, v) {
+				return n.X, false, true
+			}
+		}
+		if n.Op == parc.TokMinus {
+			if vr, isVar := n.X.(*parc.VarRef); isVar && vr.Name == v && !MentionsVar(n.Y, v) {
+				return n.Y, true, true
+			}
+		}
+	}
+	return nil, false, false
+}
+
+// ConstExpr evaluates an expression that uses only literals and program
+// constants, reporting ok=false otherwise. Used to compute trip counts and
+// footprints statically where possible.
+func ConstExpr(e parc.Expr, consts map[string]int64) (int64, bool) {
+	switch n := e.(type) {
+	case *parc.IntLit:
+		return n.Value, true
+	case *parc.VarRef:
+		v, ok := consts[n.Name]
+		return v, ok
+	case *parc.UnaryExpr:
+		if n.Op != parc.TokMinus {
+			return 0, false
+		}
+		v, ok := ConstExpr(n.X, consts)
+		return -v, ok
+	case *parc.BinaryExpr:
+		x, okx := ConstExpr(n.X, consts)
+		y, oky := ConstExpr(n.Y, consts)
+		if !okx || !oky {
+			return 0, false
+		}
+		switch n.Op {
+		case parc.TokPlus:
+			return x + y, true
+		case parc.TokMinus:
+			return x - y, true
+		case parc.TokStar:
+			return x * y, true
+		case parc.TokSlash:
+			if y == 0 {
+				return 0, false
+			}
+			return x / y, true
+		case parc.TokPercent:
+			if y == 0 {
+				return 0, false
+			}
+			return x % y, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"testing"
+
+	"cachier/internal/parc"
+)
+
+const src = `
+const N = 8;
+shared float A[N][N] label "A";
+shared float B[N][N];
+shared int flag;
+
+func helper(k int) {
+    A[k][0] = 1.0;
+}
+
+func main() {
+    for i = 0 to N - 1 {
+        for j = 0 to N - 1 {
+            A[i][j] = B[i][j] + A[i][j + 1];
+        }
+        barrier;
+    }
+    while flag < 3 {
+        flag += 1;
+    }
+    helper(2);
+}
+`
+
+func analyzed(t *testing.T) *Info {
+	t.Helper()
+	return Analyze(parc.MustParse(src))
+}
+
+func findStmt[T parc.Stmt](prog *parc.Program, pick func(T) bool) T {
+	var out T
+	found := false
+	parc.WalkProgram(prog, func(s parc.Stmt) bool {
+		if n, ok := s.(T); ok && !found && pick(n) {
+			out = n
+			found = true
+		}
+		return true
+	})
+	if !found {
+		panic("statement not found")
+	}
+	return out
+}
+
+// mainAssign matches the A[i][j] = B[i][j] + A[i][j+1] statement in main
+// (helper also assigns to A, so match on the RHS mentioning B).
+func mainAssign(a *parc.AssignStmt) bool {
+	return a.LHS.Name == "A" && len(a.LHS.Indices) == 2 && MentionsVar(a.RHS, "B")
+}
+
+func TestLoopNesting(t *testing.T) {
+	in := analyzed(t)
+	// The A[i][j] = ... assignment is inside two loops.
+	asn := findStmt[*parc.AssignStmt](in.Prog, mainAssign)
+	loops := in.Loops(asn.ID())
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d", len(loops))
+	}
+	if loops[0].Var != "i" || loops[1].Var != "j" {
+		t.Errorf("loop order: %s, %s (want i, j outermost first)", loops[0].Var, loops[1].Var)
+	}
+}
+
+func TestParentBlockAndIndex(t *testing.T) {
+	in := analyzed(t)
+	asn := findStmt[*parc.AssignStmt](in.Prog, mainAssign)
+	b, idx, ok := in.Block(asn.ID())
+	if !ok {
+		t.Fatal("no parent block")
+	}
+	if b.Stmts[idx] != parc.Stmt(asn) {
+		t.Error("index does not locate the statement")
+	}
+}
+
+func TestFuncAttribution(t *testing.T) {
+	in := analyzed(t)
+	h := findStmt[*parc.AssignStmt](in.Prog, func(a *parc.AssignStmt) bool {
+		return a.LHS.Name == "A" && len(a.LHS.Indices) == 2 && a.LHS.Indices[0].(*parc.VarRef).Name == "k"
+	})
+	if f := in.Func(h.ID()); f == nil || f.Name != "helper" {
+		t.Errorf("func = %v", f)
+	}
+}
+
+func TestRefsExtraction(t *testing.T) {
+	in := analyzed(t)
+	asn := findStmt[*parc.AssignStmt](in.Prog, mainAssign)
+	refs := in.Refs(asn.ID())
+	// Write to A, read of B, read of A[i][j+1].
+	var writes, readsA, readsB int
+	for _, r := range refs {
+		switch {
+		case r.Var == "A" && r.Write:
+			writes++
+		case r.Var == "A":
+			readsA++
+		case r.Var == "B" && !r.Write:
+			readsB++
+		}
+	}
+	if writes != 1 || readsA != 1 || readsB != 1 {
+		t.Errorf("refs = %+v", refs)
+	}
+}
+
+func TestCompoundAssignAddsRead(t *testing.T) {
+	in := analyzed(t)
+	asn := findStmt[*parc.AssignStmt](in.Prog, func(a *parc.AssignStmt) bool {
+		return a.LHS.Name == "flag"
+	})
+	refs := in.Refs(asn.ID())
+	var r, w int
+	for _, ref := range refs {
+		if ref.Var == "flag" {
+			if ref.Write {
+				w++
+			} else {
+				r++
+			}
+		}
+	}
+	if r != 1 || w != 1 {
+		t.Errorf("flag refs: %d reads %d writes", r, w)
+	}
+}
+
+func TestSharedScalarInCondition(t *testing.T) {
+	in := analyzed(t)
+	wh := findStmt[*parc.WhileStmt](in.Prog, func(*parc.WhileStmt) bool { return true })
+	refs := in.Refs(wh.ID())
+	if len(refs) != 1 || refs[0].Var != "flag" || refs[0].Write {
+		t.Errorf("while-cond refs = %+v", refs)
+	}
+}
+
+func TestContainsBarrier(t *testing.T) {
+	in := analyzed(t)
+	outer := findStmt[*parc.ForStmt](in.Prog, func(f *parc.ForStmt) bool { return f.Var == "i" })
+	inner := findStmt[*parc.ForStmt](in.Prog, func(f *parc.ForStmt) bool { return f.Var == "j" })
+	if !in.ContainsBarrier(outer) {
+		t.Error("outer loop contains a barrier but analysis says no")
+	}
+	if in.ContainsBarrier(inner) {
+		t.Error("inner loop does not contain a barrier but analysis says yes")
+	}
+}
+
+func TestAllRefsOrdered(t *testing.T) {
+	in := analyzed(t)
+	all := in.AllRefs()
+	if len(all) < 5 {
+		t.Fatalf("AllRefs = %d refs", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Stmt.ID() > all[i].Stmt.ID() {
+			t.Error("refs not in statement order")
+		}
+	}
+}
+
+func TestMentionsVar(t *testing.T) {
+	prog := parc.MustParse(`
+shared float A[8];
+func main() {
+    var i int = 1;
+    var j int = 2;
+    A[i + j * 2] = float(min(i, 3));
+}
+`)
+	asn := findStmt[*parc.AssignStmt](prog, func(*parc.AssignStmt) bool { return true })
+	ix := asn.LHS.Indices[0]
+	if !MentionsVar(ix, "i") || !MentionsVar(ix, "j") || MentionsVar(ix, "k") {
+		t.Error("MentionsVar on index wrong")
+	}
+	if !MentionsVar(asn.RHS, "i") || MentionsVar(asn.RHS, "j") {
+		t.Error("MentionsVar through calls wrong")
+	}
+}
+
+func TestAffineInVar(t *testing.T) {
+	mk := func(src string) parc.Expr {
+		prog := parc.MustParse("shared float A[64]; func main() { var i int = 0; var c int = 0; A[" + src + "] = 1.0; }")
+		asn := findStmt[*parc.AssignStmt](prog, func(*parc.AssignStmt) bool { return true })
+		return asn.LHS.Indices[0]
+	}
+	if off, neg, ok := AffineInVar(mk("i"), "i"); !ok || off != nil || neg {
+		t.Error("plain var not affine")
+	}
+	if off, neg, ok := AffineInVar(mk("i + 1"), "i"); !ok || off == nil || neg {
+		t.Error("i+1 not affine")
+	}
+	if off, neg, ok := AffineInVar(mk("c + i"), "i"); !ok || off == nil || neg {
+		t.Error("c+i not affine")
+	}
+	if off, neg, ok := AffineInVar(mk("i - 2"), "i"); !ok || off == nil || !neg {
+		t.Error("i-2 not affine-negated")
+	}
+	if _, _, ok := AffineInVar(mk("i * 2"), "i"); ok {
+		t.Error("i*2 wrongly affine")
+	}
+	if _, _, ok := AffineInVar(mk("i + i"), "i"); ok {
+		t.Error("i+i wrongly affine")
+	}
+	if _, _, ok := AffineInVar(mk("c"), "i"); ok {
+		t.Error("var-free expression wrongly affine in i")
+	}
+}
+
+func TestConstExpr(t *testing.T) {
+	consts := map[string]int64{"N": 8}
+	mk := func(src string) parc.Expr {
+		prog := parc.MustParse("const N = 8; shared float A[N * N]; func main() { var i int = 0; A[" + src + "] = 1.0; }")
+		asn := findStmt[*parc.AssignStmt](prog, func(*parc.AssignStmt) bool { return true })
+		return asn.LHS.Indices[0]
+	}
+	if v, ok := ConstExpr(mk("N * 2 + 1"), consts); !ok || v != 17 {
+		t.Errorf("N*2+1 = %d, %v", v, ok)
+	}
+	if v, ok := ConstExpr(mk("N - 1"), consts); !ok || v != 7 {
+		t.Errorf("N-1 = %d, %v", v, ok)
+	}
+	if _, ok := ConstExpr(mk("i + 1"), consts); ok {
+		t.Error("non-const accepted")
+	}
+	if v, ok := ConstExpr(mk("0 - N"), consts); !ok || v != -8 {
+		t.Errorf("0-N = %d, %v", v, ok)
+	}
+}

@@ -1,0 +1,281 @@
+package bench
+
+// Barnes ports the SPLASH Barnes-Hut N-body benchmark: a gravitational
+// simulation whose core data structure is a space-partitioning tree
+// traversed with data-dependent "pointer" chasing (array indices here, as a
+// Fortran-style port would use). One processor rebuilds the quadtree each
+// step; all processors then walk it to compute forces on their own bodies
+// and update them. Sharing is low compared to Ocean/Mp3d (the paper quotes
+// 25.5% shared loads, 1.3% shared stores), so the CICO win is smaller
+// (~11%), and the irregular structure is what defeats both static-analysis
+// tools and hand annotators (Section 6).
+func Barnes() *Benchmark {
+	return &Benchmark{
+		Name:     "Barnes",
+		Nodes:    32,
+		Source:   barnesSource,
+		Hand:     barnesHand,
+		Train:    Params{N: 256, Steps: 2, Seed: 17},
+		Test:     Params{N: 256, Steps: 2, Seed: 131},
+		BigTrain: Params{N: 1024, Steps: 3, Seed: 17},
+		BigTest:  Params{N: 1024, Steps: 3, Seed: 131},
+	}
+}
+
+const barnesBody = `
+const NB = @NB@;
+const MAXN = NB * 4;
+const STEPS = @STEPS@;
+const SEED = @SEED@;
+const STK = 512;
+
+// Bodies: position, velocity, mass, partitioned across processors.
+shared float bx[NB] label "bx";
+shared float by[NB] label "by";
+shared float bvx[NB] label "bvx";
+shared float bvy[NB] label "bvy";
+shared float bm[NB] label "bm";
+
+// Quadtree nodes: geometric cell (center + half size), aggregated mass and
+// mass-weighted position sums (normalized to centers after the build), the
+// four child links (-1 = empty), and the body held by a leaf (-1 = internal).
+shared float cx[MAXN] label "cx";
+shared float cy[MAXN] label "cy";
+shared float chs[MAXN] label "chs";
+shared float nm[MAXN] label "nm";
+shared float nx[MAXN] label "nx";
+shared float ny[MAXN] label "ny";
+shared int child[MAXN][4] label "child";
+shared int leafbody[MAXN] label "leafbody";
+shared int nnodes;
+
+// alloc creates a fresh node for the quadrant q of parent p (or the root
+// when p < 0) and returns its index.
+func alloc(p int, q int) int {
+    var idx int = nnodes;
+    nnodes = idx + 1;
+    if p < 0 {
+        cx[idx] = 0.5;
+        cy[idx] = 0.5;
+        chs[idx] = 0.5;
+    } else {
+        var h float = chs[p] / 2.0;
+        chs[idx] = h;
+        if q % 2 == 1 {
+            cx[idx] = cx[p] + h;
+        } else {
+            cx[idx] = cx[p] - h;
+        }
+        if q / 2 == 1 {
+            cy[idx] = cy[p] + h;
+        } else {
+            cy[idx] = cy[p] - h;
+        }
+    }
+    nm[idx] = 0.0;
+    nx[idx] = 0.0;
+    ny[idx] = 0.0;
+    leafbody[idx] = -1;
+    for q2 = 0 to 3 {
+        child[idx][q2] = -1;
+    }
+    return idx;
+}
+
+// quad returns which quadrant of node n the point (x, y) falls in.
+func quad(n int, x float, y float) int {
+    var q int = 0;
+    if x > cx[n] {
+        q = q + 1;
+    }
+    if y > cy[n] {
+        q = q + 2;
+    }
+    return q;
+}
+
+// addmass accumulates body b's mass into node n's aggregates.
+func addmass(n int, b int) {
+    nm[n] = nm[n] + bm[b];
+    nx[n] = nx[n] + bx[b] * bm[b];
+    ny[n] = ny[n] + by[b] * bm[b];
+}
+
+// insert places body b into the tree, accumulating mass at every node it
+// passes through and splitting leaves as needed.
+func insert(b int) {
+    var n int = 0;
+    var done int = 0;
+    while done == 0 {
+        addmass(n, b);
+        var q int = quad(n, bx[b], by[b]);
+        var ch int = child[n][q];
+        if ch == -1 {
+            var leaf int = alloc(n, q);
+            leafbody[leaf] = b;
+            addmass(leaf, b);
+            child[n][q] = leaf;
+            done = 1;
+        } else if leafbody[ch] >= 0 {
+            if chs[ch] < 0.0001 {
+                // Cell too small to split further: absorb into the leaf.
+                addmass(ch, b);
+                done = 1;
+            } else {
+                // Split the leaf: push its body one level down, then keep
+                // descending with b.
+                var ob int = leafbody[ch];
+                leafbody[ch] = -1;
+                var oq int = quad(ch, bx[ob], by[ob]);
+                var nl int = alloc(ch, oq);
+                leafbody[nl] = ob;
+                addmass(nl, ob);
+                child[ch][oq] = nl;
+                n = ch;
+            }
+        } else {
+            n = ch;
+        }
+    }
+}
+
+// buildtree rebuilds the quadtree from scratch and normalizes the
+// aggregates into centers of mass.
+func buildtree() {
+    nnodes = 0;
+    var root int = alloc(-1, 0);
+    for b = 0 to NB - 1 {
+        insert(b);
+    }
+    for n = 0 to nnodes - 1 {
+        if nm[n] > 0.0 {
+            nx[n] = nx[n] / nm[n];
+            ny[n] = ny[n] / nm[n];
+        }
+    }
+}
+
+func main() {
+    var per int = NB / nprocs();
+    var lo int = pid() * per;
+    var hi int = lo + per - 1;
+    var fax float[@PERB@];
+    var fay float[@PERB@];
+    var stack int[STK];
+    var sp int;
+    var theta2 float = 0.04;
+    var eps2 float = 0.0001;
+    var dt float = 0.01;
+    if pid() == 0 {
+        rndseed(SEED);
+        for b = 0 to NB - 1 {
+            bx[b] = rnd();
+            by[b] = rnd();
+            bvx[b] = (rnd() - 0.5) * 0.1;
+            bvy[b] = (rnd() - 0.5) * 0.1;
+            bm[b] = rnd() + 0.1;
+        }
+    }
+    barrier;
+    for t = 1 to STEPS {
+        if pid() == 0 {
+            buildtree();
+        }
+        barrier;
+        // Force computation: walk the shared tree for each owned body.
+        for i = lo to hi {
+            var fx float = 0.0;
+            var fy float = 0.0;
+            var xi float = bx[i];
+            var yi float = by[i];
+            stack[0] = 0;
+            sp = 1;
+            while sp > 0 {
+                sp = sp - 1;
+                var n int = stack[sp];
+                var lb int = leafbody[n];
+                var dx float = nx[n] - xi;
+                var dy float = ny[n] - yi;
+                var d2 float = dx * dx + dy * dy + eps2;
+                if lb >= 0 {
+                    if lb != i {
+                        var im float = bm[lb] / (d2 * sqrt(d2));
+                        fx = fx + dx * im;
+                        fy = fy + dy * im;
+                    }
+                } else if 4.0 * chs[n] * chs[n] < theta2 * d2 {
+                    // Far enough: use the cell's aggregate mass.
+                    var am float = nm[n] / (d2 * sqrt(d2));
+                    fx = fx + dx * am;
+                    fy = fy + dy * am;
+                } else {
+                    for q = 0 to 3 {
+                        var c int = child[n][q];
+                        if c >= 0 && sp < STK {
+                            stack[sp] = c;
+                            sp = sp + 1;
+                        }
+                    }
+                }
+            }
+            fax[i - lo] = fx;
+            fay[i - lo] = fy;
+        }
+        barrier;
+        // Update owned bodies; reflect at the unit-box walls.
+        for i = lo to hi {
+            bvx[i] = bvx[i] + fax[i - lo] * dt;
+            bvy[i] = bvy[i] + fay[i - lo] * dt;
+            bx[i] = bx[i] + bvx[i] * dt;
+            by[i] = by[i] + bvy[i] * dt;
+            if bx[i] < 0.0 {
+                bx[i] = 0.0 - bx[i];
+                bvx[i] = 0.0 - bvx[i];
+            }
+            if bx[i] > 1.0 {
+                bx[i] = 2.0 - bx[i];
+                bvx[i] = 0.0 - bvx[i];
+            }
+            if by[i] < 0.0 {
+                by[i] = 0.0 - by[i];
+                bvy[i] = 0.0 - bvy[i];
+            }
+            if by[i] > 1.0 {
+                by[i] = 2.0 - by[i];
+                bvy[i] = 0.0 - bvy[i];
+            }
+        }
+        barrier;
+    }
+}
+`
+
+func barnesRender(p Params, nodes int) string {
+	per := p.N / nodes
+	if per < 1 {
+		per = 1
+	}
+	return subst(barnesBody, map[string]any{
+		"NB": p.N, "STEPS": p.Steps, "SEED": p.Seed, "PERB": per,
+	})
+}
+
+func barnesSource(p Params) string { return barnesRender(p, Barnes().Nodes) }
+
+// barnesHand reproduces the paper's hand-annotated Barnes: the annotator
+// checked the updated bodies in after the update phase, but "missed a few
+// annotations" (Section 6) — notably the tree arrays, which the building
+// processor leaves exclusive in its cache, so every other processor's first
+// walk of each tree block traps against it.
+func barnesHand(p Params) string {
+	src := barnesRender(p, Barnes().Nodes)
+	src = replaceOnce(src, "        barrier;\n    }\n}",
+		`        check_in bx[lo:hi];
+        check_in by[lo:hi];
+        check_in bvx[lo:hi];
+        check_in bvy[lo:hi];
+        barrier;
+    }
+}`)
+	return src
+}

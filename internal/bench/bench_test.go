@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"testing"
+
+	"cachier/internal/parc"
+	"cachier/internal/sim"
+)
+
+func TestAllSourcesParse(t *testing.T) {
+	for _, b := range All() {
+		for name, gen := range map[string]func(Params) string{"plain": b.Source, "hand": b.Hand} {
+			src := gen(b.Train)
+			if _, err := parc.Parse(src); err != nil {
+				t.Errorf("%s/%s: %v", b.Name, name, err)
+			}
+		}
+	}
+	extras := map[string]func(Params) string{
+		"jacobi":       JacobiUnannotated,
+		"jacobi-whole": JacobiWholeFit,
+		"jacobi-row":   JacobiRowFit,
+		"restructured": RestructuredMatMul,
+	}
+	for name, gen := range extras {
+		if _, err := parc.Parse(gen(Params{N: 32, P: 2, Steps: 2, Seed: 1})); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("mp3d")
+	if err != nil || b.Name != "Mp3d" {
+		t.Errorf("ByName: %v, %v", b, err)
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestSwapSeed(t *testing.T) {
+	src := "const SEED = 11;\nx"
+	if got := swapSeed(src, 11, 97); got != "const SEED = 97;\nx" {
+		t.Errorf("swapSeed = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("missing seed did not panic")
+		}
+	}()
+	swapSeed(src, 99, 1)
+}
+
+func TestHandVariantsRunCorrectly(t *testing.T) {
+	// Hand-annotated programs must execute without runtime errors: the
+	// annotations are semantically inert even when badly placed.
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	for _, b := range All() {
+		cfg := machineConfig(b.Nodes)
+		if _, err := runVariant(b.Hand(b.Test), cfg); err != nil {
+			t.Errorf("%s hand variant: %v", b.Name, err)
+		}
+	}
+}
+
+// TestFigure6Shape is experiment E1: the qualitative results of the paper's
+// Figure 6 must reproduce. Absolute factors differ from the paper (our
+// substrate is a from-scratch simulator and the workloads are scaled down;
+// see EXPERIMENTS.md) but who wins — and the hand-annotation failure on
+// Mp3d — must hold.
+func TestFigure6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	rows, err := Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*Row{}
+	for _, r := range rows {
+		byName[r.Benchmark] = r
+	}
+
+	// Cachier beats the unannotated program on every benchmark with real
+	// communication.
+	for _, name := range []string{"Barnes", "Ocean", "Mp3d", "MatrixMultiply"} {
+		r := byName[name]
+		if c := r.Normalized(VariantCachier); c >= 0.95 {
+			t.Errorf("%s: cachier normalized %0.3f, want < 0.95", name, c)
+		}
+	}
+	// Cachier at least matches hand annotation everywhere (Section 6:
+	// "Cachier-annotated versions consistently outperformed the
+	// hand-annotated versions").
+	for _, r := range rows {
+		if c, h := r.Normalized(VariantCachier), r.Normalized(VariantHand); c > h*1.02 {
+			t.Errorf("%s: cachier %0.3f worse than hand %0.3f", r.Benchmark, c, h)
+		}
+	}
+	// The paper's standout: hand-annotated Mp3d is WORSE than no
+	// annotations at all (premature and missing check-ins).
+	if h := byName["Mp3d"].Normalized(VariantHand); h <= 1.0 {
+		t.Errorf("Mp3d hand normalized %0.3f, want > 1.0", h)
+	}
+	// Tomcatv is the least affected benchmark: it computes rather than
+	// communicates, so no variant moves it much relative to the others.
+	tc := byName["Tomcatv"].Normalized(VariantCachier)
+	for _, name := range []string{"Barnes", "Ocean", "MatrixMultiply"} {
+		if byName[name].Normalized(VariantCachier) >= tc {
+			t.Errorf("Tomcatv's improvement (%.3f) should be the smallest; %s got %.3f",
+				tc, name, byName[name].Normalized(VariantCachier))
+		}
+	}
+	// Annotated runs cut write faults (the check-out-exclusive effect) and
+	// traps (the check-in effect) on the high-sharing benchmarks.
+	for _, name := range []string{"Ocean", "Mp3d", "MatrixMultiply"} {
+		r := byName[name]
+		if r.Stats[VariantCachier].WriteFaults >= r.Stats[VariantNone].WriteFaults {
+			t.Errorf("%s: write faults not reduced (%d -> %d)", name,
+				r.Stats[VariantNone].WriteFaults, r.Stats[VariantCachier].WriteFaults)
+		}
+		if r.Stats[VariantCachier].Traps >= r.Stats[VariantNone].Traps {
+			t.Errorf("%s: traps not reduced (%d -> %d)", name,
+				r.Stats[VariantNone].Traps, r.Stats[VariantCachier].Traps)
+		}
+	}
+	// Cachier flags the Matrix Multiply data race (Section 4.4).
+	foundRace := false
+	for _, rep := range byName["MatrixMultiply"].Reports {
+		if rep.Kind == "data race" && rep.Var == "C" {
+			foundRace = true
+		}
+	}
+	if !foundRace {
+		t.Error("MatrixMultiply data race on C not reported")
+	}
+}
+
+// TestSharingDegreeOrdering is experiment E6: Section 6 explains the win
+// ordering by sharing degree — Ocean and Mp3d share the most, Barnes the
+// least among the gainers. We check the ordering of measured degrees.
+func TestSharingDegreeOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	degree := func(b *Benchmark) (float64, float64) {
+		res, err := runVariant(b.Source(b.Test), machineConfig(b.Nodes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SharingDegree()
+	}
+	oceanL, oceanS := degree(Ocean())
+	mp3dL, mp3dS := degree(Mp3d())
+	barnesL, barnesS := degree(Barnes())
+	if oceanL < barnesL || mp3dL < barnesL {
+		t.Errorf("load sharing ordering violated: ocean %.2f mp3d %.2f barnes %.2f",
+			oceanL, mp3dL, barnesL)
+	}
+	if oceanS < barnesS || mp3dS < barnesS {
+		t.Errorf("store sharing ordering violated: ocean %.2f mp3d %.2f barnes %.2f",
+			oceanS, mp3dS, barnesS)
+	}
+	// Barnes stores are barely shared (paper quotes 1.3%): ours must stay
+	// far below the high-sharing pair.
+	if barnesS > oceanS/2 {
+		t.Errorf("barnes store sharing %.2f not clearly below ocean %.2f", barnesS, oceanS)
+	}
+}
+
+func runDirective(t *testing.T, src string, nodes int) *sim.Result {
+	t.Helper()
+	prog, err := parc.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machineConfig(nodes)
+	res, err := sim.Run(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFormatRowsAndSorting(t *testing.T) {
+	rows := []*Row{
+		{Benchmark: "A", Nodes: 4, SharingLoads: 0.2,
+			Cycles: map[Variant]uint64{VariantNone: 100, VariantHand: 90, VariantCachier: 80, VariantCachierPrefetch: 70}},
+		{Benchmark: "B", Nodes: 8, SharingLoads: 0.9,
+			Cycles: map[Variant]uint64{VariantNone: 200, VariantHand: 210, VariantCachier: 150, VariantCachierPrefetch: 140}},
+	}
+	out := FormatRows(rows)
+	if !containsAll(out, "A", "B", "0.800", "1.050") {
+		t.Errorf("table missing values:\n%s", out)
+	}
+	SortRowsBySharing(rows)
+	if rows[0].Benchmark != "B" {
+		t.Errorf("sorting by sharing degree failed: %s first", rows[0].Benchmark)
+	}
+	// Zero baseline normalizes to zero, not a division panic.
+	empty := &Row{Benchmark: "Z", Cycles: map[Variant]uint64{}}
+	if empty.Normalized(VariantCachier) != 0 {
+		t.Error("zero baseline not handled")
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if !contains(s, sub) {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

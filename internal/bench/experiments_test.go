@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"cachier/internal/cico"
+	"cachier/internal/core"
+	"cachier/internal/parc"
+	"cachier/internal/sim"
+)
+
+// TestJacobiCostModelWholeFit is experiment E2, first regime: the simulator's
+// measured per-variable check-out counts for the Section 2.1 annotated
+// Jacobi must equal the paper's closed form 2NPT(1+b)/b + N^2/b exactly.
+func TestJacobiCostModelWholeFit(t *testing.T) {
+	p := JacobiParams
+	res := runDirective(t, JacobiWholeFit(p), p.P*p.P)
+	want := cico.JacobiWholeMatrixCheckouts(int64(p.N), int64(p.P), int64(p.Steps), 4)
+	got := res.PerVar["U"].CheckOuts()
+	if int64(got) != want {
+		t.Errorf("whole-fit check-outs = %d, formula = %d", got, want)
+	}
+}
+
+// TestJacobiCostModelRowFit is E2's second regime: (2NP(1+b)/b + N^2/b)*T.
+// (The paper's column regime transposes to rows under ParC's row-major
+// layout; the formula is symmetric.)
+func TestJacobiCostModelRowFit(t *testing.T) {
+	p := JacobiParams
+	res := runDirective(t, JacobiRowFit(p), p.P*p.P)
+	want := cico.JacobiColumnCheckouts(int64(p.N), int64(p.P), int64(p.Steps), 4)
+	got := res.PerVar["U"].CheckOuts()
+	if int64(got) != want {
+		t.Errorf("row-fit check-outs = %d, formula = %d", got, want)
+	}
+}
+
+// TestJacobiRegimesOrdering: Section 2.1's closing point — re-checking the
+// matrix out every step (row regime) costs T times more per column than
+// checking the whole block out once.
+func TestJacobiRegimesOrdering(t *testing.T) {
+	p := JacobiParams
+	whole := runDirective(t, JacobiWholeFit(p), p.P*p.P).PerVar["U"].CheckOuts()
+	row := runDirective(t, JacobiRowFit(p), p.P*p.P).PerVar["U"].CheckOuts()
+	if row <= whole {
+		t.Errorf("row regime (%d) should check out more than whole-fit (%d)", row, whole)
+	}
+}
+
+// TestJacobiSemantics: both annotated regimes compute the same grid as the
+// unannotated program.
+func TestJacobiSemantics(t *testing.T) {
+	p := JacobiParams
+	base := runDirective(t, JacobiUnannotated(p), p.P*p.P)
+	for name, gen := range map[string]func(Params) string{
+		"whole": JacobiWholeFit, "row": JacobiRowFit,
+	} {
+		res := runDirective(t, gen(p), p.P*p.P)
+		for i := 0; i < p.N; i++ {
+			for j := 0; j < p.N; j++ {
+				a1, _ := base.Layout.AddrOf("U", i, j)
+				a2, _ := res.Layout.AddrOf("U", i, j)
+				if base.Store.Load(a1) != res.Store.Load(a2) {
+					t.Fatalf("%s: U[%d][%d] differs from unannotated run", name, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestRestructuredMatMulCheckouts is experiment E4: the Section 5
+// restructured program's measured check-outs of C match the paper's counts
+// (N^2*P/2 total, N^2*P/4 of them exclusive under locks), against N^3 for
+// the annotated original.
+func TestRestructuredMatMulCheckouts(t *testing.T) {
+	p := Params{N: 32, P: 4, Seed: 11}
+	res := runDirective(t, RestructuredMatMul(p), p.P*p.P)
+	c := res.PerVar["C"]
+	wantTotal := cico.MatMulRestructuredCCheckouts(int64(p.N), int64(p.P), 4)
+	wantRacy := cico.MatMulRestructuredRacyCheckouts(int64(p.N), int64(p.P), 4)
+	if int64(c.CheckOuts()) != wantTotal {
+		t.Errorf("restructured C check-outs = %d, want %d", c.CheckOuts(), wantTotal)
+	}
+	if int64(c.CheckOutX) != wantRacy {
+		t.Errorf("restructured C exclusive check-outs = %d, want %d", c.CheckOutX, wantRacy)
+	}
+}
+
+// TestOriginalMatMulCheckouts completes E4: the Cachier-annotated original
+// performs exactly N^3 exclusive check-outs of C — one per inner-loop
+// update, all racing on cache blocks.
+func TestOriginalMatMulCheckouts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	b := MatMul()
+	cfg := machineConfig(b.Nodes)
+	traceCfg := cfg
+	traceCfg.Mode = sim.ModeTrace
+	prog, _ := parc.Parse(b.Source(b.Train))
+	tr, err := sim.Run(prog, traceCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann, err := core.Annotate(b.Source(b.Train), tr.Trace, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runVariant(ann.Source, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(b.Train.N)
+	if got := int64(res.PerVar["C"].CheckOutX); got != cico.MatMulOriginalCCheckouts(n) {
+		t.Errorf("original C check-outs = %d, want N^3 = %d", got, n*n*n)
+	}
+}
+
+// TestRestructuredBeatsOriginal: Section 5's rewrite outperforms even the
+// Cachier-annotated original — the whole point of exposing the block race
+// to the programmer.
+func TestRestructuredBeatsOriginal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	b := MatMul()
+	row, err := RunBenchmark(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restr, err := runVariant(RestructuredMatMul(b.Test), machineConfig(b.Nodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restr.Cycles >= row.Cycles[VariantCachier] {
+		t.Errorf("restructured (%d cycles) does not beat annotated original (%d)",
+			restr.Cycles, row.Cycles[VariantCachier])
+	}
+}
+
+// TestInputSensitivity is experiment E5 (Section 4.5): annotating with one
+// input data set and measuring on another costs little compared to
+// annotating with the measurement input itself — even for the dynamic
+// Barnes and Mp3d. The paper reports < 2%; our synthetic inputs vary more
+// than SPLASH's, so the reproduction asserts < 5% and records the measured
+// numbers in EXPERIMENTS.md.
+func TestInputSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	for _, b := range []*Benchmark{Barnes(), Mp3d()} {
+		cfg := machineConfig(b.Nodes)
+		traceCfg := cfg
+		traceCfg.Mode = sim.ModeTrace
+
+		annotateWith := func(train Params) string {
+			src := b.Source(train)
+			prog, err := parc.Parse(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trRes, err := sim.Run(prog, traceCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ann, err := core.Annotate(src, trRes.Trace, core.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return swapSeed(ann.Source, train.Seed, b.Test.Seed)
+		}
+
+		crossSrc := annotateWith(b.Train) // annotated from the training input
+		sameSrc := annotateWith(b.Test)   // annotated from the test input itself
+
+		cross, err := runVariant(crossSrc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same, err := runVariant(sameSrc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := math.Abs(float64(cross.Cycles)-float64(same.Cycles)) / float64(same.Cycles)
+		t.Logf("%s: same-input %d cycles, cross-input %d cycles, diff %.2f%%",
+			b.Name, same.Cycles, cross.Cycles, 100*diff)
+		if diff > 0.05 {
+			t.Errorf("%s: cross-input annotation costs %.1f%%, want < 5%%", b.Name, 100*diff)
+		}
+	}
+}

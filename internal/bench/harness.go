@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cachier/internal/core"
+	"cachier/internal/dir1sw"
+	"cachier/internal/parc"
+	"cachier/internal/sim"
+)
+
+// Variant names one bar of Figure 6.
+type Variant string
+
+// Figure 6 variants. The paper plots unannotated, hand-annotated, and
+// Cachier-annotated execution times, and discusses with/without-prefetch
+// Cachier numbers in the text.
+const (
+	VariantNone            Variant = "none"
+	VariantHand            Variant = "hand"
+	VariantCachier         Variant = "cachier"
+	VariantCachierPrefetch Variant = "cachier+prefetch"
+)
+
+// Variants lists the comparison variants in presentation order.
+func Variants() []Variant {
+	return []Variant{VariantNone, VariantHand, VariantCachier, VariantCachierPrefetch}
+}
+
+// Row is one benchmark's Figure 6 result.
+type Row struct {
+	Benchmark string
+	Nodes     int
+	Cycles    map[Variant]uint64
+	Stats     map[Variant]dir1sw.Stats
+
+	// SharingLoads and SharingStores are the unannotated run's sharing
+	// degrees (Section 6's discussion of why Ocean and Mp3d gain most).
+	SharingLoads  float64
+	SharingStores float64
+
+	// AnnotatedSource is the Cachier (no-prefetch) annotated program.
+	AnnotatedSource string
+	// Reports are the data races / false sharing Cachier flagged.
+	Reports []core.ConflictReport
+}
+
+// Normalized returns the variant's execution time relative to the
+// unannotated run (Figure 6's y-axis).
+func (r *Row) Normalized(v Variant) float64 {
+	base := r.Cycles[VariantNone]
+	if base == 0 {
+		return 0
+	}
+	return float64(r.Cycles[v]) / float64(base)
+}
+
+// swapSeed rewrites the generated source's SEED constant so a program
+// annotated from the training input can be measured on the test input
+// (the paper uses different data sets for tracing and measurement,
+// Section 6).
+func swapSeed(src string, train, test int64) string {
+	from := fmt.Sprintf("const SEED = %d;", train)
+	to := fmt.Sprintf("const SEED = %d;", test)
+	if !strings.Contains(src, from) {
+		panic("bench: training seed constant not found")
+	}
+	return strings.Replace(src, from, to, 1)
+}
+
+// machineConfig returns the simulated machine for a benchmark: the paper's
+// 256 KB 4-way 32 B-block caches on the benchmark's node count.
+func machineConfig(nodes int) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Nodes = nodes
+	return cfg
+}
+
+// runVariant parses and simulates one program variant in directive mode.
+func runVariant(src string, cfg sim.Config) (*sim.Result, error) {
+	prog, err := parc.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(prog, cfg)
+}
+
+// RunBenchmark produces one Figure 6 row: trace the unannotated program on
+// the training input, have Cachier annotate it (with and without prefetch),
+// and measure all variants on the test input.
+func RunBenchmark(b *Benchmark) (*Row, error) {
+	cfg := machineConfig(b.Nodes)
+
+	// 1. Trace the unannotated program on the training input.
+	trainSrc := b.Source(b.Train)
+	traceCfg := cfg
+	traceCfg.Mode = sim.ModeTrace
+	trainProg, err := parc.Parse(trainSrc)
+	if err != nil {
+		return nil, fmt.Errorf("%s: parsing: %w", b.Name, err)
+	}
+	traceRes, err := sim.Run(trainProg, traceCfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: tracing: %w", b.Name, err)
+	}
+
+	// 2. Cachier annotates (Performance CICO, as in the evaluation).
+	annOpts := core.DefaultOptions()
+	annOpts.CacheSize = cfg.CacheSize
+	annotated, err := core.Annotate(trainSrc, traceRes.Trace, annOpts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: annotating: %w", b.Name, err)
+	}
+	annOpts.Prefetch = true
+	annotatedPF, err := core.Annotate(trainSrc, traceRes.Trace, annOpts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: annotating with prefetch: %w", b.Name, err)
+	}
+
+	// 3. Measure every variant on the test input.
+	sources := map[Variant]string{
+		VariantNone:            b.Source(b.Test),
+		VariantHand:            b.Hand(b.Test),
+		VariantCachier:         swapSeed(annotated.Source, b.Train.Seed, b.Test.Seed),
+		VariantCachierPrefetch: swapSeed(annotatedPF.Source, b.Train.Seed, b.Test.Seed),
+	}
+	row := &Row{
+		Benchmark:       b.Name,
+		Nodes:           b.Nodes,
+		Cycles:          make(map[Variant]uint64),
+		Stats:           make(map[Variant]dir1sw.Stats),
+		AnnotatedSource: annotated.Source,
+		Reports:         annotated.Reports,
+	}
+	for _, v := range Variants() {
+		res, err := runVariant(sources[v], cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", b.Name, v, err)
+		}
+		row.Cycles[v] = res.Cycles
+		row.Stats[v] = res.Stats
+		if v == VariantNone {
+			row.SharingLoads, row.SharingStores = res.SharingDegree()
+		}
+	}
+	return row, nil
+}
+
+// Figure6 runs the whole suite.
+func Figure6() ([]*Row, error) {
+	var rows []*Row
+	for _, b := range All() {
+		row, err := RunBenchmark(b)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatRows renders rows as the Figure 6 table: normalized execution time
+// per variant (unannotated = 1.00).
+func FormatRows(rows []*Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %6s | %8s %8s %8s %8s | %7s %7s\n",
+		"benchmark", "nodes", "none", "hand", "cachier", "cach+pf", "shload", "shstore")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-16s %6d | %8.3f %8.3f %8.3f %8.3f | %6.1f%% %6.1f%%\n",
+			r.Benchmark, r.Nodes,
+			r.Normalized(VariantNone), r.Normalized(VariantHand),
+			r.Normalized(VariantCachier), r.Normalized(VariantCachierPrefetch),
+			100*r.SharingLoads, 100*r.SharingStores)
+	}
+	return sb.String()
+}
+
+// SortRowsBySharing orders rows by descending load-sharing degree, the
+// ordering Section 6 uses to explain where CICO helps most.
+func SortRowsBySharing(rows []*Row) {
+	sort.Slice(rows, func(i, j int) bool {
+		return rows[i].SharingLoads > rows[j].SharingLoads
+	})
+}

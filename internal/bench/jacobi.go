@@ -1,0 +1,159 @@
+package bench
+
+// Jacobi is the Section 2.1 worked example: an N x N relaxation on a torus,
+// block-partitioned over P^2 processors, where each processor first copies
+// its four boundary strips into private arrays and then relaxes its own
+// block in place. The paper derives closed-form check-out counts for two
+// annotation regimes; JacobiWholeFit and JacobiRowFit are those two
+// annotated programs, and the E2 experiment verifies the simulator's
+// measured per-variable check-out counts against the formulas in
+// internal/cico.
+//
+// Layout note: the paper assumes column-major storage, making columns
+// contiguous; ParC arrays are row-major, so the roles of rows and columns
+// are transposed throughout (the formulas are symmetric under transpose).
+// The second regime is therefore "individual rows fit in the cache".
+
+// JacobiParams is the default instance: 4 processors (P=2), a 32x32 grid,
+// 3 time steps, b=4 elements per block.
+var JacobiParams = Params{N: 32, P: 2, Steps: 3, Seed: 7}
+
+const jacobiBody = `
+const N = @N@;
+const P = @P@;
+const B = N / P;
+const T = @T@;
+const SEED = @SEED@;
+
+shared float U[N][N] label "U";
+
+func main() {
+    var pr int = pid() / P;
+    var pc int = pid() % P;
+    var li int = pr * B;
+    var ui int = li + B - 1;
+    var lj int = pc * B;
+    var uj int = lj + B - 1;
+    var rowup int = (li - 1 + N) % N;
+    var rowdn int = (ui + 1) % N;
+    var coll int = (lj - 1 + N) % N;
+    var colr int = (uj + 1) % N;
+    var tn float[B];
+    var bn float[B];
+    var lc float[B];
+    var rc float[B];
+    var up float;
+    var dn float;
+    var lf float;
+    var rt float;
+    if pid() == 0 {
+        rndseed(SEED);
+        for i = 0 to N - 1 {
+            for j = 0 to N - 1 {
+                U[i][j] = rnd();
+            }
+        }
+    }
+    barrier;
+%PRE%
+    for t = 1 to T {
+        // Copy boundary rows & columns to local arrays (Section 2.1).
+%COBOUND%
+        for j = lj to uj {
+            tn[j - lj] = U[rowup][j];
+            bn[j - lj] = U[rowdn][j];
+        }
+        for i = li to ui {
+            lc[i - li] = U[i][coll];
+            rc[i - li] = U[i][colr];
+        }
+%CIBOUND%
+        // All boundary copies are taken before anyone writes this step.
+        barrier;
+        // Relax the owned block in place.
+        for i = li to ui {
+%COROW%
+            for j = lj to uj {
+                if i == li {
+                    up = tn[j - lj];
+                } else {
+                    up = U[i - 1][j];
+                }
+                if i == ui {
+                    dn = bn[j - lj];
+                } else {
+                    dn = U[i + 1][j];
+                }
+                if j == lj {
+                    lf = lc[i - li];
+                } else {
+                    lf = U[i][j - 1];
+                }
+                if j == uj {
+                    rt = rc[i - li];
+                } else {
+                    rt = U[i][j + 1];
+                }
+                U[i][j] = 0.25 * (up + dn + lf + rt);
+            }
+%CIROW%
+        }
+        barrier;
+    }
+%POST%
+}
+`
+
+const jacobiBoundCo = `        check_out_s U[rowup][lj:uj];
+        check_out_s U[rowdn][lj:uj];
+        check_out_s U[li:ui][coll];
+        check_out_s U[li:ui][colr];`
+
+const jacobiBoundCi = `        check_in U[rowup][lj:uj];
+        check_in U[rowdn][lj:uj];
+        check_in U[li:ui][coll];
+        check_in U[li:ui][colr];`
+
+func jacobiRender(p Params, pre, coBound, ciBound, coRow, ciRow, post string) string {
+	src := subst(jacobiBody, map[string]any{
+		"N": p.N, "P": p.P, "T": p.Steps, "SEED": p.Seed,
+	})
+	src = replaceMarker(src, "%PRE%", pre)
+	src = replaceMarker(src, "%COBOUND%", coBound)
+	src = replaceMarker(src, "%CIBOUND%", ciBound)
+	src = replaceMarker(src, "%COROW%", coRow)
+	src = replaceMarker(src, "%CIROW%", ciRow)
+	return replaceMarker(src, "%POST%", post)
+}
+
+// JacobiUnannotated is the plain program.
+func JacobiUnannotated(p Params) string {
+	return jacobiRender(p, "", "", "", "", "", "")
+}
+
+// JacobiWholeFit is the Section 2.1 first regime: the processor's block
+// fits in its cache, so the block is checked out exclusive once before the
+// time loop and checked in after it; only boundary strips are re-checked-out
+// each step. Total check-outs of U across P^2 processors and T steps:
+// 2NPT(1+b)/b + N^2/b.
+func JacobiWholeFit(p Params) string {
+	return jacobiRender(p,
+		"    check_out_x U[li:ui][lj:uj];",
+		jacobiBoundCo, jacobiBoundCi,
+		"", "",
+		"    check_in U[li:ui][lj:uj];",
+	)
+}
+
+// JacobiRowFit is the second regime: the block does not fit but single rows
+// do, so every row is checked out exclusive each time step around its inner
+// loop. Total check-outs: (2NP(1+b)/b + N^2/b) * T.
+func JacobiRowFit(p Params) string {
+	return jacobiRender(p,
+		"",
+		jacobiBoundCo, jacobiBoundCi,
+		"            check_out_x U[i][lj:uj];",
+		"            check_in U[i][lj:uj];",
+		"",
+	)
+}

@@ -1,0 +1,97 @@
+package bench
+
+// MatMul is the paper's "unconventional" blocked matrix multiply
+// (Section 4.4): each of P*P processors owns a block of B (rows Lkp:Ukp x
+// columns Ljp:Ujp); A is read-shared; C is read-write shared and its
+// elements race, because all processors in a column group accumulate into
+// the same C elements. One processor initializes the matrices with random
+// values, which is where checking them in after initialization pays off
+// (Section 6).
+func MatMul() *Benchmark {
+	return &Benchmark{
+		Name:     "MatrixMultiply",
+		Nodes:    16,
+		Source:   matMulSource,
+		Hand:     matMulHand,
+		Train:    Params{N: 32, P: 4, Seed: 11},
+		Test:     Params{N: 32, P: 4, Seed: 97},
+		BigTrain: Params{N: 64, P: 4, Seed: 11},
+		BigTest:  Params{N: 64, P: 4, Seed: 97},
+	}
+}
+
+const matMulBody = `
+const N = @N@;
+const P = @P@;
+const BS = N / P;
+const SEED = @SEED@;
+
+shared float A[N][N] label "A";
+shared float B[N][N] label "B";
+shared float C[N][N] label "C";
+
+func main() {
+    var lkp int = (pid() / P) * BS;
+    var ukp int = lkp + BS - 1;
+    var ljp int = (pid() % P) * BS;
+    var ujp int = ljp + BS - 1;
+    var t float;
+    if pid() == 0 {
+        rndseed(SEED);
+        for i = 0 to N - 1 {
+            for j = 0 to N - 1 {
+                A[i][j] = rnd();
+                B[i][j] = rnd();
+                C[i][j] = 0.0;
+            }
+        }
+    }
+    barrier;
+    for i = 0 to N - 1 {
+        for k = lkp to ukp {
+            t = A[i][k];
+            for j = ljp to ujp {
+%CLOOP%
+            }
+        }
+    }
+    barrier;
+}
+`
+
+func matMulRender(p Params, cloop string) string {
+	src := subst(matMulBody, map[string]any{"N": p.N, "P": p.P, "SEED": p.Seed})
+	return replaceMarker(src, "%CLOOP%", cloop)
+}
+
+func matMulSource(p Params) string {
+	return matMulRender(p, `                C[i][j] = C[i][j] + t * B[k][j];`)
+}
+
+// matMulHand reproduces the paper's hand-annotated matrix multiply: the
+// core annotations are right, but it carries "a few unnecessary
+// annotations" (Section 6) — explicit check_out_s on A and B, which Dir1SW
+// makes redundant and purely overhead — and its prefetch is
+// "inappropriately placed": issued immediately before the use, so no
+// latency is overlapped.
+func matMulHand(p Params) string {
+	src := matMulRender(p, `                check_out_x C[i][j];
+                C[i][j] = C[i][j] + t * B[k][j];
+                check_in C[i][j];`)
+	// Unnecessary shared check-outs around the A and B reads, and a
+	// prefetch issued right at the point of use.
+	src = replaceOnce(src, "            t = A[i][k];",
+		`            check_out_s A[i][k];
+            t = A[i][k];
+            prefetch_s B[k][ljp:ujp];
+            check_out_s B[k][ljp:ujp];`)
+	// The hand annotator did check the matrices in after initialization.
+	src = replaceOnce(src, "    barrier;",
+		`    if pid() == 0 {
+        check_in A[0:N - 1][0:N - 1];
+        check_in B[0:N - 1][0:N - 1];
+        check_in C[0:N - 1][0:N - 1];
+    }
+    barrier;`)
+	return src
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"cachier/internal/core"
+	"cachier/internal/parc"
+	"cachier/internal/sim"
+)
+
+// TestJacobiPlacementRegimes: Section 2.1 derives two annotation regimes
+// from the cache size — check the whole block out once when it fits, fall
+// back to row-at-a-time when it does not. Cachier's cache-size-constrained
+// placement (Section 4.2) must reproduce exactly that transition when
+// annotating the *unannotated* Jacobi at different assumed cache sizes.
+func TestJacobiPlacementRegimes(t *testing.T) {
+	p := JacobiParams // N=32, P=2: per-processor block 16x16 = 2 KB
+	src := JacobiUnannotated(p)
+	cfg := sim.DefaultConfig()
+	cfg.Nodes = p.P * p.P
+	traceCfg := cfg
+	traceCfg.Mode = sim.ModeTrace
+	prog, err := parc.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := sim.Run(prog, traceCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	annotateAt := func(cacheBytes int) string {
+		opts := core.DefaultOptions()
+		opts.CacheSize = cacheBytes
+		res, err := core.Annotate(src, traced.Trace, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Source
+	}
+
+	// Regime 1: the 2 KB block fits comfortably — the write check-out
+	// covers the whole block, hoisted above both relax loops.
+	big := annotateAt(64 * 1024)
+	if !strings.Contains(big, "check_out_x U[li:ui][lj:uj];") {
+		t.Errorf("big cache: whole-block check-out missing:\n%s", big)
+	}
+
+	// Regime 2: with a cache that holds single rows (16 elements = 128 B)
+	// but not the block, placement descends to row-at-a-time.
+	small := annotateAt(512) // budget 256 B: row (128 B) fits, block does not
+	if strings.Contains(small, "check_out_x U[li:ui][lj:uj];") {
+		t.Errorf("small cache still hoists the whole block:\n%s", small)
+	}
+	if !strings.Contains(small, "check_out_x U[i][lj:uj];") {
+		t.Errorf("small cache: row-level check-out missing:\n%s", small)
+	}
+
+	// Both annotated versions execute correctly.
+	for _, s := range []string{big, small} {
+		if _, err := sim.Run(parc.MustParse(s), cfg); err != nil {
+			t.Errorf("annotated Jacobi failed: %v", err)
+		}
+	}
+}

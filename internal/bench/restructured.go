@@ -1,0 +1,82 @@
+package bench
+
+// RestructuredMatMul is the Section 5 rewrite of the unconventional matrix
+// multiply, produced by a programmer reading Cachier's annotations: each
+// processor copies the C elements it will update into a private array,
+// accumulates locally, and copies back under per-block locks. The original
+// program performs N^3 (racy) check-outs of C; the restructured one performs
+// N^2*P/2, of which only the lock-protected copy-back half (N^2*P/4) still
+// races on cache blocks — the closed forms in internal/cico, verified by
+// experiment E4.
+func RestructuredMatMul(p Params) string {
+	return subst(restructuredBody, map[string]any{
+		"N": p.N, "P": p.P, "SEED": p.Seed, "BS": p.N / p.P,
+	})
+}
+
+const restructuredBody = `
+const N = @N@;
+const P = @P@;
+const BS = N / P;
+const SEED = @SEED@;
+const NLOCKS = 64;
+
+shared float A[N][N] label "A";
+shared float B[N][N] label "B";
+shared float C[N][N] label "C";
+
+func main() {
+    var lkp int = (pid() / P) * BS;
+    var ukp int = lkp + BS - 1;
+    var ljp int = (pid() % P) * BS;
+    var ujp int = ljp + BS - 1;
+    var t float;
+    var cp float[@N@][@BS@];
+    if pid() == 0 {
+        rndseed(SEED);
+        for i = 0 to N - 1 {
+            for j = 0 to N - 1 {
+                A[i][j] = rnd();
+                B[i][j] = rnd();
+                C[i][j] = 0.0;
+            }
+        }
+        check_in A[0:N - 1][0:N - 1];
+        check_in B[0:N - 1][0:N - 1];
+        check_in C[0:N - 1][0:N - 1];
+    }
+    barrier;
+    // Copy-in: fetch this processor's slice of C block by block.
+    for i = 0 to N - 1 {
+        for j = ljp to ujp step 4 {
+            check_out_s C[i][j];
+            for j2 = 0 to 3 {
+                cp[i][j - ljp + j2] = C[i][j + j2];
+            }
+            check_in C[i][j];
+        }
+    }
+    // Local accumulation: no shared writes at all.
+    for i = 0 to N - 1 {
+        for k = lkp to ukp {
+            t = A[i][k];
+            for j = ljp to ujp {
+                cp[i][j - ljp] = cp[i][j - ljp] + t * B[k][j];
+            }
+        }
+    }
+    // Copy-back under per-block locks: the only remaining block races.
+    for i = 0 to N - 1 {
+        for j = ljp to ujp step 4 {
+            lock((i * (N / 4) + j / 4) % NLOCKS);
+            check_out_x C[i][j];
+            for j2 = 0 to 3 {
+                C[i][j + j2] = C[i][j + j2] + cp[i][j - ljp + j2];
+            }
+            check_in C[i][j];
+            unlock((i * (N / 4) + j / 4) % NLOCKS);
+        }
+    }
+    barrier;
+}
+`

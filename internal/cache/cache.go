@@ -1,0 +1,263 @@
+// Package cache models a node's finite-capacity, set-associative,
+// write-allocate shared-data cache with LRU replacement. The simulated
+// machine in the paper's evaluation uses a 256 KB, 4-way set-associative
+// cache with 32-byte blocks (Section 6); those are the defaults here.
+//
+// Lines carry the coherence state assigned by the Dir1SW protocol. The cache
+// stores no data — values live in the simulator's global store — it exists
+// to decide hits, misses, write faults, and evictions.
+package cache
+
+import "fmt"
+
+// State is the coherence state of a cached block.
+type State int
+
+// Coherence states.
+const (
+	Invalid   State = iota
+	Shared          // read-only copy
+	Exclusive       // writable copy (may be dirty)
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "Invalid"
+	case Shared:
+		return "Shared"
+	case Exclusive:
+		return "Exclusive"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Default geometry, matching the paper's simulated machine.
+const (
+	DefaultSize      = 256 * 1024
+	DefaultAssoc     = 4
+	DefaultBlockSize = 32
+)
+
+type line struct {
+	block uint64 // block number (addr / blockSize)
+	state State
+	dirty bool
+	use   uint64 // LRU timestamp
+}
+
+// Cache is one node's shared-data cache, indexed by block number.
+type Cache struct {
+	blockSize int
+	nsets     int
+	assoc     int
+	sets      [][]line
+	tick      uint64 // LRU clock
+	resident  int    // number of valid lines
+
+	// Statistics.
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// New builds a cache with the given total size in bytes, associativity, and
+// block size. Size must be divisible by assoc*blockSize and the resulting
+// set count must be a power of two.
+func New(size, assoc, blockSize int) (*Cache, error) {
+	if size <= 0 || assoc <= 0 || blockSize <= 0 {
+		return nil, fmt.Errorf("cache: non-positive geometry (size=%d assoc=%d block=%d)", size, assoc, blockSize)
+	}
+	if size%(assoc*blockSize) != 0 {
+		return nil, fmt.Errorf("cache: size %d not divisible by assoc*block (%d)", size, assoc*blockSize)
+	}
+	nsets := size / (assoc * blockSize)
+	if nsets&(nsets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d is not a power of two", nsets)
+	}
+	c := &Cache{blockSize: blockSize, nsets: nsets, assoc: assoc}
+	c.sets = make([][]line, nsets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, assoc)
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on error; for configurations known valid.
+func MustNew(size, assoc, blockSize int) *Cache {
+	c, err := New(size, assoc, blockSize)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// BlockSize returns the block size in bytes.
+func (c *Cache) BlockSize() int { return c.blockSize }
+
+// Capacity returns the total capacity in bytes.
+func (c *Cache) Capacity() int { return c.nsets * c.assoc * c.blockSize }
+
+// Resident returns the number of valid lines currently cached.
+func (c *Cache) Resident() int { return c.resident }
+
+func (c *Cache) set(block uint64) []line {
+	return c.sets[block&uint64(c.nsets-1)]
+}
+
+// Lookup returns the block's state without touching LRU order. It returns
+// Invalid for absent blocks.
+func (c *Cache) Lookup(block uint64) State {
+	for i := range c.set(block) {
+		ln := &c.set(block)[i]
+		if ln.state != Invalid && ln.block == block {
+			return ln.state
+		}
+	}
+	return Invalid
+}
+
+// Dirty reports whether the block is cached and dirty.
+func (c *Cache) Dirty(block uint64) bool {
+	for i := range c.set(block) {
+		ln := &c.set(block)[i]
+		if ln.state != Invalid && ln.block == block {
+			return ln.dirty
+		}
+	}
+	return false
+}
+
+// Touch marks the block most-recently used and returns its state. Use it for
+// accesses that hit.
+func (c *Cache) Touch(block uint64) State {
+	c.tick++
+	for i := range c.set(block) {
+		ln := &c.set(block)[i]
+		if ln.state != Invalid && ln.block == block {
+			ln.use = c.tick
+			c.Hits++
+			return ln.state
+		}
+	}
+	c.Misses++
+	return Invalid
+}
+
+// Victim describes a line evicted by Insert.
+type Victim struct {
+	Block uint64
+	State State
+	Dirty bool
+}
+
+// Insert places a block with the given state, evicting the LRU line of its
+// set if necessary. It returns the victim, if any. Inserting a block that is
+// already present just updates its state.
+func (c *Cache) Insert(block uint64, state State) (Victim, bool) {
+	if state == Invalid {
+		panic("cache: Insert with Invalid state")
+	}
+	c.tick++
+	set := c.set(block)
+	var free, lru = -1, 0
+	for i := range set {
+		ln := &set[i]
+		if ln.state != Invalid && ln.block == block {
+			ln.state = state
+			ln.use = c.tick
+			return Victim{}, false
+		}
+		if ln.state == Invalid {
+			free = i
+		} else if set[i].use < set[lru].use || set[lru].state == Invalid {
+			lru = i
+		}
+	}
+	if free >= 0 {
+		set[free] = line{block: block, state: state, use: c.tick}
+		c.resident++
+		return Victim{}, false
+	}
+	v := Victim{Block: set[lru].block, State: set[lru].state, Dirty: set[lru].dirty}
+	set[lru] = line{block: block, state: state, use: c.tick}
+	c.Evictions++
+	return v, true
+}
+
+// SetState updates the state of a resident block (for upgrades and
+// downgrades). It reports whether the block was present.
+func (c *Cache) SetState(block uint64, state State) bool {
+	for i := range c.set(block) {
+		ln := &c.set(block)[i]
+		if ln.state != Invalid && ln.block == block {
+			if state == Invalid {
+				ln.state = Invalid
+				ln.dirty = false
+				c.resident--
+			} else {
+				ln.state = state
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// MarkDirty records that the block has been written. It reports whether the
+// block was present.
+func (c *Cache) MarkDirty(block uint64) bool {
+	for i := range c.set(block) {
+		ln := &c.set(block)[i]
+		if ln.state != Invalid && ln.block == block {
+			ln.dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes the block, returning its prior state and dirtiness.
+func (c *Cache) Invalidate(block uint64) (State, bool) {
+	for i := range c.set(block) {
+		ln := &c.set(block)[i]
+		if ln.state != Invalid && ln.block == block {
+			st, dirty := ln.state, ln.dirty
+			*ln = line{}
+			c.resident--
+			return st, dirty
+		}
+	}
+	return Invalid, false
+}
+
+// FlushAll invalidates every line, calling fn (if non-nil) for each valid
+// line first. The WWT-style tracer flushes all shared-data caches at every
+// barrier (paper Section 3.3).
+func (c *Cache) FlushAll(fn func(block uint64, state State, dirty bool)) {
+	for si := range c.sets {
+		for i := range c.sets[si] {
+			ln := &c.sets[si][i]
+			if ln.state != Invalid {
+				if fn != nil {
+					fn(ln.block, ln.state, ln.dirty)
+				}
+				*ln = line{}
+				c.resident--
+			}
+		}
+	}
+}
+
+// Blocks returns the block numbers of all valid lines, in unspecified order.
+func (c *Cache) Blocks() []uint64 {
+	var out []uint64
+	for si := range c.sets {
+		for i := range c.sets[si] {
+			if c.sets[si][i].state != Invalid {
+				out = append(out, c.sets[si][i].block)
+			}
+		}
+	}
+	return out
+}

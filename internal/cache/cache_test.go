@@ -1,0 +1,227 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small(t *testing.T) *Cache {
+	t.Helper()
+	// 2 sets x 2 ways x 32B blocks = 128 bytes.
+	c, err := New(128, 2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGeometryValidation(t *testing.T) {
+	bad := []struct{ size, assoc, block int }{
+		{0, 4, 32}, {256, 0, 32}, {256, 4, 0}, {100, 4, 32}, {3 * 32 * 4, 4, 32},
+	}
+	for _, g := range bad {
+		if _, err := New(g.size, g.assoc, g.block); err == nil {
+			t.Errorf("geometry %+v accepted", g)
+		}
+	}
+	c, err := New(DefaultSize, DefaultAssoc, DefaultBlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Capacity() != DefaultSize {
+		t.Errorf("capacity %d", c.Capacity())
+	}
+}
+
+func TestInsertLookupTouch(t *testing.T) {
+	c := small(t)
+	if c.Lookup(7) != Invalid {
+		t.Error("empty cache claims block present")
+	}
+	if _, ev := c.Insert(7, Shared); ev {
+		t.Error("eviction from empty cache")
+	}
+	if c.Lookup(7) != Shared {
+		t.Error("inserted block not found")
+	}
+	if st := c.Touch(7); st != Shared {
+		t.Errorf("Touch = %v", st)
+	}
+	if c.Hits != 1 {
+		t.Errorf("hits = %d", c.Hits)
+	}
+	if st := c.Touch(9); st != Invalid {
+		t.Errorf("Touch missing block = %v", st)
+	}
+	if c.Misses != 1 {
+		t.Errorf("misses = %d", c.Misses)
+	}
+}
+
+func TestInsertUpgradesState(t *testing.T) {
+	c := small(t)
+	c.Insert(4, Shared)
+	if _, ev := c.Insert(4, Exclusive); ev {
+		t.Error("re-insert evicted")
+	}
+	if c.Lookup(4) != Exclusive {
+		t.Error("state not updated")
+	}
+	if c.Resident() != 1 {
+		t.Errorf("resident = %d", c.Resident())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small(t)
+	// Blocks 0, 2, 4 all map to set 0 (even block numbers with 2 sets).
+	c.Insert(0, Shared)
+	c.Insert(2, Shared)
+	c.Touch(0) // 2 is now LRU
+	v, ev := c.Insert(4, Shared)
+	if !ev {
+		t.Fatal("no eviction from full set")
+	}
+	if v.Block != 2 {
+		t.Errorf("evicted block %d, want 2", v.Block)
+	}
+	if c.Lookup(0) != Shared || c.Lookup(4) != Shared || c.Lookup(2) != Invalid {
+		t.Error("post-eviction contents wrong")
+	}
+}
+
+func TestEvictionReportsDirty(t *testing.T) {
+	c := small(t)
+	c.Insert(0, Exclusive)
+	c.MarkDirty(0)
+	c.Insert(2, Shared)
+	c.Touch(2) // 0 is LRU
+	v, ev := c.Insert(4, Shared)
+	if !ev || v.Block != 0 || !v.Dirty || v.State != Exclusive {
+		t.Errorf("victim = %+v ev=%v", v, ev)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := small(t)
+	c.Insert(3, Exclusive)
+	c.MarkDirty(3)
+	st, dirty := c.Invalidate(3)
+	if st != Exclusive || !dirty {
+		t.Errorf("Invalidate = %v, %v", st, dirty)
+	}
+	if c.Resident() != 0 {
+		t.Errorf("resident = %d", c.Resident())
+	}
+	if st, _ := c.Invalidate(3); st != Invalid {
+		t.Error("double invalidate found block")
+	}
+}
+
+func TestSetStateAndDirty(t *testing.T) {
+	c := small(t)
+	c.Insert(5, Exclusive)
+	if !c.SetState(5, Shared) {
+		t.Error("SetState missed resident block")
+	}
+	if c.Lookup(5) != Shared {
+		t.Error("downgrade lost")
+	}
+	if c.SetState(99, Shared) {
+		t.Error("SetState on absent block succeeded")
+	}
+	if c.MarkDirty(99) {
+		t.Error("MarkDirty on absent block succeeded")
+	}
+	if !c.SetState(5, Invalid) {
+		t.Error("SetState(Invalid) failed")
+	}
+	if c.Resident() != 0 {
+		t.Error("SetState(Invalid) did not free the line")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	c := small(t)
+	c.Insert(1, Shared)
+	c.Insert(2, Exclusive)
+	c.MarkDirty(2)
+	var flushed []uint64
+	var sawDirty bool
+	c.FlushAll(func(b uint64, st State, dirty bool) {
+		flushed = append(flushed, b)
+		if b == 2 && dirty && st == Exclusive {
+			sawDirty = true
+		}
+	})
+	if len(flushed) != 2 || !sawDirty {
+		t.Errorf("flushed %v, sawDirty %v", flushed, sawDirty)
+	}
+	if c.Resident() != 0 {
+		t.Errorf("resident after flush = %d", c.Resident())
+	}
+}
+
+func TestBlocksListsResidents(t *testing.T) {
+	c := small(t)
+	c.Insert(1, Shared)
+	c.Insert(2, Shared)
+	got := c.Blocks()
+	if len(got) != 2 {
+		t.Fatalf("Blocks = %v", got)
+	}
+	seen := map[uint64]bool{got[0]: true, got[1]: true}
+	if !seen[1] || !seen[2] {
+		t.Errorf("Blocks = %v", got)
+	}
+}
+
+// Property: resident count equals number of distinct blocks inserted minus
+// evictions and invalidations, and never exceeds capacity/blockSize.
+func TestResidencyInvariant(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := MustNew(256, 2, 32) // 4 sets x 2 ways
+		live := make(map[uint64]bool)
+		for _, op := range ops {
+			b := uint64(op % 64)
+			switch op % 3 {
+			case 0:
+				v, ev := c.Insert(b, Shared)
+				live[b] = true
+				if ev {
+					delete(live, v.Block)
+				}
+			case 1:
+				c.Touch(b)
+			case 2:
+				c.Invalidate(b)
+				delete(live, b)
+			}
+			if c.Resident() != len(live) {
+				return false
+			}
+			if c.Resident() > 8 {
+				return false
+			}
+		}
+		// Every live block must be found; no dead block may be found.
+		for b := uint64(0); b < 64; b++ {
+			if (c.Lookup(b) != Invalid) != live[b] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Insert(Invalid) did not panic")
+		}
+	}()
+	small(t).Insert(0, Invalid)
+}

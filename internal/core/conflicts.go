@@ -1,0 +1,102 @@
+package core
+
+// Conflicts holds one epoch's data races and false sharing (the DRFS and FS
+// predicates of Section 4.1).
+type Conflicts struct {
+	// Race marks addresses involved in a potential data race: two or more
+	// processors accessed the address within the epoch and at least one
+	// access was a write. (The trace keeps no ordering within an epoch, so
+	// any such pattern is a potential race.)
+	Race AddrSet
+
+	// FalseShare marks addresses involved in false sharing: two or more
+	// processors accessed different addresses of the same cache block, and
+	// the block was written. The write requirement is an interpretation
+	// choice — read-only co-residency causes no coherence traffic under
+	// Dir1SW, and treating it as false sharing would pin nearly every
+	// shared read to its reference site.
+	FalseShare AddrSet
+}
+
+// DRFS reports whether the address is in a data race or false sharing.
+func (c *Conflicts) DRFS(a uint64) bool { return c.Race[a] || c.FalseShare[a] }
+
+// FS reports whether the address is involved in false sharing.
+func (c *Conflicts) FS(a uint64) bool { return c.FalseShare[a] }
+
+// FindConflicts computes the epoch's conflicts for the given block size.
+func FindConflicts(es *EpochSets, blockSize int) *Conflicts {
+	c := &Conflicts{Race: make(AddrSet), FalseShare: make(AddrSet)}
+
+	// Data races: same address, >= 2 nodes, >= 1 write.
+	for addr, nodes := range es.Touched {
+		if len(nodes) >= 2 && es.Written[addr] {
+			c.Race[addr] = true
+		}
+	}
+
+	// False sharing: group addresses by block; within a written block, an
+	// address falsely shares if some other node touched a different address
+	// of the block.
+	type blockInfo struct {
+		addrs   []uint64
+		written bool
+	}
+	blocks := make(map[uint64]*blockInfo)
+	bs := uint64(blockSize)
+	for addr := range es.Touched {
+		b := addr / bs
+		bi := blocks[b]
+		if bi == nil {
+			bi = &blockInfo{}
+			blocks[b] = bi
+		}
+		bi.addrs = append(bi.addrs, addr)
+		if es.Written[addr] {
+			bi.written = true
+		}
+	}
+	for _, bi := range blocks {
+		if !bi.written || len(bi.addrs) < 2 {
+			continue
+		}
+		// A pair of distinct addresses in the block exhibits false sharing
+		// when some node touches one and a different node touches the other;
+		// both addresses are then involved. (Same-address contention alone
+		// is a race, not false sharing.)
+		for i, a := range bi.addrs {
+			for _, b := range bi.addrs[i+1:] {
+				if crossNode(es.Touched[a], es.Touched[b]) {
+					c.FalseShare[a] = true
+					c.FalseShare[b] = true
+				}
+			}
+		}
+	}
+	return c
+}
+
+// crossNode reports whether the two addresses' toucher sets conflict only
+// through distinct addresses: some node n touches the first and a different
+// node m touches the second, and the pair's contention is not already
+// same-address contention (both touching both), which is a race rather than
+// false sharing.
+func crossNode(ta, tb map[int]bool) bool {
+	for n := range ta {
+		for m := range tb {
+			if n != m && !(ta[m] && tb[n]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FindAllConflicts runs conflict detection over every epoch.
+func FindAllConflicts(epochs []*EpochSets, blockSize int) []*Conflicts {
+	out := make([]*Conflicts, len(epochs))
+	for i, es := range epochs {
+		out[i] = FindConflicts(es, blockSize)
+	}
+	return out
+}

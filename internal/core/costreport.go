@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cachier/internal/cico"
+	"cachier/internal/memory"
+)
+
+// VarCost is one shared variable's annotation volume within a static epoch,
+// in cache blocks, summed over nodes and dynamic instances.
+type VarCost struct {
+	CoXBlocks uint64
+	CoSBlocks uint64
+	CIBlocks  uint64
+}
+
+// EpochCost summarizes one static epoch (all dynamic executions of the code
+// region ending at one barrier).
+type EpochCost struct {
+	BarrierPC int
+	Instances int // how many times the epoch executed
+	Vars      map[string]VarCost
+}
+
+// CostReport is the CICO cost model's output (paper Section 2): the
+// communication a program performs, measured in cache blocks checked out
+// and in, attributed to variables and epochs. Programmers use it to find
+// the communication bottleneck the way Section 5 finds the result-matrix
+// race in the matrix multiply.
+type CostReport struct {
+	Epochs []EpochCost
+
+	TotalCoX uint64
+	TotalCoS uint64
+	TotalCI  uint64
+
+	// ModelCost applies the CICO cost model's per-block weights.
+	ModelCost uint64
+}
+
+// buildCostReport derives the report from the annotation sets (blocks are
+// deduplicated per node within each dynamic epoch, matching how a cache
+// moves data).
+func buildCostReport(epochs []*EpochSets, ann [][]AnnSets, layout *memory.Layout) *CostReport {
+	rep := &CostReport{}
+	byPC := make(map[int]*EpochCost)
+	blockSize := uint64(layout.BlockSize)
+
+	countBlocks := func(set AddrSet) map[string]uint64 {
+		perVarBlocks := make(map[string]map[uint64]bool)
+		for addr := range set {
+			region, _, ok := layout.Resolve(addr)
+			if !ok {
+				continue
+			}
+			m := perVarBlocks[region.Name]
+			if m == nil {
+				m = make(map[uint64]bool)
+				perVarBlocks[region.Name] = m
+			}
+			m[addr/blockSize] = true
+		}
+		out := make(map[string]uint64, len(perVarBlocks))
+		for v, blocks := range perVarBlocks {
+			out[v] = uint64(len(blocks))
+		}
+		return out
+	}
+
+	for i, es := range epochs {
+		ec := byPC[es.BarrierPC]
+		if ec == nil {
+			ec = &EpochCost{BarrierPC: es.BarrierPC, Vars: make(map[string]VarCost)}
+			byPC[es.BarrierPC] = ec
+			rep.Epochs = append(rep.Epochs, EpochCost{})
+		}
+		ec.Instances++
+		for n := range es.Nodes {
+			a := ann[i][n]
+			for v, blocks := range countBlocks(a.CoX) {
+				vc := ec.Vars[v]
+				vc.CoXBlocks += blocks
+				ec.Vars[v] = vc
+				rep.TotalCoX += blocks
+			}
+			for v, blocks := range countBlocks(a.CoS) {
+				vc := ec.Vars[v]
+				vc.CoSBlocks += blocks
+				ec.Vars[v] = vc
+				rep.TotalCoS += blocks
+			}
+			for v, blocks := range countBlocks(a.CI) {
+				vc := ec.Vars[v]
+				vc.CIBlocks += blocks
+				ec.Vars[v] = vc
+				rep.TotalCI += blocks
+			}
+		}
+	}
+	// Preserve first-occurrence epoch order.
+	rep.Epochs = rep.Epochs[:0]
+	seen := make(map[int]bool)
+	for _, es := range epochs {
+		if !seen[es.BarrierPC] {
+			seen[es.BarrierPC] = true
+			rep.Epochs = append(rep.Epochs, *byPC[es.BarrierPC])
+		}
+	}
+	rep.ModelCost = cico.DefaultCosts().ProgramCost(rep.TotalCoX+rep.TotalCoS, rep.TotalCI)
+	return rep
+}
+
+// String renders the report as a table, variables sorted by check-out
+// volume so the communication bottleneck tops each epoch.
+func (r *CostReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "CICO communication cost (cache blocks; %d epochs)\n", len(r.Epochs))
+	for i, ec := range r.Epochs {
+		fmt.Fprintf(&sb, "epoch %d (barrier pc %d, executed %dx):\n", i, ec.BarrierPC, ec.Instances)
+		type row struct {
+			name string
+			vc   VarCost
+		}
+		var rows []row
+		for v, vc := range ec.Vars {
+			rows = append(rows, row{v, vc})
+		}
+		sort.Slice(rows, func(a, b int) bool {
+			ta := rows[a].vc.CoXBlocks + rows[a].vc.CoSBlocks
+			tb := rows[b].vc.CoXBlocks + rows[b].vc.CoSBlocks
+			if ta != tb {
+				return ta > tb
+			}
+			return rows[a].name < rows[b].name
+		})
+		for _, rw := range rows {
+			fmt.Fprintf(&sb, "  %-14s co_x %-8d co_s %-8d ci %d\n",
+				rw.name, rw.vc.CoXBlocks, rw.vc.CoSBlocks, rw.vc.CIBlocks)
+		}
+	}
+	fmt.Fprintf(&sb, "total: %d checked out exclusive, %d shared, %d checked in (model cost %d)\n",
+		r.TotalCoX, r.TotalCoS, r.TotalCI, r.ModelCost)
+	return sb.String()
+}

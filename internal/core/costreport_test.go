@@ -1,0 +1,84 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cachier/internal/memory"
+	"cachier/internal/parc"
+)
+
+func mustLayout(t *testing.T, prog *parc.Program) *memory.Layout {
+	t.Helper()
+	l, err := memory.New(prog, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestCostReportFromFigure4(t *testing.T) {
+	tr := figure4Trace()
+	epochs := ProcessTrace(tr)
+	conflicts := FindAllConflicts(epochs, 32)
+	ann := ComputeAnnotations(epochs, conflicts, StyleProgrammer)
+	// Figure 4's addresses are not inside any labelled region of a real
+	// layout, so build a layout that covers them.
+	prog := mustParse(t, `
+shared float abcd[16] label "abcd";
+func main() { }
+`)
+	layout := mustLayout(t, prog)
+	rep := buildCostReport(epochs, ann, layout)
+	// Programmer totals: epoch0 co_x {a,b} co_s {d} ci {a} (node0) plus
+	// node1's co_s{a} ci{a}; epoch1 co_s {c,a} ci {c,d}; epoch2 co_x … all
+	// within the abcd region (addresses 32..159 map into it).
+	if rep.TotalCoX == 0 || rep.TotalCoS == 0 || rep.TotalCI == 0 {
+		t.Errorf("empty totals: %+v", rep)
+	}
+	if rep.ModelCost == 0 {
+		t.Error("zero model cost")
+	}
+	out := rep.String()
+	if !strings.Contains(out, "abcd") {
+		t.Errorf("report does not attribute to the labelled variable:\n%s", out)
+	}
+	if len(rep.Epochs) != 2 {
+		// Epochs 0 and 1 share no barrier PC with epoch 2? barrier PCs: 100,
+		// 100, -1 -> two static epochs.
+		t.Errorf("static epochs = %d, want 2", len(rep.Epochs))
+	}
+	if rep.Epochs[0].Instances != 2 {
+		t.Errorf("first static epoch instances = %d, want 2", rep.Epochs[0].Instances)
+	}
+}
+
+func TestCostReportOnMatMul(t *testing.T) {
+	res := annotate(t, matMulSrc, 4, DefaultOptions())
+	if res.Cost == nil {
+		t.Fatal("no cost report")
+	}
+	// The compute epoch's communication is dominated by matrix C — the
+	// Section 5 bottleneck the report is meant to expose.
+	var computeVars map[string]VarCost
+	for _, ec := range res.Cost.Epochs {
+		if _, ok := ec.Vars["C"]; ok && len(ec.Vars) >= 1 && ec.Vars["C"].CoXBlocks > 0 {
+			computeVars = ec.Vars
+		}
+	}
+	if computeVars == nil {
+		t.Fatalf("no epoch with C check-outs:\n%s", res.Cost.String())
+	}
+	c := computeVars["C"]
+	for v, vc := range computeVars {
+		if v == "C" {
+			continue
+		}
+		if vc.CoXBlocks > c.CoXBlocks {
+			t.Errorf("%s out-communicates C (%d > %d co_x blocks)", v, vc.CoXBlocks, c.CoXBlocks)
+		}
+	}
+	if !strings.Contains(res.Cost.String(), "total:") {
+		t.Error("summary line missing")
+	}
+}

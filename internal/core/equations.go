@@ -1,0 +1,122 @@
+package core
+
+// Style selects which annotation set Cachier produces (Section 4.1):
+// Programmer CICO exposes all communication for reasoning; Performance CICO
+// keeps only the annotations that help Dir1SW (which already performs
+// implicit check-outs on misses).
+type Style int
+
+// Annotation styles.
+const (
+	StyleProgrammer Style = iota
+	StylePerformance
+)
+
+func (s Style) String() string {
+	if s == StyleProgrammer {
+		return "programmer"
+	}
+	return "performance"
+}
+
+// AnnSets are the annotation address sets for one node in one epoch.
+type AnnSets struct {
+	CoX AddrSet // check_out_x
+	CoS AddrSet // check_out_s
+	CI  AddrSet // check_in
+}
+
+// ciLookahead is how many epochs ahead the Performance check-in equation
+// looks for the "will be written by some processor" condition. The paper
+// uses a single epoch; phase-structured programs (build / compute / update,
+// like Barnes) rewrite read-shared data two epochs after the readers, so
+// the reproduction extends the window. Self-writes are excluded at every
+// distance: checking in data the same node is about to rewrite would only
+// force a refetch.
+const ciLookahead = 2
+
+// ComputeAnnotations evaluates the Section 4.1 equations for every epoch and
+// node. epochs and conflicts must be parallel slices (one entry per epoch).
+//
+// Programmer CICO:
+//
+//	co_x[i] = !DRFS{SW_i - SW_{i-1}} + DRFS{SW_i}
+//	co_s[i] = !FS{SR_i - SR_{i-1}}  + FS{SR_i}
+//	ci[i]   = !DRFS{S_i - S_{i+1}}  + DRFS{S_i}
+//
+// Performance CICO:
+//
+//	co_x[i] = !DRFS{WF_i - SW_{i-1}} + DRFS{WF_i}
+//	co_s[i] = {}
+//	ci[i]   = !DRFS{SW_i - SW_{i+1}} + !DRFS{SR_i ∩ SW_{i+1}^any} + DRFS{S_i}
+//
+// where sets are per-node except SW_{i+1}^any, the union over all nodes
+// ("written by some processor in the next epoch").
+func ComputeAnnotations(epochs []*EpochSets, conflicts []*Conflicts, style Style) [][]AnnSets {
+	out := make([][]AnnSets, len(epochs))
+	for i, es := range epochs {
+		cf := conflicts[i]
+		out[i] = make([]AnnSets, len(es.Nodes))
+		for n, ns := range es.Nodes {
+			var prevSW AddrSet = AddrSet{}
+			var prevSR AddrSet = AddrSet{}
+			if i > 0 {
+				prevSW = epochs[i-1].Nodes[n].SW
+				prevSR = epochs[i-1].Nodes[n].SR
+			}
+			var nextS AddrSet = AddrSet{}
+			var nextSW AddrSet = AddrSet{}
+			if i+1 < len(epochs) {
+				nextS = epochs[i+1].Nodes[n].S()
+				nextSW = epochs[i+1].Nodes[n].SW
+			}
+			// futureRead collects SR_i addresses some OTHER processor
+			// writes within the lookahead window, stopping a given address
+			// once this node touches it again before the write.
+			futureRead := func() AddrSet {
+				out := make(AddrSet)
+				selfTouched := make(AddrSet)
+				for k := 1; k <= ciLookahead && i+k < len(epochs); k++ {
+					ek := epochs[i+k]
+					for addr := range ns.SR {
+						if out[addr] || selfTouched[addr] {
+							continue
+						}
+						if ek.AllSW[addr] && !ek.Nodes[n].SW[addr] {
+							out[addr] = true
+						}
+					}
+					for addr := range ek.Nodes[n].S() {
+						selfTouched[addr] = true
+					}
+				}
+				return out
+			}
+
+			a := AnnSets{}
+			switch style {
+			case StyleProgrammer:
+				a.CoX = ns.SW.Minus(prevSW).Filter(not(cf.DRFS)).
+					Union(ns.SW.Filter(cf.DRFS))
+				a.CoS = ns.SR.Minus(prevSR).Filter(not(cf.FS)).
+					Union(ns.SR.Filter(cf.FS)).
+					Minus(a.CoX) // an exclusive check-out subsumes a shared one
+				a.CI = ns.S().Minus(nextS).Filter(not(cf.DRFS)).
+					Union(ns.S().Filter(cf.DRFS))
+			case StylePerformance:
+				a.CoX = ns.WF.Minus(prevSW).Filter(not(cf.DRFS)).
+					Union(ns.WF.Filter(cf.DRFS))
+				a.CoS = make(AddrSet)
+				a.CI = ns.SW.Minus(nextSW).Filter(not(cf.DRFS)).
+					Union(futureRead().Filter(not(cf.DRFS))).
+					Union(ns.S().Filter(cf.DRFS))
+			}
+			out[i][n] = a
+		}
+	}
+	return out
+}
+
+func not(f func(uint64) bool) func(uint64) bool {
+	return func(a uint64) bool { return !f(a) }
+}

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cachier/internal/parc"
+)
+
+func mustParse(t *testing.T, src string) *parc.Program {
+	t.Helper()
+	prog, err := parc.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return prog
+}
+
+// mustContainInOrder asserts that the needles occur in src in the given
+// order.
+func mustContainInOrder(t *testing.T, src string, needles ...string) {
+	t.Helper()
+	rest := src
+	for _, n := range needles {
+		i := strings.Index(rest, n)
+		if i < 0 {
+			t.Fatalf("missing %q (in order) in:\n%s", n, src)
+		}
+		rest = rest[i+len(n):]
+	}
+}

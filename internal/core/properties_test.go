@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cachier/internal/trace"
+)
+
+// randomTrace builds an arbitrary (possibly racy) multi-epoch trace.
+func randomTrace(rng *rand.Rand) *trace.Trace {
+	nodes := 1 + rng.Intn(4)
+	b := trace.NewBuilder(nodes, 32, nil)
+	epochs := 1 + rng.Intn(5)
+	for e := 0; e < epochs; e++ {
+		for i := 0; i < rng.Intn(30); i++ {
+			b.AddMiss(trace.Kind(rng.Intn(3)), 32+uint64(rng.Intn(32))*8,
+				rng.Intn(50), rng.Intn(nodes))
+		}
+		vt := make([]uint64, nodes)
+		pc := rng.Intn(20)
+		final := e == epochs-1
+		if final {
+			pc = -1
+		}
+		b.EndEpoch(pc, vt, final)
+	}
+	return b.Trace()
+}
+
+// TestEquationInvariants: for any trace and both styles, the Section 4.1
+// equations only ever annotate addresses the node actually touched, keep
+// co_x within the write set, co_s within the read set, and never check the
+// same address out both shared and exclusive for one node in one epoch.
+func TestEquationInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng)
+		epochs := ProcessTrace(tr)
+		conflicts := FindAllConflicts(epochs, tr.BlockSize)
+		for _, style := range []Style{StyleProgrammer, StylePerformance} {
+			ann := ComputeAnnotations(epochs, conflicts, style)
+			for i, es := range epochs {
+				for n, ns := range es.Nodes {
+					a := ann[i][n]
+					s := ns.S()
+					for addr := range a.CoX {
+						if !ns.SW[addr] {
+							t.Logf("style %v epoch %d node %d: co_x of unwritten %d", style, i, n, addr)
+							return false
+						}
+					}
+					for addr := range a.CoS {
+						if !ns.SR[addr] {
+							t.Logf("style %v epoch %d node %d: co_s of unread %d", style, i, n, addr)
+							return false
+						}
+						if a.CoX[addr] {
+							t.Logf("style %v epoch %d node %d: %d both co_s and co_x", style, i, n, addr)
+							return false
+						}
+					}
+					for addr := range a.CI {
+						if !s[addr] {
+							t.Logf("style %v epoch %d node %d: ci of untouched %d", style, i, n, addr)
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPerformanceSubsetOfProgrammer: Performance CICO's check-outs are a
+// subset of Programmer CICO's — it only strips annotations Dir1SW makes
+// redundant, never adds new ones (Section 4.1).
+func TestPerformanceCoXSubset(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng)
+		epochs := ProcessTrace(tr)
+		conflicts := FindAllConflicts(epochs, tr.BlockSize)
+		prog := ComputeAnnotations(epochs, conflicts, StyleProgrammer)
+		perf := ComputeAnnotations(epochs, conflicts, StylePerformance)
+		for i := range epochs {
+			for n := range epochs[i].Nodes {
+				for addr := range perf[i][n].CoX {
+					if !prog[i][n].CoX[addr] {
+						t.Logf("epoch %d node %d: performance co_x %d not in programmer set", i, n, addr)
+						return false
+					}
+				}
+				if len(perf[i][n].CoS) != 0 {
+					t.Logf("epoch %d node %d: performance co_s not empty", i, n)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConflictSymmetry: race and false-sharing detection do not depend on
+// miss ordering within an epoch (the trace has no such ordering).
+func TestConflictOrderIndependence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng)
+		epochs1 := ProcessTrace(tr)
+		// Shuffle each epoch's misses and re-process.
+		for i := range tr.Epochs {
+			ms := tr.Epochs[i].Misses
+			rng.Shuffle(len(ms), func(a, b int) { ms[a], ms[b] = ms[b], ms[a] })
+		}
+		epochs2 := ProcessTrace(tr)
+		c1 := FindAllConflicts(epochs1, tr.BlockSize)
+		c2 := FindAllConflicts(epochs2, tr.BlockSize)
+		for i := range c1 {
+			if len(c1[i].Race) != len(c2[i].Race) || len(c1[i].FalseShare) != len(c2[i].FalseShare) {
+				return false
+			}
+			for a := range c1[i].Race {
+				if !c2[i].Race[a] {
+					return false
+				}
+			}
+			for a := range c1[i].FalseShare {
+				if !c2[i].FalseShare[a] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupEpochs(t *testing.T) {
+	mk := func(pcs ...int) []*EpochSets {
+		var out []*EpochSets
+		for i, pc := range pcs {
+			out = append(out, &EpochSets{Index: i, BarrierPC: pc})
+		}
+		return out
+	}
+	groups := groupEpochs(mk(5, 9, 5, 9, -1))
+	if len(groups) != 3 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if len(groups[0]) != 2 || groups[0][0] != 0 || groups[0][1] != 2 {
+		t.Errorf("group 0 = %v", groups[0])
+	}
+	if len(groups[2]) != 1 || groups[2][0] != 4 {
+		t.Errorf("final group = %v", groups[2])
+	}
+}

@@ -1,0 +1,191 @@
+// Package core implements Cachier, the paper's contribution: a tool that
+// automatically inserts CICO annotations into shared-memory programs by
+// combining dynamic information (a barrier-flushed miss trace from one
+// execution) with static information (the program's AST, loop structure, and
+// labelled shared regions).
+//
+// The pipeline mirrors Section 4 of the paper:
+//
+//  1. Trace processing (this file): fold shared write faults out of the
+//     read-miss sets and into the write sets, producing per-epoch, per-node
+//     SR/SW/S address sets, plus address-to-PC attribution.
+//  2. Conflict detection (conflicts.go): find data races and false sharing
+//     per epoch (the DRFS and FS functions of Section 4.1).
+//  3. Annotation equations (equations.go): compute the Programmer or
+//     Performance CICO sets co_x, co_s, ci per epoch and node.
+//  4. Placement (placement.go): map addresses to variables and reference
+//     sites, hoist annotations through loop levels under cache-size
+//     constraints, and pin conflicted addresses next to their references.
+//  5. Presentation and rewriting (rewrite.go): render annotations as ranged
+//     CICO statements or generated loops, insert them into the AST, flag
+//     races and false sharing, and unparse the annotated program.
+package core
+
+import (
+	"sort"
+
+	"cachier/internal/trace"
+)
+
+// AddrSet is a set of element byte addresses.
+type AddrSet map[uint64]bool
+
+// Clone returns a copy of the set.
+func (s AddrSet) Clone() AddrSet {
+	out := make(AddrSet, len(s))
+	for a := range s {
+		out[a] = true
+	}
+	return out
+}
+
+// Minus returns s - t.
+func (s AddrSet) Minus(t AddrSet) AddrSet {
+	out := make(AddrSet)
+	for a := range s {
+		if !t[a] {
+			out[a] = true
+		}
+	}
+	return out
+}
+
+// Intersect returns s ∩ t.
+func (s AddrSet) Intersect(t AddrSet) AddrSet {
+	out := make(AddrSet)
+	for a := range s {
+		if t[a] {
+			out[a] = true
+		}
+	}
+	return out
+}
+
+// Union returns s ∪ t.
+func (s AddrSet) Union(t AddrSet) AddrSet {
+	out := s.Clone()
+	for a := range t {
+		out[a] = true
+	}
+	return out
+}
+
+// Filter returns the subset of s for which keep is true.
+func (s AddrSet) Filter(keep func(uint64) bool) AddrSet {
+	out := make(AddrSet)
+	for a := range s {
+		if keep(a) {
+			out[a] = true
+		}
+	}
+	return out
+}
+
+// Sorted returns the addresses in ascending order.
+func (s AddrSet) Sorted() []uint64 {
+	out := make([]uint64, 0, len(s))
+	for a := range s {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NodeSets are one node's processed miss sets for one epoch, after the
+// paper's trace processing: SW = shared write misses + shared write faults,
+// SR = shared read misses - shared write faults.
+type NodeSets struct {
+	SR AddrSet // shared read set
+	SW AddrSet // shared write set
+	WF AddrSet // the write-fault subset of SW (read-then-written locations)
+
+	// PCs maps each address to the statement IDs whose misses touched it
+	// this epoch, for attributing annotations to reference sites.
+	PCs map[uint64][]int
+	// WritePCs is the subset of PCs from write misses/faults.
+	WritePCs map[uint64][]int
+}
+
+// S returns the node's full access set SW ∪ SR.
+func (n *NodeSets) S() AddrSet { return n.SW.Union(n.SR) }
+
+// EpochSets is one epoch's processed trace data.
+type EpochSets struct {
+	Index     int
+	BarrierPC int
+	Nodes     []*NodeSets
+
+	// Touched maps each address to the set of nodes that accessed it, and
+	// Written marks addresses written by at least one node; conflict
+	// detection consumes these.
+	Touched map[uint64]map[int]bool
+	Written AddrSet
+
+	// AllSW is the union of SW over nodes; the Performance check-in
+	// equation's "written by some processor in the next epoch" term uses
+	// the next epoch's AllSW.
+	AllSW AddrSet
+}
+
+// ProcessTrace turns a raw trace into per-epoch, per-node sets
+// (Section 4's first phase).
+func ProcessTrace(tr *trace.Trace) []*EpochSets {
+	out := make([]*EpochSets, 0, len(tr.Epochs))
+	for _, ep := range tr.Epochs {
+		es := &EpochSets{
+			Index:     ep.Index,
+			BarrierPC: ep.BarrierPC,
+			Touched:   make(map[uint64]map[int]bool),
+			Written:   make(AddrSet),
+			AllSW:     make(AddrSet),
+		}
+		for n := 0; n < tr.Nodes; n++ {
+			es.Nodes = append(es.Nodes, &NodeSets{
+				SR:       make(AddrSet),
+				SW:       make(AddrSet),
+				WF:       make(AddrSet),
+				PCs:      make(map[uint64][]int),
+				WritePCs: make(map[uint64][]int),
+			})
+		}
+		for _, m := range ep.Misses {
+			ns := es.Nodes[m.Node]
+			switch m.Kind {
+			case trace.ReadMiss:
+				ns.SR[m.Addr] = true
+			case trace.WriteMiss:
+				ns.SW[m.Addr] = true
+				es.Written[m.Addr] = true
+				ns.WritePCs[m.Addr] = append(ns.WritePCs[m.Addr], m.PC)
+			case trace.WriteFault:
+				// Fold write faults into SW and remember them separately:
+				// these are the read-then-written locations an explicit
+				// check_out_x exists to optimize.
+				ns.SW[m.Addr] = true
+				ns.WF[m.Addr] = true
+				es.Written[m.Addr] = true
+				ns.WritePCs[m.Addr] = append(ns.WritePCs[m.Addr], m.PC)
+			}
+			ns.PCs[m.Addr] = append(ns.PCs[m.Addr], m.PC)
+			t := es.Touched[m.Addr]
+			if t == nil {
+				t = make(map[int]bool)
+				es.Touched[m.Addr] = t
+			}
+			t[m.Node] = true
+		}
+		// Remove write-faulted addresses from the read sets (the fault
+		// implies the read already brought the block in; the location's
+		// governing access is the write).
+		for _, ns := range es.Nodes {
+			for a := range ns.WF {
+				delete(ns.SR, a)
+			}
+			for a := range ns.SW {
+				es.AllSW[a] = true
+			}
+		}
+		out = append(out, es)
+	}
+	return out
+}

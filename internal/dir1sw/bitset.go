@@ -1,0 +1,61 @@
+package dir1sw
+
+import "math/bits"
+
+// nodeSet is a set of node IDs. The directory's sharer list is conceptually
+// a counter plus one pointer in Dir1SW hardware; the model keeps the exact
+// set so it can deliver invalidations, but charges trap cost whenever the
+// hardware would have had to (more than the single pointed-to sharer).
+type nodeSet struct {
+	words []uint64
+}
+
+func newNodeSet(n int) nodeSet {
+	return nodeSet{words: make([]uint64, (n+63)/64)}
+}
+
+func (s nodeSet) add(i int)      { s.words[i/64] |= 1 << (i % 64) }
+func (s nodeSet) remove(i int)   { s.words[i/64] &^= 1 << (i % 64) }
+func (s nodeSet) has(i int) bool { return s.words[i/64]&(1<<(i%64)) != 0 }
+
+func (s nodeSet) count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+func (s nodeSet) clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// members returns the set's node IDs in ascending order.
+func (s nodeSet) members() []int {
+	var out []int
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*64+b)
+			w &^= 1 << b
+		}
+	}
+	return out
+}
+
+// sole returns the single member if count()==1, else -1.
+func (s nodeSet) sole() int {
+	m := -1
+	for wi, w := range s.words {
+		if w == 0 {
+			continue
+		}
+		if m >= 0 || w&(w-1) != 0 {
+			return -1
+		}
+		m = wi*64 + bits.TrailingZeros64(w)
+	}
+	return m
+}

@@ -1,0 +1,46 @@
+package dir1sw
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCoherenceRandomDirectiveStorm drives the protocol with long random
+// sequences of every operation (including explicit check-outs consuming
+// in-flight prefetches — a stale pending entry once resurrected an
+// unregistered shared copy after an eviction) and validates the coherence
+// invariants after every step.
+func TestCoherenceRandomDirectiveStorm(t *testing.T) {
+	for seed := int64(0); seed < 500; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultConfig()
+		cfg.Nodes = 4
+		cfg.CacheSize = 256
+		cfg.Assoc = 2
+		s := MustNew(cfg)
+		now := uint64(0)
+		for i := 0; i < 60; i++ {
+			node := rng.Intn(4)
+			addr := uint64(rng.Intn(16)) * 32
+			op := rng.Intn(8)
+			switch op {
+			case 0, 1:
+				s.Read(node, addr, now)
+			case 2, 3:
+				s.Write(node, addr, now)
+			case 4:
+				s.CheckOutX(node, addr, now)
+			case 5:
+				s.CheckOutS(node, addr, now)
+			case 6:
+				s.CheckIn(node, addr)
+			case 7:
+				s.Prefetch(node, addr, now, rng.Intn(2) == 0)
+			}
+			now += uint64(rng.Intn(200))
+			if err := s.CheckCoherence(); err != nil {
+				t.Fatalf("seed %d step %d op %d node %d addr %d: %v", seed, i, op, node, addr, err)
+			}
+		}
+	}
+}

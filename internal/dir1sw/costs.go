@@ -1,0 +1,99 @@
+// Package dir1sw models the Wisconsin Dir1SW directory cache-coherence
+// protocol (Hill et al., "Cooperative Shared Memory: Software and Hardware
+// for Scalable Multiprocessors", TOCS 1993), the memory system the paper
+// uses to evaluate CICO annotations as directives.
+//
+// Dir1SW keeps one hardware pointer plus a sharer counter per block and
+// traps to system software on "complex" transitions. In this model:
+//
+//   - read miss to an Idle or Shared block: handled in hardware;
+//   - write miss/fault when the writer is the only sharer: handled in
+//     hardware (pointer check);
+//   - write miss/fault with other sharers present: software trap that
+//     broadcasts invalidations and collects acknowledgements;
+//   - any miss to a block held Exclusive by another node: software trap
+//     that retrieves/downgrades the owner's copy.
+//
+// CICO annotations act as directives (paper Section 4.1): a miss performs an
+// implicit check-out; an explicit check_out_x before a read-then-write
+// avoids the later upgrade fault; a check_in returns the block toward Idle
+// so the next node's access avoids a trap and invalidations; prefetches
+// overlap transfer latency with computation.
+package dir1sw
+
+// Costs parameterizes the cycle cost model. The defaults are loosely scaled
+// to the WWT/Dir1SW publications (single-cycle cache hits, ~100-cycle clean
+// remote misses, expensive software traps); the reproduction's experiments
+// depend on the relative ordering of these costs, not their absolute values.
+type Costs struct {
+	CacheHit   uint64 // cost of a cache hit
+	NetHop     uint64 // one-way network message latency
+	DirService uint64 // directory controller occupancy per request
+	MemAccess  uint64 // memory read/write for a block transfer
+	Trap       uint64 // software trap entry/exit on the directory node
+	InvalMsg   uint64 // per-sharer ack-processing cost added to a trap (invalidations pipeline; this is directory occupancy per ack, not a serialized message)
+
+	DirectiveOverhead uint64 // address generation/issue cost of an explicit CICO directive
+	PrefetchIssue     uint64 // issue cost of a non-blocking prefetch
+	WritebackLocal    uint64 // local cost of pushing a dirty block out on check-in
+}
+
+// DefaultCosts returns the model's default cost parameters.
+func DefaultCosts() Costs {
+	return Costs{
+		CacheHit:          1,
+		NetHop:            25,
+		DirService:        10,
+		MemAccess:         20,
+		Trap:              250,
+		InvalMsg:          24,
+		DirectiveOverhead: 4,
+		PrefetchIssue:     3,
+		WritebackLocal:    6,
+	}
+}
+
+// cleanMiss is the latency of a miss serviced entirely in hardware:
+// request hop, directory service, memory access, data reply hop.
+func (c Costs) cleanMiss() uint64 { return 2*c.NetHop + c.DirService + c.MemAccess }
+
+// upgrade is the latency of a hardware shared-to-exclusive upgrade
+// (request + ack, no data transfer).
+func (c Costs) upgrade() uint64 { return 2*c.NetHop + c.DirService }
+
+// Stats aggregates protocol activity. Message counts let the experiments
+// show CICO's traffic reduction as well as its latency reduction.
+type Stats struct {
+	Reads  uint64 // shared-data read accesses
+	Writes uint64 // shared-data write accesses
+
+	Hits        uint64
+	ReadMisses  uint64
+	WriteMisses uint64
+	WriteFaults uint64 // writes that found the block Shared (upgrades)
+
+	Traps         uint64 // software traps taken
+	Invalidations uint64 // sharer copies invalidated
+	Writebacks    uint64 // dirty blocks written back (evict, flush, check-in, trap)
+
+	ReqMsgs  uint64 // request messages (miss, upgrade, directive)
+	DataMsgs uint64 // block-transfer messages
+	CtlMsgs  uint64 // invalidations, acks, replacement notifications
+
+	CheckOutX  uint64
+	CheckOutS  uint64
+	CheckIns   uint64
+	PrefetchX  uint64
+	PrefetchS  uint64
+	WastedDirs uint64 // directives that found nothing to do
+
+	PostStores     uint64 // read-only copies pushed by KSR-1-style post-store check-ins
+	PrefetchHits   uint64 // accesses fully covered by an earlier prefetch
+	PrefetchStalls uint64 // cycles stalled waiting for in-flight prefetches
+}
+
+// TotalMsgs returns all messages sent.
+func (s *Stats) TotalMsgs() uint64 { return s.ReqMsgs + s.DataMsgs + s.CtlMsgs }
+
+// Misses returns all misses including write faults.
+func (s *Stats) Misses() uint64 { return s.ReadMisses + s.WriteMisses + s.WriteFaults }

@@ -1,0 +1,102 @@
+package dir1sw
+
+import "testing"
+
+// TestCostArithmetic pins the model's composite latencies to their
+// definitions, so cost-model changes are deliberate.
+func TestCostArithmetic(t *testing.T) {
+	c := Costs{NetHop: 25, DirService: 10, MemAccess: 20, Trap: 250, InvalMsg: 8}
+	if got := c.cleanMiss(); got != 2*25+10+20 {
+		t.Errorf("cleanMiss = %d", got)
+	}
+	if got := c.upgrade(); got != 2*25+10 {
+		t.Errorf("upgrade = %d", got)
+	}
+}
+
+func TestExactStallCycles(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 4
+	cfg.CacheSize = 1024
+	s := MustNew(cfg)
+	co := cfg.Costs
+
+	// Clean read miss.
+	if r := s.Read(0, 64, 0); r.Cycles != co.cleanMiss() {
+		t.Errorf("read miss = %d, want %d", r.Cycles, co.cleanMiss())
+	}
+	// Hit.
+	if r := s.Read(0, 64, 1); r.Cycles != co.CacheHit {
+		t.Errorf("hit = %d", r.Cycles)
+	}
+	// Sole-sharer upgrade: hardware pointer check, no trap.
+	if r := s.Write(0, 64, 2); r.Cycles != co.upgrade() || r.Trap {
+		t.Errorf("sole upgrade = %+v", r)
+	}
+	// Upgrade with another sharer: trap + broadcast to Nodes-1.
+	s2 := MustNew(cfg)
+	s2.Read(0, 64, 0)
+	s2.Read(1, 64, 0)
+	want := co.Trap + co.upgrade() + uint64(cfg.Nodes-1)*co.InvalMsg
+	if r := s2.Write(0, 64, 1); r.Cycles != want || !r.Trap {
+		t.Errorf("broadcast upgrade = %+v, want %d cycles", r, want)
+	}
+	// Steal from a remote exclusive owner: trap + 4 hops + service + memory.
+	s3 := MustNew(cfg)
+	s3.Write(0, 64, 0)
+	want = co.Trap + 4*co.NetHop + co.DirService + co.MemAccess
+	if r := s3.Read(1, 64, 1); r.Cycles != want || !r.Trap {
+		t.Errorf("remote-exclusive read = %+v, want %d cycles", r, want)
+	}
+	// Check-in of a clean shared block: directive overhead only.
+	s4 := MustNew(cfg)
+	s4.Read(0, 64, 0)
+	if r := s4.CheckIn(0, 64); r.Cycles != co.DirectiveOverhead {
+		t.Errorf("clean check-in = %d", r.Cycles)
+	}
+	// Check-in of a dirty block adds the local writeback push.
+	s5 := MustNew(cfg)
+	s5.Write(0, 64, 0)
+	if r := s5.CheckIn(0, 64); r.Cycles != co.DirectiveOverhead+co.WritebackLocal {
+		t.Errorf("dirty check-in = %d", r.Cycles)
+	}
+}
+
+func TestBroadcastCountsControlMessages(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 8
+	cfg.CacheSize = 1024
+	s := MustNew(cfg)
+	s.Read(0, 64, 0)
+	s.Read(1, 64, 0)
+	before := s.Stats.CtlMsgs
+	s.Write(0, 64, 1)
+	// Broadcast: invalidations + acks to every other node, even though only
+	// one actually held a copy (Dir1SW's counter does not say who).
+	if got := s.Stats.CtlMsgs - before; got != 2*uint64(cfg.Nodes-1) {
+		t.Errorf("broadcast control messages = %d, want %d", got, 2*(cfg.Nodes-1))
+	}
+	if s.Stats.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1 (only the real sharer)", s.Stats.Invalidations)
+	}
+}
+
+func TestStatsAggregates(t *testing.T) {
+	s := Stats{ReqMsgs: 3, DataMsgs: 4, CtlMsgs: 5, ReadMisses: 1, WriteMisses: 2, WriteFaults: 3}
+	if s.TotalMsgs() != 12 {
+		t.Errorf("TotalMsgs = %d", s.TotalMsgs())
+	}
+	if s.Misses() != 6 {
+		t.Errorf("Misses = %d", s.Misses())
+	}
+}
+
+func TestAccessKindStrings(t *testing.T) {
+	for k, want := range map[AccessKind]string{
+		Hit: "hit", ReadMiss: "read-miss", WriteMiss: "write-miss", WriteFault: "write-fault",
+	} {
+		if k.String() != want {
+			t.Errorf("%d -> %q, want %q", int(k), k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package dir1sw
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func postStoreSys(t *testing.T) *System {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Nodes = 4
+	cfg.CacheSize = 1024
+	cfg.PostStore = true
+	return MustNew(cfg)
+}
+
+func TestPostStoreRefillsInvalidatedReaders(t *testing.T) {
+	s := postStoreSys(t)
+	// Nodes 1..3 read the block; node 0's write invalidates them.
+	s.Read(1, 64, 0)
+	s.Read(2, 64, 0)
+	s.Read(3, 64, 0)
+	s.Write(0, 64, 10)
+	if s.Stats.Invalidations != 3 {
+		t.Fatalf("invalidations = %d", s.Stats.Invalidations)
+	}
+	// Node 0 checks the dirty block in: post-store pushes fresh read-only
+	// copies back to the previous holders.
+	s.CheckIn(0, 64)
+	if s.Stats.PostStores != 3 {
+		t.Fatalf("post-stores = %d, want 3", s.Stats.PostStores)
+	}
+	for n := 1; n <= 3; n++ {
+		if r := s.Read(n, 64, 20); r.Kind != Hit {
+			t.Errorf("node %d read after post-store: %v, want hit", n, r.Kind)
+		}
+	}
+	if err := s.CheckCoherence(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPostStoreOnlyForDirtyCheckIns(t *testing.T) {
+	s := postStoreSys(t)
+	s.Read(1, 64, 0)
+	s.Write(0, 64, 5) // invalidates node 1
+	s.Write(1, 64, 10)
+	// Node 1 now owns it dirty; node 0 was invalidated in the steal.
+	s.Read(2, 64, 15) // downgrade: node 1's copy becomes shared & clean at dir
+	// A shared check-in (not dirty-exclusive) must not post-store.
+	s.CheckIn(1, 64)
+	if s.Stats.PostStores != 0 {
+		t.Errorf("post-stores = %d for a shared check-in", s.Stats.PostStores)
+	}
+}
+
+func TestPostStoreDisabledByDefault(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 4
+	cfg.CacheSize = 1024
+	s := MustNew(cfg)
+	s.Read(1, 64, 0)
+	s.Write(0, 64, 10)
+	s.CheckIn(0, 64)
+	if s.Stats.PostStores != 0 {
+		t.Errorf("post-stores = %d with PostStore off", s.Stats.PostStores)
+	}
+	// The reader misses again, as plain Dir1SW dictates.
+	if r := s.Read(1, 64, 20); r.Kind != ReadMiss {
+		t.Errorf("read = %v, want miss", r.Kind)
+	}
+}
+
+func TestPostStoreProducerConsumerSavesMisses(t *testing.T) {
+	// Producer writes + checks in each round; consumers re-read. With
+	// post-store the consumers' re-reads all hit.
+	run := func(postStore bool) (misses uint64) {
+		cfg := DefaultConfig()
+		cfg.Nodes = 4
+		cfg.CacheSize = 1024
+		cfg.PostStore = postStore
+		s := MustNew(cfg)
+		now := uint64(0)
+		for round := 0; round < 5; round++ {
+			for n := 1; n <= 3; n++ {
+				s.Read(n, 64, now)
+				now += 10
+			}
+			s.Write(0, 64, now)
+			s.CheckIn(0, 64)
+			now += 10
+		}
+		return s.Stats.ReadMisses
+	}
+	with := run(true)
+	without := run(false)
+	if with >= without {
+		t.Errorf("post-store did not reduce read misses: %d vs %d", with, without)
+	}
+}
+
+func TestCoherenceRandomOpsWithPostStore(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultConfig()
+		cfg.Nodes = 4
+		cfg.CacheSize = 256
+		cfg.Assoc = 2
+		cfg.PostStore = true
+		s := MustNew(cfg)
+		now := uint64(0)
+		for i := 0; i < 60; i++ {
+			node := rng.Intn(4)
+			addr := uint64(rng.Intn(16)) * 32
+			switch rng.Intn(8) {
+			case 0, 1:
+				s.Read(node, addr, now)
+			case 2, 3:
+				s.Write(node, addr, now)
+			case 4:
+				s.CheckOutX(node, addr, now)
+			case 5:
+				s.CheckOutS(node, addr, now)
+			case 6:
+				s.CheckIn(node, addr)
+			case 7:
+				s.Prefetch(node, addr, now, rng.Intn(2) == 0)
+			}
+			now += uint64(rng.Intn(200))
+			if err := s.CheckCoherence(); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, i, err)
+			}
+		}
+	}
+}
+
+func TestFullMapNeverTraps(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 8
+	cfg.CacheSize = 1024
+	cfg.FullMap = true
+	s := MustNew(cfg)
+	// Every conflicting transition that traps under Dir1SW.
+	s.Read(1, 64, 0)
+	s.Read(2, 64, 0)
+	if r := s.Write(0, 64, 1); r.Trap {
+		t.Error("full-map write to shared block trapped")
+	}
+	if r := s.Read(3, 64, 2); r.Trap {
+		t.Error("full-map read of remote-exclusive trapped")
+	}
+	s.Write(4, 96, 0)
+	if r := s.Write(5, 96, 1); r.Trap {
+		t.Error("full-map write steal trapped")
+	}
+	if s.Stats.Traps != 0 {
+		t.Errorf("traps = %d", s.Stats.Traps)
+	}
+	if err := s.CheckCoherence(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFullMapDirectedInvalidations(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 16
+	cfg.CacheSize = 1024
+	cfg.FullMap = true
+	s := MustNew(cfg)
+	s.Read(1, 64, 0)
+	s.Read(2, 64, 0)
+	before := s.Stats.CtlMsgs
+	s.Write(0, 64, 1)
+	// Directed: 2 invalidations + 2 acks, not 2*(N-1) broadcast messages.
+	if got := s.Stats.CtlMsgs - before; got != 4 {
+		t.Errorf("control messages = %d, want 4 (directed)", got)
+	}
+	if s.Stats.Invalidations != 2 {
+		t.Errorf("invalidations = %d", s.Stats.Invalidations)
+	}
+}
+
+func TestFullMapUpgradeCheaperThanDir1SW(t *testing.T) {
+	run := func(fullMap bool) uint64 {
+		cfg := DefaultConfig()
+		cfg.Nodes = 32
+		cfg.CacheSize = 1024
+		cfg.FullMap = fullMap
+		s := MustNew(cfg)
+		for n := 1; n < 8; n++ {
+			s.Read(n, 64, 0)
+		}
+		r := s.Write(0, 64, 1)
+		return r.Cycles
+	}
+	if fm, d1 := run(true), run(false); fm >= d1 {
+		t.Errorf("full-map upgrade (%d) not cheaper than Dir1SW broadcast (%d)", fm, d1)
+	}
+}

@@ -1,0 +1,703 @@
+package dir1sw
+
+import (
+	"fmt"
+
+	"cachier/internal/cache"
+)
+
+// dirState is a directory entry's state.
+type dirState int
+
+const (
+	dirIdle dirState = iota
+	dirShared
+	dirExclusive
+)
+
+type entry struct {
+	state   dirState
+	owner   int // valid when dirExclusive
+	sharers nodeSet
+
+	// pastHolders tracks nodes whose copy of the block was invalidated —
+	// the KSR-1's "allocated but invalid" set that a post-store refills.
+	// Only maintained when the PostStore option is on.
+	pastHolders nodeSet
+}
+
+// AccessKind classifies the outcome of a shared-memory access.
+type AccessKind int
+
+// Access outcomes.
+const (
+	Hit AccessKind = iota
+	ReadMiss
+	WriteMiss
+	WriteFault
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case Hit:
+		return "hit"
+	case ReadMiss:
+		return "read-miss"
+	case WriteMiss:
+		return "write-miss"
+	case WriteFault:
+		return "write-fault"
+	}
+	return fmt.Sprintf("AccessKind(%d)", int(k))
+}
+
+// Result reports the outcome of one access or directive.
+type Result struct {
+	Cycles uint64 // stall cycles charged to the issuing processor
+	Kind   AccessKind
+	Trap   bool // a software trap was taken
+}
+
+// Config configures a System.
+type Config struct {
+	Nodes     int
+	CacheSize int
+	Assoc     int
+	BlockSize int
+	Costs     Costs
+
+	// PostStore emulates the Kendall Square KSR-1's post-store instruction
+	// (paper Section 1): a check-in of a dirty block additionally
+	// broadcasts read-only copies to every node that previously had the
+	// block and lost it to an invalidation, instead of merely returning the
+	// block to Idle. Off by default — Dir1SW has no such operation — and
+	// exposed for the ablation study.
+	PostStore bool
+
+	// FullMap models a full-map hardware directory (the Dir_N class the
+	// Dir1SW work positions itself against): the directory knows every
+	// sharer, so no transition traps to software and invalidations are
+	// directed rather than broadcast. CICO directives still work but have
+	// far less to save — the ablation that shows the annotations' value is
+	// protocol-specific.
+	FullMap bool
+}
+
+// DefaultConfig is the paper's evaluated machine: 32 nodes, 256 KB 4-way
+// set-associative caches, 32-byte blocks (Section 6).
+func DefaultConfig() Config {
+	return Config{
+		Nodes:     32,
+		CacheSize: cache.DefaultSize,
+		Assoc:     cache.DefaultAssoc,
+		BlockSize: cache.DefaultBlockSize,
+		Costs:     DefaultCosts(),
+	}
+}
+
+// pending tracks an in-flight prefetch for one node.
+type pending struct {
+	arrival uint64
+	state   cache.State // state the block will install in
+}
+
+// System is the full memory system: one shared-data cache per node plus the
+// Dir1SW directory. All methods are deterministic and must be called from a
+// single goroutine at a time (the simulator guarantees this).
+type System struct {
+	cfg    Config
+	caches []*cache.Cache
+	dir    map[uint64]*entry
+	// inflight[n] maps block -> pending prefetch for node n.
+	inflight []map[uint64]pending
+
+	Stats Stats
+}
+
+// New builds a System.
+func New(cfg Config) (*System, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("dir1sw: need at least one node, got %d", cfg.Nodes)
+	}
+	s := &System{cfg: cfg, dir: make(map[uint64]*entry)}
+	for i := 0; i < cfg.Nodes; i++ {
+		c, err := cache.New(cfg.CacheSize, cfg.Assoc, cfg.BlockSize)
+		if err != nil {
+			return nil, err
+		}
+		s.caches = append(s.caches, c)
+		s.inflight = append(s.inflight, make(map[uint64]pending))
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *System {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Nodes returns the node count.
+func (s *System) Nodes() int { return s.cfg.Nodes }
+
+// BlockSize returns the block size in bytes.
+func (s *System) BlockSize() int { return s.cfg.BlockSize }
+
+// CacheCapacity returns each node's cache capacity in bytes.
+func (s *System) CacheCapacity() int { return s.cfg.CacheSize }
+
+// Cache exposes a node's cache (read-only use by the simulator/tests).
+func (s *System) Cache(node int) *cache.Cache { return s.caches[node] }
+
+// BlockOf returns the block number for an address.
+func (s *System) BlockOf(addr uint64) uint64 { return addr / uint64(s.cfg.BlockSize) }
+
+func (s *System) entryFor(block uint64) *entry {
+	e := s.dir[block]
+	if e == nil {
+		e = &entry{state: dirIdle, sharers: newNodeSet(s.cfg.Nodes)}
+		if s.cfg.PostStore {
+			e.pastHolders = newNodeSet(s.cfg.Nodes)
+		}
+		s.dir[block] = e
+	}
+	return e
+}
+
+// noteInvalidated records that a node lost its copy to an invalidation, for
+// post-store's "allocated but invalid" set.
+func (s *System) noteInvalidated(e *entry, node int) {
+	if s.cfg.PostStore {
+		e.pastHolders.add(node)
+	}
+}
+
+// dirOwner returns the entry's view for tests.
+func (s *System) dirView(block uint64) (state dirState, owner int, sharers []int) {
+	e := s.entryFor(block)
+	return e.state, e.owner, e.sharers.members()
+}
+
+// evict reconciles the directory with a cache eviction. Dir1SW requires
+// replacement notification so the counter stays exact.
+func (s *System) evict(node int, v cache.Victim) {
+	e := s.entryFor(v.Block)
+	switch e.state {
+	case dirShared:
+		e.sharers.remove(node)
+		s.Stats.CtlMsgs++ // replacement notification
+		if e.sharers.count() == 0 {
+			e.state = dirIdle
+		}
+	case dirExclusive:
+		if e.owner == node {
+			e.state = dirIdle
+			if v.Dirty {
+				s.Stats.Writebacks++
+				s.Stats.DataMsgs++
+			} else {
+				s.Stats.CtlMsgs++
+			}
+		}
+	}
+}
+
+// install puts a block into a node's cache, reconciling any victim.
+func (s *System) install(node int, block uint64, st cache.State) {
+	if v, evicted := s.caches[node].Insert(block, st); evicted {
+		s.evict(node, v)
+	}
+}
+
+// cancelInflight drops a node's in-flight prefetch of block, if any. Used
+// when another node's access invalidates or downgrades the block before the
+// prefetched data was consumed.
+func (s *System) cancelInflight(node int, block uint64) {
+	delete(s.inflight[node], block)
+}
+
+// checkInflight resolves an in-flight prefetch for (node, block). It returns
+// the stall cycles needed to wait for the data (0 if already arrived) and
+// whether a prefetch covered this block.
+func (s *System) checkInflight(node int, block uint64, now uint64, needExclusive bool) (stall uint64, covered bool) {
+	p, ok := s.inflight[node][block]
+	if !ok {
+		return 0, false
+	}
+	if needExclusive && p.state != cache.Exclusive {
+		// A shared prefetch cannot satisfy a write; drop it and fall through
+		// to the normal write path. The directory already lists this node as
+		// a sharer, which the write path will upgrade.
+		delete(s.inflight[node], block)
+		s.install(node, block, p.state)
+		return 0, false
+	}
+	delete(s.inflight[node], block)
+	s.install(node, block, p.state)
+	if p.arrival > now {
+		stall = p.arrival - now
+		s.Stats.PrefetchStalls += stall
+	}
+	s.Stats.PrefetchHits++
+	return stall, true
+}
+
+// Read performs a shared-data read by node at addr, at local time now.
+func (s *System) Read(node int, addr uint64, now uint64) Result {
+	s.Stats.Reads++
+	block := s.BlockOf(addr)
+	c := s.caches[node]
+	if st := c.Touch(block); st != cache.Invalid {
+		s.Stats.Hits++
+		return Result{Cycles: s.cfg.Costs.CacheHit, Kind: Hit}
+	}
+	if stall, ok := s.checkInflight(node, block, now, false); ok {
+		s.Stats.Hits++
+		c.Touch(block)
+		return Result{Cycles: stall + s.cfg.Costs.CacheHit, Kind: Hit}
+	}
+	cost, trap := s.fetchShared(node, block)
+	s.Stats.ReadMisses++
+	if trap {
+		s.Stats.Traps++
+	}
+	s.install(node, block, cache.Shared)
+	return Result{Cycles: cost, Kind: ReadMiss, Trap: trap}
+}
+
+// fetchShared acquires a read-only copy for node; the caller installs it.
+func (s *System) fetchShared(node int, block uint64) (cost uint64, trap bool) {
+	co := s.cfg.Costs
+	e := s.entryFor(block)
+	s.Stats.ReqMsgs++
+	switch e.state {
+	case dirIdle:
+		e.state = dirShared
+		e.sharers.add(node)
+		s.Stats.DataMsgs++
+		return co.cleanMiss(), false
+	case dirShared:
+		e.sharers.add(node)
+		s.Stats.DataMsgs++
+		return co.cleanMiss(), false
+	default: // dirExclusive by another node: trap, downgrade owner
+		owner := e.owner
+		s.cancelInflight(owner, block)
+		if s.caches[owner].Dirty(block) {
+			s.Stats.Writebacks++
+		}
+		s.caches[owner].SetState(block, cache.Shared)
+		e.state = dirShared
+		e.sharers.clear()
+		e.sharers.add(owner)
+		e.sharers.add(node)
+		s.Stats.CtlMsgs += 2 // downgrade request + ack
+		s.Stats.DataMsgs += 2
+		if s.cfg.FullMap {
+			return 4*co.NetHop + co.DirService + co.MemAccess, false
+		}
+		return co.Trap + 4*co.NetHop + co.DirService + co.MemAccess, true
+	}
+}
+
+// Write performs a shared-data write by node at addr, at local time now.
+func (s *System) Write(node int, addr uint64, now uint64) Result {
+	s.Stats.Writes++
+	block := s.BlockOf(addr)
+	c := s.caches[node]
+	co := s.cfg.Costs
+	switch c.Touch(block) {
+	case cache.Exclusive:
+		s.Stats.Hits++
+		c.MarkDirty(block)
+		return Result{Cycles: co.CacheHit, Kind: Hit}
+	case cache.Shared:
+		// Write fault: upgrade the shared copy (paper Section 4.1). The
+		// explicit check_out_x directive exists to avoid exactly this.
+		cost, trap := s.upgrade(node, block)
+		s.Stats.WriteFaults++
+		if trap {
+			s.Stats.Traps++
+		}
+		c.SetState(block, cache.Exclusive)
+		c.MarkDirty(block)
+		return Result{Cycles: cost, Kind: WriteFault, Trap: trap}
+	}
+	if stall, ok := s.checkInflight(node, block, now, true); ok {
+		s.Stats.Hits++
+		c.Touch(block)
+		c.MarkDirty(block)
+		return Result{Cycles: stall + co.CacheHit, Kind: Hit}
+	}
+	cost, trap := s.fetchExclusive(node, block)
+	s.Stats.WriteMisses++
+	if trap {
+		s.Stats.Traps++
+	}
+	s.install(node, block, cache.Exclusive)
+	c.MarkDirty(block)
+	return Result{Cycles: cost, Kind: WriteMiss, Trap: trap}
+}
+
+// upgrade makes node's shared copy exclusive, invalidating other sharers.
+// Dir1SW keeps one pointer plus a counter: when the requester is the sole
+// sharer the pointer check succeeds in hardware; otherwise software traps
+// and, because the counter does not say who the sharers are, BROADCASTS
+// invalidations to every other node (the protocol's key weakness, and the
+// reason check-ins pay off).
+func (s *System) upgrade(node int, block uint64) (cost uint64, trap bool) {
+	co := s.cfg.Costs
+	e := s.entryFor(block)
+	s.Stats.ReqMsgs++
+	others := 0
+	for _, sh := range e.sharers.members() {
+		if sh != node {
+			s.cancelInflight(sh, block)
+			s.caches[sh].Invalidate(block)
+			s.noteInvalidated(e, sh)
+			s.Stats.Invalidations++
+			others++
+		}
+	}
+	e.state = dirExclusive
+	e.owner = node
+	e.sharers.clear()
+	if others == 0 {
+		// Pointer check succeeds: hardware handles the sole-sharer upgrade.
+		return co.upgrade(), false
+	}
+	if s.cfg.FullMap {
+		// Full-map directory: directed invalidations in hardware, no trap.
+		s.Stats.CtlMsgs += 2 * uint64(others)
+		return co.upgrade() + uint64(others)*co.InvalMsg, false
+	}
+	bcast := uint64(s.cfg.Nodes - 1)
+	s.Stats.CtlMsgs += 2 * bcast // broadcast invalidations + acks
+	return co.Trap + co.upgrade() + bcast*co.InvalMsg, true
+}
+
+// fetchExclusive acquires a writable copy for node; the caller installs it.
+func (s *System) fetchExclusive(node int, block uint64) (cost uint64, trap bool) {
+	co := s.cfg.Costs
+	e := s.entryFor(block)
+	s.Stats.ReqMsgs++
+	switch e.state {
+	case dirIdle:
+		e.state = dirExclusive
+		e.owner = node
+		s.Stats.DataMsgs++
+		return co.cleanMiss(), false
+	case dirShared:
+		n := 0
+		for _, sh := range e.sharers.members() {
+			if sh != node {
+				s.cancelInflight(sh, block)
+				s.caches[sh].Invalidate(block)
+				s.noteInvalidated(e, sh)
+				s.Stats.Invalidations++
+				n++
+			}
+		}
+		e.state = dirExclusive
+		e.owner = node
+		e.sharers.clear()
+		s.Stats.DataMsgs++
+		if n == 0 {
+			return co.cleanMiss(), false
+		}
+		if s.cfg.FullMap {
+			s.Stats.CtlMsgs += 2 * uint64(n)
+			return co.cleanMiss() + uint64(n)*co.InvalMsg, false
+		}
+		// Trap + broadcast: the counter does not identify the sharers.
+		bcast := uint64(s.cfg.Nodes - 1)
+		s.Stats.CtlMsgs += 2 * bcast
+		return co.Trap + co.cleanMiss() + bcast*co.InvalMsg, true
+	default: // dirExclusive by another node
+		owner := e.owner
+		s.cancelInflight(owner, block)
+		if s.caches[owner].Dirty(block) {
+			s.Stats.Writebacks++
+		}
+		s.caches[owner].Invalidate(block)
+		s.noteInvalidated(e, owner)
+		s.Stats.Invalidations++
+		e.owner = node
+		s.Stats.CtlMsgs += 2
+		s.Stats.DataMsgs += 2
+		if s.cfg.FullMap {
+			// Hardware forwarding: same messages, no software trap.
+			return 4*co.NetHop + co.DirService + co.MemAccess, false
+		}
+		return co.Trap + 4*co.NetHop + co.DirService + co.MemAccess, true
+	}
+}
+
+// CheckOutX explicitly checks out addr's block exclusive. It is the
+// directive counterpart of a write miss/fault, issued early so that later
+// reads-then-writes find the block already writable.
+func (s *System) CheckOutX(node int, addr uint64, now uint64) Result {
+	s.Stats.CheckOutX++
+	block := s.BlockOf(addr)
+	c := s.caches[node]
+	co := s.cfg.Costs
+	st := c.Touch(block)
+	if st == cache.Invalid {
+		// Consume any in-flight prefetch first: a directive must never
+		// leave a pending entry shadowing a live cache line (the pending's
+		// directory registration could be dropped by a later eviction and
+		// then wrongly resurrected).
+		if stall, ok := s.checkInflight(node, block, now, true); ok {
+			return Result{Cycles: co.DirectiveOverhead + stall, Kind: Hit}
+		}
+		st = c.Lookup(block) // a shared prefetch may just have installed
+	}
+	switch st {
+	case cache.Exclusive:
+		s.Stats.WastedDirs++
+		return Result{Cycles: co.DirectiveOverhead, Kind: Hit}
+	case cache.Shared:
+		cost, trap := s.upgrade(node, block)
+		if trap {
+			s.Stats.Traps++
+		}
+		c.SetState(block, cache.Exclusive)
+		return Result{Cycles: co.DirectiveOverhead + cost, Kind: WriteFault, Trap: trap}
+	}
+	cost, trap := s.fetchExclusive(node, block)
+	if trap {
+		s.Stats.Traps++
+	}
+	s.install(node, block, cache.Exclusive)
+	return Result{Cycles: co.DirectiveOverhead + cost, Kind: WriteMiss, Trap: trap}
+}
+
+// CheckOutS explicitly checks out addr's block shared. Under Dir1SW this is
+// usually redundant (misses perform an implicit check-out), which is why
+// Performance CICO omits it (paper Section 4.1); it still exists as a
+// directive for Programmer CICO runs.
+func (s *System) CheckOutS(node int, addr uint64, now uint64) Result {
+	s.Stats.CheckOutS++
+	block := s.BlockOf(addr)
+	c := s.caches[node]
+	co := s.cfg.Costs
+	if st := c.Touch(block); st != cache.Invalid {
+		s.Stats.WastedDirs++
+		return Result{Cycles: co.DirectiveOverhead, Kind: Hit}
+	}
+	if stall, ok := s.checkInflight(node, block, now, false); ok {
+		return Result{Cycles: co.DirectiveOverhead + stall, Kind: Hit}
+	}
+	cost, trap := s.fetchShared(node, block)
+	if trap {
+		s.Stats.Traps++
+	}
+	s.install(node, block, cache.Shared)
+	return Result{Cycles: co.DirectiveOverhead + cost, Kind: ReadMiss, Trap: trap}
+}
+
+// CheckIn relinquishes node's copy of addr's block, returning it toward
+// Idle so that other nodes' subsequent accesses avoid invalidations and
+// traps (the annotation's whole purpose as a directive).
+func (s *System) CheckIn(node int, addr uint64) Result {
+	s.Stats.CheckIns++
+	block := s.BlockOf(addr)
+	c := s.caches[node]
+	co := s.cfg.Costs
+	st, dirty := c.Invalidate(block)
+	if st == cache.Invalid {
+		s.Stats.WastedDirs++
+		return Result{Cycles: co.DirectiveOverhead, Kind: Hit}
+	}
+	e := s.entryFor(block)
+	cost := co.DirectiveOverhead
+	switch e.state {
+	case dirShared:
+		e.sharers.remove(node)
+		s.Stats.CtlMsgs++
+		if e.sharers.count() == 0 {
+			e.state = dirIdle
+		}
+	case dirExclusive:
+		if e.owner == node {
+			e.state = dirIdle
+			if dirty {
+				s.Stats.Writebacks++
+				s.Stats.DataMsgs++
+				cost += co.WritebackLocal
+			} else {
+				s.Stats.CtlMsgs++
+			}
+			if s.cfg.PostStore && dirty {
+				s.postStore(e, block, node)
+			}
+		}
+	}
+	return Result{Cycles: cost, Kind: Hit}
+}
+
+// postStore pushes read-only copies of a just-checked-in block to every
+// node that previously lost it to an invalidation (the KSR-1 semantics:
+// refill copies that are "allocated but in the invalid state"). The pushes
+// are asynchronous — the issuing processor does not stall — but each data
+// message is counted, and recipients become directory sharers.
+func (s *System) postStore(e *entry, block uint64, node int) {
+	for _, h := range e.pastHolders.members() {
+		if h == node {
+			continue
+		}
+		// Skip nodes with an in-flight prefetch or a live copy.
+		if _, busy := s.inflight[h][block]; busy {
+			continue
+		}
+		if s.caches[h].Lookup(block) != cache.Invalid {
+			continue
+		}
+		s.install(h, block, cache.Shared)
+		if e.state == dirIdle {
+			e.state = dirShared
+		}
+		e.sharers.add(h)
+		s.Stats.DataMsgs++
+		s.Stats.PostStores++
+	}
+	e.pastHolders.clear()
+}
+
+// Prefetch initiates a non-blocking transfer of addr's block; exclusive
+// selects prefetch_x vs prefetch_s. The directory transitions immediately;
+// the data arrives at now + miss latency, and a later Read/Write stalls only
+// for the remaining time.
+func (s *System) Prefetch(node int, addr uint64, now uint64, exclusive bool) Result {
+	if exclusive {
+		s.Stats.PrefetchX++
+	} else {
+		s.Stats.PrefetchS++
+	}
+	block := s.BlockOf(addr)
+	c := s.caches[node]
+	co := s.cfg.Costs
+	if st := c.Lookup(block); st == cache.Exclusive || (st == cache.Shared && !exclusive) {
+		s.Stats.WastedDirs++
+		return Result{Cycles: co.PrefetchIssue, Kind: Hit}
+	}
+	if _, busy := s.inflight[node][block]; busy {
+		s.Stats.WastedDirs++
+		return Result{Cycles: co.PrefetchIssue, Kind: Hit}
+	}
+	var cost uint64
+	var trap bool
+	var st cache.State
+	if exclusive {
+		if c.Lookup(block) == cache.Shared {
+			cost, trap = s.upgrade(node, block)
+			c.SetState(block, cache.Exclusive)
+			if trap {
+				s.Stats.Traps++
+			}
+			// Upgrades carry no data; model them as immediate.
+			return Result{Cycles: co.PrefetchIssue, Kind: Hit, Trap: trap}
+		}
+		cost, trap = s.fetchExclusive(node, block)
+		st = cache.Exclusive
+	} else {
+		cost, trap = s.fetchShared(node, block)
+		st = cache.Shared
+	}
+	if trap {
+		s.Stats.Traps++
+	}
+	s.inflight[node][block] = pending{arrival: now + cost, state: st}
+	return Result{Cycles: co.PrefetchIssue, Kind: Hit, Trap: trap}
+}
+
+// FlushNode invalidates every line in a node's cache, writing back dirty
+// blocks and reconciling the directory. The WWT-style tracer calls this for
+// all nodes at every barrier (paper Section 3.3).
+func (s *System) FlushNode(node int) {
+	s.caches[node].FlushAll(func(block uint64, st cache.State, dirty bool) {
+		e := s.entryFor(block)
+		switch e.state {
+		case dirShared:
+			e.sharers.remove(node)
+			if e.sharers.count() == 0 {
+				e.state = dirIdle
+			}
+		case dirExclusive:
+			if e.owner == node {
+				e.state = dirIdle
+				if dirty {
+					s.Stats.Writebacks++
+				}
+			}
+		}
+	})
+	// Drop in-flight prefetches too; their directory transitions already
+	// happened, so release them as if installed then flushed.
+	for block := range s.inflight[node] {
+		e := s.entryFor(block)
+		switch e.state {
+		case dirShared:
+			e.sharers.remove(node)
+			if e.sharers.count() == 0 {
+				e.state = dirIdle
+			}
+		case dirExclusive:
+			if e.owner == node {
+				e.state = dirIdle
+			}
+		}
+		delete(s.inflight[node], block)
+	}
+}
+
+// CheckCoherence validates the protocol invariants: at most one exclusive
+// copy per block; cache states consistent with the directory. It returns an
+// error describing the first violation found. Tests and the simulator's
+// self-checks call this.
+func (s *System) CheckCoherence() error {
+	for block, e := range s.dir {
+		var holders []int
+		var exclusive []int
+		for n, c := range s.caches {
+			switch c.Lookup(block) {
+			case cache.Shared:
+				holders = append(holders, n)
+			case cache.Exclusive:
+				exclusive = append(exclusive, n)
+			}
+		}
+		if len(exclusive) > 1 {
+			return fmt.Errorf("block %d exclusive in %d caches", block, len(exclusive))
+		}
+		if len(exclusive) == 1 && len(holders) > 0 {
+			return fmt.Errorf("block %d exclusive in node %d but shared in %v", block, exclusive[0], holders)
+		}
+		switch e.state {
+		case dirIdle:
+			if len(holders)+len(exclusive) > 0 {
+				return fmt.Errorf("block %d idle in directory but cached by %v/%v", block, holders, exclusive)
+			}
+		case dirShared:
+			if len(exclusive) > 0 {
+				return fmt.Errorf("block %d shared in directory but exclusive in node %d", block, exclusive[0])
+			}
+			for _, h := range holders {
+				if !e.sharers.has(h) {
+					return fmt.Errorf("block %d cached shared by node %d missing from sharer set", block, h)
+				}
+			}
+		case dirExclusive:
+			if len(exclusive) == 1 && exclusive[0] != e.owner {
+				return fmt.Errorf("block %d owned by %d per directory but exclusive in %d", block, e.owner, exclusive[0])
+			}
+			if len(holders) > 0 {
+				return fmt.Errorf("block %d exclusive in directory but shared in %v", block, holders)
+			}
+		}
+	}
+	return nil
+}

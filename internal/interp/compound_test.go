@@ -1,0 +1,105 @@
+package interp
+
+import "testing"
+
+func TestCompoundOpsOnPrivateArrays(t *testing.T) {
+	_, s, l := mustRun(t, `
+shared float out[6];
+func main() {
+    var a float[4];
+    a[0] = 10.0;
+    a[0] += 2.5;
+    a[1] = 10.0;
+    a[1] -= 2.5;
+    a[2] = 10.0;
+    a[2] *= 2.0;
+    a[3] = 10.0;
+    a[3] /= 4.0;
+    out[0] = a[0];
+    out[1] = a[1];
+    out[2] = a[2];
+    out[3] = a[3];
+    var b int[2];
+    b[0] = 7;
+    b[0] /= 2;
+    b[1] = 7;
+    b[1] *= -3;
+    out[4] = float(b[0]);
+    out[5] = float(b[1]);
+}
+`)
+	want := []float64{12.5, 7.5, 20, 2.5, 3, -21}
+	for i, w := range want {
+		if got := loadFloat(s, l, "out", i); got != w {
+			t.Errorf("out[%d] = %g, want %g", i, got, w)
+		}
+	}
+}
+
+func TestCompoundOpsOnSharedArrays(t *testing.T) {
+	_, s, l := mustRun(t, `
+shared float f[4];
+shared int n[4];
+func main() {
+    f[0] = 8.0;
+    f[0] /= 3.0;
+    n[0] = 8;
+    n[0] -= 3;
+    n[1] = 8;
+    n[1] *= 3;
+    // Mixed: int destination truncates a float RHS.
+    n[2] = 5;
+    n[2] += int(2.9);
+    // Float destination with int RHS promotes.
+    f[1] = 1.5;
+    f[1] += 2;
+}
+`)
+	if got := loadFloat(s, l, "f", 0); got != 8.0/3.0 {
+		t.Errorf("f[0] = %g", got)
+	}
+	if got := loadInt(s, l, "n", 0); got != 5 {
+		t.Errorf("n[0] = %d", got)
+	}
+	if got := loadInt(s, l, "n", 1); got != 24 {
+		t.Errorf("n[1] = %d", got)
+	}
+	if got := loadInt(s, l, "n", 2); got != 7 {
+		t.Errorf("n[2] = %d", got)
+	}
+	if got := loadFloat(s, l, "f", 1); got != 3.5 {
+		t.Errorf("f[1] = %g", got)
+	}
+}
+
+func TestCompoundFloatDivByZeroIsIEEE(t *testing.T) {
+	// Float division by zero follows IEEE (infinity), no runtime error.
+	_, s, l := mustRun(t, `
+shared float f[1];
+func main() {
+    var z float = 0.0;
+    f[0] = 1.0;
+    f[0] /= z;
+}
+`)
+	if got := loadFloat(s, l, "f", 0); got <= 1e300 {
+		t.Errorf("f[0] = %g, want +Inf", got)
+	}
+}
+
+func TestPrivateScalarCompound(t *testing.T) {
+	_, s, l := mustRun(t, `
+shared int out;
+func main() {
+    var x int = 100;
+    x += 5;
+    x -= 3;
+    x *= 2;
+    x /= 4;
+    out = x;
+}
+`)
+	if got := loadInt(s, l, "out"); got != 51 {
+		t.Errorf("out = %d", got)
+	}
+}

@@ -1,0 +1,786 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"cachier/internal/parc"
+)
+
+// Context executes one simulated processor's SPMD instance of a ParC
+// program.
+type Context struct {
+	prog   *parc.Program
+	store  *Store
+	mach   Machine
+	node   int
+	nprocs int
+
+	rng     uint64
+	pending uint64 // unreported local work cycles
+	curPC   int    // statement ID currently executing (trace PC)
+	curPos  parc.Pos
+	depth   int // call depth, to catch runaway recursion
+
+	privReads  uint64 // private-array loads (for sharing-degree statistics)
+	privWrites uint64 // private-array stores
+}
+
+// PrivateAccesses returns how many private-array loads and stores this
+// context performed; the simulator uses them to compute sharing degrees
+// comparable to the SPLASH numbers quoted in the paper's Section 6.
+func (c *Context) PrivateAccesses() (reads, writes uint64) {
+	return c.privReads, c.privWrites
+}
+
+// maxCallDepth bounds recursion; ParC benchmarks are loop-based, so any
+// deep recursion is almost certainly a bug in the program under test.
+const maxCallDepth = 10_000
+
+// NewContext builds an execution context for one processor.
+func NewContext(prog *parc.Program, store *Store, mach Machine, node, nprocs int) *Context {
+	return &Context{
+		prog:   prog,
+		store:  store,
+		mach:   mach,
+		node:   node,
+		nprocs: nprocs,
+		rng:    uint64(node)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03,
+	}
+}
+
+// Run executes main to completion, flushing any residual work.
+func (c *Context) Run() error {
+	main := c.prog.FuncMap["main"]
+	if main == nil {
+		return fmt.Errorf("interp: program has no main")
+	}
+	if _, err := c.call(main, nil); err != nil {
+		return err
+	}
+	c.flush()
+	return nil
+}
+
+func (c *Context) errf(format string, args ...any) error {
+	return &RuntimeError{Node: c.node, Pos: c.curPos, PC: c.curPC, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (c *Context) work(n uint64) {
+	c.pending += n
+	if c.pending >= workFlushLimit {
+		c.flush()
+	}
+}
+
+func (c *Context) flush() {
+	if c.pending > 0 {
+		c.mach.Work(c.node, c.pending)
+		c.pending = 0
+	}
+}
+
+// frame is one function activation: scalar and private-array bindings.
+type frame struct {
+	scalars map[string]Value
+	arrays  map[string]privArray
+}
+
+type privArray struct {
+	base parc.BaseType
+	dims []int
+	data []Value
+}
+
+func newFrame() *frame {
+	return &frame{scalars: make(map[string]Value), arrays: make(map[string]privArray)}
+}
+
+type ctrl int
+
+const (
+	ctrlNext ctrl = iota
+	ctrlReturn
+)
+
+func (c *Context) call(f *parc.FuncDecl, args []Value) (Value, error) {
+	if c.depth >= maxCallDepth {
+		return Value{}, c.errf("call depth exceeds %d (runaway recursion in %s?)", maxCallDepth, f.Name)
+	}
+	c.depth++
+	defer func() { c.depth-- }()
+	fr := newFrame()
+	for i, p := range f.Params {
+		fr.scalars[p.Name] = coerce(args[i], p.Base)
+	}
+	ct, v, err := c.execBlock(f.Body, fr)
+	if err != nil {
+		return Value{}, err
+	}
+	if ct == ctrlReturn {
+		if f.Result != nil {
+			return coerce(v, *f.Result), nil
+		}
+		return Value{}, nil
+	}
+	if f.Result != nil {
+		// Falling off the end of a value-returning function yields the zero
+		// value of the result type, as the checker cannot prove all paths
+		// return.
+		return coerce(Value{}, *f.Result), nil
+	}
+	return Value{}, nil
+}
+
+func (c *Context) execBlock(b *parc.Block, fr *frame) (ctrl, Value, error) {
+	for _, s := range b.Stmts {
+		ct, v, err := c.execStmt(s, fr)
+		if err != nil || ct == ctrlReturn {
+			return ct, v, err
+		}
+	}
+	return ctrlNext, Value{}, nil
+}
+
+func (c *Context) execStmt(s parc.Stmt, fr *frame) (ctrl, Value, error) {
+	c.curPC = s.ID()
+	c.curPos = s.Position()
+	c.work(1)
+	switch n := s.(type) {
+	case *parc.Block:
+		return c.execBlock(n, fr)
+
+	case *parc.VarDeclStmt:
+		if len(n.DimSizes) > 0 {
+			size := 1
+			for _, d := range n.DimSizes {
+				size *= d
+			}
+			fr.arrays[n.Name] = privArray{base: n.Base, dims: n.DimSizes, data: make([]Value, size)}
+			// Zero-initialize with typed zeros.
+			arr := fr.arrays[n.Name]
+			for i := range arr.data {
+				arr.data[i] = coerce(Value{}, n.Base)
+			}
+			return ctrlNext, Value{}, nil
+		}
+		v := coerce(Value{}, n.Base)
+		if n.Init != nil {
+			iv, err := c.eval(n.Init, fr)
+			if err != nil {
+				return ctrlNext, Value{}, err
+			}
+			v = coerce(iv, n.Base)
+		}
+		fr.scalars[n.Name] = v
+		return ctrlNext, Value{}, nil
+
+	case *parc.AssignStmt:
+		return ctrlNext, Value{}, c.execAssign(n, fr)
+
+	case *parc.IfStmt:
+		cond, err := c.eval(n.Cond, fr)
+		if err != nil {
+			return ctrlNext, Value{}, err
+		}
+		if cond.Truthy() {
+			return c.execBlock(n.Then, fr)
+		}
+		if n.Else != nil {
+			return c.execStmt(n.Else, fr)
+		}
+		return ctrlNext, Value{}, nil
+
+	case *parc.WhileStmt:
+		for {
+			c.curPC = n.ID()
+			c.curPos = n.Position()
+			cond, err := c.eval(n.Cond, fr)
+			if err != nil {
+				return ctrlNext, Value{}, err
+			}
+			if !cond.Truthy() {
+				return ctrlNext, Value{}, nil
+			}
+			ct, v, err := c.execBlock(n.Body, fr)
+			if err != nil || ct == ctrlReturn {
+				return ct, v, err
+			}
+			c.work(1)
+		}
+
+	case *parc.ForStmt:
+		from, err := c.eval(n.From, fr)
+		if err != nil {
+			return ctrlNext, Value{}, err
+		}
+		to, err := c.eval(n.To, fr)
+		if err != nil {
+			return ctrlNext, Value{}, err
+		}
+		step := int64(1)
+		if n.Step != nil {
+			sv, err := c.eval(n.Step, fr)
+			if err != nil {
+				return ctrlNext, Value{}, err
+			}
+			step = sv.AsInt()
+		}
+		if step == 0 {
+			return ctrlNext, Value{}, c.errf("for %s: zero step", n.Var)
+		}
+		lo, hi := from.AsInt(), to.AsInt()
+		for i := lo; (step > 0 && i <= hi) || (step < 0 && i >= hi); i += step {
+			fr.scalars[n.Var] = IntVal(i)
+			ct, v, err := c.execBlock(n.Body, fr)
+			if err != nil || ct == ctrlReturn {
+				return ct, v, err
+			}
+			c.work(1)
+		}
+		return ctrlNext, Value{}, nil
+
+	case *parc.BarrierStmt:
+		c.flush()
+		c.mach.Barrier(c.node, n.ID())
+		return ctrlNext, Value{}, nil
+
+	case *parc.LockStmt:
+		id, err := c.eval(n.LockID, fr)
+		if err != nil {
+			return ctrlNext, Value{}, err
+		}
+		c.flush()
+		c.mach.Lock(c.node, id.AsInt(), n.ID())
+		return ctrlNext, Value{}, nil
+
+	case *parc.UnlockStmt:
+		id, err := c.eval(n.LockID, fr)
+		if err != nil {
+			return ctrlNext, Value{}, err
+		}
+		c.flush()
+		c.mach.Unlock(c.node, id.AsInt(), n.ID())
+		return ctrlNext, Value{}, nil
+
+	case *parc.ReturnStmt:
+		if n.Value != nil {
+			v, err := c.eval(n.Value, fr)
+			if err != nil {
+				return ctrlNext, Value{}, err
+			}
+			return ctrlReturn, v, nil
+		}
+		return ctrlReturn, Value{}, nil
+
+	case *parc.ExprStmt:
+		_, err := c.eval(n.Call, fr)
+		return ctrlNext, Value{}, err
+
+	case *parc.PrintStmt:
+		vals := make([]Value, len(n.Args))
+		for i, a := range n.Args {
+			v, err := c.eval(a, fr)
+			if err != nil {
+				return ctrlNext, Value{}, err
+			}
+			vals[i] = v
+		}
+		c.flush()
+		c.mach.Print(c.node, formatPrint(n.Format, vals))
+		return ctrlNext, Value{}, nil
+
+	case *parc.CICOStmt:
+		ranges, err := c.evalRangeRef(n.Target, fr)
+		if err != nil {
+			return ctrlNext, Value{}, err
+		}
+		c.flush()
+		c.mach.Directive(c.node, n.Kind, ranges, n.ID())
+		return ctrlNext, Value{}, nil
+
+	case *parc.CommentStmt:
+		return ctrlNext, Value{}, nil
+	}
+	return ctrlNext, Value{}, c.errf("cannot execute %T", s)
+}
+
+func (c *Context) execAssign(n *parc.AssignStmt, fr *frame) error {
+	rhs, err := c.eval(n.RHS, fr)
+	if err != nil {
+		return err
+	}
+	lv := n.LHS
+	if n.Op == parc.OpDiv && !rhs.Float && rhs.I == 0 {
+		if !c.destIsFloat(lv, fr) {
+			return c.errf("integer division by zero in /=")
+		}
+	}
+
+	// Private scalar (local, param, or loop variable).
+	if cur, ok := fr.scalars[lv.Name]; ok {
+		fr.scalars[lv.Name] = applyOp(cur, n.Op, rhs, cur.Float)
+		return nil
+	}
+	// Private array.
+	if arr, ok := fr.arrays[lv.Name]; ok {
+		off, err := c.offset(lv.Name, arr.dims, lv.Indices, fr)
+		if err != nil {
+			return err
+		}
+		if n.Op != parc.OpSet {
+			c.privReads++
+		}
+		c.privWrites++
+		isFloat := arr.base == parc.FloatType
+		arr.data[off] = applyOp(arr.data[off], n.Op, rhs, isFloat)
+		return nil
+	}
+	// Shared variable.
+	decl := c.prog.SharedMap[lv.Name]
+	if decl == nil {
+		return c.errf("undefined variable %q", lv.Name)
+	}
+	addr, err := c.sharedAddr(decl, lv.Indices, fr)
+	if err != nil {
+		return err
+	}
+	isFloat := decl.Base == parc.FloatType
+	var cur Value
+	if n.Op != parc.OpSet {
+		// Compound assignment reads the old value first.
+		c.flush()
+		c.mach.Access(c.node, false, addr, c.curPC)
+		cur = FromBits(c.store.Load(addr), isFloat)
+	}
+	out := applyOp(cur, n.Op, rhs, isFloat)
+	c.flush()
+	c.mach.Access(c.node, true, addr, c.curPC)
+	c.store.StoreWord(addr, out.Bits())
+	return nil
+}
+
+// destIsFloat reports whether an lvalue's destination has float type, so
+// compound division can distinguish IEEE division from integer division.
+func (c *Context) destIsFloat(lv *parc.LValue, fr *frame) bool {
+	if v, ok := fr.scalars[lv.Name]; ok {
+		return v.Float
+	}
+	if arr, ok := fr.arrays[lv.Name]; ok {
+		return arr.base == parc.FloatType
+	}
+	if decl, ok := c.prog.SharedMap[lv.Name]; ok {
+		return decl.Base == parc.FloatType
+	}
+	return false
+}
+
+// applyOp combines the current value with rhs under the assignment operator,
+// coercing the result to the destination's type.
+func applyOp(cur Value, op parc.AssignOp, rhs Value, destFloat bool) Value {
+	var out Value
+	switch op {
+	case parc.OpSet:
+		out = rhs
+	case parc.OpAdd:
+		out = numeric(cur, rhs, func(a, b int64) int64 { return a + b }, func(a, b float64) float64 { return a + b })
+	case parc.OpSub:
+		out = numeric(cur, rhs, func(a, b int64) int64 { return a - b }, func(a, b float64) float64 { return a - b })
+	case parc.OpMul:
+		out = numeric(cur, rhs, func(a, b int64) int64 { return a * b }, func(a, b float64) float64 { return a * b })
+	case parc.OpDiv:
+		// Integer division by zero is rejected by execAssign before the
+		// value reaches here; the int branch guards against it anyway.
+		out = numeric(cur, rhs, func(a, b int64) int64 {
+			if b == 0 {
+				return 0
+			}
+			return a / b
+		}, func(a, b float64) float64 { return a / b })
+	}
+	if destFloat {
+		return FloatVal(out.AsFloat())
+	}
+	return IntVal(out.AsInt())
+}
+
+func numeric(a Value, b Value, fi func(int64, int64) int64, ff func(float64, float64) float64) Value {
+	if a.Float || b.Float {
+		return FloatVal(ff(a.AsFloat(), b.AsFloat()))
+	}
+	return IntVal(fi(a.I, b.I))
+}
+
+// offset computes the flattened element offset of an index list against
+// dims, charging work and bounds-checking.
+func (c *Context) offset(name string, dims []int, indices []parc.Expr, fr *frame) (int, error) {
+	off := 0
+	for d, ixe := range indices {
+		c.work(1)
+		iv, err := c.eval(ixe, fr)
+		if err != nil {
+			return 0, err
+		}
+		ix := int(iv.AsInt())
+		if ix < 0 || ix >= dims[d] {
+			return 0, c.errf("%s: index %d out of range [0,%d) in dimension %d", name, ix, dims[d], d)
+		}
+		off = off*dims[d] + ix
+	}
+	return off, nil
+}
+
+func (c *Context) sharedAddr(decl *parc.SharedDecl, indices []parc.Expr, fr *frame) (uint64, error) {
+	off, err := c.offset(decl.Name, decl.DimSizes, indices, fr)
+	if err != nil {
+		return 0, err
+	}
+	return decl.BaseAddr + uint64(off)*parc.ElemSize, nil
+}
+
+func (c *Context) eval(e parc.Expr, fr *frame) (Value, error) {
+	switch n := e.(type) {
+	case *parc.IntLit:
+		return IntVal(n.Value), nil
+	case *parc.FloatLit:
+		return FloatVal(n.Value), nil
+
+	case *parc.VarRef:
+		if v, ok := fr.scalars[n.Name]; ok {
+			return v, nil
+		}
+		if v, ok := c.prog.ConstVal[n.Name]; ok {
+			return IntVal(v), nil
+		}
+		if decl, ok := c.prog.SharedMap[n.Name]; ok {
+			// Shared scalar read.
+			c.flush()
+			c.mach.Access(c.node, false, decl.BaseAddr, c.curPC)
+			return FromBits(c.store.Load(decl.BaseAddr), decl.Base == parc.FloatType), nil
+		}
+		return Value{}, c.errf("undefined name %q", n.Name)
+
+	case *parc.IndexExpr:
+		if arr, ok := fr.arrays[n.Name]; ok {
+			off, err := c.offset(n.Name, arr.dims, n.Indices, fr)
+			if err != nil {
+				return Value{}, err
+			}
+			c.privReads++
+			return arr.data[off], nil
+		}
+		decl := c.prog.SharedMap[n.Name]
+		if decl == nil {
+			return Value{}, c.errf("%q is not an array", n.Name)
+		}
+		addr, err := c.sharedAddr(decl, n.Indices, fr)
+		if err != nil {
+			return Value{}, err
+		}
+		c.flush()
+		c.mach.Access(c.node, false, addr, c.curPC)
+		return FromBits(c.store.Load(addr), decl.Base == parc.FloatType), nil
+
+	case *parc.CallExpr:
+		if _, isBuiltin := parc.Builtins[n.Name]; isBuiltin {
+			return c.evalBuiltin(n, fr)
+		}
+		f := c.prog.FuncMap[n.Name]
+		if f == nil {
+			return Value{}, c.errf("undefined function %q", n.Name)
+		}
+		args := make([]Value, len(n.Args))
+		for i, a := range n.Args {
+			v, err := c.eval(a, fr)
+			if err != nil {
+				return Value{}, err
+			}
+			args[i] = v
+		}
+		c.work(2)
+		savedPC, savedPos := c.curPC, c.curPos
+		v, err := c.call(f, args)
+		c.curPC, c.curPos = savedPC, savedPos
+		return v, err
+
+	case *parc.UnaryExpr:
+		x, err := c.eval(n.X, fr)
+		if err != nil {
+			return Value{}, err
+		}
+		c.work(1)
+		switch n.Op {
+		case parc.TokMinus:
+			if x.Float {
+				return FloatVal(-x.F), nil
+			}
+			return IntVal(-x.I), nil
+		case parc.TokNot:
+			if x.Truthy() {
+				return IntVal(0), nil
+			}
+			return IntVal(1), nil
+		}
+		return Value{}, c.errf("bad unary operator")
+
+	case *parc.BinaryExpr:
+		return c.evalBinary(n, fr)
+	}
+	return Value{}, c.errf("cannot evaluate %T", e)
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return IntVal(1)
+	}
+	return IntVal(0)
+}
+
+func (c *Context) evalBinary(n *parc.BinaryExpr, fr *frame) (Value, error) {
+	// Short-circuit logical operators.
+	if n.Op == parc.TokAndAnd || n.Op == parc.TokOrOr {
+		x, err := c.eval(n.X, fr)
+		if err != nil {
+			return Value{}, err
+		}
+		c.work(1)
+		if n.Op == parc.TokAndAnd && !x.Truthy() {
+			return IntVal(0), nil
+		}
+		if n.Op == parc.TokOrOr && x.Truthy() {
+			return IntVal(1), nil
+		}
+		y, err := c.eval(n.Y, fr)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolVal(y.Truthy()), nil
+	}
+
+	x, err := c.eval(n.X, fr)
+	if err != nil {
+		return Value{}, err
+	}
+	y, err := c.eval(n.Y, fr)
+	if err != nil {
+		return Value{}, err
+	}
+	c.work(1)
+	switch n.Op {
+	case parc.TokPlus:
+		return numeric(x, y, func(a, b int64) int64 { return a + b }, func(a, b float64) float64 { return a + b }), nil
+	case parc.TokMinus:
+		return numeric(x, y, func(a, b int64) int64 { return a - b }, func(a, b float64) float64 { return a - b }), nil
+	case parc.TokStar:
+		return numeric(x, y, func(a, b int64) int64 { return a * b }, func(a, b float64) float64 { return a * b }), nil
+	case parc.TokSlash:
+		if x.Float || y.Float {
+			return FloatVal(x.AsFloat() / y.AsFloat()), nil
+		}
+		if y.I == 0 {
+			return Value{}, c.errf("integer division by zero")
+		}
+		return IntVal(x.I / y.I), nil
+	case parc.TokPercent:
+		if x.Float || y.Float {
+			return Value{}, c.errf("%% requires integer operands")
+		}
+		if y.I == 0 {
+			return Value{}, c.errf("integer modulo by zero")
+		}
+		return IntVal(x.I % y.I), nil
+	case parc.TokEq:
+		return boolVal(compare(x, y) == 0), nil
+	case parc.TokNe:
+		return boolVal(compare(x, y) != 0), nil
+	case parc.TokLt:
+		return boolVal(compare(x, y) < 0), nil
+	case parc.TokLe:
+		return boolVal(compare(x, y) <= 0), nil
+	case parc.TokGt:
+		return boolVal(compare(x, y) > 0), nil
+	case parc.TokGe:
+		return boolVal(compare(x, y) >= 0), nil
+	}
+	return Value{}, c.errf("bad binary operator")
+}
+
+func compare(x, y Value) int {
+	if x.Float || y.Float {
+		a, b := x.AsFloat(), y.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	}
+	switch {
+	case x.I < y.I:
+		return -1
+	case x.I > y.I:
+		return 1
+	}
+	return 0
+}
+
+func (c *Context) evalBuiltin(n *parc.CallExpr, fr *frame) (Value, error) {
+	args := make([]Value, len(n.Args))
+	for i, a := range n.Args {
+		v, err := c.eval(a, fr)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	c.work(1)
+	switch n.Name {
+	case "pid":
+		return IntVal(int64(c.node)), nil
+	case "nprocs":
+		return IntVal(int64(c.nprocs)), nil
+	case "min":
+		if compare(args[0], args[1]) <= 0 {
+			return args[0], nil
+		}
+		return args[1], nil
+	case "max":
+		if compare(args[0], args[1]) >= 0 {
+			return args[0], nil
+		}
+		return args[1], nil
+	case "abs":
+		if args[0].Float {
+			return FloatVal(math.Abs(args[0].F)), nil
+		}
+		if args[0].I < 0 {
+			return IntVal(-args[0].I), nil
+		}
+		return args[0], nil
+	case "sqrt":
+		return FloatVal(math.Sqrt(args[0].AsFloat())), nil
+	case "sin":
+		return FloatVal(math.Sin(args[0].AsFloat())), nil
+	case "cos":
+		return FloatVal(math.Cos(args[0].AsFloat())), nil
+	case "floor":
+		return FloatVal(math.Floor(args[0].AsFloat())), nil
+	case "float":
+		return FloatVal(args[0].AsFloat()), nil
+	case "int":
+		return IntVal(args[0].AsInt()), nil
+	case "rnd":
+		c.rng = c.rng*6364136223846793005 + 1442695040888963407
+		return FloatVal(float64(c.rng>>11) / (1 << 53)), nil
+	case "rndseed":
+		c.rng = uint64(args[0].AsInt())*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+		return IntVal(0), nil
+	}
+	return Value{}, c.errf("unknown builtin %q", n.Name)
+}
+
+// evalRangeRef expands a CICO annotation target into contiguous address
+// ranges. Indices are clamped to the array bounds: annotations must never
+// affect program semantics (paper Section 4.5), so out-of-range annotation
+// indices are trimmed rather than faulting.
+func (c *Context) evalRangeRef(r *parc.RangeRef, fr *frame) ([]AddrRange, error) {
+	decl := c.prog.SharedMap[r.Name]
+	if decl == nil {
+		return nil, c.errf("annotation target %q is not shared", r.Name)
+	}
+	if len(decl.DimSizes) == 0 {
+		return []AddrRange{{Lo: decl.BaseAddr, Hi: decl.BaseAddr}}, nil
+	}
+	los := make([]int, len(r.Indices))
+	his := make([]int, len(r.Indices))
+	for d, ix := range r.Indices {
+		lov, err := c.eval(ix.Lo, fr)
+		if err != nil {
+			return nil, err
+		}
+		lo := int(lov.AsInt())
+		hi := lo
+		if ix.Hi != nil {
+			hiv, err := c.eval(ix.Hi, fr)
+			if err != nil {
+				return nil, err
+			}
+			hi = int(hiv.AsInt())
+		}
+		lo = max(lo, 0)
+		hi = min(hi, decl.DimSizes[d]-1)
+		if lo > hi {
+			return nil, nil // empty after clamping
+		}
+		los[d], his[d] = lo, hi
+	}
+	// Cartesian product over all but the last dimension; the last dimension
+	// is contiguous.
+	var out []AddrRange
+	idx := make([]int, len(los))
+	copy(idx, los)
+	last := len(los) - 1
+	for {
+		off := 0
+		for d := 0; d < last; d++ {
+			off = off*decl.DimSizes[d] + idx[d]
+		}
+		loOff := off*decl.DimSizes[last] + los[last]
+		hiOff := off*decl.DimSizes[last] + his[last]
+		out = append(out, AddrRange{
+			Lo: decl.BaseAddr + uint64(loOff)*parc.ElemSize,
+			Hi: decl.BaseAddr + uint64(hiOff)*parc.ElemSize,
+		})
+		// Advance the multi-index over dims [0, last).
+		d := last - 1
+		for ; d >= 0; d-- {
+			idx[d]++
+			if idx[d] <= his[d] {
+				break
+			}
+			idx[d] = los[d]
+		}
+		if d < 0 {
+			break
+		}
+	}
+	return out, nil
+}
+
+// formatPrint renders a ParC print format with %d, %f, %g, and %% verbs.
+func formatPrint(format string, args []Value) string {
+	var sb strings.Builder
+	ai := 0
+	for i := 0; i < len(format); i++ {
+		ch := format[i]
+		if ch != '%' || i+1 >= len(format) {
+			sb.WriteByte(ch)
+			continue
+		}
+		i++
+		verb := format[i]
+		if verb == '%' {
+			sb.WriteByte('%')
+			continue
+		}
+		if ai >= len(args) {
+			sb.WriteString("%!missing")
+			continue
+		}
+		v := args[ai]
+		ai++
+		switch verb {
+		case 'd':
+			fmt.Fprintf(&sb, "%d", v.AsInt())
+		case 'f':
+			fmt.Fprintf(&sb, "%f", v.AsFloat())
+		case 'g':
+			fmt.Fprintf(&sb, "%g", v.AsFloat())
+		default:
+			fmt.Fprintf(&sb, "%%!%c", verb)
+		}
+	}
+	return sb.String()
+}

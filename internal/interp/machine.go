@@ -1,0 +1,41 @@
+package interp
+
+import "cachier/internal/parc"
+
+// AddrRange is an inclusive range of element byte addresses with
+// ElemSize stride; CICO directives over array slices produce one range per
+// contiguous run.
+type AddrRange struct {
+	Lo, Hi uint64
+}
+
+// Machine is the interpreter's view of the simulated machine. The simulator
+// implements it; calls may suspend the calling processor's goroutine until
+// the scheduler resumes it. All methods are invoked with the processor's
+// accumulated local work already flushed.
+type Machine interface {
+	// Access reports a shared-data reference (one element) by node at the
+	// given statement ID.
+	Access(node int, write bool, addr uint64, pc int)
+
+	// Directive reports an explicit CICO annotation execution.
+	Directive(node int, kind parc.AnnKind, ranges []AddrRange, pc int)
+
+	// Barrier blocks the node until all nodes arrive.
+	Barrier(node int, pc int)
+
+	// Lock acquires and Unlock releases a numbered mutex.
+	Lock(node int, id int64, pc int)
+	Unlock(node int, id int64, pc int)
+
+	// Work charges local computation cycles.
+	Work(node int, cycles uint64)
+
+	// Print delivers debug output.
+	Print(node int, text string)
+}
+
+// workFlushLimit bounds how much local work accumulates before being
+// reported, so that compute-only stretches still advance the node's clock
+// and yield to the scheduler.
+const workFlushLimit = 512

@@ -1,0 +1,428 @@
+package parc
+
+import "fmt"
+
+// Builtins maps builtin function names to their arities. float/int are
+// conversions; rnd returns a deterministic per-processor pseudo-random float
+// in [0,1); rndseed reseeds the caller's generator.
+var Builtins = map[string]int{
+	"pid":     0,
+	"nprocs":  0,
+	"min":     2,
+	"max":     2,
+	"abs":     1,
+	"sqrt":    1,
+	"sin":     1,
+	"cos":     1,
+	"floor":   1,
+	"float":   1,
+	"int":     1,
+	"rnd":     0,
+	"rndseed": 1,
+}
+
+// Check resolves and validates a parsed program: it evaluates constants and
+// array dimensions, verifies name resolution and call arities, requires a
+// parameterless main, and builds the Program's lookup maps (ConstVal,
+// SharedMap, FuncMap, Stmts).
+func Check(p *Program) error {
+	c := &checker{prog: p}
+	return c.run()
+}
+
+type checker struct {
+	prog *Program
+}
+
+func (c *checker) errorf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (c *checker) run() error {
+	p := c.prog
+	p.ConstVal = make(map[string]int64)
+	p.SharedMap = make(map[string]*SharedDecl)
+	p.FuncMap = make(map[string]*FuncDecl)
+	p.Stmts = make(map[int]Stmt)
+
+	for _, d := range p.Consts {
+		if _, dup := p.ConstVal[d.Name]; dup {
+			return c.errorf(d.Pos, "constant %q redeclared", d.Name)
+		}
+		v, err := evalConstExpr(d.Expr, p.ConstVal)
+		if err != nil {
+			return err
+		}
+		d.Value = v
+		p.ConstVal[d.Name] = v
+	}
+
+	for _, d := range p.Shareds {
+		if _, dup := p.ConstVal[d.Name]; dup {
+			return c.errorf(d.Pos, "shared %q collides with a constant", d.Name)
+		}
+		if _, dup := p.SharedMap[d.Name]; dup {
+			return c.errorf(d.Pos, "shared %q redeclared", d.Name)
+		}
+		d.Size = 1
+		d.DimSizes = nil
+		for _, dim := range d.Dims {
+			n, err := evalConstExpr(dim, p.ConstVal)
+			if err != nil {
+				return err
+			}
+			if n <= 0 {
+				return c.errorf(d.Pos, "shared %q has non-positive dimension %d", d.Name, n)
+			}
+			d.DimSizes = append(d.DimSizes, int(n))
+			d.Size *= int(n)
+		}
+		p.SharedMap[d.Name] = d
+	}
+
+	for _, f := range p.Funcs {
+		if _, dup := p.FuncMap[f.Name]; dup {
+			return c.errorf(f.Pos, "function %q redeclared", f.Name)
+		}
+		if _, isBuiltin := Builtins[f.Name]; isBuiltin {
+			return c.errorf(f.Pos, "function %q shadows a builtin", f.Name)
+		}
+		p.FuncMap[f.Name] = f
+	}
+
+	main, ok := p.FuncMap["main"]
+	if !ok {
+		return c.errorf(Pos{}, "program has no main function")
+	}
+	if len(main.Params) != 0 {
+		return c.errorf(main.Pos, "main must take no parameters")
+	}
+
+	for _, f := range p.Funcs {
+		if err := c.checkFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scope tracks names visible in a function body: params and locals. ParC
+// scoping is function-wide for simplicity (as in the paper's pseudocode);
+// redeclaring a name in the same function is an error. The for-loop variable
+// is implicitly declared as a private int if not already declared.
+type scope struct {
+	vars map[string]*VarDeclStmt // nil entry for params / loop vars
+}
+
+func (c *checker) checkFunc(f *FuncDecl) error {
+	sc := &scope{vars: make(map[string]*VarDeclStmt)}
+	for _, p := range f.Params {
+		if _, dup := sc.vars[p.Name]; dup {
+			return c.errorf(f.Pos, "parameter %q redeclared", p.Name)
+		}
+		sc.vars[p.Name] = nil
+	}
+	return c.checkStmt(f.Body, sc)
+}
+
+func (c *checker) record(s Stmt) { c.prog.Stmts[s.ID()] = s }
+
+func (c *checker) checkStmt(s Stmt, sc *scope) error {
+	if s == nil {
+		return nil
+	}
+	c.record(s)
+	switch n := s.(type) {
+	case *Block:
+		for _, child := range n.Stmts {
+			if err := c.checkStmt(child, sc); err != nil {
+				return err
+			}
+		}
+	case *VarDeclStmt:
+		if c.nameKind(n.Name, sc) != nameUnknown {
+			return c.errorf(n.Position(), "variable %q redeclares an existing name", n.Name)
+		}
+		n.DimSizes = nil
+		for _, dim := range n.Dims {
+			v, err := evalConstExpr(dim, c.prog.ConstVal)
+			if err != nil {
+				return err
+			}
+			if v <= 0 {
+				return c.errorf(n.Position(), "variable %q has non-positive dimension %d", n.Name, v)
+			}
+			n.DimSizes = append(n.DimSizes, int(v))
+		}
+		if n.Init != nil {
+			if err := c.checkExpr(n.Init, sc); err != nil {
+				return err
+			}
+		}
+		sc.vars[n.Name] = n
+	case *AssignStmt:
+		if err := c.checkLValue(n.LHS, sc); err != nil {
+			return err
+		}
+		if err := c.checkExpr(n.RHS, sc); err != nil {
+			return err
+		}
+	case *IfStmt:
+		if err := c.checkExpr(n.Cond, sc); err != nil {
+			return err
+		}
+		if err := c.checkStmt(n.Then, sc); err != nil {
+			return err
+		}
+		if err := c.checkStmt(n.Else, sc); err != nil {
+			return err
+		}
+	case *WhileStmt:
+		if err := c.checkExpr(n.Cond, sc); err != nil {
+			return err
+		}
+		if err := c.checkStmt(n.Body, sc); err != nil {
+			return err
+		}
+	case *ForStmt:
+		if err := c.checkExpr(n.From, sc); err != nil {
+			return err
+		}
+		if err := c.checkExpr(n.To, sc); err != nil {
+			return err
+		}
+		if n.Step != nil {
+			if err := c.checkExpr(n.Step, sc); err != nil {
+				return err
+			}
+		}
+		if k := c.nameKind(n.Var, sc); k == nameUnknown {
+			sc.vars[n.Var] = nil // implicit private int loop variable
+		} else if k != nameLocal && k != nameParam {
+			return c.errorf(n.Position(), "loop variable %q must be private", n.Var)
+		}
+		if err := c.checkStmt(n.Body, sc); err != nil {
+			return err
+		}
+	case *BarrierStmt, *CommentStmt:
+		// nothing to check
+	case *LockStmt:
+		return c.checkExpr(n.LockID, sc)
+	case *UnlockStmt:
+		return c.checkExpr(n.LockID, sc)
+	case *ReturnStmt:
+		if n.Value != nil {
+			return c.checkExpr(n.Value, sc)
+		}
+	case *ExprStmt:
+		return c.checkExpr(n.Call, sc)
+	case *PrintStmt:
+		for _, a := range n.Args {
+			if err := c.checkExpr(a, sc); err != nil {
+				return err
+			}
+		}
+	case *CICOStmt:
+		return c.checkRangeRef(n.Target, sc)
+	default:
+		return c.errorf(s.Position(), "unknown statement type %T", s)
+	}
+	return nil
+}
+
+type nameKindT int
+
+const (
+	nameUnknown nameKindT = iota
+	nameConst
+	nameShared
+	nameLocal
+	nameParam
+)
+
+func (c *checker) nameKind(name string, sc *scope) nameKindT {
+	if d, ok := sc.vars[name]; ok {
+		if d == nil {
+			return nameParam
+		}
+		return nameLocal
+	}
+	if _, ok := c.prog.ConstVal[name]; ok {
+		return nameConst
+	}
+	if _, ok := c.prog.SharedMap[name]; ok {
+		return nameShared
+	}
+	return nameUnknown
+}
+
+func (c *checker) checkLValue(lv *LValue, sc *scope) error {
+	kind := c.nameKind(lv.Name, sc)
+	switch kind {
+	case nameUnknown:
+		return c.errorf(lv.Pos, "undefined variable %q", lv.Name)
+	case nameConst:
+		return c.errorf(lv.Pos, "cannot assign to constant %q", lv.Name)
+	}
+	if err := c.checkIndexArity(lv.Pos, lv.Name, len(lv.Indices), sc); err != nil {
+		return err
+	}
+	for _, ix := range lv.Indices {
+		if err := c.checkExpr(ix, sc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkIndexArity verifies the number of indices matches the declared rank.
+func (c *checker) checkIndexArity(pos Pos, name string, n int, sc *scope) error {
+	var rank int
+	if d, ok := sc.vars[name]; ok && d != nil {
+		rank = len(d.DimSizes)
+	} else if d, ok := c.prog.SharedMap[name]; ok {
+		rank = len(d.DimSizes)
+	} else {
+		rank = 0 // params and loop vars are scalars
+	}
+	if n != rank {
+		return c.errorf(pos, "%q has rank %d but is indexed with %d subscript(s)", name, rank, n)
+	}
+	return nil
+}
+
+func (c *checker) checkRangeRef(r *RangeRef, sc *scope) error {
+	d, ok := c.prog.SharedMap[r.Name]
+	if !ok {
+		return c.errorf(r.Pos, "CICO annotation target %q is not a shared variable", r.Name)
+	}
+	if len(r.Indices) != len(d.DimSizes) {
+		return c.errorf(r.Pos, "%q has rank %d but annotation gives %d subscript(s)",
+			r.Name, len(d.DimSizes), len(r.Indices))
+	}
+	for _, ix := range r.Indices {
+		if err := c.checkExpr(ix.Lo, sc); err != nil {
+			return err
+		}
+		if ix.Hi != nil {
+			if err := c.checkExpr(ix.Hi, sc); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkExpr(e Expr, sc *scope) error {
+	switch n := e.(type) {
+	case *IntLit, *FloatLit:
+		return nil
+	case *VarRef:
+		kind := c.nameKind(n.Name, sc)
+		if kind == nameUnknown {
+			return c.errorf(n.Position(), "undefined name %q", n.Name)
+		}
+		if kind == nameShared && len(c.prog.SharedMap[n.Name].DimSizes) != 0 {
+			return c.errorf(n.Position(), "shared array %q used without subscripts", n.Name)
+		}
+		if kind == nameLocal && len(sc.vars[n.Name].DimSizes) != 0 {
+			return c.errorf(n.Position(), "array %q used without subscripts", n.Name)
+		}
+		return nil
+	case *IndexExpr:
+		kind := c.nameKind(n.Name, sc)
+		if kind == nameUnknown {
+			return c.errorf(n.Position(), "undefined name %q", n.Name)
+		}
+		if kind == nameConst || kind == nameParam {
+			return c.errorf(n.Position(), "%q is not an array", n.Name)
+		}
+		if err := c.checkIndexArity(n.Position(), n.Name, len(n.Indices), sc); err != nil {
+			return err
+		}
+		for _, ix := range n.Indices {
+			if err := c.checkExpr(ix, sc); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *CallExpr:
+		if arity, ok := Builtins[n.Name]; ok {
+			if len(n.Args) != arity {
+				return c.errorf(n.Position(), "builtin %q takes %d argument(s), got %d", n.Name, arity, len(n.Args))
+			}
+		} else if f, ok := c.prog.FuncMap[n.Name]; ok {
+			if len(n.Args) != len(f.Params) {
+				return c.errorf(n.Position(), "function %q takes %d argument(s), got %d", n.Name, len(f.Params), len(n.Args))
+			}
+		} else {
+			return c.errorf(n.Position(), "undefined function %q", n.Name)
+		}
+		for _, a := range n.Args {
+			if err := c.checkExpr(a, sc); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *UnaryExpr:
+		return c.checkExpr(n.X, sc)
+	case *BinaryExpr:
+		if err := c.checkExpr(n.X, sc); err != nil {
+			return err
+		}
+		return c.checkExpr(n.Y, sc)
+	}
+	return c.errorf(e.Position(), "unknown expression type %T", e)
+}
+
+// evalConstExpr evaluates an integer constant expression using consts for
+// name lookup.
+func evalConstExpr(e Expr, consts map[string]int64) (int64, error) {
+	switch n := e.(type) {
+	case *IntLit:
+		return n.Value, nil
+	case *VarRef:
+		if v, ok := consts[n.Name]; ok {
+			return v, nil
+		}
+		return 0, &Error{Pos: n.Position(), Msg: fmt.Sprintf("%q is not a constant", n.Name)}
+	case *UnaryExpr:
+		if n.Op != TokMinus {
+			return 0, &Error{Pos: n.Position(), Msg: "non-constant unary operator"}
+		}
+		v, err := evalConstExpr(n.X, consts)
+		if err != nil {
+			return 0, err
+		}
+		return -v, nil
+	case *BinaryExpr:
+		x, err := evalConstExpr(n.X, consts)
+		if err != nil {
+			return 0, err
+		}
+		y, err := evalConstExpr(n.Y, consts)
+		if err != nil {
+			return 0, err
+		}
+		switch n.Op {
+		case TokPlus:
+			return x + y, nil
+		case TokMinus:
+			return x - y, nil
+		case TokStar:
+			return x * y, nil
+		case TokSlash:
+			if y == 0 {
+				return 0, &Error{Pos: n.Position(), Msg: "division by zero in constant expression"}
+			}
+			return x / y, nil
+		case TokPercent:
+			if y == 0 {
+				return 0, &Error{Pos: n.Position(), Msg: "modulo by zero in constant expression"}
+			}
+			return x % y, nil
+		}
+		return 0, &Error{Pos: n.Position(), Msg: fmt.Sprintf("operator %s not allowed in constant expression", n.Op)}
+	}
+	return 0, &Error{Pos: e.Position(), Msg: "expression is not constant"}
+}

@@ -1,0 +1,288 @@
+package parc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print unparses a program back to ParC source text. Cachier emits annotated
+// programs through this printer; the output re-parses to an equivalent
+// program (modulo statement IDs and positions).
+func Print(p *Program) string {
+	pr := &printer{}
+	for _, d := range p.Consts {
+		pr.printf("const %s = %s;\n", d.Name, ExprString(d.Expr))
+	}
+	if len(p.Consts) > 0 {
+		pr.nl()
+	}
+	for _, d := range p.Shareds {
+		pr.printf("shared %s %s", d.Base, d.Name)
+		for _, dim := range d.Dims {
+			pr.printf("[%s]", ExprString(dim))
+		}
+		if d.Label != "" {
+			pr.printf(" label %q", d.Label)
+		}
+		pr.printf(";\n")
+	}
+	if len(p.Shareds) > 0 {
+		pr.nl()
+	}
+	for i, f := range p.Funcs {
+		if i > 0 {
+			pr.nl()
+		}
+		pr.printFunc(f)
+	}
+	return pr.sb.String()
+}
+
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (pr *printer) printf(format string, args ...any) {
+	fmt.Fprintf(&pr.sb, format, args...)
+}
+
+func (pr *printer) nl() { pr.sb.WriteByte('\n') }
+
+func (pr *printer) line(format string, args ...any) {
+	pr.sb.WriteString(strings.Repeat("    ", pr.indent))
+	pr.printf(format, args...)
+	pr.nl()
+}
+
+func (pr *printer) printFunc(f *FuncDecl) {
+	var params []string
+	for _, p := range f.Params {
+		params = append(params, fmt.Sprintf("%s %s", p.Name, p.Base))
+	}
+	sig := fmt.Sprintf("func %s(%s)", f.Name, strings.Join(params, ", "))
+	if f.Result != nil {
+		sig += " " + f.Result.String()
+	}
+	pr.line("%s {", sig)
+	pr.indent++
+	for _, s := range f.Body.Stmts {
+		pr.printStmt(s)
+	}
+	pr.indent--
+	pr.line("}")
+}
+
+func (pr *printer) printStmt(s Stmt) {
+	switch n := s.(type) {
+	case *Block:
+		pr.line("{")
+		pr.indent++
+		for _, c := range n.Stmts {
+			pr.printStmt(c)
+		}
+		pr.indent--
+		pr.line("}")
+	case *VarDeclStmt:
+		dims := ""
+		for _, d := range n.Dims {
+			dims += fmt.Sprintf("[%s]", ExprString(d))
+		}
+		if n.Init != nil {
+			pr.line("var %s %s%s = %s;", n.Name, n.Base, dims, ExprString(n.Init))
+		} else {
+			pr.line("var %s %s%s;", n.Name, n.Base, dims)
+		}
+	case *AssignStmt:
+		pr.line("%s %s %s;", lvalueString(n.LHS), n.Op, ExprString(n.RHS))
+	case *IfStmt:
+		pr.printIf(n, "if")
+	case *WhileStmt:
+		pr.line("while %s {", ExprString(n.Cond))
+		pr.indent++
+		for _, c := range n.Body.Stmts {
+			pr.printStmt(c)
+		}
+		pr.indent--
+		pr.line("}")
+	case *ForStmt:
+		head := fmt.Sprintf("for %s = %s to %s", n.Var, ExprString(n.From), ExprString(n.To))
+		if n.Step != nil {
+			head += " step " + ExprString(n.Step)
+		}
+		pr.line("%s {", head)
+		pr.indent++
+		for _, c := range n.Body.Stmts {
+			pr.printStmt(c)
+		}
+		pr.indent--
+		pr.line("}")
+	case *BarrierStmt:
+		pr.line("barrier;")
+	case *LockStmt:
+		pr.line("lock(%s);", ExprString(n.LockID))
+	case *UnlockStmt:
+		pr.line("unlock(%s);", ExprString(n.LockID))
+	case *ReturnStmt:
+		if n.Value != nil {
+			pr.line("return %s;", ExprString(n.Value))
+		} else {
+			pr.line("return;")
+		}
+	case *ExprStmt:
+		pr.line("%s;", ExprString(n.Call))
+	case *PrintStmt:
+		args := make([]string, 0, len(n.Args)+1)
+		args = append(args, fmt.Sprintf("%q", n.Format))
+		for _, a := range n.Args {
+			args = append(args, ExprString(a))
+		}
+		pr.line("print(%s);", strings.Join(args, ", "))
+	case *CICOStmt:
+		pr.line("%s %s;", n.Kind, RangeRefString(n.Target))
+	case *CommentStmt:
+		pr.line("/*** %s ***/", n.Text)
+	default:
+		pr.line("/* unprintable statement %T */", s)
+	}
+}
+
+func (pr *printer) printIf(n *IfStmt, kw string) {
+	pr.line("%s %s {", kw, ExprString(n.Cond))
+	pr.indent++
+	for _, c := range n.Then.Stmts {
+		pr.printStmt(c)
+	}
+	pr.indent--
+	switch e := n.Else.(type) {
+	case nil:
+		pr.line("}")
+	case *IfStmt:
+		pr.sb.WriteString(strings.Repeat("    ", pr.indent))
+		pr.printf("} else ")
+		// Print the else-if chain inline: emit "if cond {" without indent
+		// prefix, then its body.
+		pr.printElseIf(e)
+	case *Block:
+		pr.line("} else {")
+		pr.indent++
+		for _, c := range e.Stmts {
+			pr.printStmt(c)
+		}
+		pr.indent--
+		pr.line("}")
+	}
+}
+
+func (pr *printer) printElseIf(n *IfStmt) {
+	pr.printf("if %s {", ExprString(n.Cond))
+	pr.nl()
+	pr.indent++
+	for _, c := range n.Then.Stmts {
+		pr.printStmt(c)
+	}
+	pr.indent--
+	switch e := n.Else.(type) {
+	case nil:
+		pr.line("}")
+	case *IfStmt:
+		pr.sb.WriteString(strings.Repeat("    ", pr.indent))
+		pr.printf("} else ")
+		pr.printElseIf(e)
+	case *Block:
+		pr.line("} else {")
+		pr.indent++
+		for _, c := range e.Stmts {
+			pr.printStmt(c)
+		}
+		pr.indent--
+		pr.line("}")
+	}
+}
+
+func lvalueString(lv *LValue) string {
+	s := lv.Name
+	for _, ix := range lv.Indices {
+		s += fmt.Sprintf("[%s]", ExprString(ix))
+	}
+	return s
+}
+
+// RangeRefString renders an annotation target such as B[k][lo:hi].
+func RangeRefString(r *RangeRef) string {
+	s := r.Name
+	for _, ix := range r.Indices {
+		if ix.Hi != nil {
+			s += fmt.Sprintf("[%s:%s]", ExprString(ix.Lo), ExprString(ix.Hi))
+		} else {
+			s += fmt.Sprintf("[%s]", ExprString(ix.Lo))
+		}
+	}
+	return s
+}
+
+var opText = map[TokKind]string{
+	TokPlus:    "+",
+	TokMinus:   "-",
+	TokStar:    "*",
+	TokSlash:   "/",
+	TokPercent: "%",
+	TokEq:      "==",
+	TokNe:      "!=",
+	TokLt:      "<",
+	TokLe:      "<=",
+	TokGt:      ">",
+	TokGe:      ">=",
+	TokAndAnd:  "&&",
+	TokOrOr:    "||",
+	TokNot:     "!",
+}
+
+// ExprString renders an expression as source text, parenthesizing only where
+// precedence requires.
+func ExprString(e Expr) string {
+	return exprString(e, 0)
+}
+
+func exprString(e Expr, parentPrec int) string {
+	switch n := e.(type) {
+	case *IntLit:
+		return fmt.Sprintf("%d", n.Value)
+	case *FloatLit:
+		s := fmt.Sprintf("%g", n.Value)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case *VarRef:
+		return n.Name
+	case *IndexExpr:
+		s := n.Name
+		for _, ix := range n.Indices {
+			s += fmt.Sprintf("[%s]", exprString(ix, 0))
+		}
+		return s
+	case *CallExpr:
+		args := make([]string, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = exprString(a, 0)
+		}
+		return fmt.Sprintf("%s(%s)", n.Name, strings.Join(args, ", "))
+	case *UnaryExpr:
+		const unaryPrec = 7
+		s := opText[n.Op] + exprString(n.X, unaryPrec)
+		if parentPrec > unaryPrec {
+			return "(" + s + ")"
+		}
+		return s
+	case *BinaryExpr:
+		prec := binPrec[n.Op]
+		s := fmt.Sprintf("%s %s %s",
+			exprString(n.X, prec), opText[n.Op], exprString(n.Y, prec+1))
+		if prec < parentPrec {
+			return "(" + s + ")"
+		}
+		return s
+	}
+	return fmt.Sprintf("/* %T */", e)
+}

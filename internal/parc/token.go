@@ -1,0 +1,201 @@
+// Package parc implements the front end for ParC, a small C-like SPMD
+// shared-memory language used as the target-program representation for the
+// Cachier reproduction. ParC programs have barrier-delimited epochs, shared
+// arrays with optional region labels, locks, and the five CICO annotation
+// statements (check_out_x, check_out_s, check_in, prefetch_x, prefetch_s).
+//
+// The package provides a lexer, a recursive-descent parser producing an AST
+// in which every statement carries a unique ID (the simulator reports these
+// IDs as "program counters" in traces), a semantic checker, and an unparser
+// that regenerates source text — the mechanism Cachier uses to emit the
+// annotated program.
+package parc
+
+import "fmt"
+
+// Pos is a source position: 1-based line and column.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// IsValid reports whether the position has been set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokString
+
+	// Punctuation and operators.
+	TokLParen   // (
+	TokRParen   // )
+	TokLBrace   // {
+	TokRBrace   // }
+	TokLBracket // [
+	TokRBracket // ]
+	TokComma    // ,
+	TokSemi     // ;
+	TokColon    // :
+	TokAssign   // =
+	TokPlusEq   // +=
+	TokMinusEq  // -=
+	TokStarEq   // *=
+	TokSlashEq  // /=
+	TokPlus     // +
+	TokMinus    // -
+	TokStar     // *
+	TokSlash    // /
+	TokPercent  // %
+	TokEq       // ==
+	TokNe       // !=
+	TokLt       // <
+	TokLe       // <=
+	TokGt       // >
+	TokGe       // >=
+	TokAndAnd   // &&
+	TokOrOr     // ||
+	TokNot      // !
+
+	// Keywords.
+	TokConst
+	TokShared
+	TokLabel
+	TokFunc
+	TokVar
+	TokIf
+	TokElse
+	TokWhile
+	TokFor
+	TokTo
+	TokStep
+	TokReturn
+	TokBarrier
+	TokLock
+	TokUnlock
+	TokPrint
+	TokIntType
+	TokFloatType
+	TokCheckOutX
+	TokCheckOutS
+	TokCheckIn
+	TokPrefetchX
+	TokPrefetchS
+)
+
+var keywords = map[string]TokKind{
+	"const":       TokConst,
+	"shared":      TokShared,
+	"label":       TokLabel,
+	"func":        TokFunc,
+	"var":         TokVar,
+	"if":          TokIf,
+	"else":        TokElse,
+	"while":       TokWhile,
+	"for":         TokFor,
+	"to":          TokTo,
+	"step":        TokStep,
+	"return":      TokReturn,
+	"barrier":     TokBarrier,
+	"lock":        TokLock,
+	"unlock":      TokUnlock,
+	"print":       TokPrint,
+	"int":         TokIntType,
+	"float":       TokFloatType,
+	"check_out_x": TokCheckOutX,
+	"check_out_s": TokCheckOutS,
+	"check_in":    TokCheckIn,
+	"prefetch_x":  TokPrefetchX,
+	"prefetch_s":  TokPrefetchS,
+}
+
+var tokNames = map[TokKind]string{
+	TokEOF:       "end of file",
+	TokIdent:     "identifier",
+	TokInt:       "integer literal",
+	TokFloat:     "float literal",
+	TokString:    "string literal",
+	TokLParen:    "'('",
+	TokRParen:    "')'",
+	TokLBrace:    "'{'",
+	TokRBrace:    "'}'",
+	TokLBracket:  "'['",
+	TokRBracket:  "']'",
+	TokComma:     "','",
+	TokSemi:      "';'",
+	TokColon:     "':'",
+	TokAssign:    "'='",
+	TokPlusEq:    "'+='",
+	TokMinusEq:   "'-='",
+	TokStarEq:    "'*='",
+	TokSlashEq:   "'/='",
+	TokPlus:      "'+'",
+	TokMinus:     "'-'",
+	TokStar:      "'*'",
+	TokSlash:     "'/'",
+	TokPercent:   "'%'",
+	TokEq:        "'=='",
+	TokNe:        "'!='",
+	TokLt:        "'<'",
+	TokLe:        "'<='",
+	TokGt:        "'>'",
+	TokGe:        "'>='",
+	TokAndAnd:    "'&&'",
+	TokOrOr:      "'||'",
+	TokNot:       "'!'",
+	TokConst:     "'const'",
+	TokShared:    "'shared'",
+	TokLabel:     "'label'",
+	TokFunc:      "'func'",
+	TokVar:       "'var'",
+	TokIf:        "'if'",
+	TokElse:      "'else'",
+	TokWhile:     "'while'",
+	TokFor:       "'for'",
+	TokTo:        "'to'",
+	TokStep:      "'step'",
+	TokReturn:    "'return'",
+	TokBarrier:   "'barrier'",
+	TokLock:      "'lock'",
+	TokUnlock:    "'unlock'",
+	TokPrint:     "'print'",
+	TokIntType:   "'int'",
+	TokFloatType: "'float'",
+	TokCheckOutX: "'check_out_x'",
+	TokCheckOutS: "'check_out_s'",
+	TokCheckIn:   "'check_in'",
+	TokPrefetchX: "'prefetch_x'",
+	TokPrefetchS: "'prefetch_s'",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// Token is a single lexical token.
+type Token struct {
+	Kind TokKind
+	Pos  Pos
+	Text string // raw text for idents, literals, strings (unquoted)
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent, TokInt, TokFloat:
+		return t.Text
+	case TokString:
+		return fmt.Sprintf("%q", t.Text)
+	}
+	return t.Kind.String()
+}

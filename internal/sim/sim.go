@@ -1,0 +1,654 @@
+// Package sim is the reproduction's Wisconsin Wind Tunnel: an
+// execution-driven simulator that runs a ParC program on P simulated
+// processors over the Dir1SW memory system. Like WWT it uses virtual
+// prototyping — local computation is charged to a node's virtual clock
+// without detailed simulation, and only shared-memory events are modelled in
+// detail (paper Section 3.2).
+//
+// Scheduling is deterministic: exactly one processor executes at a time, and
+// control passes to the runnable processor with the smallest virtual clock
+// (ties broken by processor ID) whenever the running processor gets more
+// than one scheduling quantum ahead. Identical inputs therefore produce
+// identical traces, statistics, and execution times.
+//
+// In trace mode the simulator additionally flushes every node's shared-data
+// cache at each barrier and records all misses, producing the paper's
+// Figure 3 trace for Cachier; CICO annotations are ignored so the trace
+// reflects the unannotated program.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"cachier/internal/dir1sw"
+	"cachier/internal/interp"
+	"cachier/internal/memory"
+	"cachier/internal/parc"
+	"cachier/internal/trace"
+)
+
+// Mode selects the simulator's purpose.
+type Mode int
+
+// Simulation modes.
+const (
+	// ModePerf runs the program with CICO statements executed as Dir1SW
+	// directives and reports execution time and protocol statistics.
+	ModePerf Mode = iota
+	// ModeTrace runs the (unannotated) program with barrier cache flushes
+	// and records the miss trace for Cachier; CICO statements are ignored.
+	ModeTrace
+)
+
+// Config configures a simulation run.
+type Config struct {
+	Nodes     int
+	CacheSize int
+	Assoc     int
+	BlockSize int
+	Costs     dir1sw.Costs
+	Mode      Mode
+
+	// Quantum is how many cycles the running processor may get ahead of the
+	// minimum runnable clock before yielding; WWT used the network latency.
+	Quantum uint64
+
+	// BarrierBase and BarrierPerNode model barrier synchronization cost:
+	// all nodes leave the barrier at max(arrival) + BarrierBase +
+	// BarrierPerNode*log2(Nodes).
+	BarrierBase    uint64
+	BarrierPerNode uint64
+
+	// LockAcquire is the cost of an uncontended lock acquire or release;
+	// LockTransfer is the extra handoff cost to a waiting node.
+	LockAcquire  uint64
+	LockTransfer uint64
+
+	// IgnoreDirectives disables CICO statements (used for the unannotated
+	// baseline and implied by ModeTrace).
+	IgnoreDirectives bool
+
+	// DisablePrefetch ignores prefetch_x/prefetch_s while still honouring
+	// check-out/check-in, enabling the paper's with/without-prefetch
+	// comparison on the same source.
+	DisablePrefetch bool
+
+	// SelfCheck validates the protocol's coherence invariants at every
+	// barrier (single writer, directory/cache agreement); a violation
+	// aborts the run. Cheap relative to simulation; on by default.
+	SelfCheck bool
+
+	// PostStore enables the KSR-1-style post-store semantics for check-ins
+	// of dirty blocks (see dir1sw.Config.PostStore).
+	PostStore bool
+
+	// FullMap swaps Dir1SW for a full-map hardware directory (see
+	// dir1sw.Config.FullMap); used by the protocol-sensitivity ablation.
+	FullMap bool
+}
+
+// DefaultConfig is the paper's machine: 32 nodes, 256 KB 4-way caches,
+// 32-byte blocks.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:          32,
+		CacheSize:      256 * 1024,
+		Assoc:          4,
+		BlockSize:      32,
+		Costs:          dir1sw.DefaultCosts(),
+		Quantum:        100,
+		BarrierBase:    80,
+		BarrierPerNode: 10,
+		LockAcquire:    60,
+		LockTransfer:   40,
+		SelfCheck:      true,
+	}
+}
+
+// Result reports a completed simulation.
+type Result struct {
+	Cycles     uint64   // execution time: max node completion clock
+	NodeCycles []uint64 // per-node completion clocks
+	Stats      dir1sw.Stats
+	Trace      *trace.Trace // non-nil in ModeTrace
+	Output     []string     // print statements, in schedule order
+	Layout     *memory.Layout
+	Store      *interp.Store
+
+	// Sharing-degree inputs (paper Section 6 discussion): shared vs private
+	// array references per node.
+	SharedReads  []uint64
+	SharedWrites []uint64
+	Barriers     int // completed global barriers
+
+	privReads  uint64 // private-array loads, summed over nodes
+	privWrites uint64 // private-array stores, summed over nodes
+
+	// PerVar counts directive activity per shared variable (by region
+	// name); Section 5's restructuring comparison counts check-outs of the
+	// result matrix specifically.
+	PerVar map[string]*VarDirectives
+}
+
+// VarDirectives tallies the CICO directives applied to one shared variable,
+// in blocks.
+type VarDirectives struct {
+	CheckOutX uint64
+	CheckOutS uint64
+	CheckIns  uint64
+	PrefetchX uint64
+	PrefetchS uint64
+}
+
+// CheckOuts returns all check-outs (exclusive + shared) of the variable.
+func (v *VarDirectives) CheckOuts() uint64 { return v.CheckOutX + v.CheckOutS }
+
+// SharingDegree returns the fraction of (array) loads and stores that
+// touched shared data, aggregated over nodes.
+func (r *Result) SharingDegree() (loads, stores float64) {
+	var sr, sw uint64
+	for i := range r.SharedReads {
+		sr += r.SharedReads[i]
+		sw += r.SharedWrites[i]
+	}
+	// Private array accesses are counted by the interpreter contexts and
+	// folded in by Run.
+	tl := sr + r.privReads
+	ts := sw + r.privWrites
+	if tl == 0 || ts == 0 {
+		return 0, 0
+	}
+	return float64(sr) / float64(tl), float64(sw) / float64(ts)
+}
+
+type procStatus int
+
+const (
+	statusReady procStatus = iota
+	statusBarrier
+	statusLock
+	statusDone
+)
+
+type proc struct {
+	id      int
+	clock   uint64
+	status  procStatus
+	resume  chan resumeMsg
+	arrival uint64 // clock when the proc last blocked at a barrier
+}
+
+type resumeMsg struct {
+	abort bool
+}
+
+var (
+	errAborted = errors.New("sim: aborted")
+	// errProcFault unwinds a processor whose program committed a machine
+	// fault (e.g. unlocking a lock it does not hold); the fault is recorded
+	// in runErr at the raise site and the processor terminates cleanly.
+	errProcFault = errors.New("sim: processor fault")
+)
+
+type lockState struct {
+	held    bool
+	owner   int
+	waiters []int // FIFO
+}
+
+// Machine implements interp.Machine and owns all simulation state. All
+// mutations happen while exactly one goroutine (a proc or the coordinator)
+// is active, so no locking is needed.
+type Machine struct {
+	cfg    Config
+	prog   *parc.Program
+	layout *memory.Layout
+	store  *interp.Store
+	sys    *dir1sw.System
+
+	procs            []*proc
+	waiting          int // procs blocked at the barrier
+	pendingBarrierPC int // barrier statement the current waiters sit at
+	done             int
+	locks            map[int64]*lockState
+	wake             chan struct{} // coordinator wakeup
+
+	builder  *trace.Builder
+	barriers int
+	outputs  []string
+	runErr   error
+
+	sharedReads  []uint64
+	sharedWrites []uint64
+	perVar       map[string]*VarDirectives
+
+	added struct {
+		privReads  uint64
+		privWrites uint64
+	}
+}
+
+// Run simulates prog under cfg.
+func Run(prog *parc.Program, cfg Config) (*Result, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("sim: need at least one node")
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = 1
+	}
+	if cfg.Mode == ModeTrace {
+		cfg.IgnoreDirectives = true
+	}
+	layout, err := memory.New(prog, cfg.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := dir1sw.New(dir1sw.Config{
+		Nodes:     cfg.Nodes,
+		CacheSize: cfg.CacheSize,
+		Assoc:     cfg.Assoc,
+		BlockSize: cfg.BlockSize,
+		Costs:     cfg.Costs,
+		PostStore: cfg.PostStore,
+		FullMap:   cfg.FullMap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:          cfg,
+		prog:         prog,
+		layout:       layout,
+		store:        interp.NewStore(layout.TotalBytes()),
+		sys:          sys,
+		locks:        make(map[int64]*lockState),
+		wake:         make(chan struct{}, 1),
+		sharedReads:  make([]uint64, cfg.Nodes),
+		sharedWrites: make([]uint64, cfg.Nodes),
+		perVar:       make(map[string]*VarDirectives),
+	}
+	if cfg.Mode == ModeTrace {
+		m.builder = trace.NewBuilder(cfg.Nodes, cfg.BlockSize, labelsFromLayout(layout))
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		m.procs = append(m.procs, &proc{id: i, resume: make(chan resumeMsg)})
+	}
+
+	ctxs := make([]*interp.Context, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		ctxs[i] = interp.NewContext(prog, m.store, m, i, cfg.Nodes)
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		go m.runProc(ctxs[i], m.procs[i])
+	}
+
+	// Start processor 0 and wait for the machine to finish or fail.
+	m.procs[0].resume <- resumeMsg{}
+	<-m.wake
+
+	// Unblock any still-parked goroutines so they exit.
+	for _, p := range m.procs {
+		if p.status != statusDone {
+			p.resume <- resumeMsg{abort: true}
+		}
+	}
+
+	if m.runErr != nil {
+		return nil, m.runErr
+	}
+
+	res := &Result{
+		NodeCycles:   make([]uint64, cfg.Nodes),
+		Stats:        sys.Stats,
+		Output:       m.outputs,
+		Layout:       layout,
+		Store:        m.store,
+		SharedReads:  m.sharedReads,
+		SharedWrites: m.sharedWrites,
+		Barriers:     m.barriers,
+		privReads:    m.added.privReads,
+		privWrites:   m.added.privWrites,
+		PerVar:       m.perVar,
+	}
+	for i, p := range m.procs {
+		res.NodeCycles[i] = p.clock
+		if p.clock > res.Cycles {
+			res.Cycles = p.clock
+		}
+	}
+	if m.builder != nil {
+		vts := make([]uint64, cfg.Nodes)
+		for i, p := range m.procs {
+			vts[i] = p.clock
+		}
+		m.builder.EndEpoch(-1, vts, true)
+		tr := m.builder.Trace()
+		tr.SortMisses()
+		res.Trace = tr
+	}
+	return res, nil
+}
+
+func labelsFromLayout(l *memory.Layout) []trace.Label {
+	var out []trace.Label
+	for _, r := range l.Regions {
+		out = append(out, trace.Label{
+			Name: r.Label,
+			Base: r.BaseAddr,
+			Elem: parc.ElemSize,
+			Dims: append([]int(nil), r.DimSizes...),
+		})
+	}
+	return out
+}
+
+// runProc is each processor's goroutine body.
+func (m *Machine) runProc(ctx *interp.Context, p *proc) {
+	if msg := <-p.resume; msg.abort {
+		return
+	}
+	err := m.runInterp(ctx)
+	if errors.Is(err, errAborted) {
+		return // coordinator shut us down mid-run; touch nothing
+	}
+	// Fold this context's private access counters into the machine.
+	pr, pw := ctx.PrivateAccesses()
+	m.added.privReads += pr
+	m.added.privWrites += pw
+	p.status = statusDone
+	m.done++
+	if err != nil && m.runErr == nil && !errors.Is(err, errProcFault) {
+		m.runErr = err
+	}
+	// A finishing processor may be the last thing a barrier was waiting on.
+	if m.waiting > 0 && m.waiting == m.activeProcs() {
+		m.releaseBarrier(m.pendingBarrierPC)
+	}
+	m.yield(p)
+}
+
+// runInterp executes the processor's program, converting the machine's
+// control panics (abort, processor fault) back into errors.
+func (m *Machine) runInterp(ctx *interp.Context) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok && (errors.Is(e, errAborted) || errors.Is(e, errProcFault)) {
+				err = e
+				return
+			}
+			panic(r)
+		}
+	}()
+	return ctx.Run()
+}
+
+// park blocks the calling proc until resumed, aborting via panic if the
+// coordinator is shutting down.
+func (m *Machine) park(p *proc) {
+	if msg := <-p.resume; msg.abort {
+		panic(errAborted)
+	}
+}
+
+// yield hands control to the runnable processor with the smallest clock. If
+// the caller remains the best choice (within the quantum) it simply returns.
+// When nothing is runnable it wakes the coordinator (completion or
+// deadlock).
+func (m *Machine) yield(p *proc) {
+	best := -1
+	for _, q := range m.procs {
+		if q.status != statusReady {
+			continue
+		}
+		if best < 0 || q.clock < m.procs[best].clock {
+			best = q.id
+		}
+	}
+	if best < 0 {
+		// Nothing runnable: the program completed, or every remaining node
+		// is blocked (deadlock).
+		if m.done < len(m.procs) && m.runErr == nil {
+			m.runErr = fmt.Errorf("sim: deadlock: %d of %d nodes blocked (barrier waiters: %d)",
+				len(m.procs)-m.done, len(m.procs), m.waiting)
+		}
+		m.wake <- struct{}{}
+		if p.status != statusDone {
+			m.park(p) // blocks until the coordinator aborts us
+		}
+		return
+	}
+	if p.status == statusReady {
+		if best == p.id || p.clock <= m.procs[best].clock+m.cfg.Quantum {
+			return // keep running
+		}
+	}
+	// Decide our own fate BEFORE waking the next processor: after the send,
+	// the woken chain runs concurrently with us and may mutate our status
+	// (a barrier release flipping us back to ready), so reading it past the
+	// handoff would race. A done processor never changes status again.
+	amDone := p.status == statusDone
+	q := m.procs[best]
+	q.resume <- resumeMsg{}
+	if amDone {
+		return
+	}
+	m.park(p)
+}
+
+// --- interp.Machine implementation ---
+
+// Access implements interp.Machine.
+func (m *Machine) Access(node int, write bool, addr uint64, pc int) {
+	p := m.procs[node]
+	var r dir1sw.Result
+	if write {
+		m.sharedWrites[node]++
+		r = m.sys.Write(node, addr, p.clock)
+	} else {
+		m.sharedReads[node]++
+		r = m.sys.Read(node, addr, p.clock)
+	}
+	p.clock += r.Cycles
+	if m.builder != nil && r.Kind != dir1sw.Hit {
+		m.builder.AddMiss(missKind(r.Kind), addr, pc, node)
+	}
+	m.yield(p)
+}
+
+func missKind(k dir1sw.AccessKind) trace.Kind {
+	switch k {
+	case dir1sw.ReadMiss:
+		return trace.ReadMiss
+	case dir1sw.WriteMiss:
+		return trace.WriteMiss
+	default:
+		return trace.WriteFault
+	}
+}
+
+// Directive implements interp.Machine: CICO statements become Dir1SW
+// directives, applied per cache block of the target ranges.
+func (m *Machine) Directive(node int, kind parc.AnnKind, ranges []interp.AddrRange, pc int) {
+	p := m.procs[node]
+	if m.cfg.IgnoreDirectives {
+		m.yield(p)
+		return
+	}
+	if m.cfg.DisablePrefetch && (kind == parc.AnnPrefetchX || kind == parc.AnnPrefetchS) {
+		m.yield(p)
+		return
+	}
+	bs := uint64(m.cfg.BlockSize)
+	for _, ar := range ranges {
+		vd := m.varDirectives(ar.Lo)
+		for b := ar.Lo / bs; b <= ar.Hi/bs; b++ {
+			addr := b * bs
+			if vd != nil {
+				switch kind {
+				case parc.AnnCheckOutX:
+					vd.CheckOutX++
+				case parc.AnnCheckOutS:
+					vd.CheckOutS++
+				case parc.AnnCheckIn:
+					vd.CheckIns++
+				case parc.AnnPrefetchX:
+					vd.PrefetchX++
+				case parc.AnnPrefetchS:
+					vd.PrefetchS++
+				}
+			}
+			var r dir1sw.Result
+			switch kind {
+			case parc.AnnCheckOutX:
+				r = m.sys.CheckOutX(node, addr, p.clock)
+			case parc.AnnCheckOutS:
+				r = m.sys.CheckOutS(node, addr, p.clock)
+			case parc.AnnCheckIn:
+				r = m.sys.CheckIn(node, addr)
+			case parc.AnnPrefetchX:
+				r = m.sys.Prefetch(node, addr, p.clock, true)
+			case parc.AnnPrefetchS:
+				r = m.sys.Prefetch(node, addr, p.clock, false)
+			}
+			p.clock += r.Cycles
+		}
+	}
+	m.yield(p)
+}
+
+// varDirectives returns the per-variable tally for the region containing
+// addr, creating it on first use.
+func (m *Machine) varDirectives(addr uint64) *VarDirectives {
+	r, _, ok := m.layout.Resolve(addr)
+	if !ok {
+		return nil
+	}
+	vd := m.perVar[r.Name]
+	if vd == nil {
+		vd = &VarDirectives{}
+		m.perVar[r.Name] = vd
+	}
+	return vd
+}
+
+// Barrier implements interp.Machine.
+func (m *Machine) Barrier(node int, pc int) {
+	p := m.procs[node]
+	p.status = statusBarrier
+	p.arrival = p.clock
+	m.waiting++
+	m.pendingBarrierPC = pc
+	if m.waiting == m.activeProcs() {
+		m.releaseBarrier(pc)
+	}
+	m.yield(p)
+}
+
+// activeProcs counts processors still participating in barriers.
+func (m *Machine) activeProcs() int { return len(m.procs) - m.done }
+
+// releaseBarrier completes a global barrier: synchronizes clocks, flushes
+// caches and closes the trace epoch in trace mode.
+func (m *Machine) releaseBarrier(pc int) {
+	var maxClock uint64
+	for _, q := range m.procs {
+		if q.status == statusBarrier && q.arrival > maxClock {
+			maxClock = q.arrival
+		}
+	}
+	release := maxClock + m.cfg.BarrierBase + m.cfg.BarrierPerNode*log2(len(m.procs))
+	if m.builder != nil {
+		vts := make([]uint64, len(m.procs))
+		for i, q := range m.procs {
+			vts[i] = q.arrival
+		}
+		m.builder.EndEpoch(pc, vts, false)
+		for i := range m.procs {
+			m.sys.FlushNode(i)
+		}
+	}
+	for _, q := range m.procs {
+		if q.status == statusBarrier {
+			q.status = statusReady
+			q.clock = release
+		}
+	}
+	m.waiting = 0
+	m.barriers++
+	if m.cfg.SelfCheck && m.runErr == nil {
+		if err := m.sys.CheckCoherence(); err != nil {
+			m.runErr = fmt.Errorf("sim: coherence violation at barrier %d: %w", m.barriers, err)
+		}
+	}
+}
+
+func log2(n int) uint64 {
+	var l uint64
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// Lock implements interp.Machine.
+func (m *Machine) Lock(node int, id int64, pc int) {
+	p := m.procs[node]
+	ls := m.locks[id]
+	if ls == nil {
+		ls = &lockState{}
+		m.locks[id] = ls
+	}
+	if !ls.held {
+		ls.held = true
+		ls.owner = node
+		p.clock += m.cfg.LockAcquire
+		m.yield(p)
+		return
+	}
+	ls.waiters = append(ls.waiters, node)
+	p.status = statusLock
+	m.yield(p)
+}
+
+// Unlock implements interp.Machine.
+func (m *Machine) Unlock(node int, id int64, pc int) {
+	p := m.procs[node]
+	ls := m.locks[id]
+	if ls == nil || !ls.held || ls.owner != node {
+		if m.runErr == nil {
+			m.runErr = fmt.Errorf("sim: node %d unlocked lock %d it does not hold", node, id)
+		}
+		// Terminate this processor: unwind its interpreter so it cannot
+		// keep executing concurrently with whoever is scheduled next.
+		panic(errProcFault)
+	}
+	p.clock += m.cfg.LockAcquire
+	if len(ls.waiters) > 0 {
+		w := ls.waiters[0]
+		ls.waiters = ls.waiters[1:]
+		ls.owner = w
+		q := m.procs[w]
+		q.status = statusReady
+		if t := p.clock + m.cfg.LockTransfer; t > q.clock {
+			q.clock = t
+		}
+	} else {
+		ls.held = false
+	}
+	m.yield(p)
+}
+
+// Work implements interp.Machine.
+func (m *Machine) Work(node int, cycles uint64) {
+	p := m.procs[node]
+	p.clock += cycles
+	m.yield(p)
+}
+
+// Print implements interp.Machine.
+func (m *Machine) Print(node int, text string) {
+	m.outputs = append(m.outputs, fmt.Sprintf("node %d: %s", node, text))
+	m.yield(m.procs[node])
+}

@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"cachier/internal/parc"
+)
+
+func TestLockFIFOHandoff(t *testing.T) {
+	// Each node appends its pid to a shared log under one lock; the lock's
+	// FIFO queue plus the deterministic scheduler make the order stable,
+	// and no entries may be lost.
+	res := runSrc(t, `
+shared int log[64];
+shared int cursor;
+func main() {
+    for r = 0 to 3 {
+        lock(7);
+        log[cursor] = pid() + 1;
+        cursor += 1;
+        unlock(7);
+    }
+}
+`, cfg4())
+	if got := load(t, res, "cursor").AsInt(); got != 16 {
+		t.Fatalf("cursor = %d, want 16", got)
+	}
+	counts := map[int64]int{}
+	for i := 0; i < 16; i++ {
+		v := load(t, res, "log", i).AsInt()
+		if v == 0 {
+			t.Fatalf("log[%d] empty: lost update", i)
+		}
+		counts[v]++
+	}
+	for pid := int64(1); pid <= 4; pid++ {
+		if counts[pid] != 4 {
+			t.Errorf("pid %d appears %d times, want 4", pid-1, counts[pid])
+		}
+	}
+}
+
+func TestMultipleLocksIndependent(t *testing.T) {
+	res := runSrc(t, `
+shared int a;
+shared int b;
+func main() {
+    if pid() % 2 == 0 {
+        lock(0);
+        a += 1;
+        unlock(0);
+    } else {
+        lock(1);
+        b += 1;
+        unlock(1);
+    }
+}
+`, cfg4())
+	if load(t, res, "a").AsInt() != 2 || load(t, res, "b").AsInt() != 2 {
+		t.Errorf("a=%d b=%d", load(t, res, "a").AsInt(), load(t, res, "b").AsInt())
+	}
+}
+
+func TestRaceFreeProgramIdenticalAcrossModes(t *testing.T) {
+	// Trace mode flushes caches at barriers and changes all the timing, but
+	// a race-free program must compute the same values (Section 3.3 notes
+	// only racy programs can change results under tracing).
+	src := `
+shared float A[64];
+shared float out[4];
+func main() {
+    var per int = 64 / nprocs();
+    var lo int = pid() * per;
+    if pid() == 0 {
+        rndseed(3);
+        for i = 0 to 63 { A[i] = rnd(); }
+    }
+    barrier;
+    var s float = 0.0;
+    for i = lo to lo + per - 1 { s += A[i] * 2.0; }
+    out[pid()] = s;
+    barrier;
+}
+`
+	perf := runSrc(t, src, cfg4())
+	traceCfg := cfg4()
+	traceCfg.Mode = ModeTrace
+	traced := runSrc(t, src, traceCfg)
+	for i := 0; i < 4; i++ {
+		a1, _ := perf.Layout.AddrOf("out", i)
+		a2, _ := traced.Layout.AddrOf("out", i)
+		if perf.Store.Load(a1) != traced.Store.Load(a2) {
+			t.Errorf("out[%d] differs between perf and trace modes", i)
+		}
+	}
+}
+
+func TestTraceVTsMatchBarrierOrder(t *testing.T) {
+	cfg := cfg4()
+	cfg.Mode = ModeTrace
+	res := runSrc(t, `
+shared int x;
+func main() {
+    x = 1;
+    barrier;
+    x = 2;
+    barrier;
+    x = 3;
+}
+`, cfg)
+	tr := res.Trace
+	if len(tr.Epochs) != 3 {
+		t.Fatalf("epochs = %d", len(tr.Epochs))
+	}
+	for e := 1; e < len(tr.Epochs); e++ {
+		for n := 0; n < 4; n++ {
+			if tr.Epochs[e].VT[n] < tr.Epochs[e-1].VT[n] {
+				t.Errorf("node %d VT not monotone at epoch %d", n, e)
+			}
+		}
+	}
+	// The two mid-program epochs end at different barrier statements.
+	if tr.Epochs[0].BarrierPC == tr.Epochs[1].BarrierPC {
+		t.Error("distinct barriers share a PC")
+	}
+}
+
+func TestPrefetchReducesStall(t *testing.T) {
+	// With computation between the prefetch and the use, the transfer is
+	// fully overlapped; the same program without prefetch pays the miss.
+	with := runSrc(t, `
+shared float A[128];
+func main() {
+    if pid() == 0 {
+        for i = 0 to 127 { A[i] = 1.0; }
+        check_in A[0:127];
+    }
+    barrier;
+    prefetch_s A[0:127];
+    var acc float = 0.0;
+    for i = 0 to 2000 { acc += float(i); }
+    var s float = 0.0;
+    for i = 0 to 127 { s += A[i]; }
+}
+`, cfg4())
+	without := runSrc(t, `
+shared float A[128];
+func main() {
+    if pid() == 0 {
+        for i = 0 to 127 { A[i] = 1.0; }
+        check_in A[0:127];
+    }
+    barrier;
+    var acc float = 0.0;
+    for i = 0 to 2000 { acc += float(i); }
+    var s float = 0.0;
+    for i = 0 to 127 { s += A[i]; }
+}
+`, cfg4())
+	if with.Stats.PrefetchHits == 0 {
+		t.Error("no prefetch hits")
+	}
+	if with.Cycles >= without.Cycles {
+		t.Errorf("prefetch did not help: %d vs %d cycles", with.Cycles, without.Cycles)
+	}
+}
+
+func TestPerVarDirectiveCounts(t *testing.T) {
+	res := runSrc(t, `
+shared float A[32] label "matA";
+shared float B[32];
+func main() {
+    if pid() == 0 {
+        check_out_x A[0:31];
+        check_in A[0:31];
+        check_out_s B[0:7];
+        prefetch_x B[8];
+        prefetch_s B[16];
+    }
+}
+`, cfg4())
+	a := res.PerVar["A"]
+	if a == nil || a.CheckOutX != 8 || a.CheckIns != 8 || a.CheckOuts() != 8 {
+		t.Errorf("A directives: %+v", a)
+	}
+	b := res.PerVar["B"]
+	if b == nil || b.CheckOutS != 2 || b.PrefetchX != 1 || b.PrefetchS != 1 {
+		t.Errorf("B directives: %+v", b)
+	}
+}
+
+func TestZeroNodesRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 0
+	prog := parc.MustParse(`func main() { }`)
+	if _, err := Run(prog, cfg); err == nil || !strings.Contains(err.Error(), "at least one node") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestWhileLoopSpinOnSharedFlag(t *testing.T) {
+	// A classic flag handoff: node 1 spins on a shared flag that node 0
+	// sets. The scheduler must keep both making progress.
+	res := runSrc(t, `
+shared int flag;
+shared int got;
+func main() {
+    if pid() == 0 {
+        var acc int = 0;
+        for i = 0 to 5000 { acc += i; }
+        flag = 1;
+        check_in flag;
+    }
+    if pid() == 1 {
+        while flag == 0 {
+        }
+        got = 41 + flag;
+    }
+}
+`, cfg4())
+	if v := load(t, res, "got").AsInt(); v != 42 {
+		t.Errorf("got = %d", v)
+	}
+}

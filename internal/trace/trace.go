@@ -1,0 +1,325 @@
+// Package trace defines the execution-trace model and file format that links
+// the simulator to Cachier, mirroring the paper's Figure 3: per-epoch
+// sections carrying each node's barrier PC and barrier virtual time followed
+// by the epoch's shared-data cache misses (type, address, PC, node). The
+// trace also carries the labelling information used to map raw addresses
+// back to program data structures (Section 4.3).
+//
+// As in the paper, only accesses that miss in the (barrier-flushed)
+// shared-data caches appear, there is no ordering among misses within an
+// epoch, and epochs are ordered by barrier virtual time.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Kind is the miss type recorded in the trace.
+type Kind int
+
+// Miss kinds. A write fault is a write that found the block cached
+// read-only (Section 4, "trace processing").
+const (
+	ReadMiss Kind = iota
+	WriteMiss
+	WriteFault
+)
+
+func (k Kind) String() string {
+	switch k {
+	case ReadMiss:
+		return "r"
+	case WriteMiss:
+		return "w"
+	case WriteFault:
+		return "f"
+	}
+	return "?"
+}
+
+func parseKind(s string) (Kind, error) {
+	switch s {
+	case "r":
+		return ReadMiss, nil
+	case "w":
+		return WriteMiss, nil
+	case "f":
+		return WriteFault, nil
+	}
+	return 0, fmt.Errorf("trace: unknown miss kind %q", s)
+}
+
+// Miss is one recorded shared-data cache miss.
+type Miss struct {
+	Kind Kind
+	Addr uint64 // element byte address
+	PC   int    // statement ID of the referencing statement
+	Node int
+}
+
+// Epoch is the trace section between two global barriers.
+type Epoch struct {
+	Index     int
+	BarrierPC int      // statement ID of the barrier ending this epoch; -1 for program end
+	VT        []uint64 // per-node barrier virtual times (cycles)
+	Misses    []Miss
+}
+
+// Label names a contiguous shared-memory region, standing in for the
+// paper's labelling macro.
+type Label struct {
+	Name string
+	Base uint64
+	Elem int   // element size in bytes
+	Dims []int // per-dimension element counts (empty for scalars)
+}
+
+// Trace is a complete program execution trace.
+type Trace struct {
+	Nodes     int
+	BlockSize int
+	Labels    []Label
+	Epochs    []Epoch
+}
+
+// Builder accumulates a trace during simulation, deduplicating misses within
+// an epoch the way the paper's per-epoch hash table does.
+type Builder struct {
+	tr   Trace
+	cur  *Epoch
+	seen map[Miss]bool
+}
+
+// NewBuilder starts a trace for the given machine geometry.
+func NewBuilder(nodes, blockSize int, labels []Label) *Builder {
+	b := &Builder{tr: Trace{Nodes: nodes, BlockSize: blockSize, Labels: labels}}
+	b.startEpoch()
+	return b
+}
+
+func (b *Builder) startEpoch() {
+	b.tr.Epochs = append(b.tr.Epochs, Epoch{
+		Index: len(b.tr.Epochs),
+		VT:    make([]uint64, b.tr.Nodes),
+	})
+	b.cur = &b.tr.Epochs[len(b.tr.Epochs)-1]
+	b.seen = make(map[Miss]bool)
+}
+
+// AddMiss records a miss in the current epoch. Duplicate
+// (kind, addr, pc, node) tuples are dropped.
+func (b *Builder) AddMiss(kind Kind, addr uint64, pc, node int) {
+	m := Miss{Kind: kind, Addr: addr, PC: pc, Node: node}
+	if b.seen[m] {
+		return
+	}
+	b.seen[m] = true
+	b.cur.Misses = append(b.cur.Misses, m)
+}
+
+// EndEpoch closes the current epoch at a barrier: barrierPC is the barrier
+// statement's ID (-1 for program termination) and vt the per-node arrival
+// times. A new epoch begins unless final is true.
+func (b *Builder) EndEpoch(barrierPC int, vt []uint64, final bool) {
+	b.cur.BarrierPC = barrierPC
+	copy(b.cur.VT, vt)
+	if !final {
+		b.startEpoch()
+	}
+}
+
+// Trace returns the built trace.
+func (b *Builder) Trace() *Trace { return &b.tr }
+
+// SortMisses orders each epoch's misses deterministically (by node, kind,
+// address, PC). Within an epoch the order carries no timing meaning.
+func (t *Trace) SortMisses() {
+	for i := range t.Epochs {
+		ms := t.Epochs[i].Misses
+		sort.Slice(ms, func(a, b int) bool {
+			if ms[a].Node != ms[b].Node {
+				return ms[a].Node < ms[b].Node
+			}
+			if ms[a].Kind != ms[b].Kind {
+				return ms[a].Kind < ms[b].Kind
+			}
+			if ms[a].Addr != ms[b].Addr {
+				return ms[a].Addr < ms[b].Addr
+			}
+			return ms[a].PC < ms[b].PC
+		})
+	}
+}
+
+// Write serializes the trace in the line-oriented text format.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "cachier-trace v1\n")
+	fmt.Fprintf(bw, "nodes %d\n", t.Nodes)
+	fmt.Fprintf(bw, "block %d\n", t.BlockSize)
+	for _, l := range t.Labels {
+		fmt.Fprintf(bw, "label %s base %d elem %d dims", l.Name, l.Base, l.Elem)
+		for _, d := range l.Dims {
+			fmt.Fprintf(bw, " %d", d)
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, e := range t.Epochs {
+		fmt.Fprintf(bw, "epoch %d barrierpc %d\n", e.Index, e.BarrierPC)
+		for n, vt := range e.VT {
+			fmt.Fprintf(bw, "vt %d %d\n", n, vt)
+		}
+		for _, m := range e.Misses {
+			fmt.Fprintf(bw, "miss %s %d %d %d\n", m.Kind, m.Addr, m.PC, m.Node)
+		}
+		fmt.Fprintln(bw, "end")
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			lineNo++
+			line := strings.TrimSpace(sc.Text())
+			if line != "" {
+				return line, true
+			}
+		}
+		return "", false
+	}
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("trace: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+
+	line, ok := next()
+	if !ok || line != "cachier-trace v1" {
+		return nil, fail("missing header")
+	}
+	t := &Trace{}
+	for {
+		line, ok = next()
+		if !ok {
+			break
+		}
+		f := strings.Fields(line)
+		switch f[0] {
+		case "nodes":
+			if len(f) != 2 {
+				return nil, fail("bad nodes line")
+			}
+			if _, err := fmt.Sscanf(f[1], "%d", &t.Nodes); err != nil {
+				return nil, fail("bad node count %q", f[1])
+			}
+		case "block":
+			if len(f) != 2 {
+				return nil, fail("bad block line")
+			}
+			if _, err := fmt.Sscanf(f[1], "%d", &t.BlockSize); err != nil {
+				return nil, fail("bad block size %q", f[1])
+			}
+		case "label":
+			// label NAME base B elem E dims D1 D2 ...
+			if len(f) < 7 || f[2] != "base" || f[4] != "elem" || f[6] != "dims" {
+				return nil, fail("bad label line %q", line)
+			}
+			l := Label{Name: f[1]}
+			if _, err := fmt.Sscanf(f[3], "%d", &l.Base); err != nil {
+				return nil, fail("bad label base %q", f[3])
+			}
+			if _, err := fmt.Sscanf(f[5], "%d", &l.Elem); err != nil {
+				return nil, fail("bad label elem %q", f[5])
+			}
+			for _, ds := range f[7:] {
+				var d int
+				if _, err := fmt.Sscanf(ds, "%d", &d); err != nil {
+					return nil, fail("bad label dim %q", ds)
+				}
+				l.Dims = append(l.Dims, d)
+			}
+			t.Labels = append(t.Labels, l)
+		case "epoch":
+			if len(f) != 4 || f[2] != "barrierpc" {
+				return nil, fail("bad epoch line %q", line)
+			}
+			e := Epoch{VT: make([]uint64, t.Nodes)}
+			if _, err := fmt.Sscanf(f[1], "%d", &e.Index); err != nil {
+				return nil, fail("bad epoch index %q", f[1])
+			}
+			if _, err := fmt.Sscanf(f[3], "%d", &e.BarrierPC); err != nil {
+				return nil, fail("bad barrier pc %q", f[3])
+			}
+			for {
+				line, ok = next()
+				if !ok {
+					return nil, fail("unterminated epoch")
+				}
+				if line == "end" {
+					break
+				}
+				ef := strings.Fields(line)
+				switch ef[0] {
+				case "vt":
+					var n int
+					var vt uint64
+					if len(ef) != 3 {
+						return nil, fail("bad vt line %q", line)
+					}
+					if _, err := fmt.Sscanf(ef[1], "%d", &n); err != nil {
+						return nil, fail("bad vt node %q", ef[1])
+					}
+					if _, err := fmt.Sscanf(ef[2], "%d", &vt); err != nil {
+						return nil, fail("bad vt value %q", ef[2])
+					}
+					if n < 0 || n >= t.Nodes {
+						return nil, fail("vt node %d out of range", n)
+					}
+					e.VT[n] = vt
+				case "miss":
+					if len(ef) != 5 {
+						return nil, fail("bad miss line %q", line)
+					}
+					k, err := parseKind(ef[1])
+					if err != nil {
+						return nil, fail("%v", err)
+					}
+					var m Miss
+					m.Kind = k
+					if _, err := fmt.Sscanf(ef[2], "%d", &m.Addr); err != nil {
+						return nil, fail("bad miss addr %q", ef[2])
+					}
+					if _, err := fmt.Sscanf(ef[3], "%d", &m.PC); err != nil {
+						return nil, fail("bad miss pc %q", ef[3])
+					}
+					if _, err := fmt.Sscanf(ef[4], "%d", &m.Node); err != nil {
+						return nil, fail("bad miss node %q", ef[4])
+					}
+					if m.Node < 0 || m.Node >= t.Nodes {
+						return nil, fail("miss node %d out of range", m.Node)
+					}
+					e.Misses = append(e.Misses, m)
+				default:
+					return nil, fail("unexpected line %q in epoch", line)
+				}
+			}
+			t.Epochs = append(t.Epochs, e)
+		default:
+			return nil, fail("unexpected line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if t.Nodes <= 0 {
+		return nil, fmt.Errorf("trace: missing or invalid nodes header")
+	}
+	return t, nil
+}

@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Trace {
+	b := NewBuilder(2, 32, []Label{
+		{Name: "A", Base: 32, Elem: 8, Dims: []int{4, 4}},
+		{Name: "x", Base: 160, Elem: 8},
+	})
+	b.AddMiss(ReadMiss, 32, 5, 0)
+	b.AddMiss(WriteMiss, 40, 6, 1)
+	b.AddMiss(WriteFault, 48, 7, 0)
+	b.EndEpoch(12, []uint64{100, 110}, false)
+	b.AddMiss(ReadMiss, 160, 9, 1)
+	b.EndEpoch(-1, []uint64{250, 260}, true)
+	return b.Trace()
+}
+
+func TestBuilderDedup(t *testing.T) {
+	b := NewBuilder(1, 32, nil)
+	b.AddMiss(ReadMiss, 32, 5, 0)
+	b.AddMiss(ReadMiss, 32, 5, 0) // duplicate
+	b.AddMiss(ReadMiss, 32, 6, 0) // different PC: kept
+	b.AddMiss(WriteMiss, 32, 5, 0)
+	b.EndEpoch(-1, []uint64{1}, true)
+	if n := len(b.Trace().Epochs[0].Misses); n != 3 {
+		t.Errorf("got %d misses, want 3", n)
+	}
+}
+
+func TestBuilderEpochBoundaries(t *testing.T) {
+	tr := sample()
+	if len(tr.Epochs) != 2 {
+		t.Fatalf("epochs = %d", len(tr.Epochs))
+	}
+	if tr.Epochs[0].BarrierPC != 12 || tr.Epochs[1].BarrierPC != -1 {
+		t.Errorf("barrier PCs: %d %d", tr.Epochs[0].BarrierPC, tr.Epochs[1].BarrierPC)
+	}
+	if tr.Epochs[0].Index != 0 || tr.Epochs[1].Index != 1 {
+		t.Error("epoch indices wrong")
+	}
+	if tr.Epochs[0].VT[1] != 110 {
+		t.Errorf("VT = %v", tr.Epochs[0].VT)
+	}
+	// Dedup state resets across epochs: the same miss may reappear.
+	b := NewBuilder(1, 32, nil)
+	b.AddMiss(ReadMiss, 32, 5, 0)
+	b.EndEpoch(3, []uint64{10}, false)
+	b.AddMiss(ReadMiss, 32, 5, 0)
+	b.EndEpoch(-1, []uint64{20}, true)
+	if len(b.Trace().Epochs[1].Misses) != 1 {
+		t.Error("miss in new epoch dropped by stale dedup")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Errorf("round trip mismatch:\nwant %+v\ngot  %+v", tr, got)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 1 + rng.Intn(8)
+		b := NewBuilder(nodes, 32, []Label{{Name: "V", Base: 32, Elem: 8, Dims: []int{64}}})
+		epochs := 1 + rng.Intn(4)
+		for e := 0; e < epochs; e++ {
+			for i := 0; i < rng.Intn(20); i++ {
+				b.AddMiss(Kind(rng.Intn(3)), 32+uint64(rng.Intn(64))*8, rng.Intn(100), rng.Intn(nodes))
+			}
+			vt := make([]uint64, nodes)
+			for n := range vt {
+				vt[n] = uint64(rng.Intn(10_000))
+			}
+			b.EndEpoch(pick(rng, e == epochs-1), vt, e == epochs-1)
+		}
+		tr := b.Trace()
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(tr, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func pick(rng *rand.Rand, final bool) int {
+	if final {
+		return -1
+	}
+	return rng.Intn(50)
+}
+
+func TestSortMissesDeterministic(t *testing.T) {
+	tr := sample()
+	tr.SortMisses()
+	ms := tr.Epochs[0].Misses
+	for i := 1; i < len(ms); i++ {
+		a, b := ms[i-1], ms[i]
+		if a.Node > b.Node {
+			t.Errorf("misses not sorted by node: %+v before %+v", a, b)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"bad header", "not-a-trace\n"},
+		{"missing nodes", "cachier-trace v1\nblock 32\n"},
+		{"bad miss kind", "cachier-trace v1\nnodes 1\nblock 32\nepoch 0 barrierpc 1\nmiss z 0 0 0\nend\n"},
+		{"miss node range", "cachier-trace v1\nnodes 1\nblock 32\nepoch 0 barrierpc 1\nmiss r 0 0 5\nend\n"},
+		{"unterminated epoch", "cachier-trace v1\nnodes 1\nblock 32\nepoch 0 barrierpc 1\nmiss r 0 0 0\n"},
+		{"garbage line", "cachier-trace v1\nnodes 1\nwat\n"},
+		{"bad vt node", "cachier-trace v1\nnodes 1\nblock 32\nepoch 0 barrierpc 1\nvt 9 3\nend\n"},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if ReadMiss.String() != "r" || WriteMiss.String() != "w" || WriteFault.String() != "f" {
+		t.Error("kind strings wrong")
+	}
+	if _, err := parseKind("x"); err == nil {
+		t.Error("parseKind accepted junk")
+	}
+}

@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test race vet bench check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The bench package exercises the parallel Figure-6 harness; run it under
+# the race detector after touching sim, interp, dir1sw, or bench.
+race:
+	$(GO) test -race ./internal/bench/...
+
+vet:
+	$(GO) vet ./...
+
+# One pass over the performance-tracking benchmarks (see EXPERIMENTS.md,
+# "Simulator performance").
+bench:
+	$(GO) test -run xxx -bench 'Fig6|Scheduler|DirectoryLookup' -benchtime 1x ./...
+
+check: build vet test race

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"cachier/internal/bench"
 )
@@ -38,17 +39,27 @@ func main() {
 		benches = bench.All()
 	}
 
-	var rows []*bench.Row
-	for _, b := range benches {
+	// Benchmarks run concurrently (RunBenchmark bounds actual compute to
+	// the machine's CPUs); rows keep the listing order.
+	rows := make([]*bench.Row, len(benches))
+	errs := make([]error, len(benches))
+	var wg sync.WaitGroup
+	for i, b := range benches {
 		if *big {
 			b.UseBig()
 		}
 		fmt.Fprintf(os.Stderr, "running %s (%d nodes)...\n", b.Name, b.Nodes)
-		row, err := bench.RunBenchmark(b)
+		wg.Add(1)
+		go func(i int, b *bench.Benchmark) {
+			defer wg.Done()
+			rows[i], errs[i] = bench.RunBenchmark(b)
+		}(i, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			fatal(err)
 		}
-		rows = append(rows, row)
 	}
 
 	fmt.Println("Figure 6: execution time normalized to the unannotated version")

@@ -41,15 +41,13 @@ func TestByName(t *testing.T) {
 
 func TestSwapSeed(t *testing.T) {
 	src := "const SEED = 11;\nx"
-	if got := swapSeed(src, 11, 97); got != "const SEED = 97;\nx" {
-		t.Errorf("swapSeed = %q", got)
+	got, err := swapSeed(src, 11, 97)
+	if err != nil || got != "const SEED = 97;\nx" {
+		t.Errorf("swapSeed = %q, %v", got, err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("missing seed did not panic")
-		}
-	}()
-	swapSeed(src, 99, 1)
+	if _, err := swapSeed(src, 99, 1); err == nil {
+		t.Error("missing seed constant not reported")
+	}
 }
 
 func TestHandVariantsRunCorrectly(t *testing.T) {

@@ -168,7 +168,11 @@ func TestInputSensitivity(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			return swapSeed(ann.Source, train.Seed, b.Test.Seed)
+			out, err := swapSeed(ann.Source, train.Seed, b.Test.Seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
 		}
 
 		crossSrc := annotateWith(b.Train) // annotated from the training input

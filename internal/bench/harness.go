@@ -2,14 +2,25 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"cachier/internal/core"
 	"cachier/internal/dir1sw"
 	"cachier/internal/parc"
 	"cachier/internal/sim"
 )
+
+// workTokens bounds the package's concurrent compute (simulations and
+// annotation passes) to the machine's parallelism. Tokens are held only
+// while computing, never while waiting on other goroutines, so nested
+// fan-out (Figure6 → RunBenchmark → variants) cannot deadlock.
+var workTokens = make(chan struct{}, runtime.NumCPU())
+
+func acquireWork() { workTokens <- struct{}{} }
+func releaseWork() { <-workTokens }
 
 // Variant names one bar of Figure 6.
 type Variant string
@@ -61,13 +72,13 @@ func (r *Row) Normalized(v Variant) float64 {
 // annotated from the training input can be measured on the test input
 // (the paper uses different data sets for tracing and measurement,
 // Section 6).
-func swapSeed(src string, train, test int64) string {
+func swapSeed(src string, train, test int64) (string, error) {
 	from := fmt.Sprintf("const SEED = %d;", train)
 	to := fmt.Sprintf("const SEED = %d;", test)
 	if !strings.Contains(src, from) {
-		panic("bench: training seed constant not found")
+		return "", fmt.Errorf("bench: training seed constant %q not found", from)
 	}
-	return strings.Replace(src, from, to, 1)
+	return strings.Replace(src, from, to, 1), nil
 }
 
 // machineConfig returns the simulated machine for a benchmark: the paper's
@@ -90,10 +101,16 @@ func runVariant(src string, cfg sim.Config) (*sim.Result, error) {
 // RunBenchmark produces one Figure 6 row: trace the unannotated program on
 // the training input, have Cachier annotate it (with and without prefetch),
 // and measure all variants on the test input.
+//
+// Independent stages run concurrently under the package worker pool: the two
+// annotation passes (which only read the shared trace), then the four
+// variant simulations. Each sim.Run builds its own machine, so results are
+// identical to the sequential schedule.
 func RunBenchmark(b *Benchmark) (*Row, error) {
 	cfg := machineConfig(b.Nodes)
 
-	// 1. Trace the unannotated program on the training input.
+	// 1. Trace the unannotated program on the training input; both
+	// annotation passes need it.
 	trainSrc := b.Source(b.Train)
 	traceCfg := cfg
 	traceCfg.Mode = sim.ModeTrace
@@ -101,30 +118,60 @@ func RunBenchmark(b *Benchmark) (*Row, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: parsing: %w", b.Name, err)
 	}
+	acquireWork()
 	traceRes, err := sim.Run(trainProg, traceCfg)
+	releaseWork()
 	if err != nil {
 		return nil, fmt.Errorf("%s: tracing: %w", b.Name, err)
 	}
 
-	// 2. Cachier annotates (Performance CICO, as in the evaluation).
-	annOpts := core.DefaultOptions()
-	annOpts.CacheSize = cfg.CacheSize
-	annotated, err := core.Annotate(trainSrc, traceRes.Trace, annOpts)
-	if err != nil {
-		return nil, fmt.Errorf("%s: annotating: %w", b.Name, err)
+	// 2. Cachier annotates (Performance CICO, as in the evaluation), with
+	// and without prefetch, concurrently.
+	var (
+		annotated, annotatedPF *core.Result
+		annErr, annPFErr       error
+		wg                     sync.WaitGroup
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		acquireWork()
+		defer releaseWork()
+		opts := core.DefaultOptions()
+		opts.CacheSize = cfg.CacheSize
+		annotated, annErr = core.Annotate(trainSrc, traceRes.Trace, opts)
+	}()
+	go func() {
+		defer wg.Done()
+		acquireWork()
+		defer releaseWork()
+		opts := core.DefaultOptions()
+		opts.CacheSize = cfg.CacheSize
+		opts.Prefetch = true
+		annotatedPF, annPFErr = core.Annotate(trainSrc, traceRes.Trace, opts)
+	}()
+	wg.Wait()
+	if annErr != nil {
+		return nil, fmt.Errorf("%s: annotating: %w", b.Name, annErr)
 	}
-	annOpts.Prefetch = true
-	annotatedPF, err := core.Annotate(trainSrc, traceRes.Trace, annOpts)
-	if err != nil {
-		return nil, fmt.Errorf("%s: annotating with prefetch: %w", b.Name, err)
+	if annPFErr != nil {
+		return nil, fmt.Errorf("%s: annotating with prefetch: %w", b.Name, annPFErr)
 	}
 
 	// 3. Measure every variant on the test input.
+	cachierSrc, err := swapSeed(annotated.Source, b.Train.Seed, b.Test.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	cachierPFSrc, err := swapSeed(annotatedPF.Source, b.Train.Seed, b.Test.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
 	sources := map[Variant]string{
 		VariantNone:            b.Source(b.Test),
 		VariantHand:            b.Hand(b.Test),
-		VariantCachier:         swapSeed(annotated.Source, b.Train.Seed, b.Test.Seed),
-		VariantCachierPrefetch: swapSeed(annotatedPF.Source, b.Train.Seed, b.Test.Seed),
+		VariantCachier:         cachierSrc,
+		VariantCachierPrefetch: cachierPFSrc,
 	}
 	row := &Row{
 		Benchmark:       b.Name,
@@ -134,29 +181,52 @@ func RunBenchmark(b *Benchmark) (*Row, error) {
 		AnnotatedSource: annotated.Source,
 		Reports:         annotated.Reports,
 	}
-	for _, v := range Variants() {
-		res, err := runVariant(sources[v], cfg)
-		if err != nil {
-			return nil, fmt.Errorf("%s/%s: %w", b.Name, v, err)
+	variants := Variants()
+	results := make([]*sim.Result, len(variants))
+	errs := make([]error, len(variants))
+	for i, v := range variants {
+		wg.Add(1)
+		go func(i int, v Variant) {
+			defer wg.Done()
+			acquireWork()
+			defer releaseWork()
+			results[i], errs[i] = runVariant(sources[v], cfg)
+		}(i, v)
+	}
+	wg.Wait()
+	for i, v := range variants {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("%s/%s: %w", b.Name, v, errs[i])
 		}
-		row.Cycles[v] = res.Cycles
-		row.Stats[v] = res.Stats
+		row.Cycles[v] = results[i].Cycles
+		row.Stats[v] = results[i].Stats
 		if v == VariantNone {
-			row.SharingLoads, row.SharingStores = res.SharingDegree()
+			row.SharingLoads, row.SharingStores = results[i].SharingDegree()
 		}
 	}
 	return row, nil
 }
 
-// Figure6 runs the whole suite.
+// Figure6 runs the whole suite. Benchmarks run concurrently under the
+// package worker pool; rows keep the All() order and the first error in
+// that order wins, so output is independent of goroutine scheduling.
 func Figure6() ([]*Row, error) {
-	var rows []*Row
-	for _, b := range All() {
-		row, err := RunBenchmark(b)
+	bs := All()
+	rows := make([]*Row, len(bs))
+	errs := make([]error, len(bs))
+	var wg sync.WaitGroup
+	for i, b := range bs {
+		wg.Add(1)
+		go func(i int, b *Benchmark) {
+			defer wg.Done()
+			rows[i], errs[i] = RunBenchmark(b)
+		}(i, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, row)
 	}
 	return rows, nil
 }

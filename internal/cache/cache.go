@@ -55,6 +55,16 @@ type Cache struct {
 	tick      uint64 // LRU clock
 	resident  int    // number of valid lines
 
+	// mru caches the most recently hit or inserted line. Programs show
+	// strong block locality (array walks touch the same 32-byte block
+	// several times in a row), so checking one pointer before the
+	// associative scan removes most probe work. The shortcut is
+	// self-validating — it is trusted only when the line still holds the
+	// probed block in a valid state — so invalidations, evictions, and
+	// flushes need no bookkeeping here. Set slices are allocated once in
+	// New and never reallocated, so the pointer stays in bounds forever.
+	mru *line
+
 	// Statistics.
 	Hits      uint64
 	Misses    uint64
@@ -76,9 +86,12 @@ func New(size, assoc, blockSize int) (*Cache, error) {
 		return nil, fmt.Errorf("cache: set count %d is not a power of two", nsets)
 	}
 	c := &Cache{blockSize: blockSize, nsets: nsets, assoc: assoc}
+	// All sets share one flat backing array: one allocation instead of one
+	// per set, and whole-cache walks (FlushAll, ForEach) scan contiguously.
 	c.sets = make([][]line, nsets)
+	flat := make([]line, nsets*assoc)
 	for i := range c.sets {
-		c.sets[i] = make([]line, assoc)
+		c.sets[i] = flat[i*assoc : (i+1)*assoc : (i+1)*assoc]
 	}
 	return c, nil
 }
@@ -105,11 +118,20 @@ func (c *Cache) set(block uint64) []line {
 	return c.sets[block&uint64(c.nsets-1)]
 }
 
+// hot reports whether the MRU shortcut currently holds the block.
+func (c *Cache) hot(block uint64) bool {
+	return c.mru != nil && c.mru.block == block && c.mru.state != Invalid
+}
+
 // Lookup returns the block's state without touching LRU order. It returns
 // Invalid for absent blocks.
 func (c *Cache) Lookup(block uint64) State {
-	for i := range c.set(block) {
-		ln := &c.set(block)[i]
+	if c.hot(block) {
+		return c.mru.state
+	}
+	set := c.set(block)
+	for i := range set {
+		ln := &set[i]
 		if ln.state != Invalid && ln.block == block {
 			return ln.state
 		}
@@ -119,8 +141,12 @@ func (c *Cache) Lookup(block uint64) State {
 
 // Dirty reports whether the block is cached and dirty.
 func (c *Cache) Dirty(block uint64) bool {
-	for i := range c.set(block) {
-		ln := &c.set(block)[i]
+	if c.hot(block) {
+		return c.mru.dirty
+	}
+	set := c.set(block)
+	for i := range set {
+		ln := &set[i]
 		if ln.state != Invalid && ln.block == block {
 			return ln.dirty
 		}
@@ -132,11 +158,18 @@ func (c *Cache) Dirty(block uint64) bool {
 // accesses that hit.
 func (c *Cache) Touch(block uint64) State {
 	c.tick++
-	for i := range c.set(block) {
-		ln := &c.set(block)[i]
+	if c.hot(block) {
+		c.mru.use = c.tick
+		c.Hits++
+		return c.mru.state
+	}
+	set := c.set(block)
+	for i := range set {
+		ln := &set[i]
 		if ln.state != Invalid && ln.block == block {
 			ln.use = c.tick
 			c.Hits++
+			c.mru = ln
 			return ln.state
 		}
 	}
@@ -166,6 +199,7 @@ func (c *Cache) Insert(block uint64, state State) (Victim, bool) {
 		if ln.state != Invalid && ln.block == block {
 			ln.state = state
 			ln.use = c.tick
+			c.mru = ln
 			return Victim{}, false
 		}
 		if ln.state == Invalid {
@@ -177,19 +211,32 @@ func (c *Cache) Insert(block uint64, state State) (Victim, bool) {
 	if free >= 0 {
 		set[free] = line{block: block, state: state, use: c.tick}
 		c.resident++
+		c.mru = &set[free]
 		return Victim{}, false
 	}
 	v := Victim{Block: set[lru].block, State: set[lru].state, Dirty: set[lru].dirty}
 	set[lru] = line{block: block, state: state, use: c.tick}
 	c.Evictions++
+	c.mru = &set[lru]
 	return v, true
 }
 
 // SetState updates the state of a resident block (for upgrades and
 // downgrades). It reports whether the block was present.
 func (c *Cache) SetState(block uint64, state State) bool {
-	for i := range c.set(block) {
-		ln := &c.set(block)[i]
+	if c.hot(block) {
+		if state == Invalid {
+			c.mru.state = Invalid
+			c.mru.dirty = false
+			c.resident--
+		} else {
+			c.mru.state = state
+		}
+		return true
+	}
+	set := c.set(block)
+	for i := range set {
+		ln := &set[i]
 		if ln.state != Invalid && ln.block == block {
 			if state == Invalid {
 				ln.state = Invalid
@@ -207,8 +254,13 @@ func (c *Cache) SetState(block uint64, state State) bool {
 // MarkDirty records that the block has been written. It reports whether the
 // block was present.
 func (c *Cache) MarkDirty(block uint64) bool {
-	for i := range c.set(block) {
-		ln := &c.set(block)[i]
+	if c.hot(block) {
+		c.mru.dirty = true
+		return true
+	}
+	set := c.set(block)
+	for i := range set {
+		ln := &set[i]
 		if ln.state != Invalid && ln.block == block {
 			ln.dirty = true
 			return true
@@ -219,8 +271,9 @@ func (c *Cache) MarkDirty(block uint64) bool {
 
 // Invalidate removes the block, returning its prior state and dirtiness.
 func (c *Cache) Invalidate(block uint64) (State, bool) {
-	for i := range c.set(block) {
-		ln := &c.set(block)[i]
+	set := c.set(block)
+	for i := range set {
+		ln := &set[i]
 		if ln.state != Invalid && ln.block == block {
 			st, dirty := ln.state, ln.dirty
 			*ln = line{}
@@ -244,6 +297,19 @@ func (c *Cache) FlushAll(fn func(block uint64, state State, dirty bool)) {
 				}
 				*ln = line{}
 				c.resident--
+			}
+		}
+	}
+}
+
+// ForEach calls fn for every valid line without modifying anything. Lines of
+// the same set are visited in way order; sets in index order.
+func (c *Cache) ForEach(fn func(block uint64, state State, dirty bool)) {
+	for si := range c.sets {
+		for i := range c.sets[si] {
+			ln := &c.sets[si][i]
+			if ln.state != Invalid {
+				fn(ln.block, ln.state, ln.dirty)
 			}
 		}
 	}

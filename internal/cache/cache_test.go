@@ -225,3 +225,131 @@ func TestInsertInvalidPanics(t *testing.T) {
 	}()
 	small(t).Insert(0, Invalid)
 }
+
+// TestMRUShortcut exercises the one-entry MRU position cache: hits through
+// it, staleness after invalidation, after the line is reused for another
+// block, and after a flush.
+func TestMRUShortcut(t *testing.T) {
+	c := small(t)
+
+	c.Insert(4, Exclusive)
+	if c.mru == nil || c.mru.block != 4 {
+		t.Fatal("Insert did not set MRU")
+	}
+	if st := c.Touch(4); st != Exclusive {
+		t.Fatalf("Touch via MRU = %v", st)
+	}
+	if c.Hits != 1 {
+		t.Fatalf("Hits = %d after MRU touch", c.Hits)
+	}
+	if !c.MarkDirty(4) || !c.Dirty(4) {
+		t.Fatal("MarkDirty/Dirty via MRU failed")
+	}
+
+	// Invalidate the MRU block: the stale pointer must not report a hit.
+	c.Invalidate(4)
+	if c.Lookup(4) != Invalid || c.Dirty(4) || c.Touch(4) != Invalid {
+		t.Fatal("stale MRU survived Invalidate")
+	}
+	if c.Misses != 1 {
+		t.Fatalf("Misses = %d", c.Misses)
+	}
+
+	// Reuse the same line slot for a different block in the same set
+	// (blocks 4 and 6 both map to set 0 of a 2-set cache): the MRU pointer
+	// now holds block 6, so probing 4 must miss.
+	c.Insert(6, Shared)
+	if c.Lookup(4) != Invalid {
+		t.Fatal("MRU confused block 6 with block 4")
+	}
+	if c.Lookup(6) != Shared {
+		t.Fatal("lost block 6")
+	}
+
+	// SetState through the MRU, including downgrade to Invalid.
+	c.Touch(6)
+	if !c.SetState(6, Exclusive) || c.Lookup(6) != Exclusive {
+		t.Fatal("SetState upgrade via MRU failed")
+	}
+	if !c.SetState(6, Invalid) || c.Lookup(6) != Invalid {
+		t.Fatal("SetState invalidate via MRU failed")
+	}
+	if c.Resident() != 0 {
+		t.Fatalf("Resident = %d after invalidating everything", c.Resident())
+	}
+
+	// Flush with a valid MRU pointer outstanding.
+	c.Insert(8, Shared)
+	c.FlushAll(nil)
+	if c.Lookup(8) != Invalid || c.Touch(8) != Invalid {
+		t.Fatal("stale MRU survived FlushAll")
+	}
+
+	// Eviction reuses the victim's slot; MRU must follow the new block.
+	c2 := small(t)
+	c2.Insert(0, Shared) // set 0
+	c2.Insert(2, Shared) // set 0 -> set full
+	c2.Touch(0)
+	c2.Insert(4, Shared) // evicts block 2 (LRU)
+	if v := c2.Lookup(2); v != Invalid {
+		t.Fatalf("evicted block still visible: %v", v)
+	}
+	if c2.Lookup(4) != Shared || c2.Touch(4) != Shared {
+		t.Fatal("MRU not tracking newly inserted block after eviction")
+	}
+}
+
+// TestMRUAgainstScan cross-checks every MRU fast path against a shortcut-free
+// reference cache over a pseudo-random operation stream.
+func TestMRUAgainstScan(t *testing.T) {
+	c := small(t)
+	ref := small(t)
+	ref.mru = nil // keep the reference honest: clear before every probe
+	rng := uint64(1)
+	next := func() uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return rng >> 33
+	}
+	for i := 0; i < 20000; i++ {
+		block := next() % 16
+		op := next() % 6
+		ref.mru = nil
+		switch op {
+		case 0:
+			if got, want := c.Touch(block), ref.Touch(block); got != want {
+				t.Fatalf("op %d: Touch(%d) = %v, want %v", i, block, got, want)
+			}
+		case 1:
+			if got, want := c.Lookup(block), ref.Lookup(block); got != want {
+				t.Fatalf("op %d: Lookup(%d) = %v, want %v", i, block, got, want)
+			}
+		case 2:
+			st := Shared
+			if next()%2 == 0 {
+				st = Exclusive
+			}
+			gv, gok := c.Insert(block, st)
+			wv, wok := ref.Insert(block, st)
+			if gv != wv || gok != wok {
+				t.Fatalf("op %d: Insert(%d) = %v,%v want %v,%v", i, block, gv, gok, wv, wok)
+			}
+		case 3:
+			if got, want := c.MarkDirty(block), ref.MarkDirty(block); got != want {
+				t.Fatalf("op %d: MarkDirty(%d) = %v, want %v", i, block, got, want)
+			}
+		case 4:
+			gs, gd := c.Invalidate(block)
+			ws, wd := ref.Invalidate(block)
+			if gs != ws || gd != wd {
+				t.Fatalf("op %d: Invalidate(%d) = %v,%v want %v,%v", i, block, gs, gd, ws, wd)
+			}
+		case 5:
+			if got, want := c.Dirty(block), ref.Dirty(block); got != want {
+				t.Fatalf("op %d: Dirty(%d) = %v, want %v", i, block, got, want)
+			}
+		}
+		if c.Resident() != ref.Resident() {
+			t.Fatalf("op %d: resident %d vs %d", i, c.Resident(), ref.Resident())
+		}
+	}
+}

@@ -30,7 +30,7 @@ func FindConflicts(es *EpochSets, blockSize int) *Conflicts {
 
 	// Data races: same address, >= 2 nodes, >= 1 write.
 	for addr, nodes := range es.Touched {
-		if len(nodes) >= 2 && es.Written[addr] {
+		if nodes.Multi() && es.Written[addr] {
 			c.Race[addr] = true
 		}
 	}
@@ -81,15 +81,15 @@ func FindConflicts(es *EpochSets, blockSize int) *Conflicts {
 // node m touches the second, and the pair's contention is not already
 // same-address contention (both touching both), which is a race rather than
 // false sharing.
-func crossNode(ta, tb map[int]bool) bool {
-	for n := range ta {
-		for m := range tb {
-			if n != m && !(ta[m] && tb[n]) {
-				return true
-			}
-		}
-	}
-	return false
+//
+// For the nonempty sets trace processing produces this reduces to set
+// inequality: if some node is in one set but not the other, pairing it with
+// any member of the other set satisfies the predicate (the missing
+// membership falsifies the both-touch-both exclusion); if the sets are
+// identical, every cross pair (n, m) has both nodes touching both
+// addresses, which the exclusion rejects.
+func crossNode(ta, tb NodeBits) bool {
+	return !ta.Equal(tb)
 }
 
 // FindAllConflicts runs conflict detection over every epoch.

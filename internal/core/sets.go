@@ -22,6 +22,7 @@
 package core
 
 import (
+	"math/bits"
 	"sort"
 
 	"cachier/internal/trace"
@@ -41,7 +42,7 @@ func (s AddrSet) Clone() AddrSet {
 
 // Minus returns s - t.
 func (s AddrSet) Minus(t AddrSet) AddrSet {
-	out := make(AddrSet)
+	out := make(AddrSet, len(s))
 	for a := range s {
 		if !t[a] {
 			out[a] = true
@@ -52,7 +53,11 @@ func (s AddrSet) Minus(t AddrSet) AddrSet {
 
 // Intersect returns s ∩ t.
 func (s AddrSet) Intersect(t AddrSet) AddrSet {
-	out := make(AddrSet)
+	n := len(s)
+	if len(t) < n {
+		n = len(t)
+	}
+	out := make(AddrSet, n)
 	for a := range s {
 		if t[a] {
 			out[a] = true
@@ -63,7 +68,10 @@ func (s AddrSet) Intersect(t AddrSet) AddrSet {
 
 // Union returns s ∪ t.
 func (s AddrSet) Union(t AddrSet) AddrSet {
-	out := s.Clone()
+	out := make(AddrSet, len(s)+len(t))
+	for a := range s {
+		out[a] = true
+	}
 	for a := range t {
 		out[a] = true
 	}
@@ -72,7 +80,7 @@ func (s AddrSet) Union(t AddrSet) AddrSet {
 
 // Filter returns the subset of s for which keep is true.
 func (s AddrSet) Filter(keep func(uint64) bool) AddrSet {
-	out := make(AddrSet)
+	out := make(AddrSet, len(s))
 	for a := range s {
 		if keep(a) {
 			out[a] = true
@@ -109,6 +117,79 @@ type NodeSets struct {
 // S returns the node's full access set SW ∪ SR.
 func (n *NodeSets) S() AddrSet { return n.SW.Union(n.SR) }
 
+// NodeBits is a set of node ids. Ids below 64 — every machine the paper
+// studies — live in an inline bitmask, so building the per-address toucher
+// sets during trace processing allocates nothing; larger ids spill to an
+// overflow word slice and stay correct.
+type NodeBits struct {
+	lo uint64   // nodes 0..63
+	hi []uint64 // node 64+w*64+b is bit b of word w; nil until needed
+}
+
+// with returns the set with node n added.
+func (s NodeBits) with(n int) NodeBits {
+	if n < 64 {
+		s.lo |= 1 << uint(n)
+		return s
+	}
+	w := (n - 64) / 64
+	for len(s.hi) <= w {
+		s.hi = append(s.hi, 0)
+	}
+	s.hi[w] |= 1 << uint((n-64)%64)
+	return s
+}
+
+// Has reports whether node n is in the set.
+func (s NodeBits) Has(n int) bool {
+	if n < 64 {
+		return s.lo&(1<<uint(n)) != 0
+	}
+	w := (n - 64) / 64
+	return w < len(s.hi) && s.hi[w]&(1<<uint((n-64)%64)) != 0
+}
+
+// Count returns the number of nodes in the set.
+func (s NodeBits) Count() int {
+	c := bits.OnesCount64(s.lo)
+	for _, w := range s.hi {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Multi reports whether the set has at least two members.
+func (s NodeBits) Multi() bool {
+	if s.lo&(s.lo-1) != 0 {
+		return true
+	}
+	return s.Count() >= 2
+}
+
+// Equal reports whether the two sets have the same members.
+func (s NodeBits) Equal(o NodeBits) bool {
+	if s.lo != o.lo {
+		return false
+	}
+	// Trailing zero words don't affect membership.
+	a, b := s.hi, o.hi
+	for len(a) > 0 && a[len(a)-1] == 0 {
+		a = a[:len(a)-1]
+	}
+	for len(b) > 0 && b[len(b)-1] == 0 {
+		b = b[:len(b)-1]
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // EpochSets is one epoch's processed trace data.
 type EpochSets struct {
 	Index     int
@@ -118,7 +199,7 @@ type EpochSets struct {
 	// Touched maps each address to the set of nodes that accessed it, and
 	// Written marks addresses written by at least one node; conflict
 	// detection consumes these.
-	Touched map[uint64]map[int]bool
+	Touched map[uint64]NodeBits
 	Written AddrSet
 
 	// AllSW is the union of SW over nodes; the Performance check-in
@@ -132,20 +213,26 @@ type EpochSets struct {
 func ProcessTrace(tr *trace.Trace) []*EpochSets {
 	out := make([]*EpochSets, 0, len(tr.Epochs))
 	for _, ep := range tr.Epochs {
+		// Presize the per-epoch maps. Distinct addresses are bounded by the
+		// miss count; a quarter of it is a comfortable overestimate for the
+		// benchmarks (every node misses each communicated address) that
+		// still eliminates nearly all incremental map growth.
+		hint := len(ep.Misses)/4 + 8
 		es := &EpochSets{
 			Index:     ep.Index,
 			BarrierPC: ep.BarrierPC,
-			Touched:   make(map[uint64]map[int]bool),
-			Written:   make(AddrSet),
-			AllSW:     make(AddrSet),
+			Touched:   make(map[uint64]NodeBits, hint),
+			Written:   make(AddrSet, hint),
+			AllSW:     make(AddrSet, hint),
 		}
+		perNode := len(ep.Misses)/max(tr.Nodes, 1) + 8
 		for n := 0; n < tr.Nodes; n++ {
 			es.Nodes = append(es.Nodes, &NodeSets{
-				SR:       make(AddrSet),
-				SW:       make(AddrSet),
+				SR:       make(AddrSet, perNode),
+				SW:       make(AddrSet, perNode),
 				WF:       make(AddrSet),
-				PCs:      make(map[uint64][]int),
-				WritePCs: make(map[uint64][]int),
+				PCs:      make(map[uint64][]int, perNode),
+				WritePCs: make(map[uint64][]int, perNode),
 			})
 		}
 		for _, m := range ep.Misses {
@@ -167,12 +254,7 @@ func ProcessTrace(tr *trace.Trace) []*EpochSets {
 				ns.WritePCs[m.Addr] = append(ns.WritePCs[m.Addr], m.PC)
 			}
 			ns.PCs[m.Addr] = append(ns.PCs[m.Addr], m.PC)
-			t := es.Touched[m.Addr]
-			if t == nil {
-				t = make(map[int]bool)
-				es.Touched[m.Addr] = t
-			}
-			t[m.Node] = true
+			es.Touched[m.Addr] = es.Touched[m.Addr].with(m.Node)
 		}
 		// Remove write-faulted addresses from the read sets (the fault
 		// implies the read already brought the block in; the location's

@@ -1,0 +1,27 @@
+package dir1sw
+
+import "testing"
+
+// BenchmarkDirectoryLookup drives a pseudo-random read/write mix over a
+// 4 MB shared space (128K blocks), the access pattern whose per-block
+// directory lookups the dense slice serves without map hashing.
+func BenchmarkDirectoryLookup(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.AddrSpace = 1 << 22
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := uint64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		node := int(rng>>33) % cfg.Nodes
+		addr := (rng >> 8) % cfg.AddrSpace
+		if rng&1 == 0 {
+			s.Read(node, addr, uint64(i))
+		} else {
+			s.Write(node, addr, uint64(i))
+		}
+	}
+}

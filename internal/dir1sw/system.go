@@ -2,6 +2,7 @@ package dir1sw
 
 import (
 	"fmt"
+	"math/bits"
 
 	"cachier/internal/cache"
 )
@@ -81,6 +82,13 @@ type Config struct {
 	// far less to save — the ablation that shows the annotations' value is
 	// protocol-specific.
 	FullMap bool
+
+	// AddrSpace is the size in bytes of the laid-out shared address space
+	// (memory.Layout.TotalBytes). When non-zero, directory entries for
+	// blocks inside it live in a dense slice indexed by block number; only
+	// out-of-layout addresses fall back to a map. Zero keeps the map for
+	// everything.
+	AddrSpace uint64
 }
 
 // DefaultConfig is the paper's evaluated machine: 32 nodes, 256 KB 4-way
@@ -107,12 +115,34 @@ type pending struct {
 type System struct {
 	cfg    Config
 	caches []*cache.Cache
-	dir    map[uint64]*entry
+	// dense holds directory entries for blocks inside the known shared
+	// address space (Config.AddrSpace), indexed by block number; dir is the
+	// fallback for everything else. Entries are zero-initialized to Idle and
+	// get their sharer sets on first touch.
+	dense []entry
+	dir   map[uint64]*entry
 	// inflight[n] maps block -> pending prefetch for node n.
 	inflight []map[uint64]pending
 
+	// CheckCoherence scratch, reused across calls (the check runs at every
+	// barrier): one view per cached block, stored in flat parallel arrays to
+	// keep the aggregation pass allocation-free. View i's sharer and
+	// exclusive-holder bitsets live at words [i*w, (i+1)*w) of checkHold and
+	// checkExcl, where w = words per nodeSet. Dense-range blocks find their
+	// view via checkSlot (value = view index + 1, reset between calls);
+	// out-of-layout blocks go through checkIdx.
+	checkBlocks []uint64
+	checkHold   []uint64
+	checkExcl   []uint64
+	checkSlot   []int32
+	checkIdx    map[uint64]int
+
 	Stats Stats
 }
+
+// maxDenseBlocks bounds the dense directory's size (entries are ~64 bytes);
+// a larger configured address space falls back to the map.
+const maxDenseBlocks = 1 << 24
 
 // New builds a System.
 func New(cfg Config) (*System, error) {
@@ -120,6 +150,11 @@ func New(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("dir1sw: need at least one node, got %d", cfg.Nodes)
 	}
 	s := &System{cfg: cfg, dir: make(map[uint64]*entry)}
+	if cfg.AddrSpace > 0 && cfg.BlockSize > 0 {
+		if blocks := (cfg.AddrSpace + uint64(cfg.BlockSize) - 1) / uint64(cfg.BlockSize); blocks <= maxDenseBlocks {
+			s.dense = make([]entry, blocks)
+		}
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		c, err := cache.New(cfg.CacheSize, cfg.Assoc, cfg.BlockSize)
 		if err != nil {
@@ -156,15 +191,28 @@ func (s *System) Cache(node int) *cache.Cache { return s.caches[node] }
 func (s *System) BlockOf(addr uint64) uint64 { return addr / uint64(s.cfg.BlockSize) }
 
 func (s *System) entryFor(block uint64) *entry {
+	if block < uint64(len(s.dense)) {
+		e := &s.dense[block]
+		if e.sharers.words == nil {
+			s.initEntry(e)
+		}
+		return e
+	}
 	e := s.dir[block]
 	if e == nil {
-		e = &entry{state: dirIdle, sharers: newNodeSet(s.cfg.Nodes)}
-		if s.cfg.PostStore {
-			e.pastHolders = newNodeSet(s.cfg.Nodes)
-		}
+		e = &entry{state: dirIdle}
+		s.initEntry(e)
 		s.dir[block] = e
 	}
 	return e
+}
+
+// initEntry gives a fresh directory entry its sharer sets.
+func (s *System) initEntry(e *entry) {
+	e.sharers = newNodeSet(s.cfg.Nodes)
+	if s.cfg.PostStore {
+		e.pastHolders = newNodeSet(s.cfg.Nodes)
+	}
 }
 
 // noteInvalidated records that a node lost its copy to an invalidation, for
@@ -658,44 +706,116 @@ func (s *System) FlushNode(node int) {
 // copy per block; cache states consistent with the directory. It returns an
 // error describing the first violation found. Tests and the simulator's
 // self-checks call this.
+//
+// The walk is driven by the caches' resident lines, O(resident) rather than
+// O(touched blocks × nodes): a directory entry with no cached copy passes
+// every invariant vacuously (Idle and Shared place no requirement without
+// holders, and an Exclusive entry only constrains copies that exist), so
+// only blocks that are actually cached somewhere need inspection.
 func (s *System) CheckCoherence() error {
-	for block, e := range s.dir {
-		var holders []int
-		var exclusive []int
-		for n, c := range s.caches {
-			switch c.Lookup(block) {
-			case cache.Shared:
-				holders = append(holders, n)
-			case cache.Exclusive:
-				exclusive = append(exclusive, n)
+	// Reset the slot scratch from the previous call's touched blocks, then
+	// rebuild the view list. The reset is O(previously cached blocks).
+	for _, b := range s.checkBlocks {
+		if b < uint64(len(s.checkSlot)) {
+			s.checkSlot[b] = 0
+		}
+	}
+	if len(s.checkSlot) < len(s.dense) {
+		s.checkSlot = make([]int32, len(s.dense))
+	}
+	if len(s.checkIdx) > 0 {
+		clear(s.checkIdx)
+	}
+	w := (len(s.caches) + 63) / 64 // bitset words per view
+	blocks := s.checkBlocks[:0]
+	hold := s.checkHold[:0]
+	excl := s.checkExcl[:0]
+	// grow extends a bitset arena by one zeroed view (w words).
+	grow := func(a []uint64, n int) []uint64 {
+		if n <= cap(a) {
+			a = a[:n]
+			for j := n - w; j < n; j++ {
+				a[j] = 0
 			}
+			return a
 		}
-		if len(exclusive) > 1 {
-			return fmt.Errorf("block %d exclusive in %d caches", block, len(exclusive))
+		for j := 0; j < w; j++ {
+			a = append(a, 0)
 		}
-		if len(exclusive) == 1 && len(holders) > 0 {
-			return fmt.Errorf("block %d exclusive in node %d but shared in %v", block, exclusive[0], holders)
+		return a
+	}
+	addView := func(block uint64) int {
+		i := len(blocks)
+		blocks = append(blocks, block)
+		hold = grow(hold, (i+1)*w)
+		excl = grow(excl, (i+1)*w)
+		return i
+	}
+	for n, c := range s.caches {
+		wi, bit := n/64, uint64(1)<<(n%64)
+		c.ForEach(func(block uint64, st cache.State, _ bool) {
+			var i int
+			if block < uint64(len(s.checkSlot)) {
+				if v := s.checkSlot[block]; v > 0 {
+					i = int(v) - 1
+				} else {
+					i = addView(block)
+					s.checkSlot[block] = int32(i) + 1
+				}
+			} else {
+				var ok bool
+				if i, ok = s.checkIdx[block]; !ok {
+					i = addView(block)
+					if s.checkIdx == nil {
+						s.checkIdx = make(map[uint64]int)
+					}
+					s.checkIdx[block] = i
+				}
+			}
+			if st == cache.Exclusive {
+				excl[i*w+wi] |= bit
+			} else {
+				hold[i*w+wi] |= bit
+			}
+		})
+	}
+	s.checkBlocks, s.checkHold, s.checkExcl = blocks, hold, excl
+	for i, block := range blocks {
+		// Wrapping the arena windows in nodeSet reuses its ascending-order
+		// members() for error formatting; the happy path only pops counts.
+		holders := nodeSet{words: hold[i*w : (i+1)*w]}
+		exclusive := nodeSet{words: excl[i*w : (i+1)*w]}
+		ne := exclusive.count()
+		nh := holders.count()
+		if ne > 1 {
+			return fmt.Errorf("block %d exclusive in %d caches", block, ne)
 		}
+		if ne == 1 && nh > 0 {
+			return fmt.Errorf("block %d exclusive in node %d but shared in %v", block, exclusive.sole(), holders.members())
+		}
+		e := s.entryFor(block)
 		switch e.state {
 		case dirIdle:
-			if len(holders)+len(exclusive) > 0 {
-				return fmt.Errorf("block %d idle in directory but cached by %v/%v", block, holders, exclusive)
-			}
+			return fmt.Errorf("block %d idle in directory but cached by %v/%v", block, holders.members(), exclusive.members())
 		case dirShared:
-			if len(exclusive) > 0 {
-				return fmt.Errorf("block %d shared in directory but exclusive in node %d", block, exclusive[0])
+			if ne > 0 {
+				return fmt.Errorf("block %d shared in directory but exclusive in node %d", block, exclusive.sole())
 			}
-			for _, h := range holders {
-				if !e.sharers.has(h) {
-					return fmt.Errorf("block %d cached shared by node %d missing from sharer set", block, h)
+			for hw, word := range holders.words {
+				for word != 0 {
+					h := hw*64 + bits.TrailingZeros64(word)
+					if !e.sharers.has(h) {
+						return fmt.Errorf("block %d cached shared by node %d missing from sharer set", block, h)
+					}
+					word &= word - 1
 				}
 			}
 		case dirExclusive:
-			if len(exclusive) == 1 && exclusive[0] != e.owner {
-				return fmt.Errorf("block %d owned by %d per directory but exclusive in %d", block, e.owner, exclusive[0])
+			if ne == 1 && exclusive.sole() != e.owner {
+				return fmt.Errorf("block %d owned by %d per directory but exclusive in %d", block, e.owner, exclusive.sole())
 			}
-			if len(holders) > 0 {
-				return fmt.Errorf("block %d exclusive in directory but shared in %v", block, holders)
+			if nh > 0 {
+				return fmt.Errorf("block %d exclusive in directory but shared in %v", block, holders.members())
 			}
 		}
 	}

@@ -81,10 +81,21 @@ func (c *Context) flush() {
 	}
 }
 
-// frame is one function activation: scalar and private-array bindings.
+// frame is one function activation. Scalars and private arrays live in
+// exact-size slices; the checker assigns every parameter, local, and loop
+// variable a slot (parc.FuncDecl.NumScalars/NumArrays), so name lookups on
+// checked references are a single index. Locals are function-scoped and
+// slots start zero-valued: a resolved read before the declaration executes
+// yields the zero value rather than a runtime "undefined variable" error.
+//
+// dyn holds loop variables of statements synthesized after checking
+// (Cachier's rewriter generates annotation loops with fresh __cicoN
+// counters directly into a checked AST); it is nil until such a loop runs.
 type frame struct {
-	scalars map[string]Value
-	arrays  map[string]privArray
+	fn      *parc.FuncDecl
+	scalars []Value
+	arrays  []privArray
+	dyn     map[string]Value
 }
 
 type privArray struct {
@@ -93,8 +104,12 @@ type privArray struct {
 	data []Value
 }
 
-func newFrame() *frame {
-	return &frame{scalars: make(map[string]Value), arrays: make(map[string]privArray)}
+// setDyn binds a runtime-created scalar name (generated loop counters).
+func (fr *frame) setDyn(name string, v Value) {
+	if fr.dyn == nil {
+		fr.dyn = make(map[string]Value)
+	}
+	fr.dyn[name] = v
 }
 
 type ctrl int
@@ -110,9 +125,9 @@ func (c *Context) call(f *parc.FuncDecl, args []Value) (Value, error) {
 	}
 	c.depth++
 	defer func() { c.depth-- }()
-	fr := newFrame()
+	fr := &frame{fn: f, scalars: make([]Value, f.NumScalars), arrays: make([]privArray, f.NumArrays)}
 	for i, p := range f.Params {
-		fr.scalars[p.Name] = coerce(args[i], p.Base)
+		fr.scalars[i] = coerce(args[i], p.Base)
 	}
 	ct, v, err := c.execBlock(f.Body, fr)
 	if err != nil {
@@ -152,17 +167,21 @@ func (c *Context) execStmt(s parc.Stmt, fr *frame) (ctrl, Value, error) {
 		return c.execBlock(n, fr)
 
 	case *parc.VarDeclStmt:
+		if n.Slot == 0 {
+			return ctrlNext, Value{}, c.errf("declaration of %q was not checked", n.Name)
+		}
 		if len(n.DimSizes) > 0 {
 			size := 1
 			for _, d := range n.DimSizes {
 				size *= d
 			}
-			fr.arrays[n.Name] = privArray{base: n.Base, dims: n.DimSizes, data: make([]Value, size)}
+			data := make([]Value, size)
 			// Zero-initialize with typed zeros.
-			arr := fr.arrays[n.Name]
-			for i := range arr.data {
-				arr.data[i] = coerce(Value{}, n.Base)
+			zero := coerce(Value{}, n.Base)
+			for i := range data {
+				data[i] = zero
 			}
+			fr.arrays[n.Slot-1] = privArray{base: n.Base, dims: n.DimSizes, data: data}
 			return ctrlNext, Value{}, nil
 		}
 		v := coerce(Value{}, n.Base)
@@ -173,7 +192,7 @@ func (c *Context) execStmt(s parc.Stmt, fr *frame) (ctrl, Value, error) {
 			}
 			v = coerce(iv, n.Base)
 		}
-		fr.scalars[n.Name] = v
+		fr.scalars[n.Slot-1] = v
 		return ctrlNext, Value{}, nil
 
 	case *parc.AssignStmt:
@@ -231,8 +250,21 @@ func (c *Context) execStmt(s parc.Stmt, fr *frame) (ctrl, Value, error) {
 			return ctrlNext, Value{}, c.errf("for %s: zero step", n.Var)
 		}
 		lo, hi := from.AsInt(), to.AsInt()
+		// Resolve the loop counter's slot: checked loops carry it; loops
+		// generated by the rewriter fall back to the binding table, and
+		// fresh generated names (__cicoN) live in the frame's dyn map.
+		slot := n.VarSlot - 1
+		if slot < 0 {
+			if b, ok := fr.fn.Bindings[n.Var]; ok && !b.Array {
+				slot = b.Slot
+			}
+		}
 		for i := lo; (step > 0 && i <= hi) || (step < 0 && i >= hi); i += step {
-			fr.scalars[n.Var] = IntVal(i)
+			if slot >= 0 {
+				fr.scalars[slot] = IntVal(i)
+			} else {
+				fr.setDyn(n.Var, IntVal(i))
+			}
 			ct, v, err := c.execBlock(n.Body, fr)
 			if err != nil || ct == ctrlReturn {
 				return ct, v, err
@@ -306,6 +338,26 @@ func (c *Context) execStmt(s parc.Stmt, fr *frame) (ctrl, Value, error) {
 	return ctrlNext, Value{}, c.errf("cannot execute %T", s)
 }
 
+// resolveLValue returns an lvalue's resolution: the checker's static one
+// when present, otherwise a dynamic lookup for nodes synthesized after
+// checking. RefUnresolved with a nil decl means the name is unknown (or a
+// dyn-map scalar, which the caller checks last).
+func (c *Context) resolveLValue(lv *parc.LValue, fr *frame) (parc.RefKind, int, *parc.SharedDecl) {
+	if lv.Ref != parc.RefUnresolved {
+		return lv.Ref, lv.Slot, lv.Shared
+	}
+	if b, ok := fr.fn.Bindings[lv.Name]; ok {
+		if b.Array {
+			return parc.RefArray, b.Slot, nil
+		}
+		return parc.RefLocal, b.Slot, nil
+	}
+	if d, ok := c.prog.SharedMap[lv.Name]; ok {
+		return parc.RefShared, 0, d
+	}
+	return parc.RefUnresolved, 0, nil
+}
+
 func (c *Context) execAssign(n *parc.AssignStmt, fr *frame) error {
 	rhs, err := c.eval(n.RHS, fr)
 	if err != nil {
@@ -318,13 +370,19 @@ func (c *Context) execAssign(n *parc.AssignStmt, fr *frame) error {
 		}
 	}
 
-	// Private scalar (local, param, or loop variable).
-	if cur, ok := fr.scalars[lv.Name]; ok {
-		fr.scalars[lv.Name] = applyOp(cur, n.Op, rhs, cur.Float)
+	ref, slot, decl := c.resolveLValue(lv, fr)
+	switch ref {
+	case parc.RefLocal:
+		// Private scalar (local, param, or loop variable).
+		cur := fr.scalars[slot]
+		fr.scalars[slot] = applyOp(cur, n.Op, rhs, cur.Float)
 		return nil
-	}
-	// Private array.
-	if arr, ok := fr.arrays[lv.Name]; ok {
+
+	case parc.RefArray:
+		arr := &fr.arrays[slot]
+		if arr.data == nil {
+			return c.errf("undefined variable %q", lv.Name)
+		}
 		off, err := c.offset(lv.Name, arr.dims, lv.Indices, fr)
 		if err != nil {
 			return err
@@ -336,42 +394,49 @@ func (c *Context) execAssign(n *parc.AssignStmt, fr *frame) error {
 		isFloat := arr.base == parc.FloatType
 		arr.data[off] = applyOp(arr.data[off], n.Op, rhs, isFloat)
 		return nil
-	}
-	// Shared variable.
-	decl := c.prog.SharedMap[lv.Name]
-	if decl == nil {
-		return c.errf("undefined variable %q", lv.Name)
-	}
-	addr, err := c.sharedAddr(decl, lv.Indices, fr)
-	if err != nil {
-		return err
-	}
-	isFloat := decl.Base == parc.FloatType
-	var cur Value
-	if n.Op != parc.OpSet {
-		// Compound assignment reads the old value first.
+
+	case parc.RefShared:
+		addr, err := c.sharedAddr(decl, lv.Indices, fr)
+		if err != nil {
+			return err
+		}
+		isFloat := decl.Base == parc.FloatType
+		var cur Value
+		if n.Op != parc.OpSet {
+			// Compound assignment reads the old value first.
+			c.flush()
+			c.mach.Access(c.node, false, addr, c.curPC)
+			cur = FromBits(c.store.Load(addr), isFloat)
+		}
+		out := applyOp(cur, n.Op, rhs, isFloat)
 		c.flush()
-		c.mach.Access(c.node, false, addr, c.curPC)
-		cur = FromBits(c.store.Load(addr), isFloat)
+		c.mach.Access(c.node, true, addr, c.curPC)
+		c.store.StoreWord(addr, out.Bits())
+		return nil
 	}
-	out := applyOp(cur, n.Op, rhs, isFloat)
-	c.flush()
-	c.mach.Access(c.node, true, addr, c.curPC)
-	c.store.StoreWord(addr, out.Bits())
-	return nil
+
+	// Runtime-created scalar (generated loop counter).
+	if cur, ok := fr.dyn[lv.Name]; ok && len(lv.Indices) == 0 {
+		fr.dyn[lv.Name] = applyOp(cur, n.Op, rhs, cur.Float)
+		return nil
+	}
+	return c.errf("undefined variable %q", lv.Name)
 }
 
 // destIsFloat reports whether an lvalue's destination has float type, so
 // compound division can distinguish IEEE division from integer division.
 func (c *Context) destIsFloat(lv *parc.LValue, fr *frame) bool {
-	if v, ok := fr.scalars[lv.Name]; ok {
-		return v.Float
-	}
-	if arr, ok := fr.arrays[lv.Name]; ok {
-		return arr.base == parc.FloatType
-	}
-	if decl, ok := c.prog.SharedMap[lv.Name]; ok {
+	ref, slot, decl := c.resolveLValue(lv, fr)
+	switch ref {
+	case parc.RefLocal:
+		return fr.scalars[slot].Float
+	case parc.RefArray:
+		return fr.arrays[slot].base == parc.FloatType
+	case parc.RefShared:
 		return decl.Base == parc.FloatType
+	}
+	if v, ok := fr.dyn[lv.Name]; ok {
+		return v.Float
 	}
 	return false
 }
@@ -384,32 +449,38 @@ func applyOp(cur Value, op parc.AssignOp, rhs Value, destFloat bool) Value {
 	case parc.OpSet:
 		out = rhs
 	case parc.OpAdd:
-		out = numeric(cur, rhs, func(a, b int64) int64 { return a + b }, func(a, b float64) float64 { return a + b })
+		if cur.Float || rhs.Float {
+			out = FloatVal(cur.AsFloat() + rhs.AsFloat())
+		} else {
+			out = IntVal(cur.I + rhs.I)
+		}
 	case parc.OpSub:
-		out = numeric(cur, rhs, func(a, b int64) int64 { return a - b }, func(a, b float64) float64 { return a - b })
+		if cur.Float || rhs.Float {
+			out = FloatVal(cur.AsFloat() - rhs.AsFloat())
+		} else {
+			out = IntVal(cur.I - rhs.I)
+		}
 	case parc.OpMul:
-		out = numeric(cur, rhs, func(a, b int64) int64 { return a * b }, func(a, b float64) float64 { return a * b })
+		if cur.Float || rhs.Float {
+			out = FloatVal(cur.AsFloat() * rhs.AsFloat())
+		} else {
+			out = IntVal(cur.I * rhs.I)
+		}
 	case parc.OpDiv:
 		// Integer division by zero is rejected by execAssign before the
 		// value reaches here; the int branch guards against it anyway.
-		out = numeric(cur, rhs, func(a, b int64) int64 {
-			if b == 0 {
-				return 0
-			}
-			return a / b
-		}, func(a, b float64) float64 { return a / b })
+		if cur.Float || rhs.Float {
+			out = FloatVal(cur.AsFloat() / rhs.AsFloat())
+		} else if rhs.I == 0 {
+			out = IntVal(0)
+		} else {
+			out = IntVal(cur.I / rhs.I)
+		}
 	}
 	if destFloat {
 		return FloatVal(out.AsFloat())
 	}
 	return IntVal(out.AsInt())
-}
-
-func numeric(a Value, b Value, fi func(int64, int64) int64, ff func(float64, float64) float64) Value {
-	if a.Float || b.Float {
-		return FloatVal(ff(a.AsFloat(), b.AsFloat()))
-	}
-	return IntVal(fi(a.I, b.I))
 }
 
 // offset computes the flattened element offset of an index list against
@@ -439,6 +510,37 @@ func (c *Context) sharedAddr(decl *parc.SharedDecl, indices []parc.Expr, fr *fra
 	return decl.BaseAddr + uint64(off)*parc.ElemSize, nil
 }
 
+// loadShared performs a simulated shared read of one word.
+func (c *Context) loadShared(addr uint64, base parc.BaseType) Value {
+	c.flush()
+	c.mach.Access(c.node, false, addr, c.curPC)
+	return FromBits(c.store.Load(addr), base == parc.FloatType)
+}
+
+// evalPrivIndex reads an element of a private array slot.
+func (c *Context) evalPrivIndex(name string, arr *privArray, indices []parc.Expr, fr *frame) (Value, error) {
+	if arr.data == nil {
+		// The declaration never executed (it sits in a branch this run
+		// skipped); mirror the dynamic-resolution failure message.
+		return Value{}, c.errf("%q is not an array", name)
+	}
+	off, err := c.offset(name, arr.dims, indices, fr)
+	if err != nil {
+		return Value{}, err
+	}
+	c.privReads++
+	return arr.data[off], nil
+}
+
+// evalSharedIndex reads an element of a shared array.
+func (c *Context) evalSharedIndex(decl *parc.SharedDecl, indices []parc.Expr, fr *frame) (Value, error) {
+	addr, err := c.sharedAddr(decl, indices, fr)
+	if err != nil {
+		return Value{}, err
+	}
+	return c.loadShared(addr, decl.Base), nil
+}
+
 func (c *Context) eval(e parc.Expr, fr *frame) (Value, error) {
 	switch n := e.(type) {
 	case *parc.IntLit:
@@ -447,48 +549,58 @@ func (c *Context) eval(e parc.Expr, fr *frame) (Value, error) {
 		return FloatVal(n.Value), nil
 
 	case *parc.VarRef:
-		if v, ok := fr.scalars[n.Name]; ok {
+		switch n.Ref {
+		case parc.RefLocal:
+			return fr.scalars[n.Slot], nil
+		case parc.RefConst:
+			return IntVal(n.Const), nil
+		case parc.RefShared:
+			return c.loadShared(n.Shared.BaseAddr, n.Shared.Base), nil
+		}
+		// Generated reference: resolve by name.
+		if b, ok := fr.fn.Bindings[n.Name]; ok && !b.Array {
+			return fr.scalars[b.Slot], nil
+		}
+		if v, ok := fr.dyn[n.Name]; ok {
 			return v, nil
 		}
 		if v, ok := c.prog.ConstVal[n.Name]; ok {
 			return IntVal(v), nil
 		}
 		if decl, ok := c.prog.SharedMap[n.Name]; ok {
-			// Shared scalar read.
-			c.flush()
-			c.mach.Access(c.node, false, decl.BaseAddr, c.curPC)
-			return FromBits(c.store.Load(decl.BaseAddr), decl.Base == parc.FloatType), nil
+			return c.loadShared(decl.BaseAddr, decl.Base), nil
 		}
 		return Value{}, c.errf("undefined name %q", n.Name)
 
 	case *parc.IndexExpr:
-		if arr, ok := fr.arrays[n.Name]; ok {
-			off, err := c.offset(n.Name, arr.dims, n.Indices, fr)
-			if err != nil {
-				return Value{}, err
-			}
-			c.privReads++
-			return arr.data[off], nil
+		switch n.Ref {
+		case parc.RefArray:
+			return c.evalPrivIndex(n.Name, &fr.arrays[n.Slot], n.Indices, fr)
+		case parc.RefShared:
+			return c.evalSharedIndex(n.Shared, n.Indices, fr)
+		}
+		// Generated reference: resolve by name.
+		if b, ok := fr.fn.Bindings[n.Name]; ok && b.Array {
+			return c.evalPrivIndex(n.Name, &fr.arrays[b.Slot], n.Indices, fr)
 		}
 		decl := c.prog.SharedMap[n.Name]
 		if decl == nil {
 			return Value{}, c.errf("%q is not an array", n.Name)
 		}
-		addr, err := c.sharedAddr(decl, n.Indices, fr)
-		if err != nil {
-			return Value{}, err
-		}
-		c.flush()
-		c.mach.Access(c.node, false, addr, c.curPC)
-		return FromBits(c.store.Load(addr), decl.Base == parc.FloatType), nil
+		return c.evalSharedIndex(decl, n.Indices, fr)
 
 	case *parc.CallExpr:
-		if _, isBuiltin := parc.Builtins[n.Name]; isBuiltin {
-			return c.evalBuiltin(n, fr)
+		id, f := n.Builtin, n.Fn
+		if id == parc.BuiltinNone && f == nil {
+			// Generated call: resolve by name.
+			if bid, ok := parc.BuiltinByName[n.Name]; ok {
+				id = bid
+			} else if f = c.prog.FuncMap[n.Name]; f == nil {
+				return Value{}, c.errf("undefined function %q", n.Name)
+			}
 		}
-		f := c.prog.FuncMap[n.Name]
-		if f == nil {
-			return Value{}, c.errf("undefined function %q", n.Name)
+		if id != parc.BuiltinNone {
+			return c.evalBuiltin(n, id, fr)
 		}
 		args := make([]Value, len(n.Args))
 		for i, a := range n.Args {
@@ -569,11 +681,20 @@ func (c *Context) evalBinary(n *parc.BinaryExpr, fr *frame) (Value, error) {
 	c.work(1)
 	switch n.Op {
 	case parc.TokPlus:
-		return numeric(x, y, func(a, b int64) int64 { return a + b }, func(a, b float64) float64 { return a + b }), nil
+		if x.Float || y.Float {
+			return FloatVal(x.AsFloat() + y.AsFloat()), nil
+		}
+		return IntVal(x.I + y.I), nil
 	case parc.TokMinus:
-		return numeric(x, y, func(a, b int64) int64 { return a - b }, func(a, b float64) float64 { return a - b }), nil
+		if x.Float || y.Float {
+			return FloatVal(x.AsFloat() - y.AsFloat()), nil
+		}
+		return IntVal(x.I - y.I), nil
 	case parc.TokStar:
-		return numeric(x, y, func(a, b int64) int64 { return a * b }, func(a, b float64) float64 { return a * b }), nil
+		if x.Float || y.Float {
+			return FloatVal(x.AsFloat() * y.AsFloat()), nil
+		}
+		return IntVal(x.I * y.I), nil
 	case parc.TokSlash:
 		if x.Float || y.Float {
 			return FloatVal(x.AsFloat() / y.AsFloat()), nil
@@ -626,8 +747,15 @@ func compare(x, y Value) int {
 	return 0
 }
 
-func (c *Context) evalBuiltin(n *parc.CallExpr, fr *frame) (Value, error) {
-	args := make([]Value, len(n.Args))
+func (c *Context) evalBuiltin(n *parc.CallExpr, id parc.BuiltinID, fr *frame) (Value, error) {
+	// Builtins take at most two arguments; keep them off the heap.
+	var buf [2]Value
+	args := buf[:]
+	if len(n.Args) > len(buf) {
+		args = make([]Value, len(n.Args))
+	} else {
+		args = buf[:len(n.Args)]
+	}
 	for i, a := range n.Args {
 		v, err := c.eval(a, fr)
 		if err != nil {
@@ -636,22 +764,22 @@ func (c *Context) evalBuiltin(n *parc.CallExpr, fr *frame) (Value, error) {
 		args[i] = v
 	}
 	c.work(1)
-	switch n.Name {
-	case "pid":
+	switch id {
+	case parc.BuiltinPid:
 		return IntVal(int64(c.node)), nil
-	case "nprocs":
+	case parc.BuiltinNprocs:
 		return IntVal(int64(c.nprocs)), nil
-	case "min":
+	case parc.BuiltinMin:
 		if compare(args[0], args[1]) <= 0 {
 			return args[0], nil
 		}
 		return args[1], nil
-	case "max":
+	case parc.BuiltinMax:
 		if compare(args[0], args[1]) >= 0 {
 			return args[0], nil
 		}
 		return args[1], nil
-	case "abs":
+	case parc.BuiltinAbs:
 		if args[0].Float {
 			return FloatVal(math.Abs(args[0].F)), nil
 		}
@@ -659,22 +787,22 @@ func (c *Context) evalBuiltin(n *parc.CallExpr, fr *frame) (Value, error) {
 			return IntVal(-args[0].I), nil
 		}
 		return args[0], nil
-	case "sqrt":
+	case parc.BuiltinSqrt:
 		return FloatVal(math.Sqrt(args[0].AsFloat())), nil
-	case "sin":
+	case parc.BuiltinSin:
 		return FloatVal(math.Sin(args[0].AsFloat())), nil
-	case "cos":
+	case parc.BuiltinCos:
 		return FloatVal(math.Cos(args[0].AsFloat())), nil
-	case "floor":
+	case parc.BuiltinFloor:
 		return FloatVal(math.Floor(args[0].AsFloat())), nil
-	case "float":
+	case parc.BuiltinFloat:
 		return FloatVal(args[0].AsFloat()), nil
-	case "int":
+	case parc.BuiltinInt:
 		return IntVal(args[0].AsInt()), nil
-	case "rnd":
+	case parc.BuiltinRnd:
 		c.rng = c.rng*6364136223846793005 + 1442695040888963407
 		return FloatVal(float64(c.rng>>11) / (1 << 53)), nil
-	case "rndseed":
+	case parc.BuiltinRndseed:
 		c.rng = uint64(args[0].AsInt())*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
 		return IntVal(0), nil
 	}
@@ -686,7 +814,11 @@ func (c *Context) evalBuiltin(n *parc.CallExpr, fr *frame) (Value, error) {
 // affect program semantics (paper Section 4.5), so out-of-range annotation
 // indices are trimmed rather than faulting.
 func (c *Context) evalRangeRef(r *parc.RangeRef, fr *frame) ([]AddrRange, error) {
-	decl := c.prog.SharedMap[r.Name]
+	decl := r.Shared
+	if decl == nil {
+		// Generated annotation: resolve by name.
+		decl = c.prog.SharedMap[r.Name]
+	}
 	if decl == nil {
 		return nil, c.errf("annotation target %q is not shared", r.Name)
 	}

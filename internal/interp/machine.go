@@ -13,6 +13,10 @@ type AddrRange struct {
 // implements it; calls may suspend the calling processor's goroutine until
 // the scheduler resumes it. All methods are invoked with the processor's
 // accumulated local work already flushed.
+//
+// A Machine is owned by a single simulation run: implementations are not
+// required to be safe for use by goroutines outside that run, and callers
+// must not share one Machine between concurrent simulations.
 type Machine interface {
 	// Access reports a shared-data reference (one element) by node at the
 	// given statement ID.

@@ -119,6 +119,55 @@ type Param struct {
 	Base BaseType
 }
 
+// RefKind classifies what a name reference resolved to. Check fills it in
+// for every reference in a parsed program; nodes synthesized afterwards
+// (Cachier's rewriter builds annotation statements into an already-checked
+// AST) keep the zero value RefUnresolved and are resolved by name at run
+// time instead.
+type RefKind uint8
+
+// Reference kinds.
+const (
+	RefUnresolved RefKind = iota // resolve dynamically (generated node)
+	RefLocal                     // private scalar: Slot indexes the frame's scalars
+	RefArray                     // private array: Slot indexes the frame's arrays
+	RefShared                    // shared variable: Shared points at the declaration
+	RefConst                     // named constant: Const holds the value
+)
+
+// Binding records where a function-local name lives at run time: a slot in
+// the activation frame's scalar or array storage. Check builds one per
+// parameter, local, and loop variable; the interpreter consults the table
+// to resolve generated references that carry no static resolution.
+type Binding struct {
+	Decl  *VarDeclStmt // nil for parameters and implicit loop variables
+	Slot  int
+	Array bool
+}
+
+// BuiltinID identifies a builtin function. BuiltinNone marks a call that is
+// not a builtin (a user function, or a generated node pending dynamic
+// lookup).
+type BuiltinID uint8
+
+// Builtin identifiers.
+const (
+	BuiltinNone BuiltinID = iota
+	BuiltinPid
+	BuiltinNprocs
+	BuiltinMin
+	BuiltinMax
+	BuiltinAbs
+	BuiltinSqrt
+	BuiltinSin
+	BuiltinCos
+	BuiltinFloor
+	BuiltinFloat
+	BuiltinInt
+	BuiltinRnd
+	BuiltinRndseed
+)
+
 // FuncDecl is a function definition. The function named "main" is the SPMD
 // entry point executed by every processor.
 type FuncDecl struct {
@@ -127,6 +176,14 @@ type FuncDecl struct {
 	Params []Param
 	Result *BaseType // nil for void
 	Body   *Block
+
+	// Resolved by Check. Parameters occupy scalar slots 0..len(Params)-1
+	// in declaration order; locals and loop variables follow. ParC scoping
+	// is function-wide with no shadowing, so every name has exactly one
+	// slot for the whole body.
+	NumScalars int
+	NumArrays  int
+	Bindings   map[string]Binding
 }
 
 // Stmt is a ParC statement. Every statement has a unique ID within its
@@ -167,6 +224,7 @@ type VarDeclStmt struct {
 	Init Expr   // nil unless scalar with initializer
 
 	DimSizes []int // resolved by Check
+	Slot     int   // frame slot + 1, resolved by Check; 0 means unresolved
 }
 
 // AssignOp is the operator of an assignment statement.
@@ -210,6 +268,12 @@ type LValue struct {
 	Pos     Pos
 	Name    string
 	Indices []Expr // nil for scalars
+
+	// Resolved by Check (RefLocal, RefArray, or RefShared; constants are
+	// rejected as assignment targets).
+	Ref    RefKind
+	Slot   int
+	Shared *SharedDecl
 }
 
 // IfStmt is a conditional. Else is nil, a *Block, or an *IfStmt (else-if).
@@ -237,6 +301,11 @@ type ForStmt struct {
 	To   Expr
 	Step Expr // nil means 1
 	Body *Block
+
+	// VarSlot is the loop variable's scalar frame slot + 1, resolved by
+	// Check; 0 means unresolved (generated loops look the name up at run
+	// time).
+	VarSlot int
 }
 
 // BarrierStmt is a global barrier; it delimits epochs.
@@ -298,6 +367,8 @@ type RangeRef struct {
 	Pos     Pos
 	Name    string
 	Indices []RangeIndex
+
+	Shared *SharedDecl // resolved by Check; nil on generated nodes
 }
 
 // RangeIndex is one dimension of a RangeRef. Hi is nil for a single index.
@@ -333,6 +404,12 @@ type FloatLit struct {
 type VarRef struct {
 	exprInfo
 	Name string
+
+	// Resolved by Check (RefLocal, RefConst, or RefShared).
+	Ref    RefKind
+	Slot   int
+	Shared *SharedDecl
+	Const  int64
 }
 
 // IndexExpr reads an element of a (shared or private) array.
@@ -340,6 +417,11 @@ type IndexExpr struct {
 	exprInfo
 	Name    string
 	Indices []Expr
+
+	// Resolved by Check (RefArray or RefShared).
+	Ref    RefKind
+	Slot   int
+	Shared *SharedDecl
 }
 
 // CallExpr calls a user function or builtin (pid, nprocs, min, max, abs,
@@ -348,6 +430,11 @@ type CallExpr struct {
 	exprInfo
 	Name string
 	Args []Expr
+
+	// Resolved by Check: exactly one of Builtin/Fn is set for checked
+	// calls; both zero on generated nodes (resolved by name at run time).
+	Builtin BuiltinID
+	Fn      *FuncDecl
 }
 
 // UnaryExpr applies unary minus or logical not.

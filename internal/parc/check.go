@@ -21,6 +21,24 @@ var Builtins = map[string]int{
 	"rndseed": 1,
 }
 
+// BuiltinByName maps builtin names to their identifiers; the interpreter
+// dispatches on the identifier rather than the name.
+var BuiltinByName = map[string]BuiltinID{
+	"pid":     BuiltinPid,
+	"nprocs":  BuiltinNprocs,
+	"min":     BuiltinMin,
+	"max":     BuiltinMax,
+	"abs":     BuiltinAbs,
+	"sqrt":    BuiltinSqrt,
+	"sin":     BuiltinSin,
+	"cos":     BuiltinCos,
+	"floor":   BuiltinFloor,
+	"float":   BuiltinFloat,
+	"int":     BuiltinInt,
+	"rnd":     BuiltinRnd,
+	"rndseed": BuiltinRndseed,
+}
+
 // Check resolves and validates a parsed program: it evaluates constants and
 // array dimensions, verifies name resolution and call arities, requires a
 // parameterless main, and builds the Program's lookup maps (ConstVal,
@@ -106,28 +124,28 @@ func (c *checker) run() error {
 	return nil
 }
 
-// scope tracks names visible in a function body: params and locals. ParC
-// scoping is function-wide for simplicity (as in the paper's pseudocode);
-// redeclaring a name in the same function is an error. The for-loop variable
-// is implicitly declared as a private int if not already declared.
-type scope struct {
-	vars map[string]*VarDeclStmt // nil entry for params / loop vars
-}
-
+// Name scoping: ParC scoping is function-wide for simplicity (as in the
+// paper's pseudocode); redeclaring a name in the same function is an error.
+// The for-loop variable is implicitly declared as a private int if not
+// already declared. checkFunc assigns every name a frame slot as it goes
+// (parameters first, then locals and loop variables in source order) and
+// records the assignment in f.Bindings.
 func (c *checker) checkFunc(f *FuncDecl) error {
-	sc := &scope{vars: make(map[string]*VarDeclStmt)}
+	f.NumScalars, f.NumArrays = 0, 0
+	f.Bindings = make(map[string]Binding)
 	for _, p := range f.Params {
-		if _, dup := sc.vars[p.Name]; dup {
+		if _, dup := f.Bindings[p.Name]; dup {
 			return c.errorf(f.Pos, "parameter %q redeclared", p.Name)
 		}
-		sc.vars[p.Name] = nil
+		f.Bindings[p.Name] = Binding{Slot: f.NumScalars}
+		f.NumScalars++
 	}
-	return c.checkStmt(f.Body, sc)
+	return c.checkStmt(f.Body, f)
 }
 
 func (c *checker) record(s Stmt) { c.prog.Stmts[s.ID()] = s }
 
-func (c *checker) checkStmt(s Stmt, sc *scope) error {
+func (c *checker) checkStmt(s Stmt, fn *FuncDecl) error {
 	if s == nil {
 		return nil
 	}
@@ -135,12 +153,12 @@ func (c *checker) checkStmt(s Stmt, sc *scope) error {
 	switch n := s.(type) {
 	case *Block:
 		for _, child := range n.Stmts {
-			if err := c.checkStmt(child, sc); err != nil {
+			if err := c.checkStmt(child, fn); err != nil {
 				return err
 			}
 		}
 	case *VarDeclStmt:
-		if c.nameKind(n.Name, sc) != nameUnknown {
+		if c.nameKind(n.Name, fn) != nameUnknown {
 			return c.errorf(n.Position(), "variable %q redeclares an existing name", n.Name)
 		}
 		n.DimSizes = nil
@@ -155,75 +173,98 @@ func (c *checker) checkStmt(s Stmt, sc *scope) error {
 			n.DimSizes = append(n.DimSizes, int(v))
 		}
 		if n.Init != nil {
-			if err := c.checkExpr(n.Init, sc); err != nil {
+			if err := c.checkExpr(n.Init, fn); err != nil {
 				return err
 			}
 		}
-		sc.vars[n.Name] = n
+		if len(n.DimSizes) > 0 {
+			n.Slot = fn.NumArrays + 1
+			fn.Bindings[n.Name] = Binding{Decl: n, Slot: fn.NumArrays, Array: true}
+			fn.NumArrays++
+		} else {
+			n.Slot = fn.NumScalars + 1
+			fn.Bindings[n.Name] = Binding{Decl: n, Slot: fn.NumScalars}
+			fn.NumScalars++
+		}
 	case *AssignStmt:
-		if err := c.checkLValue(n.LHS, sc); err != nil {
+		if err := c.checkLValue(n.LHS, fn); err != nil {
 			return err
 		}
-		if err := c.checkExpr(n.RHS, sc); err != nil {
+		if err := c.checkExpr(n.RHS, fn); err != nil {
 			return err
 		}
 	case *IfStmt:
-		if err := c.checkExpr(n.Cond, sc); err != nil {
+		if err := c.checkExpr(n.Cond, fn); err != nil {
 			return err
 		}
-		if err := c.checkStmt(n.Then, sc); err != nil {
+		if err := c.checkStmt(n.Then, fn); err != nil {
 			return err
 		}
-		if err := c.checkStmt(n.Else, sc); err != nil {
+		if err := c.checkStmt(n.Else, fn); err != nil {
 			return err
 		}
 	case *WhileStmt:
-		if err := c.checkExpr(n.Cond, sc); err != nil {
+		if err := c.checkExpr(n.Cond, fn); err != nil {
 			return err
 		}
-		if err := c.checkStmt(n.Body, sc); err != nil {
+		if err := c.checkStmt(n.Body, fn); err != nil {
 			return err
 		}
 	case *ForStmt:
-		if err := c.checkExpr(n.From, sc); err != nil {
+		if err := c.checkExpr(n.From, fn); err != nil {
 			return err
 		}
-		if err := c.checkExpr(n.To, sc); err != nil {
+		if err := c.checkExpr(n.To, fn); err != nil {
 			return err
 		}
 		if n.Step != nil {
-			if err := c.checkExpr(n.Step, sc); err != nil {
+			if err := c.checkExpr(n.Step, fn); err != nil {
 				return err
 			}
 		}
-		if k := c.nameKind(n.Var, sc); k == nameUnknown {
-			sc.vars[n.Var] = nil // implicit private int loop variable
-		} else if k != nameLocal && k != nameParam {
+		switch k := c.nameKind(n.Var, fn); k {
+		case nameUnknown:
+			// Implicit private int loop variable.
+			n.VarSlot = fn.NumScalars + 1
+			fn.Bindings[n.Var] = Binding{Slot: fn.NumScalars}
+			fn.NumScalars++
+		case nameLocal, nameParam:
+			if b := fn.Bindings[n.Var]; b.Array {
+				// The name is a private array; the loop counter is a
+				// distinct hidden scalar of the same name. It cannot be
+				// observed elsewhere: any bare reference to the name is
+				// rejected as an unsubscripted array.
+				n.VarSlot = fn.NumScalars + 1
+				fn.NumScalars++
+			} else {
+				n.VarSlot = b.Slot + 1
+			}
+		default:
 			return c.errorf(n.Position(), "loop variable %q must be private", n.Var)
 		}
-		if err := c.checkStmt(n.Body, sc); err != nil {
+		if err := c.checkStmt(n.Body, fn); err != nil {
 			return err
 		}
 	case *BarrierStmt, *CommentStmt:
 		// nothing to check
 	case *LockStmt:
-		return c.checkExpr(n.LockID, sc)
+		return c.checkExpr(n.LockID, fn)
 	case *UnlockStmt:
-		return c.checkExpr(n.LockID, sc)
+		return c.checkExpr(n.LockID, fn)
 	case *ReturnStmt:
 		if n.Value != nil {
-			return c.checkExpr(n.Value, sc)
+			return c.checkExpr(n.Value, fn)
 		}
 	case *ExprStmt:
-		return c.checkExpr(n.Call, sc)
+		return c.checkExpr(n.Call, fn)
 	case *PrintStmt:
 		for _, a := range n.Args {
-			if err := c.checkExpr(a, sc); err != nil {
+			if err := c.checkExpr(a, fn); err != nil {
 				return err
 			}
 		}
 	case *CICOStmt:
-		return c.checkRangeRef(n.Target, sc)
+		return c.checkRangeRef(n.Target, fn)
 	default:
 		return c.errorf(s.Position(), "unknown statement type %T", s)
 	}
@@ -240,9 +281,9 @@ const (
 	nameParam
 )
 
-func (c *checker) nameKind(name string, sc *scope) nameKindT {
-	if d, ok := sc.vars[name]; ok {
-		if d == nil {
+func (c *checker) nameKind(name string, fn *FuncDecl) nameKindT {
+	if b, ok := fn.Bindings[name]; ok {
+		if b.Decl == nil {
 			return nameParam
 		}
 		return nameLocal
@@ -256,30 +297,43 @@ func (c *checker) nameKind(name string, sc *scope) nameKindT {
 	return nameUnknown
 }
 
-func (c *checker) checkLValue(lv *LValue, sc *scope) error {
-	kind := c.nameKind(lv.Name, sc)
+func (c *checker) checkLValue(lv *LValue, fn *FuncDecl) error {
+	kind := c.nameKind(lv.Name, fn)
 	switch kind {
 	case nameUnknown:
 		return c.errorf(lv.Pos, "undefined variable %q", lv.Name)
 	case nameConst:
 		return c.errorf(lv.Pos, "cannot assign to constant %q", lv.Name)
 	}
-	if err := c.checkIndexArity(lv.Pos, lv.Name, len(lv.Indices), sc); err != nil {
+	if err := c.checkIndexArity(lv.Pos, lv.Name, len(lv.Indices), fn); err != nil {
 		return err
 	}
 	for _, ix := range lv.Indices {
-		if err := c.checkExpr(ix, sc); err != nil {
+		if err := c.checkExpr(ix, fn); err != nil {
 			return err
 		}
+	}
+	switch kind {
+	case nameLocal, nameParam:
+		b := fn.Bindings[lv.Name]
+		if b.Array {
+			lv.Ref = RefArray
+		} else {
+			lv.Ref = RefLocal
+		}
+		lv.Slot = b.Slot
+	case nameShared:
+		lv.Ref = RefShared
+		lv.Shared = c.prog.SharedMap[lv.Name]
 	}
 	return nil
 }
 
 // checkIndexArity verifies the number of indices matches the declared rank.
-func (c *checker) checkIndexArity(pos Pos, name string, n int, sc *scope) error {
+func (c *checker) checkIndexArity(pos Pos, name string, n int, fn *FuncDecl) error {
 	var rank int
-	if d, ok := sc.vars[name]; ok && d != nil {
-		rank = len(d.DimSizes)
+	if b, ok := fn.Bindings[name]; ok && b.Decl != nil {
+		rank = len(b.Decl.DimSizes)
 	} else if d, ok := c.prog.SharedMap[name]; ok {
 		rank = len(d.DimSizes)
 	} else {
@@ -291,7 +345,7 @@ func (c *checker) checkIndexArity(pos Pos, name string, n int, sc *scope) error 
 	return nil
 }
 
-func (c *checker) checkRangeRef(r *RangeRef, sc *scope) error {
+func (c *checker) checkRangeRef(r *RangeRef, fn *FuncDecl) error {
 	d, ok := c.prog.SharedMap[r.Name]
 	if !ok {
 		return c.errorf(r.Pos, "CICO annotation target %q is not a shared variable", r.Name)
@@ -301,49 +355,69 @@ func (c *checker) checkRangeRef(r *RangeRef, sc *scope) error {
 			r.Name, len(d.DimSizes), len(r.Indices))
 	}
 	for _, ix := range r.Indices {
-		if err := c.checkExpr(ix.Lo, sc); err != nil {
+		if err := c.checkExpr(ix.Lo, fn); err != nil {
 			return err
 		}
 		if ix.Hi != nil {
-			if err := c.checkExpr(ix.Hi, sc); err != nil {
+			if err := c.checkExpr(ix.Hi, fn); err != nil {
 				return err
 			}
 		}
 	}
+	r.Shared = d
 	return nil
 }
 
-func (c *checker) checkExpr(e Expr, sc *scope) error {
+func (c *checker) checkExpr(e Expr, fn *FuncDecl) error {
 	switch n := e.(type) {
 	case *IntLit, *FloatLit:
 		return nil
 	case *VarRef:
-		kind := c.nameKind(n.Name, sc)
+		kind := c.nameKind(n.Name, fn)
 		if kind == nameUnknown {
 			return c.errorf(n.Position(), "undefined name %q", n.Name)
 		}
 		if kind == nameShared && len(c.prog.SharedMap[n.Name].DimSizes) != 0 {
 			return c.errorf(n.Position(), "shared array %q used without subscripts", n.Name)
 		}
-		if kind == nameLocal && len(sc.vars[n.Name].DimSizes) != 0 {
+		if kind == nameLocal && fn.Bindings[n.Name].Array {
 			return c.errorf(n.Position(), "array %q used without subscripts", n.Name)
+		}
+		switch kind {
+		case nameLocal, nameParam:
+			n.Ref = RefLocal
+			n.Slot = fn.Bindings[n.Name].Slot
+		case nameConst:
+			n.Ref = RefConst
+			n.Const = c.prog.ConstVal[n.Name]
+		case nameShared:
+			n.Ref = RefShared
+			n.Shared = c.prog.SharedMap[n.Name]
 		}
 		return nil
 	case *IndexExpr:
-		kind := c.nameKind(n.Name, sc)
+		kind := c.nameKind(n.Name, fn)
 		if kind == nameUnknown {
 			return c.errorf(n.Position(), "undefined name %q", n.Name)
 		}
 		if kind == nameConst || kind == nameParam {
 			return c.errorf(n.Position(), "%q is not an array", n.Name)
 		}
-		if err := c.checkIndexArity(n.Position(), n.Name, len(n.Indices), sc); err != nil {
+		if err := c.checkIndexArity(n.Position(), n.Name, len(n.Indices), fn); err != nil {
 			return err
 		}
 		for _, ix := range n.Indices {
-			if err := c.checkExpr(ix, sc); err != nil {
+			if err := c.checkExpr(ix, fn); err != nil {
 				return err
 			}
+		}
+		if kind == nameLocal {
+			// The arity check guarantees a subscripted local is an array.
+			n.Ref = RefArray
+			n.Slot = fn.Bindings[n.Name].Slot
+		} else {
+			n.Ref = RefShared
+			n.Shared = c.prog.SharedMap[n.Name]
 		}
 		return nil
 	case *CallExpr:
@@ -351,26 +425,30 @@ func (c *checker) checkExpr(e Expr, sc *scope) error {
 			if len(n.Args) != arity {
 				return c.errorf(n.Position(), "builtin %q takes %d argument(s), got %d", n.Name, arity, len(n.Args))
 			}
+			n.Builtin = BuiltinByName[n.Name]
+			n.Fn = nil
 		} else if f, ok := c.prog.FuncMap[n.Name]; ok {
 			if len(n.Args) != len(f.Params) {
 				return c.errorf(n.Position(), "function %q takes %d argument(s), got %d", n.Name, len(f.Params), len(n.Args))
 			}
+			n.Builtin = BuiltinNone
+			n.Fn = f
 		} else {
 			return c.errorf(n.Position(), "undefined function %q", n.Name)
 		}
 		for _, a := range n.Args {
-			if err := c.checkExpr(a, sc); err != nil {
+			if err := c.checkExpr(a, fn); err != nil {
 				return err
 			}
 		}
 		return nil
 	case *UnaryExpr:
-		return c.checkExpr(n.X, sc)
+		return c.checkExpr(n.X, fn)
 	case *BinaryExpr:
-		if err := c.checkExpr(n.X, sc); err != nil {
+		if err := c.checkExpr(n.X, fn); err != nil {
 			return err
 		}
-		return c.checkExpr(n.Y, sc)
+		return c.checkExpr(n.Y, fn)
 	}
 	return c.errorf(e.Position(), "unknown expression type %T", e)
 }

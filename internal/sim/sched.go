@@ -1,0 +1,65 @@
+package sim
+
+// readyHeap is a binary min-heap of parked, runnable processors ordered by
+// (clock, id). The id tie-break keeps scheduling deterministic: among equal
+// clocks the lowest processor ID runs first, exactly as the original linear
+// scan over procs in ID order chose it.
+//
+// The heap holds every statusReady processor EXCEPT the one currently
+// executing. Processors enter the heap when they park while still runnable
+// (quantum exhausted) or when a barrier release or lock handoff makes them
+// runnable again, and leave only via pop. Blocked processors (barrier, lock)
+// are never in the heap, and a processor's clock never changes while it is
+// parked, so no re-keying is ever needed.
+type readyHeap struct {
+	ps []*proc
+}
+
+func (h *readyHeap) len() int { return len(h.ps) }
+
+// min returns the runnable processor that must run next; the heap must be
+// non-empty.
+func (h *readyHeap) min() *proc { return h.ps[0] }
+
+func heapLess(a, b *proc) bool {
+	return a.clock < b.clock || (a.clock == b.clock && a.id < b.id)
+}
+
+func (h *readyHeap) push(p *proc) {
+	h.ps = append(h.ps, p)
+	i := len(h.ps) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !heapLess(h.ps[i], h.ps[parent]) {
+			break
+		}
+		h.ps[i], h.ps[parent] = h.ps[parent], h.ps[i]
+		i = parent
+	}
+}
+
+func (h *readyHeap) pop() *proc {
+	top := h.ps[0]
+	last := len(h.ps) - 1
+	h.ps[0] = h.ps[last]
+	h.ps[last] = nil
+	h.ps = h.ps[:last]
+	// Sift the relocated root down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && heapLess(h.ps[l], h.ps[smallest]) {
+			smallest = l
+		}
+		if r < last && heapLess(h.ps[r], h.ps[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.ps[i], h.ps[smallest] = h.ps[smallest], h.ps[i]
+		i = smallest
+	}
+	return top
+}

@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"testing"
+
+	"cachier/internal/parc"
+)
+
+// BenchmarkScheduler stresses the ready-queue: many processors with skewed
+// per-round compute separated by barriers, so every quantum expiry and
+// barrier release reschedules among P runnable contexts. This is the
+// workload where the indexed min-heap replaces the seed's O(P) linear scan.
+func BenchmarkScheduler(b *testing.B) {
+	src := `
+shared int sink[64];
+func main() {
+    var acc int = 0;
+    for r = 0 to 40 {
+        for j = 0 to 16 + pid() {
+            acc += j;
+        }
+        barrier;
+    }
+    sink[pid()] = acc;
+}
+`
+	prog, err := parc.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Nodes = 64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(prog, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

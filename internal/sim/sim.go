@@ -11,6 +11,14 @@
 // than one scheduling quantum ahead. Identical inputs therefore produce
 // identical traces, statistics, and execution times.
 //
+// Internally the runnable set is a min-heap keyed by (clock, processor ID),
+// and the running processor batches cycles — local work and plain cache
+// hits — against a cached quantum limit, touching the scheduler only when
+// the quantum is exceeded or a protocol-visible event (miss, directive,
+// barrier, lock, print) forces a scheduling decision. Both are pure
+// optimizations: the schedule, and therefore every simulated result, is
+// bit-identical to the original linear-scan scheduler's.
+//
 // In trace mode the simulator additionally flushes every node's shared-data
 // cache at each barrier and records all misses, producing the paper's
 // Figure 3 trace for Cachier; CICO annotations are ignored so the trace
@@ -154,12 +162,17 @@ func (r *Result) SharingDegree() (loads, stores float64) {
 	}
 	// Private array accesses are counted by the interpreter contexts and
 	// folded in by Run.
+	// The two ratios are independent: a program with no stores still has a
+	// well-defined load-sharing degree, and vice versa.
 	tl := sr + r.privReads
 	ts := sw + r.privWrites
-	if tl == 0 || ts == 0 {
-		return 0, 0
+	if tl > 0 {
+		loads = float64(sr) / float64(tl)
 	}
-	return float64(sr) / float64(tl), float64(sw) / float64(ts)
+	if ts > 0 {
+		stores = float64(sw) / float64(ts)
+	}
+	return loads, stores
 }
 
 type procStatus int
@@ -197,9 +210,16 @@ type lockState struct {
 	waiters []int // FIFO
 }
 
-// Machine implements interp.Machine and owns all simulation state. All
-// mutations happen while exactly one goroutine (a proc or the coordinator)
-// is active, so no locking is needed.
+// Machine implements interp.Machine and owns all simulation state.
+//
+// Single-owner invariant: a Machine belongs to exactly one Run call. Within
+// a run, the proc goroutines and the coordinator hand execution off through
+// channels so that at most one of them is ever active; all mutations happen
+// inside that single active goroutine, which is why no field is locked.
+// Concurrent simulations (e.g. the parallel bench harness) must each call
+// Run and get their own Machine — sharing one across goroutines, or calling
+// interp.Machine methods from outside the run's own proc goroutines, is a
+// data race.
 type Machine struct {
 	cfg    Config
 	prog   *parc.Program
@@ -213,6 +233,13 @@ type Machine struct {
 	done             int
 	locks            map[int64]*lockState
 	wake             chan struct{} // coordinator wakeup
+
+	// ready holds the parked runnable processors; limit caches
+	// ready.min().clock + Quantum (MaxUint64 when the heap is empty) so the
+	// running processor's keep-running test is a single compare. The cache is
+	// refreshed after every heap mutation.
+	ready readyHeap
+	limit uint64
 
 	builder  *trace.Builder
 	barriers int
@@ -252,6 +279,7 @@ func Run(prog *parc.Program, cfg Config) (*Result, error) {
 		Costs:     cfg.Costs,
 		PostStore: cfg.PostStore,
 		FullMap:   cfg.FullMap,
+		AddrSpace: layout.TotalBytes(),
 	})
 	if err != nil {
 		return nil, err
@@ -283,7 +311,12 @@ func Run(prog *parc.Program, cfg Config) (*Result, error) {
 		go m.runProc(ctxs[i], m.procs[i])
 	}
 
-	// Start processor 0 and wait for the machine to finish or fail.
+	// Start processor 0 and wait for the machine to finish or fail. All
+	// other processors begin parked and runnable at clock 0.
+	for i := 1; i < cfg.Nodes; i++ {
+		m.ready.push(m.procs[i])
+	}
+	m.refreshLimit()
 	m.procs[0].resume <- resumeMsg{}
 	<-m.wake
 
@@ -363,7 +396,7 @@ func (m *Machine) runProc(ctx *interp.Context, p *proc) {
 	}
 	// A finishing processor may be the last thing a barrier was waiting on.
 	if m.waiting > 0 && m.waiting == m.activeProcs() {
-		m.releaseBarrier(m.pendingBarrierPC)
+		m.releaseBarrier(m.pendingBarrierPC, p.id)
 	}
 	m.yield(p)
 }
@@ -395,19 +428,40 @@ func (m *Machine) park(p *proc) {
 // the caller remains the best choice (within the quantum) it simply returns.
 // When nothing is runnable it wakes the coordinator (completion or
 // deadlock).
+//
+// The fast path is the cycle batch that lets plain cache hits and local Work
+// stay on the running goroutine: while the caller's clock is within the
+// cached limit (smallest parked runnable clock + quantum) no scheduler state
+// is touched at all — the accumulated cycles are only reconciled against the
+// heap when the quantum is exceeded or the caller blocks. The decision
+// points and their outcomes are identical to the original O(P) scan: the
+// scan kept the caller running iff its clock was within one quantum of the
+// smallest runnable clock, which is exactly what limit encodes.
 func (m *Machine) yield(p *proc) {
-	best := -1
-	for _, q := range m.procs {
-		if q.status != statusReady {
-			continue
-		}
-		if best < 0 || q.clock < m.procs[best].clock {
-			best = q.id
-		}
+	if p.status == statusReady && p.clock <= m.limit {
+		return // keep running
 	}
-	if best < 0 {
-		// Nothing runnable: the program completed, or every remaining node
-		// is blocked (deadlock).
+	m.yieldSwitch(p)
+}
+
+// refreshLimit recomputes the running processor's keep-running bound after a
+// heap mutation.
+func (m *Machine) refreshLimit() {
+	if m.ready.len() == 0 {
+		m.limit = ^uint64(0)
+	} else {
+		m.limit = m.ready.min().clock + m.cfg.Quantum
+	}
+}
+
+// yieldSwitch is yield's slow path: hand off to the heap minimum, or wake
+// the coordinator when nothing is runnable.
+func (m *Machine) yieldSwitch(p *proc) {
+	if m.ready.len() == 0 {
+		// Nothing else is runnable, and the caller cannot continue (a
+		// runnable caller would have taken the fast path, since an empty
+		// heap leaves the limit unbounded): the program completed, or every
+		// remaining node is blocked (deadlock).
 		if m.done < len(m.procs) && m.runErr == nil {
 			m.runErr = fmt.Errorf("sim: deadlock: %d of %d nodes blocked (barrier waiters: %d)",
 				len(m.procs)-m.done, len(m.procs), m.waiting)
@@ -418,17 +472,16 @@ func (m *Machine) yield(p *proc) {
 		}
 		return
 	}
+	q := m.ready.pop()
 	if p.status == statusReady {
-		if best == p.id || p.clock <= m.procs[best].clock+m.cfg.Quantum {
-			return // keep running
-		}
+		m.ready.push(p)
 	}
+	m.refreshLimit()
 	// Decide our own fate BEFORE waking the next processor: after the send,
 	// the woken chain runs concurrently with us and may mutate our status
 	// (a barrier release flipping us back to ready), so reading it past the
 	// handoff would race. A done processor never changes status again.
 	amDone := p.status == statusDone
-	q := m.procs[best]
 	q.resume <- resumeMsg{}
 	if amDone {
 		return
@@ -540,7 +593,7 @@ func (m *Machine) Barrier(node int, pc int) {
 	m.waiting++
 	m.pendingBarrierPC = pc
 	if m.waiting == m.activeProcs() {
-		m.releaseBarrier(pc)
+		m.releaseBarrier(pc, p.id)
 	}
 	m.yield(p)
 }
@@ -549,8 +602,10 @@ func (m *Machine) Barrier(node int, pc int) {
 func (m *Machine) activeProcs() int { return len(m.procs) - m.done }
 
 // releaseBarrier completes a global barrier: synchronizes clocks, flushes
-// caches and closes the trace epoch in trace mode.
-func (m *Machine) releaseBarrier(pc int) {
+// caches and closes the trace epoch in trace mode. Released processors are
+// returned to the ready heap, except the active one (identified by its
+// processor ID), whose fate the subsequent yield decides.
+func (m *Machine) releaseBarrier(pc int, active int) {
 	var maxClock uint64
 	for _, q := range m.procs {
 		if q.status == statusBarrier && q.arrival > maxClock {
@@ -572,8 +627,12 @@ func (m *Machine) releaseBarrier(pc int) {
 		if q.status == statusBarrier {
 			q.status = statusReady
 			q.clock = release
+			if q.id != active {
+				m.ready.push(q)
+			}
 		}
 	}
+	m.refreshLimit()
 	m.waiting = 0
 	m.barriers++
 	if m.cfg.SelfCheck && m.runErr == nil {
@@ -634,6 +693,8 @@ func (m *Machine) Unlock(node int, id int64, pc int) {
 		if t := p.clock + m.cfg.LockTransfer; t > q.clock {
 			q.clock = t
 		}
+		m.ready.push(q)
+		m.refreshLimit()
 	} else {
 		ls.held = false
 	}

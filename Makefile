@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench check
+.PHONY: all build test race vet bench check fuzz cover
 
 all: build
 
@@ -24,3 +24,23 @@ bench:
 	$(GO) test -run xxx -bench 'Fig6|Scheduler|DirectoryLookup' -benchtime 1x ./...
 
 check: build vet test race
+
+# Native fuzzing over the conformance harness: FuzzPipeline explores the
+# generator's seed space through the full trace/annotate/simulate pipeline,
+# FuzzAnnotatedEquivalence hammers the annotated artifact itself. Raise
+# FUZZTIME for long soaks (make fuzz FUZZTIME=10m).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzPipeline$$' -fuzztime $(FUZZTIME) ./internal/conformance
+	$(GO) test -run '^$$' -fuzz '^FuzzAnnotatedEquivalence$$' -fuzztime $(FUZZTIME) ./internal/conformance
+
+# Coverage with a checked-in floor. The floor sits a few points under the
+# current total (see EXPERIMENTS.md) so it trips on real regressions, not on
+# noise.
+COVER_MIN ?= 75
+cover:
+	$(GO) test ./... -coverprofile=cover.out
+	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
+	awk -v t=$$total -v min=$(COVER_MIN) 'BEGIN { \
+		if (t+0 < min+0) { printf "FAIL: total coverage %.1f%% is below the %d%% minimum\n", t, min; exit 1 } \
+		printf "total coverage %.1f%% (minimum %d%%)\n", t, min }'

@@ -22,6 +22,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -32,25 +33,40 @@ import (
 )
 
 func main() {
-	var (
-		traceFile = flag.String("trace", "", "execution trace file(s) from wwt -trace, comma-separated for a training set")
-		selfTrace = flag.Bool("self", false, "trace internally instead of reading a file")
-		out       = flag.String("o", "", "output file (default stdout)")
-		style     = flag.String("style", "performance", `"performance" or "programmer"`)
-		prefetch  = flag.Bool("prefetch", false, "insert prefetch annotations")
-		report    = flag.Bool("report", false, "print the CICO communication cost report")
-		cache     = flag.Int("cache", 256*1024, "cache capacity for placement decisions")
-		nodes     = flag.Int("nodes", 32, "nodes for -self tracing")
-	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cachier [flags] program.parc")
-		flag.Usage()
-		os.Exit(2)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "cachier:", err)
+		}
+		os.Exit(1)
 	}
-	srcBytes, err := os.ReadFile(flag.Arg(0))
+}
+
+// run is the whole program behind an error seam, so golden tests drive it
+// with in-memory writers exactly as main drives it with the real streams.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("cachier", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		traceFile = fs.String("trace", "", "execution trace file(s) from wwt -trace, comma-separated for a training set")
+		selfTrace = fs.Bool("self", false, "trace internally instead of reading a file")
+		out       = fs.String("o", "", "output file (default stdout)")
+		style     = fs.String("style", "performance", `"performance" or "programmer"`)
+		prefetch  = fs.Bool("prefetch", false, "insert prefetch annotations")
+		report    = fs.Bool("report", false, "print the CICO communication cost report")
+		cache     = fs.Int("cache", 256*1024, "cache capacity for placement decisions")
+		nodes     = fs.Int("nodes", 32, "nodes for -self tracing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: cachier [flags] program.parc")
+		fs.Usage()
+		return fmt.Errorf("expected one program, got %d arguments", fs.NArg())
+	}
+	srcBytes, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	src := string(srcBytes)
 
@@ -59,14 +75,14 @@ func main() {
 	case *selfTrace:
 		prog, err := parc.Parse(src)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		cfg := sim.DefaultConfig()
 		cfg.Nodes = *nodes
 		cfg.Mode = sim.ModeTrace
 		res, err := sim.Run(prog, cfg)
 		if err != nil {
-			fatal(fmt.Errorf("tracing: %w", err))
+			return fmt.Errorf("tracing: %w", err)
 		}
 		traces = []*trace.Trace{res.Trace}
 	case *traceFile != "":
@@ -75,17 +91,18 @@ func main() {
 		for _, name := range strings.Split(*traceFile, ",") {
 			f, err := os.Open(name)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			tr, err := trace.Read(f)
 			if err != nil {
-				fatal(err)
+				f.Close()
+				return err
 			}
 			f.Close()
 			traces = append(traces, tr)
 		}
 	default:
-		fatal(fmt.Errorf("either -trace FILE[,FILE...] or -self is required"))
+		return fmt.Errorf("either -trace FILE[,FILE...] or -self is required")
 	}
 
 	opts := core.DefaultOptions()
@@ -97,34 +114,30 @@ func main() {
 	case "programmer":
 		opts.Style = core.StyleProgrammer
 	default:
-		fatal(fmt.Errorf("unknown style %q", *style))
+		return fmt.Errorf("unknown style %q", *style)
 	}
 
 	res, err := core.AnnotateMulti(src, traces, opts)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *out == "" {
-		fmt.Print(res.Source)
+		fmt.Fprint(stdout, res.Source)
 	} else if err := os.WriteFile(*out, []byte(res.Source), 0o644); err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "cachier: inserted %d annotation statement(s) (%s CICO)\n",
+	fmt.Fprintf(stderr, "cachier: inserted %d annotation statement(s) (%s CICO)\n",
 		res.Annotations, opts.Style)
 	for _, r := range res.Reports {
 		loc := ""
 		if r.Pos.IsValid() {
 			loc = fmt.Sprintf(" at %s", r.Pos)
 		}
-		fmt.Fprintf(os.Stderr, "cachier: %s on %s%s (first seen epoch %d, %d address(es))\n",
+		fmt.Fprintf(stderr, "cachier: %s on %s%s (first seen epoch %d, %d address(es))\n",
 			r.Kind, r.Var, loc, r.Epoch, r.Addrs)
 	}
 	if *report {
-		fmt.Fprint(os.Stderr, res.Cost.String())
+		fmt.Fprint(stderr, res.Cost.String())
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cachier:", err)
-	os.Exit(1)
+	return nil
 }

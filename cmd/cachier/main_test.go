@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cachier/internal/parc"
+	"cachier/internal/sim"
+	"cachier/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch (re-run with -update if the change is intended)\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+// TestGoldenSelf pins the annotated program and the stderr summary (placement
+// counts, race/false-sharing reports, cost report) for the fixture under
+// -self tracing.
+func TestGoldenSelf(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-self", "-nodes", "4", "-prefetch", "-report",
+		filepath.Join("testdata", "fixture.parc")}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	checkGolden(t, "annotated.golden", stdout.Bytes())
+	checkGolden(t, "summary.golden", stderr.Bytes())
+
+	// The emitted program must be accepted by the front end unchanged.
+	prog, err := parc.Parse(stdout.String())
+	if err != nil {
+		t.Fatalf("annotated output does not parse: %v", err)
+	}
+	if err := parc.Check(prog); err != nil {
+		t.Fatalf("annotated output does not check: %v", err)
+	}
+}
+
+// TestTraceFileMatchesSelf feeds the same execution through the -trace file
+// path and expects byte-identical annotated output.
+func TestTraceFileMatchesSelf(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "fixture.parc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := parc.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.Mode = sim.ModeTrace
+	res, err := sim.Run(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(t.TempDir(), "fixture.trace")
+	f, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(f, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var fromFile, fromSelf, stderr bytes.Buffer
+	fixture := filepath.Join("testdata", "fixture.parc")
+	if err := run([]string{"-trace", tracePath, "-prefetch", fixture}, &fromFile, &stderr); err != nil {
+		t.Fatalf("-trace run: %v", err)
+	}
+	if err := run([]string{"-self", "-nodes", "4", "-prefetch", fixture}, &fromSelf, &stderr); err != nil {
+		t.Fatalf("-self run: %v", err)
+	}
+	if !bytes.Equal(fromFile.Bytes(), fromSelf.Bytes()) {
+		t.Errorf("-trace and -self annotate differently:\n--- file ---\n%s\n--- self ---\n%s",
+			fromFile.String(), fromSelf.String())
+	}
+}
+
+func TestRunArgErrors(t *testing.T) {
+	fixture := filepath.Join("testdata", "fixture.parc")
+	var stdout, stderr bytes.Buffer
+	if err := run(nil, &stdout, &stderr); err == nil {
+		t.Error("no arguments: want error, got nil")
+	}
+	if err := run([]string{fixture}, &stdout, &stderr); err == nil {
+		t.Error("neither -trace nor -self: want error, got nil")
+	}
+	if err := run([]string{"-self", "-style", "bogus", fixture}, &stdout, &stderr); err == nil {
+		t.Error("unknown style: want error, got nil")
+	}
+}

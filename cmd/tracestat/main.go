@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -19,25 +20,40 @@ import (
 )
 
 func main() {
-	races := flag.Bool("races", false, "list data races and false sharing per epoch")
-	vars := flag.Bool("vars", false, "attribute misses to labelled regions")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracestat [flags] trace-file")
-		flag.Usage()
-		os.Exit(2)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "tracestat:", err)
+		}
+		os.Exit(1)
 	}
-	f, err := os.Open(flag.Arg(0))
+}
+
+// run is the whole program behind an error seam, so golden tests drive it
+// with in-memory writers exactly as main drives it with the real streams.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tracestat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	races := fs.Bool("races", false, "list data races and false sharing per epoch")
+	vars := fs.Bool("vars", false, "attribute misses to labelled regions")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: tracestat [flags] trace-file")
+		fs.Usage()
+		return fmt.Errorf("expected one trace file, got %d arguments", fs.NArg())
+	}
+	f, err := os.Open(fs.Arg(0))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	tr, err := trace.Read(f)
 	f.Close()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	fmt.Printf("trace: %d nodes, %d-byte blocks, %d epochs, %d labelled regions\n",
+	fmt.Fprintf(stdout, "trace: %d nodes, %d-byte blocks, %d epochs, %d labelled regions\n",
 		tr.Nodes, tr.BlockSize, len(tr.Epochs), len(tr.Labels))
 
 	labelOf := makeLabeler(tr.Labels)
@@ -55,10 +71,10 @@ func main() {
 			}
 		}
 		totR, totW, totF = totR+r, totW+w, totF+fl
-		fmt.Printf("epoch %2d (barrier pc %4d): %6d read misses, %6d write misses, %6d write faults\n",
+		fmt.Fprintf(stdout, "epoch %2d (barrier pc %4d): %6d read misses, %6d write misses, %6d write faults\n",
 			ep.Index, ep.BarrierPC, r, w, fl)
 	}
-	fmt.Printf("total: %d read misses, %d write misses, %d write faults\n", totR, totW, totF)
+	fmt.Fprintf(stdout, "total: %d read misses, %d write misses, %d write faults\n", totR, totW, totF)
 
 	if *vars {
 		counts := map[string]int{}
@@ -72,16 +88,16 @@ func main() {
 			names = append(names, n)
 		}
 		sort.Slice(names, func(i, j int) bool { return counts[names[i]] > counts[names[j]] })
-		fmt.Println("\nmisses by labelled region:")
+		fmt.Fprintln(stdout, "\nmisses by labelled region:")
 		for _, n := range names {
-			fmt.Printf("  %-16s %d\n", n, counts[n])
+			fmt.Fprintf(stdout, "  %-16s %d\n", n, counts[n])
 		}
 	}
 
 	if *races {
 		epochs := core.ProcessTrace(tr)
 		conflicts := core.FindAllConflicts(epochs, tr.BlockSize)
-		fmt.Println("\nconflicts (potential data races and false sharing):")
+		fmt.Fprintln(stdout, "\nconflicts (potential data races and false sharing):")
 		any := false
 		for i, c := range conflicts {
 			byVar := map[string][2]int{}
@@ -103,14 +119,15 @@ func main() {
 			for _, n := range names {
 				v := byVar[n]
 				any = true
-				fmt.Printf("  epoch %2d: %-16s %d raced address(es), %d falsely shared\n",
+				fmt.Fprintf(stdout, "  epoch %2d: %-16s %d raced address(es), %d falsely shared\n",
 					i, n, v[0], v[1])
 			}
 		}
 		if !any {
-			fmt.Println("  none")
+			fmt.Fprintln(stdout, "  none")
 		}
 	}
+	return nil
 }
 
 // makeLabeler maps addresses to region labels using the trace's labelling
@@ -136,9 +153,4 @@ func makeLabeler(labels []trace.Label) func(uint64) string {
 		}
 		return "(unlabelled)"
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracestat:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cachier/internal/parc"
+	"cachier/internal/sim"
+	"cachier/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// writeFixtureTrace traces testdata/fixture.parc on a small deterministic
+// machine and writes the trace to a temp file, as wwt -trace would.
+func writeFixtureTrace(t *testing.T) string {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", "fixture.parc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := parc.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.Mode = sim.ModeTrace
+	res, err := sim.Run(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fixture.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(f, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch (re-run with -update if the change is intended)\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+// TestGolden pins the full -races -vars report for the fixture trace. The
+// trace is regenerated in-process each run, so this also guards trace
+// determinism through the Write/Read round trip.
+func TestGolden(t *testing.T) {
+	path := writeFixtureTrace(t)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-races", "-vars", path}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("unexpected stderr: %s", stderr.String())
+	}
+	checkGolden(t, "tracestat.golden", stdout.Bytes())
+}
+
+func TestRunArgErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(nil, &stdout, &stderr); err == nil {
+		t.Error("no arguments: want error, got nil")
+	}
+	if err := run([]string{"does-not-exist.trace"}, &stdout, &stderr); err == nil {
+		t.Error("missing file: want error, got nil")
+	}
+}

@@ -16,6 +16,24 @@ func BlocksInRange(lo, hi uint64, blockSize int) uint64 {
 	return hi/bs - lo/bs + 1
 }
 
+// BlocksTouched returns how many distinct cache blocks a set of element
+// addresses occupies. It is the block-footprint side of the CICO cost
+// equations: a node that writes these addresses in an epoch must acquire at
+// least this many blocks exclusively (by write miss, write fault,
+// check_out_x, or prefetch_x), which is what lets a differential harness
+// bound measured protocol counters by trace-derived footprints.
+func BlocksTouched(addrs map[uint64]bool, blockSize int) uint64 {
+	if blockSize <= 0 {
+		return 0
+	}
+	bs := uint64(blockSize)
+	blocks := make(map[uint64]bool, len(addrs))
+	for a := range addrs {
+		blocks[a/bs] = true
+	}
+	return uint64(len(blocks))
+}
+
 // JacobiWholeMatrixCheckouts is the paper's Section 2.1 first regime: the
 // blocked N x N matrix fits in each processor's cache, so the matrix is
 // checked out once and only boundary rows/columns are re-checked-out each

@@ -1,0 +1,79 @@
+package conformance
+
+import (
+	"testing"
+)
+
+// corpusSize is the deterministic corpus: seeds 0..corpusSize-1. Every seed
+// runs the full differential pipeline (oracle + four simulated variants +
+// per-access protocol probe + cost bounds), so tier-1 CI gets real
+// adversarial coverage without any fuzz time.
+const corpusSize = 200
+
+// TestCorpus runs the full differential check over the fixed seed corpus.
+func TestCorpus(t *testing.T) {
+	for seed := int64(0); seed < corpusSize; seed++ {
+		seed := seed
+		t.Run(seedName(seed), func(t *testing.T) {
+			t.Parallel()
+			if err := RunSeed(seed); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		})
+	}
+}
+
+// TestAnnotatedEquivalenceCorpus runs the annotated-artifact check over a
+// corpus slice (it overlaps RunSeed's work, so a smaller sample keeps the
+// suite fast; the fuzz target extends it indefinitely).
+func TestAnnotatedEquivalenceCorpus(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		seed := seed
+		t.Run(seedName(seed), func(t *testing.T) {
+			t.Parallel()
+			if err := RunAnnotatedEquivalence(seed); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		})
+	}
+}
+
+func seedName(seed int64) string {
+	const digits = "0123456789"
+	if seed == 0 {
+		return "seed0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v := seed; v > 0; v /= 10 {
+		i--
+		buf[i] = digits[v%10]
+	}
+	return "seed" + string(buf[i:])
+}
+
+// FuzzPipeline extends TestCorpus to arbitrary seeds under `go test -fuzz`:
+// the fuzzer explores the generator's seed space looking for a program any
+// pipeline stage mishandles.
+func FuzzPipeline(f *testing.F) {
+	for seed := int64(0); seed < 10; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if err := RunSeed(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzAnnotatedEquivalence fuzzes the annotated-artifact equivalence check.
+func FuzzAnnotatedEquivalence(f *testing.F) {
+	for seed := int64(0); seed < 10; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if err := RunAnnotatedEquivalence(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

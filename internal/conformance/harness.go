@@ -1,0 +1,300 @@
+// Package conformance is the differential backbone demanded by the paper's
+// central claim: CICO annotations are semantics-preserving performance
+// directives (Sections 3-5). For each generated ParC program the harness
+// runs the complete pipeline — trace, Cachier placement in every style,
+// simulation of every variant — and checks all of it against the sequential
+// oracle:
+//
+//  1. Final shared memory of every variant (unannotated, Performance CICO,
+//     Performance+prefetch, Programmer CICO) is bit-identical to the
+//     oracle's, and print output matches as a multiset.
+//  2. Dir1SW never violates its coherence invariants, checked per access by
+//     the dir1sw probe rather than only at barriers.
+//  3. The CICO cost equations bound the measured protocol counts: a
+//     program that writes W distinct blocks must check out at least W
+//     blocks exclusively, the annotation sets stay inside the trace's
+//     read/write footprints, and the cost report obeys the model's own
+//     arithmetic.
+//
+// The same entry points back the deterministic 200-seed corpus test and the
+// native fuzz targets.
+package conformance
+
+import (
+	"fmt"
+	"sort"
+
+	"cachier/internal/cico"
+	"cachier/internal/core"
+	"cachier/internal/dir1sw"
+	"cachier/internal/oracle"
+	"cachier/internal/parc"
+	"cachier/internal/parcgen"
+	"cachier/internal/sim"
+	"cachier/internal/testutil"
+)
+
+// Nodes is the simulated machine size used for generated programs; it must
+// match parcgen.DefaultConfig().Nodes so partitions divide evenly.
+const Nodes = 4
+
+const blockSize = 32
+
+// simConfig returns the harness's machine: small, probed, self-checking.
+func simConfig(mode sim.Mode) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Nodes = Nodes
+	cfg.BlockSize = blockSize
+	cfg.Mode = mode
+	cfg.SelfCheck = true
+	cfg.Probe = true
+	return cfg
+}
+
+// RunSeed generates the seed's program and runs the full differential check.
+func RunSeed(seed int64) error {
+	return RunSource(parcgen.Generate(seed))
+}
+
+// RunSource runs the differential check on one ParC source text.
+func RunSource(src string) error {
+	prog, err := parseChecked(src)
+	if err != nil {
+		return fmt.Errorf("generated program invalid: %w", err)
+	}
+
+	// Printer round trip: the printed form must re-parse to the same AST.
+	printed := parc.Print(prog)
+	reparsed, err := parseChecked(printed)
+	if err != nil {
+		return fmt.Errorf("printed program does not re-parse: %w\n%s", err, printed)
+	}
+	if err := parc.ASTEqual(prog, reparsed); err != nil {
+		return fmt.Errorf("print/re-parse changed the AST: %w", err)
+	}
+
+	// Ground truth.
+	want, err := oracle.Run(prog, oracle.Config{Nprocs: Nodes, BlockSize: blockSize})
+	if err != nil {
+		return fmt.Errorf("oracle: %w", err)
+	}
+
+	// Trace the unannotated program (ModeTrace also executes it fully, so it
+	// is the first simulator variant to survive the memory check).
+	traceRes, err := sim.Run(prog, simConfig(sim.ModeTrace))
+	if err != nil {
+		return fmt.Errorf("trace run: %w", err)
+	}
+	if err := checkVariant("trace-mode", traceRes, want); err != nil {
+		return err
+	}
+
+	// The Section 4.1 equations must hold on this real trace, in both
+	// styles, exactly as they do on testutil's synthetic ones.
+	epochs := core.ProcessTrace(traceRes.Trace)
+	conflicts := core.FindAllConflicts(epochs, traceRes.Trace.BlockSize)
+	for _, style := range []core.Style{core.StyleProgrammer, core.StylePerformance} {
+		ann := core.ComputeAnnotations(epochs, conflicts, style)
+		if err := testutil.CheckAnnotationSets(epochs, ann, style); err != nil {
+			return fmt.Errorf("annotation sets: %w", err)
+		}
+	}
+
+	// Unannotated perf run.
+	plainRes, err := sim.Run(prog, simConfig(sim.ModePerf))
+	if err != nil {
+		return fmt.Errorf("unannotated run: %w", err)
+	}
+	if err := checkVariant("unannotated", plainRes, want); err != nil {
+		return err
+	}
+	if err := checkCheckoutBound("unannotated", plainRes.Stats, want); err != nil {
+		return err
+	}
+
+	// Cachier placement in all three styles, each simulated from its
+	// printed source so the annotated text round-trips through the real
+	// parser exactly as a user's file would.
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"performance", core.Options{Style: core.StylePerformance}},
+		{"performance+prefetch", core.Options{Style: core.StylePerformance, Prefetch: true}},
+		{"programmer", core.Options{Style: core.StyleProgrammer}},
+	}
+	for _, v := range variants {
+		res, err := core.Annotate(src, traceRes.Trace, v.opts)
+		if err != nil {
+			return fmt.Errorf("%s annotate: %w", v.name, err)
+		}
+		if err := checkCostReport(v.name, res.Cost, epochs); err != nil {
+			return err
+		}
+		annProg, err := parseChecked(res.Source)
+		if err != nil {
+			return fmt.Errorf("%s: annotated source invalid: %w\n%s", v.name, err, res.Source)
+		}
+		annRes, err := sim.Run(annProg, simConfig(sim.ModePerf))
+		if err != nil {
+			return fmt.Errorf("%s run: %w\n%s", v.name, err, res.Source)
+		}
+		if err := checkVariant(v.name, annRes, want); err != nil {
+			return fmt.Errorf("%w\n%s", err, res.Source)
+		}
+		if err := checkCheckoutBound(v.name, annRes.Stats, want); err != nil {
+			return err
+		}
+	}
+
+	// Eviction stress: a cache far smaller than the data forces constant
+	// replacement traffic through the same invariants.
+	tiny := simConfig(sim.ModePerf)
+	tiny.CacheSize = 256
+	tiny.Assoc = 2
+	tinyRes, err := sim.Run(prog, tiny)
+	if err != nil {
+		return fmt.Errorf("tiny-cache run: %w", err)
+	}
+	return checkVariant("tiny-cache", tinyRes, want)
+}
+
+// RunAnnotatedEquivalence is the FuzzAnnotatedEquivalence core: it focuses
+// on the annotated artifact itself. The annotated source must parse, its
+// sequential meaning must be identical to the plain program's (the oracle
+// ignores directives, so any divergence means the rewriter changed real
+// semantics — a clobbered variable, a broken loop), and it must still match
+// the oracle when simulated with prefetches disabled, the paper's
+// with/without-prefetch comparison on the same source.
+func RunAnnotatedEquivalence(seed int64) error {
+	src := parcgen.Generate(seed)
+	prog, err := parseChecked(src)
+	if err != nil {
+		return fmt.Errorf("generated program invalid: %w", err)
+	}
+	want, err := oracle.Run(prog, oracle.Config{Nprocs: Nodes, BlockSize: blockSize})
+	if err != nil {
+		return fmt.Errorf("oracle: %w", err)
+	}
+	traceRes, err := sim.Run(prog, simConfig(sim.ModeTrace))
+	if err != nil {
+		return fmt.Errorf("trace run: %w", err)
+	}
+	res, err := core.Annotate(src, traceRes.Trace, core.Options{Style: core.StylePerformance, Prefetch: true})
+	if err != nil {
+		return fmt.Errorf("annotate: %w", err)
+	}
+	annProg, err := parseChecked(res.Source)
+	if err != nil {
+		return fmt.Errorf("annotated source invalid: %w\n%s", err, res.Source)
+	}
+	annOracle, err := oracle.Run(annProg, oracle.Config{Nprocs: Nodes, BlockSize: blockSize})
+	if err != nil {
+		return fmt.Errorf("oracle on annotated source: %w\n%s", err, res.Source)
+	}
+	if err := testutil.DiffSharedMemory(annOracle.Layout, annOracle.Store, want.Store); err != nil {
+		return fmt.Errorf("annotation changed sequential semantics: %w\n%s", err, res.Source)
+	}
+	cfg := simConfig(sim.ModePerf)
+	cfg.DisablePrefetch = true
+	annRes, err := sim.Run(annProg, cfg)
+	if err != nil {
+		return fmt.Errorf("no-prefetch run: %w\n%s", err, res.Source)
+	}
+	return checkVariant("no-prefetch", annRes, want)
+}
+
+func parseChecked(src string) (*parc.Program, error) {
+	prog, err := parc.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := parc.Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// checkVariant compares one simulation against the oracle: shared memory
+// bit-for-bit, print output as a multiset, and barrier count.
+func checkVariant(name string, got *sim.Result, want *oracle.Result) error {
+	if err := testutil.DiffSharedMemory(got.Layout, got.Store, want.Store); err != nil {
+		return fmt.Errorf("%s: memory diverges from oracle: %w", name, err)
+	}
+	if err := diffOutput(got.Output, want.Output); err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	if got.Barriers != want.Barriers {
+		return fmt.Errorf("%s: %d barriers, oracle saw %d", name, got.Barriers, want.Barriers)
+	}
+	return nil
+}
+
+// diffOutput compares print output as a sorted multiset: inter-node order is
+// schedule-dependent even for race-free programs, content is not.
+func diffOutput(got, want []string) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("printed %d lines, oracle printed %d", len(got), len(want))
+	}
+	g := append([]string(nil), got...)
+	w := append([]string(nil), want...)
+	sort.Strings(g)
+	sort.Strings(w)
+	for i := range g {
+		if g[i] != w[i] {
+			return fmt.Errorf("output line %q not matched by oracle's %q", g[i], w[i])
+		}
+	}
+	return nil
+}
+
+// checkCheckoutBound asserts the CICO model's floor on measured protocol
+// counts: every block the program writes must be acquired exclusively at
+// least once — by write miss, write fault, explicit check_out_x, or
+// prefetch_x — so the distinct written-block count bounds the sum from
+// below (cost model Section 2: "a processor must check out a block to write
+// it").
+func checkCheckoutBound(name string, st dir1sw.Stats, want *oracle.Result) error {
+	written := cico.BlocksTouched(want.Written, blockSize)
+	acq := st.WriteMisses + st.WriteFaults + st.CheckOutX + st.PrefetchX
+	if acq < written {
+		return fmt.Errorf("%s: wrote %d distinct blocks but acquired only %d exclusively", name, written, acq)
+	}
+	// Conservation: every access is exactly one of hit, read miss, write
+	// miss, or write fault.
+	if st.Hits+st.ReadMisses+st.WriteMisses+st.WriteFaults != st.Reads+st.Writes {
+		return fmt.Errorf("%s: access outcomes (%d) do not sum to accesses (%d)",
+			name, st.Hits+st.ReadMisses+st.WriteMisses+st.WriteFaults, st.Reads+st.Writes)
+	}
+	return nil
+}
+
+// checkCostReport asserts the cost report against the trace it was computed
+// from: annotated blocks never exceed the per-node epoch footprints they
+// must be subsets of, and the model cost is exactly the model's arithmetic.
+func checkCostReport(name string, rep *core.CostReport, epochs []*core.EpochSets) error {
+	if rep == nil {
+		return fmt.Errorf("%s: no cost report", name)
+	}
+	var swBlocks, srBlocks, sBlocks uint64
+	for _, es := range epochs {
+		for _, ns := range es.Nodes {
+			swBlocks += cico.BlocksTouched(ns.SW, blockSize)
+			srBlocks += cico.BlocksTouched(ns.SR, blockSize)
+			sBlocks += cico.BlocksTouched(ns.S(), blockSize)
+		}
+	}
+	if rep.TotalCoX > swBlocks {
+		return fmt.Errorf("%s: co_x %d blocks exceeds trace write footprint %d", name, rep.TotalCoX, swBlocks)
+	}
+	if rep.TotalCoS > srBlocks {
+		return fmt.Errorf("%s: co_s %d blocks exceeds trace read footprint %d", name, rep.TotalCoS, srBlocks)
+	}
+	if rep.TotalCI > sBlocks {
+		return fmt.Errorf("%s: ci %d blocks exceeds trace footprint %d", name, rep.TotalCI, sBlocks)
+	}
+	if wantCost := cico.DefaultCosts().ProgramCost(rep.TotalCoX+rep.TotalCoS, rep.TotalCI); rep.ModelCost != wantCost {
+		return fmt.Errorf("%s: model cost %d, model arithmetic says %d", name, rep.ModelCost, wantCost)
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package core
+
+import "testing"
+
+// TestGroupEpochs exercises the unexported dynamic-epoch grouping directly,
+// so it stays in-package while the exported property tests live in core_test.
+func TestGroupEpochs(t *testing.T) {
+	mk := func(pcs ...int) []*EpochSets {
+		var out []*EpochSets
+		for i, pc := range pcs {
+			out = append(out, &EpochSets{Index: i, BarrierPC: pc})
+		}
+		return out
+	}
+	groups := groupEpochs(mk(5, 9, 5, 9, -1))
+	if len(groups) != 3 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if len(groups[0]) != 2 || groups[0][0] != 0 || groups[0][1] != 2 {
+		t.Errorf("group 0 = %v", groups[0])
+	}
+	if len(groups[2]) != 1 || groups[2][0] != 4 {
+		t.Errorf("final group = %v", groups[2])
+	}
+}

@@ -1,73 +1,31 @@
-package core
+package core_test
 
 import (
 	"math/rand"
 	"testing"
 	"testing/quick"
 
-	"cachier/internal/trace"
+	"cachier/internal/core"
+	"cachier/internal/testutil"
 )
-
-// randomTrace builds an arbitrary (possibly racy) multi-epoch trace.
-func randomTrace(rng *rand.Rand) *trace.Trace {
-	nodes := 1 + rng.Intn(4)
-	b := trace.NewBuilder(nodes, 32, nil)
-	epochs := 1 + rng.Intn(5)
-	for e := 0; e < epochs; e++ {
-		for i := 0; i < rng.Intn(30); i++ {
-			b.AddMiss(trace.Kind(rng.Intn(3)), 32+uint64(rng.Intn(32))*8,
-				rng.Intn(50), rng.Intn(nodes))
-		}
-		vt := make([]uint64, nodes)
-		pc := rng.Intn(20)
-		final := e == epochs-1
-		if final {
-			pc = -1
-		}
-		b.EndEpoch(pc, vt, final)
-	}
-	return b.Trace()
-}
 
 // TestEquationInvariants: for any trace and both styles, the Section 4.1
 // equations only ever annotate addresses the node actually touched, keep
 // co_x within the write set, co_s within the read set, and never check the
 // same address out both shared and exclusive for one node in one epoch.
+// The checks themselves live in testutil so the conformance harness applies
+// the identical invariants to real simulation traces.
 func TestEquationInvariants(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		tr := randomTrace(rng)
-		epochs := ProcessTrace(tr)
-		conflicts := FindAllConflicts(epochs, tr.BlockSize)
-		for _, style := range []Style{StyleProgrammer, StylePerformance} {
-			ann := ComputeAnnotations(epochs, conflicts, style)
-			for i, es := range epochs {
-				for n, ns := range es.Nodes {
-					a := ann[i][n]
-					s := ns.S()
-					for addr := range a.CoX {
-						if !ns.SW[addr] {
-							t.Logf("style %v epoch %d node %d: co_x of unwritten %d", style, i, n, addr)
-							return false
-						}
-					}
-					for addr := range a.CoS {
-						if !ns.SR[addr] {
-							t.Logf("style %v epoch %d node %d: co_s of unread %d", style, i, n, addr)
-							return false
-						}
-						if a.CoX[addr] {
-							t.Logf("style %v epoch %d node %d: %d both co_s and co_x", style, i, n, addr)
-							return false
-						}
-					}
-					for addr := range a.CI {
-						if !s[addr] {
-							t.Logf("style %v epoch %d node %d: ci of untouched %d", style, i, n, addr)
-							return false
-						}
-					}
-				}
+		tr := testutil.RandomTrace(rng)
+		epochs := core.ProcessTrace(tr)
+		conflicts := core.FindAllConflicts(epochs, tr.BlockSize)
+		for _, style := range []core.Style{core.StyleProgrammer, core.StylePerformance} {
+			ann := core.ComputeAnnotations(epochs, conflicts, style)
+			if err := testutil.CheckAnnotationSets(epochs, ann, style); err != nil {
+				t.Log(err)
+				return false
 			}
 		}
 		return true
@@ -83,11 +41,11 @@ func TestEquationInvariants(t *testing.T) {
 func TestPerformanceCoXSubset(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		tr := randomTrace(rng)
-		epochs := ProcessTrace(tr)
-		conflicts := FindAllConflicts(epochs, tr.BlockSize)
-		prog := ComputeAnnotations(epochs, conflicts, StyleProgrammer)
-		perf := ComputeAnnotations(epochs, conflicts, StylePerformance)
+		tr := testutil.RandomTrace(rng)
+		epochs := core.ProcessTrace(tr)
+		conflicts := core.FindAllConflicts(epochs, tr.BlockSize)
+		prog := core.ComputeAnnotations(epochs, conflicts, core.StyleProgrammer)
+		perf := core.ComputeAnnotations(epochs, conflicts, core.StylePerformance)
 		for i := range epochs {
 			for n := range epochs[i].Nodes {
 				for addr := range perf[i][n].CoX {
@@ -114,16 +72,16 @@ func TestPerformanceCoXSubset(t *testing.T) {
 func TestConflictOrderIndependence(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		tr := randomTrace(rng)
-		epochs1 := ProcessTrace(tr)
+		tr := testutil.RandomTrace(rng)
+		epochs1 := core.ProcessTrace(tr)
 		// Shuffle each epoch's misses and re-process.
 		for i := range tr.Epochs {
 			ms := tr.Epochs[i].Misses
 			rng.Shuffle(len(ms), func(a, b int) { ms[a], ms[b] = ms[b], ms[a] })
 		}
-		epochs2 := ProcessTrace(tr)
-		c1 := FindAllConflicts(epochs1, tr.BlockSize)
-		c2 := FindAllConflicts(epochs2, tr.BlockSize)
+		epochs2 := core.ProcessTrace(tr)
+		c1 := core.FindAllConflicts(epochs1, tr.BlockSize)
+		c2 := core.FindAllConflicts(epochs2, tr.BlockSize)
 		for i := range c1 {
 			if len(c1[i].Race) != len(c2[i].Race) || len(c1[i].FalseShare) != len(c2[i].FalseShare) {
 				return false
@@ -143,25 +101,5 @@ func TestConflictOrderIndependence(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
-	}
-}
-
-func TestGroupEpochs(t *testing.T) {
-	mk := func(pcs ...int) []*EpochSets {
-		var out []*EpochSets
-		for i, pc := range pcs {
-			out = append(out, &EpochSets{Index: i, BarrierPC: pc})
-		}
-		return out
-	}
-	groups := groupEpochs(mk(5, 9, 5, 9, -1))
-	if len(groups) != 3 {
-		t.Fatalf("groups = %v", groups)
-	}
-	if len(groups[0]) != 2 || groups[0][0] != 0 || groups[0][1] != 2 {
-		t.Errorf("group 0 = %v", groups[0])
-	}
-	if len(groups[2]) != 1 || groups[2][0] != 4 {
-		t.Errorf("final group = %v", groups[2])
 	}
 }

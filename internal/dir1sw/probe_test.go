@@ -1,0 +1,86 @@
+package dir1sw
+
+import (
+	"strings"
+	"testing"
+
+	"cachier/internal/cache"
+)
+
+func probeSys(t *testing.T) *System {
+	t.Helper()
+	return MustNew(Config{
+		Nodes:     4,
+		CacheSize: 1024,
+		Assoc:     2,
+		BlockSize: 32,
+		Costs:     DefaultCosts(),
+		Probe:     true,
+	})
+}
+
+// TestProbeCleanRun: a legal access sequence — misses, faults, upgrades,
+// broadcast invalidations, directives, evictions — never trips the probe.
+func TestProbeCleanRun(t *testing.T) {
+	s := probeSys(t)
+	var now uint64
+	// Build real sharing: everyone reads block 0, then node 1 writes it
+	// (write fault + broadcast), then node 2 steals it exclusive.
+	for n := 0; n < 4; n++ {
+		now += s.Read(n, 0, now).Cycles
+	}
+	now += s.Write(1, 8, now).Cycles
+	now += s.Write(2, 16, now).Cycles
+	// Directives over another block, prefetch then consume.
+	now += s.CheckOutX(0, 64, now).Cycles
+	now += s.CheckIn(0, 64).Cycles
+	now += s.Prefetch(3, 64, now, false).Cycles
+	now += s.Read(3, 64, now).Cycles
+	// Force evictions: walk far past the 1 KB cache on node 0.
+	for i := uint64(0); i < 64; i++ {
+		now += s.Write(0, 4096+i*32, now).Cycles
+	}
+	if err := s.ProbeError(); err != nil {
+		t.Fatalf("probe tripped on a legal sequence: %v", err)
+	}
+	if err := s.CheckCoherence(); err != nil {
+		t.Fatalf("CheckCoherence disagrees with probe: %v", err)
+	}
+}
+
+// TestProbeDetectsViolation: corrupting a cache state behind the directory's
+// back is caught by the very next operation on that block, and the error is
+// latched.
+func TestProbeDetectsViolation(t *testing.T) {
+	s := probeSys(t)
+	var now uint64
+	now += s.Read(0, 0, now).Cycles
+	now += s.Read(1, 0, now).Cycles
+	// Corrupt: promote node 1's shared copy to exclusive without telling the
+	// directory (simulates the class of protocol bug the probe exists for).
+	s.caches[1].SetState(0, cache.Exclusive)
+	s.Read(2, 0, now)
+	err := s.ProbeError()
+	if err == nil {
+		t.Fatal("probe missed a directory/cache disagreement")
+	}
+	if !strings.Contains(err.Error(), "block 0") {
+		t.Errorf("error does not name the block: %v", err)
+	}
+	// Latched: later clean operations do not clear it.
+	s.Read(3, 4096, now)
+	if s.ProbeError() == nil {
+		t.Error("probe error was not latched")
+	}
+}
+
+// TestProbeOffByDefault: without Config.Probe the probe never engages.
+func TestProbeOffByDefault(t *testing.T) {
+	s := MustNew(Config{Nodes: 2, CacheSize: 1024, Assoc: 2, BlockSize: 32, Costs: DefaultCosts()})
+	s.Read(0, 0, 0)
+	s.caches[0].SetState(0, cache.Exclusive)
+	s.Read(1, 0, 0)
+	if s.ProbeError() != nil {
+		t.Fatal("probe ran despite being disabled")
+	}
+}

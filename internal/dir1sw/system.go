@@ -89,6 +89,12 @@ type Config struct {
 	// out-of-layout addresses fall back to a map. Zero keeps the map for
 	// everything.
 	AddrSpace uint64
+
+	// Probe validates the coherence invariants on every block each public
+	// operation touches (see probe.go) and latches the first violation for
+	// ProbeError. O(nodes) per access — meant for differential testing, not
+	// performance runs.
+	Probe bool
 }
 
 // DefaultConfig is the paper's evaluated machine: 32 nodes, 256 KB 4-way
@@ -136,6 +142,9 @@ type System struct {
 	checkExcl   []uint64
 	checkSlot   []int32
 	checkIdx    map[uint64]int
+
+	// probeErr latches the first violation the per-access probe found.
+	probeErr error
 
 	Stats Stats
 }
@@ -232,6 +241,9 @@ func (s *System) dirView(block uint64) (state dirState, owner int, sharers []int
 // evict reconciles the directory with a cache eviction. Dir1SW requires
 // replacement notification so the counter stays exact.
 func (s *System) evict(node int, v cache.Victim) {
+	if s.cfg.Probe {
+		defer s.probeAfter("evict", v.Block)
+	}
 	e := s.entryFor(v.Block)
 	switch e.state {
 	case dirShared:
@@ -297,6 +309,9 @@ func (s *System) checkInflight(node int, block uint64, now uint64, needExclusive
 func (s *System) Read(node int, addr uint64, now uint64) Result {
 	s.Stats.Reads++
 	block := s.BlockOf(addr)
+	if s.cfg.Probe {
+		defer s.probeAfter("read", block)
+	}
 	c := s.caches[node]
 	if st := c.Touch(block); st != cache.Invalid {
 		s.Stats.Hits++
@@ -355,6 +370,9 @@ func (s *System) fetchShared(node int, block uint64) (cost uint64, trap bool) {
 func (s *System) Write(node int, addr uint64, now uint64) Result {
 	s.Stats.Writes++
 	block := s.BlockOf(addr)
+	if s.cfg.Probe {
+		defer s.probeAfter("write", block)
+	}
 	c := s.caches[node]
 	co := s.cfg.Costs
 	switch c.Touch(block) {
@@ -490,6 +508,9 @@ func (s *System) fetchExclusive(node int, block uint64) (cost uint64, trap bool)
 func (s *System) CheckOutX(node int, addr uint64, now uint64) Result {
 	s.Stats.CheckOutX++
 	block := s.BlockOf(addr)
+	if s.cfg.Probe {
+		defer s.probeAfter("check_out_x", block)
+	}
 	c := s.caches[node]
 	co := s.cfg.Costs
 	st := c.Touch(block)
@@ -530,6 +551,9 @@ func (s *System) CheckOutX(node int, addr uint64, now uint64) Result {
 func (s *System) CheckOutS(node int, addr uint64, now uint64) Result {
 	s.Stats.CheckOutS++
 	block := s.BlockOf(addr)
+	if s.cfg.Probe {
+		defer s.probeAfter("check_out_s", block)
+	}
 	c := s.caches[node]
 	co := s.cfg.Costs
 	if st := c.Touch(block); st != cache.Invalid {
@@ -553,6 +577,9 @@ func (s *System) CheckOutS(node int, addr uint64, now uint64) Result {
 func (s *System) CheckIn(node int, addr uint64) Result {
 	s.Stats.CheckIns++
 	block := s.BlockOf(addr)
+	if s.cfg.Probe {
+		defer s.probeAfter("check_in", block)
+	}
 	c := s.caches[node]
 	co := s.cfg.Costs
 	st, dirty := c.Invalidate(block)
@@ -626,6 +653,9 @@ func (s *System) Prefetch(node int, addr uint64, now uint64, exclusive bool) Res
 		s.Stats.PrefetchS++
 	}
 	block := s.BlockOf(addr)
+	if s.cfg.Probe {
+		defer s.probeAfter("prefetch", block)
+	}
 	c := s.caches[node]
 	co := s.cfg.Costs
 	if st := c.Lookup(block); st == cache.Exclusive || (st == cache.Shared && !exclusive) {

@@ -10,9 +10,12 @@ type AddrRange struct {
 }
 
 // Machine is the interpreter's view of the simulated machine. The simulator
-// implements it; calls may suspend the calling processor's goroutine until
-// the scheduler resumes it. All methods are invoked with the processor's
-// accumulated local work already flushed.
+// implements it for timing and protocol modelling, and the oracle package
+// implements it a second time as a pure observer (directives become no-ops),
+// which is what lets the conformance harness run the same interpreter under
+// both and compare results. Calls may suspend the calling processor's
+// goroutine until the scheduler resumes it. All methods are invoked with the
+// processor's accumulated local work already flushed.
 //
 // A Machine is owned by a single simulation run: implementations are not
 // required to be safe for use by goroutines outside that run, and callers

@@ -1,0 +1,188 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"cachier/internal/interp"
+	"cachier/internal/parc"
+)
+
+func mustParse(t *testing.T, src string) *parc.Program {
+	t.Helper()
+	prog, err := parc.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := parc.Check(prog); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return prog
+}
+
+// TestRunHandComputed pins the oracle against a program small enough to
+// evaluate by hand: a partitioned init, a neighbour-reading second epoch, and
+// a lock-protected reduction.
+func TestRunHandComputed(t *testing.T) {
+	src := `const N = 8;
+
+shared int A[N] label "A";
+shared int total label "total";
+
+func main() {
+    var per int = N / nprocs();
+    var lo int = pid() * per;
+    for i = lo to lo + per - 1 {
+        A[i] = i * 10;
+    }
+    barrier;
+    for i = lo to lo + per - 1 {
+        A[i] += A[(i + 1) % N] / 10;
+    }
+    barrier;
+    lock(0);
+    total += pid() + 1;
+    unlock(0);
+    print("done %d", pid());
+}
+`
+	prog := mustParse(t, src)
+	res, err := Run(prog, Config{Nprocs: 4, BlockSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 1: A[i] = 10i. Epoch 2 reads the NEW neighbour values (stable
+	// from epoch 1): A[i] = 10i + ((i+1) mod 8 * 10)/10 = 10i + (i+1) mod 8.
+	regA := res.Layout.Region("A")
+	for i := 0; i < 8; i++ {
+		addr, _ := regA.AddrOf(i)
+		want := int64(10*i + (i+1)%8)
+		got := interp.FromBits(res.Store.Load(addr), false).AsInt()
+		if got != want {
+			t.Errorf("A[%d] = %d, want %d", i, got, want)
+		}
+		if !res.Written[addr] {
+			t.Errorf("A[%d] not marked written", i)
+		}
+	}
+	regT := res.Layout.Region("total")
+	addr, _ := regT.AddrOf()
+	if got := interp.FromBits(res.Store.Load(addr), false).AsInt(); got != 1+2+3+4 {
+		t.Errorf("total = %d, want 10", got)
+	}
+	if res.Barriers != 2 {
+		t.Errorf("barriers = %d, want 2", res.Barriers)
+	}
+	if len(res.Output) != 4 {
+		t.Fatalf("output lines = %d, want 4: %q", len(res.Output), res.Output)
+	}
+	for i, line := range res.Output {
+		if !strings.HasPrefix(line, "node ") || !strings.Contains(line, "done") {
+			t.Errorf("output[%d] = %q", i, line)
+		}
+	}
+}
+
+// TestRunDeterministic: two oracle runs of the same program are bit-identical.
+func TestRunDeterministic(t *testing.T) {
+	src := `const N = 16;
+
+shared float B[N] label "B";
+
+func main() {
+    var per int = N / nprocs();
+    var lo int = pid() * per;
+    for i = lo to lo + per - 1 {
+        B[i] = rnd() + float(i) * 0.5;
+    }
+    barrier;
+    for i = lo to lo + per - 1 {
+        B[i] = B[i] * 2.0 + B[(i + 3) % N] * 0.0;
+    }
+}
+`
+	prog := mustParse(t, src)
+	a, err := Run(prog, Config{Nprocs: 4, BlockSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(prog, Config{Nprocs: 4, BlockSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := a.Layout.Region("B")
+	for i := 0; i < 16; i++ {
+		addr, _ := reg.AddrOf(i)
+		if a.Store.Load(addr) != b.Store.Load(addr) {
+			t.Fatalf("B[%d] differs between runs", i)
+		}
+	}
+}
+
+// TestRunErrorUnwind: a runtime fault on one node mid-epoch aborts the run
+// cleanly (no hung goroutines, checked under -race) and surfaces the error.
+func TestRunErrorUnwind(t *testing.T) {
+	src := `const N = 8;
+
+shared int A[N] label "A";
+
+func main() {
+    barrier;
+    if pid() == 2 {
+        A[N + 100] = 1;
+    }
+    barrier;
+}
+`
+	prog := mustParse(t, src)
+	if _, err := Run(prog, Config{Nprocs: 4, BlockSize: 32}); err == nil {
+		t.Fatal("expected out-of-bounds error, got nil")
+	}
+}
+
+// TestRunDirectivesIgnored: CICO annotations must not change oracle memory.
+func TestRunDirectivesIgnored(t *testing.T) {
+	plain := `const N = 8;
+
+shared int A[N] label "A";
+
+func main() {
+    var per int = N / nprocs();
+    var lo int = pid() * per;
+    for i = lo to lo + per - 1 {
+        A[i] = i + 7;
+    }
+    barrier;
+}
+`
+	annotated := `const N = 8;
+
+shared int A[N] label "A";
+
+func main() {
+    var per int = N / nprocs();
+    var lo int = pid() * per;
+    check_out_x A[lo:lo + per - 1];
+    for i = lo to lo + per - 1 {
+        A[i] = i + 7;
+    }
+    check_in A[lo:lo + per - 1];
+    barrier;
+}
+`
+	pa, err := Run(mustParse(t, plain), Config{Nprocs: 4, BlockSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := Run(mustParse(t, annotated), Config{Nprocs: 4, BlockSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := pa.Layout.Region("A")
+	for i := 0; i < 8; i++ {
+		addr, _ := reg.AddrOf(i)
+		if pa.Store.Load(addr) != pb.Store.Load(addr) {
+			t.Fatalf("A[%d] differs with annotations", i)
+		}
+	}
+}

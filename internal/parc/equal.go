@@ -1,0 +1,411 @@
+package parc
+
+import "fmt"
+
+// ASTEqual reports whether two programs are structurally equivalent,
+// ignoring everything that does not affect meaning: statement IDs, source
+// positions, checker-resolved fields, and free-standing comment statements.
+// Unary minus applied to a literal is normalized to a negative literal, so a
+// rewriter-built IntLit{-5} matches the parser's UnaryExpr(-, IntLit{5}).
+// It returns nil when the programs are equivalent and an error locating the
+// first difference otherwise; the printer/parser round trip is verified with
+// exactly this relation.
+func ASTEqual(a, b *Program) error {
+	if len(a.Consts) != len(b.Consts) {
+		return fmt.Errorf("const count %d != %d", len(a.Consts), len(b.Consts))
+	}
+	for i, ca := range a.Consts {
+		cb := b.Consts[i]
+		if ca.Name != cb.Name {
+			return fmt.Errorf("const %d: name %q != %q", i, ca.Name, cb.Name)
+		}
+		if err := exprEqual(ca.Expr, cb.Expr); err != nil {
+			return fmt.Errorf("const %s: %w", ca.Name, err)
+		}
+	}
+	if len(a.Shareds) != len(b.Shareds) {
+		return fmt.Errorf("shared count %d != %d", len(a.Shareds), len(b.Shareds))
+	}
+	for i, sa := range a.Shareds {
+		sb := b.Shareds[i]
+		switch {
+		case sa.Name != sb.Name:
+			return fmt.Errorf("shared %d: name %q != %q", i, sa.Name, sb.Name)
+		case sa.Base != sb.Base:
+			return fmt.Errorf("shared %s: base %v != %v", sa.Name, sa.Base, sb.Base)
+		case sa.Label != sb.Label:
+			return fmt.Errorf("shared %s: label %q != %q", sa.Name, sa.Label, sb.Label)
+		case len(sa.Dims) != len(sb.Dims):
+			return fmt.Errorf("shared %s: rank %d != %d", sa.Name, len(sa.Dims), len(sb.Dims))
+		}
+		for d := range sa.Dims {
+			if err := exprEqual(sa.Dims[d], sb.Dims[d]); err != nil {
+				return fmt.Errorf("shared %s dim %d: %w", sa.Name, d, err)
+			}
+		}
+	}
+	if len(a.Funcs) != len(b.Funcs) {
+		return fmt.Errorf("func count %d != %d", len(a.Funcs), len(b.Funcs))
+	}
+	for i, fa := range a.Funcs {
+		fb := b.Funcs[i]
+		if fa.Name != fb.Name {
+			return fmt.Errorf("func %d: name %q != %q", i, fa.Name, fb.Name)
+		}
+		if err := funcEqual(fa, fb); err != nil {
+			return fmt.Errorf("func %s: %w", fa.Name, err)
+		}
+	}
+	return nil
+}
+
+func funcEqual(a, b *FuncDecl) error {
+	if len(a.Params) != len(b.Params) {
+		return fmt.Errorf("param count %d != %d", len(a.Params), len(b.Params))
+	}
+	for i := range a.Params {
+		if a.Params[i] != b.Params[i] {
+			return fmt.Errorf("param %d: %v != %v", i, a.Params[i], b.Params[i])
+		}
+	}
+	switch {
+	case (a.Result == nil) != (b.Result == nil):
+		return fmt.Errorf("result presence differs")
+	case a.Result != nil && *a.Result != *b.Result:
+		return fmt.Errorf("result %v != %v", *a.Result, *b.Result)
+	}
+	return blockEqual(a.Body, b.Body)
+}
+
+// meaningful filters out statements that carry no semantics (comments).
+func meaningful(stmts []Stmt) []Stmt {
+	out := make([]Stmt, 0, len(stmts))
+	for _, s := range stmts {
+		if _, ok := s.(*CommentStmt); ok {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func blockEqual(a, b *Block) error {
+	sa, sb := meaningful(a.Stmts), meaningful(b.Stmts)
+	if len(sa) != len(sb) {
+		return fmt.Errorf("statement count %d != %d", len(sa), len(sb))
+	}
+	for i := range sa {
+		if err := stmtEqual(sa[i], sb[i]); err != nil {
+			return fmt.Errorf("stmt %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func stmtEqual(a, b Stmt) error {
+	switch na := a.(type) {
+	case *Block:
+		nb, ok := b.(*Block)
+		if !ok {
+			return typeMismatch(a, b)
+		}
+		return blockEqual(na, nb)
+
+	case *VarDeclStmt:
+		nb, ok := b.(*VarDeclStmt)
+		if !ok {
+			return typeMismatch(a, b)
+		}
+		if na.Name != nb.Name || na.Base != nb.Base {
+			return fmt.Errorf("var %s %v != var %s %v", na.Name, na.Base, nb.Name, nb.Base)
+		}
+		if err := exprsEqual(na.Dims, nb.Dims); err != nil {
+			return fmt.Errorf("var %s dims: %w", na.Name, err)
+		}
+		return optExprEqual(na.Init, nb.Init, "var "+na.Name+" init")
+
+	case *AssignStmt:
+		nb, ok := b.(*AssignStmt)
+		if !ok {
+			return typeMismatch(a, b)
+		}
+		if na.Op != nb.Op {
+			return fmt.Errorf("assign op %v != %v", na.Op, nb.Op)
+		}
+		if err := lvalueEqual(na.LHS, nb.LHS); err != nil {
+			return err
+		}
+		return exprEqual(na.RHS, nb.RHS)
+
+	case *IfStmt:
+		nb, ok := b.(*IfStmt)
+		if !ok {
+			return typeMismatch(a, b)
+		}
+		if err := exprEqual(na.Cond, nb.Cond); err != nil {
+			return fmt.Errorf("if cond: %w", err)
+		}
+		if err := blockEqual(na.Then, nb.Then); err != nil {
+			return fmt.Errorf("if then: %w", err)
+		}
+		switch {
+		case na.Else == nil && nb.Else == nil:
+			return nil
+		case (na.Else == nil) != (nb.Else == nil):
+			return fmt.Errorf("else presence differs")
+		}
+		if err := stmtEqual(na.Else, nb.Else); err != nil {
+			return fmt.Errorf("else: %w", err)
+		}
+		return nil
+
+	case *WhileStmt:
+		nb, ok := b.(*WhileStmt)
+		if !ok {
+			return typeMismatch(a, b)
+		}
+		if err := exprEqual(na.Cond, nb.Cond); err != nil {
+			return fmt.Errorf("while cond: %w", err)
+		}
+		return blockEqual(na.Body, nb.Body)
+
+	case *ForStmt:
+		nb, ok := b.(*ForStmt)
+		if !ok {
+			return typeMismatch(a, b)
+		}
+		if na.Var != nb.Var {
+			return fmt.Errorf("for var %q != %q", na.Var, nb.Var)
+		}
+		if err := exprEqual(na.From, nb.From); err != nil {
+			return fmt.Errorf("for %s from: %w", na.Var, err)
+		}
+		if err := exprEqual(na.To, nb.To); err != nil {
+			return fmt.Errorf("for %s to: %w", na.Var, err)
+		}
+		// A nil step means 1; treat an explicit literal 1 as equivalent.
+		if err := optExprEqual(normStep(na.Step), normStep(nb.Step), "for "+na.Var+" step"); err != nil {
+			return err
+		}
+		return blockEqual(na.Body, nb.Body)
+
+	case *BarrierStmt:
+		if _, ok := b.(*BarrierStmt); !ok {
+			return typeMismatch(a, b)
+		}
+		return nil
+
+	case *LockStmt:
+		nb, ok := b.(*LockStmt)
+		if !ok {
+			return typeMismatch(a, b)
+		}
+		return exprEqual(na.LockID, nb.LockID)
+
+	case *UnlockStmt:
+		nb, ok := b.(*UnlockStmt)
+		if !ok {
+			return typeMismatch(a, b)
+		}
+		return exprEqual(na.LockID, nb.LockID)
+
+	case *ReturnStmt:
+		nb, ok := b.(*ReturnStmt)
+		if !ok {
+			return typeMismatch(a, b)
+		}
+		return optExprEqual(na.Value, nb.Value, "return value")
+
+	case *ExprStmt:
+		nb, ok := b.(*ExprStmt)
+		if !ok {
+			return typeMismatch(a, b)
+		}
+		return exprEqual(na.Call, nb.Call)
+
+	case *PrintStmt:
+		nb, ok := b.(*PrintStmt)
+		if !ok {
+			return typeMismatch(a, b)
+		}
+		if na.Format != nb.Format {
+			return fmt.Errorf("print format %q != %q", na.Format, nb.Format)
+		}
+		return exprsEqual(na.Args, nb.Args)
+
+	case *CICOStmt:
+		nb, ok := b.(*CICOStmt)
+		if !ok {
+			return typeMismatch(a, b)
+		}
+		if na.Kind != nb.Kind {
+			return fmt.Errorf("cico kind %v != %v", na.Kind, nb.Kind)
+		}
+		return rangeRefEqual(na.Target, nb.Target)
+	}
+	return fmt.Errorf("unsupported statement %T", a)
+}
+
+func typeMismatch(a, b Stmt) error {
+	return fmt.Errorf("statement %T != %T", a, b)
+}
+
+// normStep maps an explicit step of literal 1 to the implicit nil step.
+func normStep(e Expr) Expr {
+	if lit, ok := normalizeExpr(e).(*IntLit); ok && lit.Value == 1 {
+		return nil
+	}
+	return e
+}
+
+func lvalueEqual(a, b *LValue) error {
+	if a.Name != b.Name {
+		return fmt.Errorf("lvalue %q != %q", a.Name, b.Name)
+	}
+	if err := exprsEqual(a.Indices, b.Indices); err != nil {
+		return fmt.Errorf("lvalue %s: %w", a.Name, err)
+	}
+	return nil
+}
+
+func rangeRefEqual(a, b *RangeRef) error {
+	if a.Name != b.Name {
+		return fmt.Errorf("range target %q != %q", a.Name, b.Name)
+	}
+	if len(a.Indices) != len(b.Indices) {
+		return fmt.Errorf("range %s: rank %d != %d", a.Name, len(a.Indices), len(b.Indices))
+	}
+	for i := range a.Indices {
+		if err := exprEqual(a.Indices[i].Lo, b.Indices[i].Lo); err != nil {
+			return fmt.Errorf("range %s dim %d lo: %w", a.Name, i, err)
+		}
+		if err := optExprEqual(a.Indices[i].Hi, b.Indices[i].Hi, fmt.Sprintf("range %s dim %d hi", a.Name, i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func exprsEqual(a, b []Expr) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("expression count %d != %d", len(a), len(b))
+	}
+	for i := range a {
+		if err := exprEqual(a[i], b[i]); err != nil {
+			return fmt.Errorf("expr %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func optExprEqual(a, b Expr, what string) error {
+	switch {
+	case a == nil && b == nil:
+		return nil
+	case (a == nil) != (b == nil):
+		return fmt.Errorf("%s presence differs", what)
+	}
+	if err := exprEqual(a, b); err != nil {
+		return fmt.Errorf("%s: %w", what, err)
+	}
+	return nil
+}
+
+// normalizeExpr folds unary minus over a literal into a signed literal, the
+// one shape difference between parsed and rewriter-built trees.
+func normalizeExpr(e Expr) Expr {
+	u, ok := e.(*UnaryExpr)
+	if !ok || u.Op != TokMinus {
+		return e
+	}
+	switch lit := u.X.(type) {
+	case *IntLit:
+		return &IntLit{Value: -lit.Value}
+	case *FloatLit:
+		return &FloatLit{Value: -lit.Value}
+	}
+	return e
+}
+
+func exprEqual(a, b Expr) error {
+	a, b = normalizeExpr(a), normalizeExpr(b)
+	switch na := a.(type) {
+	case *IntLit:
+		nb, ok := b.(*IntLit)
+		if !ok {
+			return exprMismatch(a, b)
+		}
+		if na.Value != nb.Value {
+			return fmt.Errorf("int %d != %d", na.Value, nb.Value)
+		}
+		return nil
+	case *FloatLit:
+		nb, ok := b.(*FloatLit)
+		if !ok {
+			return exprMismatch(a, b)
+		}
+		if na.Value != nb.Value {
+			return fmt.Errorf("float %g != %g", na.Value, nb.Value)
+		}
+		return nil
+	case *VarRef:
+		nb, ok := b.(*VarRef)
+		if !ok {
+			return exprMismatch(a, b)
+		}
+		if na.Name != nb.Name {
+			return fmt.Errorf("name %q != %q", na.Name, nb.Name)
+		}
+		return nil
+	case *IndexExpr:
+		nb, ok := b.(*IndexExpr)
+		if !ok {
+			return exprMismatch(a, b)
+		}
+		if na.Name != nb.Name {
+			return fmt.Errorf("index base %q != %q", na.Name, nb.Name)
+		}
+		if err := exprsEqual(na.Indices, nb.Indices); err != nil {
+			return fmt.Errorf("%s: %w", na.Name, err)
+		}
+		return nil
+	case *CallExpr:
+		nb, ok := b.(*CallExpr)
+		if !ok {
+			return exprMismatch(a, b)
+		}
+		if na.Name != nb.Name {
+			return fmt.Errorf("call %q != %q", na.Name, nb.Name)
+		}
+		if err := exprsEqual(na.Args, nb.Args); err != nil {
+			return fmt.Errorf("call %s: %w", na.Name, err)
+		}
+		return nil
+	case *UnaryExpr:
+		nb, ok := b.(*UnaryExpr)
+		if !ok {
+			return exprMismatch(a, b)
+		}
+		if na.Op != nb.Op {
+			return fmt.Errorf("unary op %v != %v", na.Op, nb.Op)
+		}
+		return exprEqual(na.X, nb.X)
+	case *BinaryExpr:
+		nb, ok := b.(*BinaryExpr)
+		if !ok {
+			return exprMismatch(a, b)
+		}
+		if na.Op != nb.Op {
+			return fmt.Errorf("binary op %v != %v", na.Op, nb.Op)
+		}
+		if err := exprEqual(na.X, nb.X); err != nil {
+			return err
+		}
+		return exprEqual(na.Y, nb.Y)
+	}
+	return fmt.Errorf("unsupported expression %T", a)
+}
+
+func exprMismatch(a, b Expr) error {
+	return fmt.Errorf("expression %T != %T", a, b)
+}

@@ -22,7 +22,7 @@ func Print(p *Program) string {
 			pr.printf("[%s]", ExprString(dim))
 		}
 		if d.Label != "" {
-			pr.printf(" label %q", d.Label)
+			pr.printf(" label %s", Quote(d.Label))
 		}
 		pr.printf(";\n")
 	}
@@ -133,7 +133,7 @@ func (pr *printer) printStmt(s Stmt) {
 		pr.line("%s;", ExprString(n.Call))
 	case *PrintStmt:
 		args := make([]string, 0, len(n.Args)+1)
-		args = append(args, fmt.Sprintf("%q", n.Format))
+		args = append(args, Quote(n.Format))
 		for _, a := range n.Args {
 			args = append(args, ExprString(a))
 		}
@@ -198,6 +198,33 @@ func (pr *printer) printElseIf(n *IfStmt) {
 		pr.indent--
 		pr.line("}")
 	}
+}
+
+// Quote renders s as a ParC string literal. It must emit only the escape
+// sequences the lexer understands (\n, \t, \\, \") and pass every other byte
+// through raw: Go's %q would produce escapes like \r or \x00 that ParC's
+// lexer rejects, even though the raw bytes themselves are legal inside a
+// ParC string literal. (Found by the conformance round-trip harness.)
+func Quote(s string) string {
+	var sb strings.Builder
+	sb.Grow(len(s) + 2)
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
 }
 
 func lvalueString(lv *LValue) string {

@@ -1,0 +1,154 @@
+package parc
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuoteRoundTrip: Quote must emit literals the lexer accepts and that
+// decode back to the original bytes — including bytes (like carriage return)
+// that Go's %q would escape with sequences ParC does not understand.
+func TestQuoteRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"plain",
+		"pct %d %f %g %%",
+		"tab\there",
+		"newline\nhere",
+		"backslash \\ quote \"",
+		"carriage\rreturn",
+		"bell\x07high\x80bytes",
+		"mixed \t\r\n\\\" end",
+	}
+	for _, want := range cases {
+		src := "func main() {\n    print(" + Quote(want) + ");\n}\n"
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Quote(%q) = %s does not re-lex: %v", want, Quote(want), err)
+		}
+		ps, ok := prog.Funcs[0].Body.Stmts[0].(*PrintStmt)
+		if !ok {
+			t.Fatalf("Quote(%q): parsed to %T", want, prog.Funcs[0].Body.Stmts[0])
+		}
+		if ps.Format != want {
+			t.Errorf("Quote round trip: got %q, want %q", ps.Format, want)
+		}
+	}
+}
+
+// TestPrintReparseRawControlBytes is the regression test for the printer's
+// old use of %q: a raw carriage return is a legal byte inside a ParC string
+// literal (and label), but %q emitted it as \r, which the lexer rejects, so
+// parse -> Print -> parse failed on valid programs.
+func TestPrintReparseRawControlBytes(t *testing.T) {
+	src := "shared float D[8] label \"da\rta\";\n\nfunc main() {\n    print(\"x\ry\");\n    barrier;\n}\n"
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	printed := Print(prog)
+	prog2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("printed program does not re-parse: %v\n%s", err, printed)
+	}
+	if err := ASTEqual(prog, prog2); err != nil {
+		t.Fatalf("round trip not equal: %v\n%s", err, printed)
+	}
+}
+
+// TestASTEqualNormalizesNegativeLiterals: the parser produces
+// UnaryExpr(-, Lit) while rewriters may build signed literals directly; the
+// two must compare equal, and genuinely different values must not.
+func TestASTEqualNormalizesNegativeLiterals(t *testing.T) {
+	parsed, err := Parse("func main() {\n    var x int = -5;\n}\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := Parse("func main() {\n    var x int = 0;\n}\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	built.Funcs[0].Body.Stmts[0].(*VarDeclStmt).Init = NewIntLit(-5)
+	if err := ASTEqual(parsed, built); err != nil {
+		t.Errorf("UnaryExpr(-,5) should equal IntLit(-5): %v", err)
+	}
+	built.Funcs[0].Body.Stmts[0].(*VarDeclStmt).Init = NewIntLit(5)
+	if err := ASTEqual(parsed, built); err == nil {
+		t.Error("-5 compared equal to 5")
+	}
+}
+
+// TestASTEqualIgnoresComments: comment statements are presentation only.
+func TestASTEqualIgnoresComments(t *testing.T) {
+	a, err := Parse("func main() {\n    barrier;\n}\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("func main() {\n    /*** Data Race on x ***/\n    barrier;\n}\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ASTEqual(a, b); err != nil {
+		t.Errorf("comments should be ignored: %v", err)
+	}
+}
+
+// TestPrintReparseEqualExamples pins the round trip on a program using every
+// statement and expression form, including precedence corner cases.
+func TestPrintReparseEqualExamples(t *testing.T) {
+	src := `const N = 16;
+const M = N * 2 - (3 + 1);
+
+shared float A[N][4] label "A";
+shared int total label "t 1";
+
+func helper(a float, b float) float {
+    if a > b && !(a < 1.0) || b != 0.0 {
+        return a * (b + 1.0);
+    }
+    return -a / 2.0;
+}
+
+func main() {
+    var per int = N / nprocs();
+    var lo int = pid() * per;
+    var acc float = 0.0;
+    var buf float[4];
+    for i = lo to lo + per - 1 step 2 {
+        buf[i % 4] = float(i) * -2.5;
+        A[i][0] = helper(A[i][1], buf[i % 4]) - (1.0 - 2.0 - 3.0);
+        acc += A[i][0] * (2.0 / (1.0 + 1.0));
+    }
+    barrier;
+    lock(1);
+    total += int(acc) % 7 + -3;
+    unlock(1);
+    barrier;
+    check_out_s A[0][0:3];
+    while per > 0 {
+        per -= 1;
+    }
+    check_in A[0][0:3];
+    print("done %d %g\n", pid(), acc);
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := Print(prog)
+	prog2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("printed program does not re-parse: %v\n%s", err, printed)
+	}
+	if err := ASTEqual(prog, prog2); err != nil {
+		t.Fatalf("round trip not equal: %v\n%s", err, printed)
+	}
+	// Printing is idempotent once through the printer.
+	if again := Print(prog2); again != printed {
+		t.Fatalf("print not idempotent:\n--- first\n%s\n--- second\n%s", printed, again)
+	}
+	if !strings.Contains(printed, `label "t 1"`) {
+		t.Errorf("label lost: %s", printed)
+	}
+}

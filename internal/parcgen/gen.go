@@ -1,0 +1,545 @@
+// Package parcgen generates random, well-formed, guaranteed-terminating ParC
+// programs for differential testing. Every generated program is
+// schedule-independent at the element level: within each barrier-delimited
+// epoch, each shared array element is written by at most one processor, every
+// cross-processor read targets data last written in an EARLIER epoch, and the
+// only same-epoch multi-writer location is a lock-protected integer reduction
+// cell (integer addition commutes, so the final value is interleaving-free).
+// Block-level false sharing, in contrast, is produced on purpose — 1-D
+// partition boundaries straddle cache blocks — because that is exactly the
+// conflict class Cachier must flag and pin without changing semantics.
+//
+// The generator's only obligations are determinism (same seed, same source)
+// and termination (every loop has static bounds or a strictly advancing
+// counter); the conformance harness supplies the oracle that checks the rest.
+package parcgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config bounds the generated programs.
+type Config struct {
+	// Nodes is the processor count the program partitions for; the array
+	// extent N is always a multiple of it.
+	Nodes int
+	// MaxArrays bounds the shared array count (at least 1 is generated).
+	MaxArrays int
+	// MaxPhases bounds the barrier-delimited compute phases (at least 1).
+	MaxPhases int
+}
+
+// DefaultConfig is sized for fast conformance runs: small machine, small
+// arrays, a handful of epochs.
+func DefaultConfig() Config {
+	return Config{Nodes: 4, MaxArrays: 3, MaxPhases: 4}
+}
+
+// Generate returns the seed's program under the default configuration.
+func Generate(seed int64) string {
+	return GenerateConfig(seed, DefaultConfig())
+}
+
+// GenerateConfig returns a deterministic pseudo-random ParC program.
+func GenerateConfig(seed int64, cfg Config) string {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.MaxArrays <= 0 {
+		cfg.MaxArrays = 3
+	}
+	if cfg.MaxPhases <= 0 {
+		cfg.MaxPhases = 4
+	}
+	g := &gen{rng: rand.New(rand.NewSource(seed)), cfg: cfg}
+	g.emit()
+	return g.sb.String()
+}
+
+type arrayInfo struct {
+	name    string
+	isFloat bool
+	twoD    bool
+	cols    int // 2-D column count
+}
+
+type gen struct {
+	rng *rand.Rand
+	cfg Config
+	sb  strings.Builder
+
+	n         int // array extent N
+	arrays    []arrayInfo
+	hasTotal  bool // shared int reduction cell present
+	hasMixf   bool // float helper emitted
+	hasClampi bool // int helper emitted
+}
+
+func (g *gen) pf(format string, args ...any) {
+	fmt.Fprintf(&g.sb, format, args...)
+}
+
+// chance flips a biased coin: true with probability num/den.
+func (g *gen) chance(num, den int) bool { return g.rng.Intn(den) < num }
+
+func (g *gen) emit() {
+	g.n = g.cfg.Nodes * (4 + 2*g.rng.Intn(3)) // e.g. 16, 24, 32 for 4 nodes
+	g.pf("const N = %d;\n\n", g.n)
+
+	nArrays := 1 + g.rng.Intn(g.cfg.MaxArrays)
+	for a := 0; a < nArrays; a++ {
+		ai := arrayInfo{
+			name:    fmt.Sprintf("D%d", a),
+			isFloat: g.chance(2, 3),
+			twoD:    g.chance(1, 4),
+			cols:    4,
+		}
+		g.arrays = append(g.arrays, ai)
+		base := "int"
+		if ai.isFloat {
+			base = "float"
+		}
+		label := ai.name
+		// Occasionally use a label the old %q printer mangled (raw control
+		// bytes are legal in ParC strings; see parc.Quote).
+		switch {
+		case g.chance(1, 8):
+			label = ai.name + "\tt"
+		case g.chance(1, 12):
+			label = ai.name + "\rr"
+		}
+		if ai.twoD {
+			g.pf("shared %s %s[N][%d] label %s;\n", base, ai.name, ai.cols, quote(label))
+		} else {
+			g.pf("shared %s %s[N] label %s;\n", base, ai.name, quote(label))
+		}
+	}
+	g.hasTotal = g.chance(1, 2)
+	if g.hasTotal {
+		g.pf("shared int total label \"total\";\n")
+	}
+	g.pf("\n")
+
+	g.hasMixf = g.chance(1, 2)
+	if g.hasMixf {
+		g.pf("func mixf(a float, b float) float {\n    return a * 0.5 + b * 0.25;\n}\n\n")
+	}
+	g.hasClampi = g.chance(1, 3)
+	if g.hasClampi {
+		g.pf("func clampi(a int) int {\n    if a < 0 {\n        return -a;\n    }\n    return a %% 97;\n}\n\n")
+	}
+
+	g.pf("func main() {\n")
+	g.pf("    var per int = N / nprocs();\n")
+	g.pf("    var lo int = pid() * per;\n")
+	g.pf("    var hi int = lo + per - 1;\n")
+
+	// Initialization epoch: every node fills its own rows of every array with
+	// a deterministic function of the index (occasionally the node-seeded
+	// rnd(), whose per-node sequence is program-order deterministic).
+	for a := range g.arrays {
+		g.emitInit(a)
+	}
+	g.pf("    barrier;\n")
+
+	phases := 1 + g.rng.Intn(g.cfg.MaxPhases)
+	for ph := 0; ph < phases; ph++ {
+		g.emitPhase(ph)
+	}
+	g.pf("}\n")
+}
+
+func quote(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+func (g *gen) emitInit(a int) {
+	ai := g.arrays[a]
+	var rhs string
+	switch {
+	case ai.isFloat && g.chance(1, 3):
+		rhs = "rnd() + 0.5"
+	case ai.isFloat:
+		rhs = fmt.Sprintf("float(i * %d + %d) * 0.25", 1+g.rng.Intn(5), g.rng.Intn(7))
+	default:
+		rhs = fmt.Sprintf("i * %d %% %d + pid()", 1+g.rng.Intn(5), 5+g.rng.Intn(13))
+	}
+	if ai.twoD {
+		inner := rhs
+		if strings.Contains(inner, "i *") {
+			inner = strings.Replace(inner, "i *", fmt.Sprintf("(i * %d + j) *", ai.cols), 1)
+		}
+		g.pf("    for i = lo to hi {\n        for j = 0 to %d {\n            %s[i][j] = %s;\n        }\n    }\n",
+			ai.cols-1, ai.name, inner)
+	} else {
+		g.pf("    for i = lo to hi {\n        %s[i] = %s;\n    }\n", ai.name, rhs)
+	}
+}
+
+// emitPhase writes one barrier-delimited epoch.
+func (g *gen) emitPhase(ph int) {
+	kind := g.rng.Intn(6)
+	if kind == 5 && !g.hasTotal {
+		kind = g.rng.Intn(5)
+	}
+	switch kind {
+	case 0, 1: // plain own-partition update (the common case, so weighted)
+		g.emitUpdate(ph, "")
+	case 2: // strided or reversed traversal
+		if g.chance(1, 2) {
+			g.emitUpdate(ph, "step 2")
+		} else {
+			g.emitUpdate(ph, "reverse")
+		}
+	case 3: // while-loop traversal with an explicit advancing counter
+		g.emitWhileUpdate(ph)
+	case 4: // whole-array read into a private accumulator, then own-cell write
+		g.emitAccumulate(ph)
+	case 5: // lock-protected commutative integer reduction
+		g.emitReduction(ph)
+	}
+	if g.chance(1, 3) {
+		g.emitPrint(ph)
+	}
+	g.pf("    barrier;\n")
+}
+
+// target picks the array this phase writes; every other array is stable this
+// epoch and may be read at arbitrary indices.
+func (g *gen) target() int { return g.rng.Intn(len(g.arrays)) }
+
+// assignOp picks an assignment operator (compound ops read the target cell,
+// which is owned by the writer, so they stay race-free).
+func (g *gen) assignOp(isFloat bool) string {
+	ops := []string{"=", "=", "+=", "-=", "*="}
+	if !isFloat {
+		ops = []string{"=", "=", "+=", "-="}
+	}
+	return ops[g.rng.Intn(len(ops))]
+}
+
+func (g *gen) emitUpdate(ph int, variant string) {
+	t := g.target()
+	ai := g.arrays[t]
+	head := "for i = lo to hi"
+	switch variant {
+	case "step 2":
+		head = "for i = lo to hi step 2"
+	case "reverse":
+		head = "for i = hi to lo step -1"
+	}
+	if g.chance(1, 5) {
+		// pid-dependent split: both branches still write only own cells.
+		g.pf("    if pid() %% 2 == 0 {\n")
+		g.pf("        %s {\n            %s\n        }\n", head, g.writeStmt(t, "i"))
+		g.pf("    } else {\n")
+		g.pf("        %s {\n            %s\n        }\n", head, g.writeStmt(t, "i"))
+		g.pf("    }\n")
+		return
+	}
+	if ai.twoD && g.chance(1, 2) {
+		g.pf("    %s {\n        for j = 0 to %d {\n            %s\n        }\n    }\n",
+			head, ai.cols-1, g.writeStmt2D(t, "i", "j"))
+		return
+	}
+	g.pf("    %s {\n        %s\n    }\n", head, g.writeStmt(t, "i"))
+}
+
+func (g *gen) emitWhileUpdate(ph int) {
+	t := g.target()
+	v := fmt.Sprintf("w%d", ph)
+	g.pf("    var %s int = lo;\n", v)
+	g.pf("    while %s <= hi {\n        %s\n        %s += 1;\n    }\n",
+		v, g.writeStmt(t, v), v)
+}
+
+func (g *gen) emitAccumulate(ph int) {
+	t := g.target()
+	ai := g.arrays[t]
+	// Read a STABLE array (not the phase's write target) end to end; with a
+	// single array the accumulator reads only the node's own partition.
+	src := -1
+	for a := range g.arrays {
+		if a != t {
+			src = a
+			break
+		}
+	}
+	acc := fmt.Sprintf("acc%d", ph)
+	k := fmt.Sprintf("k%d", ph)
+	g.pf("    var %s float = 0.0;\n", acc)
+	if src >= 0 {
+		g.pf("    for %s = 0 to N - 1 {\n        %s += %s;\n    }\n", k, acc, g.readAs(src, k, true))
+	} else {
+		// Only one array exists, so it is also this phase's write target:
+		// reads must stay inside the node's own partition (k itself), never
+		// safeIndex, which may roam into a neighbour's concurrently-written
+		// cells.
+		own := g.read(t, k, true)
+		if !ai.isFloat {
+			own = "float(" + own + ")"
+		}
+		g.pf("    for %s = lo to hi {\n        %s += %s;\n    }\n", k, acc, own)
+	}
+	if ai.twoD {
+		g.pf("    %s[lo][%d] = %s * 0.125;\n", ai.name, g.rng.Intn(ai.cols), acc)
+	} else if ai.isFloat {
+		g.pf("    %s[lo] = %s * 0.125;\n", ai.name, acc)
+	} else {
+		g.pf("    %s[lo] = int(%s) %% 1024;\n", ai.name, acc)
+	}
+}
+
+func (g *gen) emitReduction(ph int) {
+	// Integer addition commutes and locks serialize the updates, so the final
+	// cell value is independent of node interleaving.
+	id := g.rng.Intn(2)
+	g.pf("    lock(%d);\n", id)
+	g.pf("    total += %s;\n", g.intExpr(1, -1, ""))
+	g.pf("    unlock(%d);\n", id)
+}
+
+func (g *gen) emitPrint(ph int) {
+	formats := []string{
+		"p%d v%d",
+		"p%d\tv%d",
+		"phase %d node %d",
+		"x %% %d n%d",
+	}
+	f := formats[g.rng.Intn(len(formats))]
+	g.pf("    print(%s, %d, pid());\n", quote(f), ph)
+}
+
+// --- expression generation ---
+//
+// Expressions never divide or take modulo by anything but a positive literal,
+// so no generated program can fault; float special values (Inf/NaN) are
+// allowed, since every variant performs the identical per-element operation
+// sequence and therefore produces identical bits.
+
+// safeIndex returns an index expression guaranteed in [0, N).
+func (g *gen) safeIndex(loopVar string) string {
+	if loopVar == "" || g.chance(1, 4) {
+		switch g.rng.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%d", g.rng.Intn(g.n))
+		case 1:
+			return "lo"
+		default:
+			return "hi"
+		}
+	}
+	switch g.rng.Intn(3) {
+	case 0:
+		return loopVar
+	case 1:
+		return fmt.Sprintf("(%s + %d) %% N", loopVar, 1+g.rng.Intn(g.n))
+	default:
+		return fmt.Sprintf("(%s * %d + %d) %% N", loopVar, 2+g.rng.Intn(3), g.rng.Intn(g.n))
+	}
+}
+
+// readAs returns a float-valued (or int-coerced) read of array a. ownOnly
+// restricts the index to the loop variable itself (the caller's own cell).
+func (g *gen) read(a int, loopVar string, ownOnly bool) string {
+	ai := g.arrays[a]
+	ix := loopVar
+	if !ownOnly {
+		ix = g.safeIndex(loopVar)
+	}
+	if ix == "" {
+		ix = "lo"
+	}
+	if ai.twoD {
+		return fmt.Sprintf("%s[%s][%d]", ai.name, ix, g.rng.Intn(ai.cols))
+	}
+	return fmt.Sprintf("%s[%s]", ai.name, ix)
+}
+
+// readAs wraps read with a conversion so the result has the requested type.
+func (g *gen) readAs(a int, loopVar string, wantFloat bool) string {
+	r := g.read(a, loopVar, false)
+	if wantFloat && !g.arrays[a].isFloat {
+		return "float(" + r + ")"
+	}
+	if !wantFloat && g.arrays[a].isFloat {
+		return "int(" + r + ")"
+	}
+	return r
+}
+
+// writeStmt builds "<target>[ix] op= <rhs>;" for a 1-D or fixed-column 2-D
+// write of the caller's own cell.
+func (g *gen) writeStmt(t int, loopVar string) string {
+	ai := g.arrays[t]
+	lhs := fmt.Sprintf("%s[%s]", ai.name, loopVar)
+	if ai.twoD {
+		lhs = fmt.Sprintf("%s[%s][%d]", ai.name, loopVar, g.rng.Intn(ai.cols))
+	}
+	return fmt.Sprintf("%s %s %s;", lhs, g.assignOp(ai.isFloat), g.rhs(t, loopVar))
+}
+
+func (g *gen) writeStmt2D(t int, rowVar, colVar string) string {
+	ai := g.arrays[t]
+	lhs := fmt.Sprintf("%s[%s][%s]", ai.name, rowVar, colVar)
+	return fmt.Sprintf("%s %s %s;", lhs, g.assignOp(ai.isFloat), g.rhs(t, rowVar))
+}
+
+// rhs builds the phase's right-hand side: reads of the target stay on the
+// caller's own row; reads of every other (stable) array roam freely.
+func (g *gen) rhs(t int, loopVar string) string {
+	if g.arrays[t].isFloat {
+		return g.floatExpr(2, t, loopVar)
+	}
+	return g.intExpr(2, t, loopVar)
+}
+
+func (g *gen) floatExpr(depth, t int, loopVar string) string {
+	if depth <= 0 || g.chance(1, 4) {
+		return g.floatAtom(t, loopVar)
+	}
+	x := g.floatExpr(depth-1, t, loopVar)
+	y := g.floatExpr(depth-1, t, loopVar)
+	switch g.rng.Intn(8) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", x, y)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", x, y)
+	case 2:
+		return fmt.Sprintf("(%s * %s)", x, y)
+	case 3:
+		return fmt.Sprintf("(%s / %d.0)", x, 2+g.rng.Intn(7))
+	case 4:
+		return fmt.Sprintf("min(%s, %s)", x, y)
+	case 5:
+		return fmt.Sprintf("abs(%s)", x)
+	case 6:
+		if g.hasMixf {
+			return fmt.Sprintf("mixf(%s, %s)", x, y)
+		}
+		return fmt.Sprintf("max(%s, %s)", x, y)
+	default:
+		if g.chance(1, 3) {
+			return fmt.Sprintf("sqrt(abs(%s))", x)
+		}
+		return fmt.Sprintf("(%s * 0.5 + %s * 0.25)", x, y)
+	}
+}
+
+func (g *gen) floatAtom(t int, loopVar string) string {
+	switch g.rng.Intn(5) {
+	case 0:
+		return fmt.Sprintf("%d.%d", g.rng.Intn(4), 25*(1+g.rng.Intn(3)))
+	case 1:
+		if loopVar != "" {
+			return fmt.Sprintf("float(%s)", loopVar)
+		}
+		return "float(pid())"
+	case 2:
+		if t >= 0 && loopVar != "" {
+			// Own cell of the write target: race-free self-reference.
+			r := g.read(t, loopVar, true)
+			if !g.arrays[t].isFloat {
+				r = "float(" + r + ")"
+			}
+			return r
+		}
+		fallthrough
+	default:
+		a := g.stableArray(t)
+		if a < 0 {
+			return "1.5"
+		}
+		return g.readAs(a, loopVar, true)
+	}
+}
+
+func (g *gen) intExpr(depth, t int, loopVar string) string {
+	if depth <= 0 || g.chance(1, 4) {
+		return g.intAtom(t, loopVar)
+	}
+	x := g.intExpr(depth-1, t, loopVar)
+	y := g.intExpr(depth-1, t, loopVar)
+	switch g.rng.Intn(7) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", x, y)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", x, y)
+	case 2:
+		return fmt.Sprintf("(%s * %d)", x, 1+g.rng.Intn(4))
+	case 3:
+		return fmt.Sprintf("(%s %% %d)", x, 3+g.rng.Intn(17))
+	case 4:
+		return fmt.Sprintf("(%s / %d)", x, 2+g.rng.Intn(5))
+	case 5:
+		if g.hasClampi {
+			return fmt.Sprintf("clampi(%s)", x)
+		}
+		return fmt.Sprintf("max(%s, %s)", x, y)
+	default:
+		return fmt.Sprintf("min(%s, %s)", x, y)
+	}
+}
+
+func (g *gen) intAtom(t int, loopVar string) string {
+	switch g.rng.Intn(5) {
+	case 0:
+		return fmt.Sprintf("%d", 1+g.rng.Intn(16))
+	case 1:
+		if loopVar != "" {
+			return loopVar
+		}
+		return "pid()"
+	case 2:
+		return []string{"pid()", "nprocs()", "per", "lo", "hi"}[g.rng.Intn(5)]
+	case 3:
+		if t >= 0 && loopVar != "" {
+			r := g.read(t, loopVar, true)
+			if g.arrays[t].isFloat {
+				r = "int(" + r + ")"
+			}
+			return r
+		}
+		fallthrough
+	default:
+		a := g.stableArray(t)
+		if a < 0 {
+			return "7"
+		}
+		return g.readAs(a, loopVar, false)
+	}
+}
+
+// stableArray picks an array other than the current write target (any array
+// when t is -1, e.g. in a reduction epoch where no array is written).
+func (g *gen) stableArray(t int) int {
+	candidates := make([]int, 0, len(g.arrays))
+	for a := range g.arrays {
+		if a != t {
+			candidates = append(candidates, a)
+		}
+	}
+	if len(candidates) == 0 {
+		return -1
+	}
+	return candidates[g.rng.Intn(len(candidates))]
+}

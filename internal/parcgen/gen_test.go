@@ -1,0 +1,53 @@
+package parcgen
+
+import (
+	"testing"
+
+	"cachier/internal/parc"
+)
+
+// TestGenerateDeterministic: the generator is a pure function of its seed.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		if Generate(seed) != Generate(seed) {
+			t.Fatalf("seed %d: two calls disagree", seed)
+		}
+	}
+	if Generate(1) == Generate(2) {
+		t.Fatal("seeds 1 and 2 generated identical programs")
+	}
+}
+
+// TestGenerateParsesAndChecks: every generated program is well-formed ParC.
+func TestGenerateParsesAndChecks(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		src := Generate(seed)
+		prog, err := parc.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d does not parse: %v\n%s", seed, err, src)
+		}
+		if err := parc.Check(prog); err != nil {
+			t.Fatalf("seed %d does not check: %v\n%s", seed, err, src)
+		}
+	}
+}
+
+// TestGenerateRoundTrips: parse -> Print -> parse yields an equal AST for
+// every generated program (the satellite-1 printer contract).
+func TestGenerateRoundTrips(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		src := Generate(seed)
+		prog, err := parc.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		printed := parc.Print(prog)
+		prog2, err := parc.Parse(printed)
+		if err != nil {
+			t.Fatalf("seed %d: printed output does not re-parse: %v\n%s", seed, err, printed)
+		}
+		if err := parc.ASTEqual(prog, prog2); err != nil {
+			t.Fatalf("seed %d: round trip not equal: %v", seed, err)
+		}
+	}
+}

@@ -94,6 +94,13 @@ type Config struct {
 	// FullMap swaps Dir1SW for a full-map hardware directory (see
 	// dir1sw.Config.FullMap); used by the protocol-sensitivity ablation.
 	FullMap bool
+
+	// Probe enables the Dir1SW per-access invariant probe
+	// (dir1sw.Config.Probe): every access and directive re-validates the
+	// coherence invariants on the blocks it touched, and the first
+	// violation fails the run at the next barrier (or at completion).
+	// O(nodes) per access — for conformance testing, not performance runs.
+	Probe bool
 }
 
 // DefaultConfig is the paper's machine: 32 nodes, 256 KB 4-way caches,
@@ -280,6 +287,7 @@ func Run(prog *parc.Program, cfg Config) (*Result, error) {
 		PostStore: cfg.PostStore,
 		FullMap:   cfg.FullMap,
 		AddrSpace: layout.TotalBytes(),
+		Probe:     cfg.Probe,
 	})
 	if err != nil {
 		return nil, err
@@ -329,6 +337,9 @@ func Run(prog *parc.Program, cfg Config) (*Result, error) {
 
 	if m.runErr != nil {
 		return nil, m.runErr
+	}
+	if err := sys.ProbeError(); err != nil {
+		return nil, fmt.Errorf("sim: invariant violation: %w", err)
 	}
 
 	res := &Result{
@@ -638,6 +649,11 @@ func (m *Machine) releaseBarrier(pc int, active int) {
 	if m.cfg.SelfCheck && m.runErr == nil {
 		if err := m.sys.CheckCoherence(); err != nil {
 			m.runErr = fmt.Errorf("sim: coherence violation at barrier %d: %w", m.barriers, err)
+		}
+	}
+	if m.runErr == nil {
+		if err := m.sys.ProbeError(); err != nil {
+			m.runErr = fmt.Errorf("sim: invariant violation by barrier %d: %w", m.barriers, err)
 		}
 	}
 }

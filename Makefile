@@ -19,9 +19,13 @@ vet:
 	$(GO) vet ./...
 
 # One pass over the performance-tracking benchmarks (see EXPERIMENTS.md,
-# "Simulator performance").
+# "Simulator performance"), then the Figure 6 harness with its
+# machine-readable result rows — BENCH_fig6.json records cycles, normalized
+# time, and wall-clock per (benchmark, variant) so performance can be
+# tracked across commits.
 bench:
-	$(GO) test -run xxx -bench 'Fig6|Scheduler|DirectoryLookup' -benchtime 1x ./...
+	$(GO) test -run xxx -bench 'Fig6|Scheduler|DirectoryLookup|Interp' -benchtime 1x ./...
+	$(GO) run ./cmd/fig6 -json BENCH_fig6.json
 
 check: build vet test race
 

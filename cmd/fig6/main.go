@@ -6,25 +6,47 @@
 //
 // Usage:
 //
-//	fig6 [-bench NAME] [-sharing] [-stats] [-source]
+//	fig6 [-bench NAME] [-sharing] [-stats] [-source] [-json FILE]
+//	     [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sync"
+	"time"
 
 	"cachier/internal/bench"
 )
 
+// jsonRow is one (benchmark, variant) measurement in the -json output: the
+// simulated cycle count, the Figure 6 normalized time, and the wall-clock
+// seconds the benchmark's full pipeline (trace, annotate, simulate all
+// variants) took on the host. Wall-clock is per benchmark, repeated on each
+// of its variant rows; benchmarks run concurrently, so it measures time to
+// produce the row, not exclusive CPU time.
+type jsonRow struct {
+	Benchmark  string  `json:"benchmark"`
+	Variant    string  `json:"variant"`
+	Cycles     uint64  `json:"cycles"`
+	Normalized float64 `json:"normalized"`
+	WallSecs   float64 `json:"wall_seconds"`
+}
+
 func main() {
 	var (
-		only    = flag.String("bench", "", "run a single benchmark by name")
-		sharing = flag.Bool("sharing", false, "print the sharing-degree table (Section 6)")
-		stats   = flag.Bool("stats", false, "print per-variant protocol statistics")
-		source  = flag.Bool("source", false, "print each Cachier-annotated program")
-		big     = flag.Bool("big", false, "near-paper-scale inputs (takes minutes)")
+		only       = flag.String("bench", "", "run a single benchmark by name")
+		sharing    = flag.Bool("sharing", false, "print the sharing-degree table (Section 6)")
+		stats      = flag.Bool("stats", false, "print per-variant protocol statistics")
+		source     = flag.Bool("source", false, "print each Cachier-annotated program")
+		big        = flag.Bool("big", false, "near-paper-scale inputs (takes minutes)")
+		jsonOut    = flag.String("json", "", "write machine-readable result rows to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (taken after the runs) to this file")
 	)
 	flag.Parse()
 
@@ -39,10 +61,23 @@ func main() {
 		benches = bench.All()
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	// Benchmarks run concurrently (RunBenchmark bounds actual compute to
 	// the machine's CPUs); rows keep the listing order.
 	rows := make([]*bench.Row, len(benches))
 	errs := make([]error, len(benches))
+	walls := make([]time.Duration, len(benches))
 	var wg sync.WaitGroup
 	for i, b := range benches {
 		if *big {
@@ -52,7 +87,9 @@ func main() {
 		wg.Add(1)
 		go func(i int, b *bench.Benchmark) {
 			defer wg.Done()
+			start := time.Now()
 			rows[i], errs[i] = bench.RunBenchmark(b)
+			walls[i] = time.Since(start)
 		}(i, b)
 	}
 	wg.Wait()
@@ -64,6 +101,12 @@ func main() {
 
 	fmt.Println("Figure 6: execution time normalized to the unannotated version")
 	fmt.Print(bench.FormatRows(rows))
+
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, rows, walls); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *sharing {
 		fmt.Println("\nSharing degree of the unannotated runs (cf. Section 6):")
@@ -93,6 +136,39 @@ func main() {
 			fmt.Printf("\n===== %s, Cachier-annotated =====\n%s\n", r.Benchmark, r.AnnotatedSource)
 		}
 	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC() // flush garbage so the profile shows live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeJSON emits one row per (benchmark, variant) in listing order.
+func writeJSON(path string, rows []*bench.Row, walls []time.Duration) error {
+	var out []jsonRow
+	for i, r := range rows {
+		for _, v := range bench.Variants() {
+			out = append(out, jsonRow{
+				Benchmark:  r.Benchmark,
+				Variant:    string(v),
+				Cycles:     r.Cycles[v],
+				Normalized: r.Normalized(v),
+				WallSecs:   walls[i].Seconds(),
+			})
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func fatal(err error) {

@@ -39,11 +39,16 @@ const (
 	DefaultBlockSize = 32
 )
 
+// line is 16 bytes so that a default 4-way set occupies a single real
+// 64-byte cache line: the associative scan in Touch/Lookup is memory-bound
+// across 32 simulated node caches, and halving the metadata footprint
+// halves its miss traffic. use is a 32-bit LRU stamp; renormalize handles
+// the (astronomically rare) wraparound without disturbing LRU order.
 type line struct {
 	block uint64 // block number (addr / blockSize)
-	state State
+	use   uint32 // LRU timestamp
+	state uint8  // State, compressed
 	dirty bool
-	use   uint64 // LRU timestamp
 }
 
 // Cache is one node's shared-data cache, indexed by block number.
@@ -51,8 +56,8 @@ type Cache struct {
 	blockSize int
 	nsets     int
 	assoc     int
-	sets      [][]line
-	tick      uint64 // LRU clock
+	flat      []line // nsets*assoc lines, set-major
+	tick      uint32 // LRU clock
 	resident  int    // number of valid lines
 
 	// mru caches the most recently hit or inserted line. Programs show
@@ -61,7 +66,7 @@ type Cache struct {
 	// associative scan removes most probe work. The shortcut is
 	// self-validating — it is trusted only when the line still holds the
 	// probed block in a valid state — so invalidations, evictions, and
-	// flushes need no bookkeeping here. Set slices are allocated once in
+	// flushes need no bookkeeping here. The flat array is allocated once in
 	// New and never reallocated, so the pointer stays in bounds forever.
 	mru *line
 
@@ -85,15 +90,12 @@ func New(size, assoc, blockSize int) (*Cache, error) {
 	if nsets&(nsets-1) != 0 {
 		return nil, fmt.Errorf("cache: set count %d is not a power of two", nsets)
 	}
-	c := &Cache{blockSize: blockSize, nsets: nsets, assoc: assoc}
-	// All sets share one flat backing array: one allocation instead of one
-	// per set, and whole-cache walks (FlushAll, ForEach) scan contiguously.
-	c.sets = make([][]line, nsets)
-	flat := make([]line, nsets*assoc)
-	for i := range c.sets {
-		c.sets[i] = flat[i*assoc : (i+1)*assoc : (i+1)*assoc]
-	}
-	return c, nil
+	return &Cache{
+		blockSize: blockSize,
+		nsets:     nsets,
+		assoc:     assoc,
+		flat:      make([]line, nsets*assoc),
+	}, nil
 }
 
 // MustNew is New but panics on error; for configurations known valid.
@@ -115,25 +117,58 @@ func (c *Cache) Capacity() int { return c.nsets * c.assoc * c.blockSize }
 func (c *Cache) Resident() int { return c.resident }
 
 func (c *Cache) set(block uint64) []line {
-	return c.sets[block&uint64(c.nsets-1)]
+	i := int(block&uint64(c.nsets-1)) * c.assoc
+	return c.flat[i : i+c.assoc : i+c.assoc]
+}
+
+// bump advances the LRU clock. Just before the 32-bit clock would exhaust,
+// renormalize compresses every set's stamps to their within-set rank —
+// preserving LRU order exactly — and restarts the clock above them.
+func (c *Cache) bump() uint32 {
+	if c.tick >= ^uint32(0)-1 {
+		c.renormalize()
+	}
+	c.tick++
+	return c.tick
+}
+
+// renormalize replaces each line's use stamp with its rank among its set's
+// stamps (ranks are unique: every stamp came from a distinct clock value).
+// Relative LRU order within each set — the only thing eviction ever
+// compares — is untouched.
+func (c *Cache) renormalize() {
+	a := c.assoc
+	for s := 0; s < c.nsets; s++ {
+		set := c.flat[s*a : (s+1)*a]
+		for i := range set {
+			rank := uint32(0)
+			for j := range set {
+				if set[j].use < set[i].use {
+					rank++
+				}
+			}
+			set[i].use = rank
+		}
+	}
+	c.tick = uint32(c.assoc)
 }
 
 // hot reports whether the MRU shortcut currently holds the block.
 func (c *Cache) hot(block uint64) bool {
-	return c.mru != nil && c.mru.block == block && c.mru.state != Invalid
+	return c.mru != nil && c.mru.block == block && c.mru.state != uint8(Invalid)
 }
 
 // Lookup returns the block's state without touching LRU order. It returns
 // Invalid for absent blocks.
 func (c *Cache) Lookup(block uint64) State {
 	if c.hot(block) {
-		return c.mru.state
+		return State(c.mru.state)
 	}
 	set := c.set(block)
 	for i := range set {
 		ln := &set[i]
-		if ln.state != Invalid && ln.block == block {
-			return ln.state
+		if ln.state != uint8(Invalid) && ln.block == block {
+			return State(ln.state)
 		}
 	}
 	return Invalid
@@ -147,7 +182,7 @@ func (c *Cache) Dirty(block uint64) bool {
 	set := c.set(block)
 	for i := range set {
 		ln := &set[i]
-		if ln.state != Invalid && ln.block == block {
+		if ln.state != uint8(Invalid) && ln.block == block {
 			return ln.dirty
 		}
 	}
@@ -157,20 +192,20 @@ func (c *Cache) Dirty(block uint64) bool {
 // Touch marks the block most-recently used and returns its state. Use it for
 // accesses that hit.
 func (c *Cache) Touch(block uint64) State {
-	c.tick++
+	tick := c.bump()
 	if c.hot(block) {
-		c.mru.use = c.tick
+		c.mru.use = tick
 		c.Hits++
-		return c.mru.state
+		return State(c.mru.state)
 	}
 	set := c.set(block)
 	for i := range set {
 		ln := &set[i]
-		if ln.state != Invalid && ln.block == block {
-			ln.use = c.tick
+		if ln.state != uint8(Invalid) && ln.block == block {
+			ln.use = tick
 			c.Hits++
 			c.mru = ln
-			return ln.state
+			return State(ln.state)
 		}
 	}
 	c.Misses++
@@ -191,31 +226,31 @@ func (c *Cache) Insert(block uint64, state State) (Victim, bool) {
 	if state == Invalid {
 		panic("cache: Insert with Invalid state")
 	}
-	c.tick++
+	tick := c.bump()
 	set := c.set(block)
 	var free, lru = -1, 0
 	for i := range set {
 		ln := &set[i]
-		if ln.state != Invalid && ln.block == block {
-			ln.state = state
-			ln.use = c.tick
+		if ln.state != uint8(Invalid) && ln.block == block {
+			ln.state = uint8(state)
+			ln.use = tick
 			c.mru = ln
 			return Victim{}, false
 		}
-		if ln.state == Invalid {
+		if ln.state == uint8(Invalid) {
 			free = i
-		} else if set[i].use < set[lru].use || set[lru].state == Invalid {
+		} else if set[i].use < set[lru].use || set[lru].state == uint8(Invalid) {
 			lru = i
 		}
 	}
 	if free >= 0 {
-		set[free] = line{block: block, state: state, use: c.tick}
+		set[free] = line{block: block, state: uint8(state), use: tick}
 		c.resident++
 		c.mru = &set[free]
 		return Victim{}, false
 	}
-	v := Victim{Block: set[lru].block, State: set[lru].state, Dirty: set[lru].dirty}
-	set[lru] = line{block: block, state: state, use: c.tick}
+	v := Victim{Block: set[lru].block, State: State(set[lru].state), Dirty: set[lru].dirty}
+	set[lru] = line{block: block, state: uint8(state), use: tick}
 	c.Evictions++
 	c.mru = &set[lru]
 	return v, true
@@ -226,24 +261,24 @@ func (c *Cache) Insert(block uint64, state State) (Victim, bool) {
 func (c *Cache) SetState(block uint64, state State) bool {
 	if c.hot(block) {
 		if state == Invalid {
-			c.mru.state = Invalid
+			c.mru.state = uint8(Invalid)
 			c.mru.dirty = false
 			c.resident--
 		} else {
-			c.mru.state = state
+			c.mru.state = uint8(state)
 		}
 		return true
 	}
 	set := c.set(block)
 	for i := range set {
 		ln := &set[i]
-		if ln.state != Invalid && ln.block == block {
+		if ln.state != uint8(Invalid) && ln.block == block {
 			if state == Invalid {
-				ln.state = Invalid
+				ln.state = uint8(Invalid)
 				ln.dirty = false
 				c.resident--
 			} else {
-				ln.state = state
+				ln.state = uint8(state)
 			}
 			return true
 		}
@@ -261,7 +296,7 @@ func (c *Cache) MarkDirty(block uint64) bool {
 	set := c.set(block)
 	for i := range set {
 		ln := &set[i]
-		if ln.state != Invalid && ln.block == block {
+		if ln.state != uint8(Invalid) && ln.block == block {
 			ln.dirty = true
 			return true
 		}
@@ -274,8 +309,8 @@ func (c *Cache) Invalidate(block uint64) (State, bool) {
 	set := c.set(block)
 	for i := range set {
 		ln := &set[i]
-		if ln.state != Invalid && ln.block == block {
-			st, dirty := ln.state, ln.dirty
+		if ln.state != uint8(Invalid) && ln.block == block {
+			st, dirty := State(ln.state), ln.dirty
 			*ln = line{}
 			c.resident--
 			return st, dirty
@@ -286,18 +321,17 @@ func (c *Cache) Invalidate(block uint64) (State, bool) {
 
 // FlushAll invalidates every line, calling fn (if non-nil) for each valid
 // line first. The WWT-style tracer flushes all shared-data caches at every
-// barrier (paper Section 3.3).
+// barrier (paper Section 3.3). Lines of the same set are visited in way
+// order; sets in index order.
 func (c *Cache) FlushAll(fn func(block uint64, state State, dirty bool)) {
-	for si := range c.sets {
-		for i := range c.sets[si] {
-			ln := &c.sets[si][i]
-			if ln.state != Invalid {
-				if fn != nil {
-					fn(ln.block, ln.state, ln.dirty)
-				}
-				*ln = line{}
-				c.resident--
+	for i := range c.flat {
+		ln := &c.flat[i]
+		if ln.state != uint8(Invalid) {
+			if fn != nil {
+				fn(ln.block, State(ln.state), ln.dirty)
 			}
+			*ln = line{}
+			c.resident--
 		}
 	}
 }
@@ -305,12 +339,10 @@ func (c *Cache) FlushAll(fn func(block uint64, state State, dirty bool)) {
 // ForEach calls fn for every valid line without modifying anything. Lines of
 // the same set are visited in way order; sets in index order.
 func (c *Cache) ForEach(fn func(block uint64, state State, dirty bool)) {
-	for si := range c.sets {
-		for i := range c.sets[si] {
-			ln := &c.sets[si][i]
-			if ln.state != Invalid {
-				fn(ln.block, ln.state, ln.dirty)
-			}
+	for i := range c.flat {
+		ln := &c.flat[i]
+		if ln.state != uint8(Invalid) {
+			fn(ln.block, State(ln.state), ln.dirty)
 		}
 	}
 }
@@ -318,11 +350,9 @@ func (c *Cache) ForEach(fn func(block uint64, state State, dirty bool)) {
 // Blocks returns the block numbers of all valid lines, in unspecified order.
 func (c *Cache) Blocks() []uint64 {
 	var out []uint64
-	for si := range c.sets {
-		for i := range c.sets[si] {
-			if c.sets[si][i].state != Invalid {
-				out = append(out, c.sets[si][i].block)
-			}
+	for i := range c.flat {
+		if c.flat[i].state != uint8(Invalid) {
+			out = append(out, c.flat[i].block)
 		}
 	}
 	return out

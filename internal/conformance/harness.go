@@ -112,6 +112,30 @@ func RunSource(src string) error {
 		return err
 	}
 
+	// Tree-walker differential: the bytecode VM is the engine behind every
+	// run above, so those only prove the VM against the oracle. Re-running
+	// the program through the tree-walking reference implementation and
+	// demanding a bit-identical machine — same cycle count, same protocol
+	// stats — pins the VM to the reference access-for-access, not just
+	// result-for-result.
+	treeCfg := simConfig(sim.ModePerf)
+	treeCfg.TreeWalk = true
+	treeRes, err := sim.Run(prog, treeCfg)
+	if err != nil {
+		return fmt.Errorf("tree-walk run: %w", err)
+	}
+	if err := checkVariant("tree-walk", treeRes, want); err != nil {
+		return err
+	}
+	if treeRes.Cycles != plainRes.Cycles {
+		return fmt.Errorf("tree-walk differential: VM ran %d cycles, tree-walker %d",
+			plainRes.Cycles, treeRes.Cycles)
+	}
+	if treeRes.Stats != plainRes.Stats {
+		return fmt.Errorf("tree-walk differential: protocol stats diverge\nVM:   %+v\ntree: %+v",
+			plainRes.Stats, treeRes.Stats)
+	}
+
 	// Cachier placement in all three styles, each simulated from its
 	// printed source so the annotated text round-trips through the real
 	// parser exactly as a user's file would.

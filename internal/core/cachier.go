@@ -221,14 +221,14 @@ func groupEpochs(epochs []*EpochSets) [][]int {
 func (pl *planner) planGroup(g []int, epochs []*EpochSets, conflicts []*Conflicts,
 	ann [][]AnnSets, readAnn [][]AnnSets) {
 
-	nonDRFS := func(pick func(a AnnSets) AddrSet) func(e, n int) AddrSet {
-		return func(e, n int) AddrSet {
-			return pick(ann[e][n]).Filter(not(conflicts[e].DRFS))
+	nonDRFS := func(pick func(a AnnSets) AddrSet) func(e, n int) (AddrSet, func(uint64) bool) {
+		return func(e, n int) (AddrSet, func(uint64) bool) {
+			return pick(ann[e][n]), not(conflicts[e].DRFS)
 		}
 	}
-	onlyDRFS := func(pick func(a AnnSets) AddrSet) func(e, n int) AddrSet {
-		return func(e, n int) AddrSet {
-			return pick(ann[e][n]).Filter(conflicts[e].DRFS)
+	onlyDRFS := func(pick func(a AnnSets) AddrSet) func(e, n int) (AddrSet, func(uint64) bool) {
+		return func(e, n int) (AddrSet, func(uint64) bool) {
+			return pick(ann[e][n]), conflicts[e].DRFS
 		}
 	}
 	cox := func(a AnnSets) AddrSet { return a.CoX }
@@ -283,8 +283,8 @@ func (pl *planner) planGroup(g []int, epochs []*EpochSets, conflicts []*Conflict
 		// same epoch (a boundary block read as a stencil neighbour) would
 		// be snatched back before the write, making the fault worse, not
 		// better — prefetch only privately-written blocks early.
-		coxPrefetchable := func(e, n int) AddrSet {
-			return ann[e][n].CoX.Filter(func(a uint64) bool {
+		coxPrefetchable := func(e, n int) (AddrSet, func(uint64) bool) {
+			return ann[e][n].CoX, func(a uint64) bool {
 				if conflicts[e].DRFS(a) {
 					return false
 				}
@@ -296,7 +296,7 @@ func (pl *planner) planGroup(g []int, epochs []*EpochSets, conflicts []*Conflict
 					}
 				}
 				return true
-			})
+			}
 		}
 		for _, w := range pl.attribute(epochs, g, coxPrefetchable, false, false) {
 			pl.placePrefetch(parc.AnnPrefetchX, w, true)
@@ -305,10 +305,10 @@ func (pl *planner) planGroup(g []int, epochs []*EpochSets, conflicts []*Conflict
 			// Prefetch shared only what nobody is about to write: a shared
 			// prefetch of data the owner writes this epoch or the next just
 			// creates a copy to invalidate.
-			nonDRFSRead := func(e, n int) AddrSet {
-				return readAnn[e][n].CoS.Filter(func(a uint64) bool {
+			nonDRFSRead := func(e, n int) (AddrSet, func(uint64) bool) {
+				return readAnn[e][n].CoS, func(a uint64) bool {
 					return !conflicts[e].DRFS(a) && !writtenSoon[a]
-				})
+				}
 			}
 			for _, w := range pl.attribute(epochs, g, nonDRFSRead, false, false) {
 				pl.placePrefetch(parc.AnnPrefetchS, w, false)
@@ -400,8 +400,9 @@ func (pl *planner) generatedLoop(w *siteWork, ref analysis.Ref, hoisted []*parc.
 	}
 	region := pl.layout.Region(w.varName)
 	indices := make([]int64, 0, len(w.merged))
+	ixBuf := make([]int, len(decl.DimSizes))
 	for _, addr := range w.merged.Sorted() {
-		ix, err := region.IndexOf(addr)
+		ix, err := region.IndexInto(addr, ixBuf)
 		if err != nil {
 			return 0, 0, 0, false
 		}

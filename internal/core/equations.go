@@ -52,64 +52,131 @@ const ciLookahead = 2
 //
 // where sets are per-node except SW_{i+1}^any, the union over all nodes
 // ("written by some processor in the next epoch").
+//
+// The set expressions are evaluated as fused single passes over the source
+// sets instead of chained Minus/Filter/Union calls: each equation of the form
+// X.Minus(P).Filter(¬C) ∪ X.Filter(C) is the set {a ∈ X : C(a) ∨ a ∉ P}
+// (absorption), which one loop builds with no intermediate maps. The
+// annotation phase runs once per style per program and the chained form
+// dominated its profile.
 func ComputeAnnotations(epochs []*EpochSets, conflicts []*Conflicts, style Style) [][]AnnSets {
 	out := make([][]AnnSets, len(epochs))
+	// Scratch sets for futureRead, reused across every epoch/node: clear()
+	// keeps the grown buckets, so after warmup the lookahead never rehashes.
+	frScratch := make(AddrSet)
+	selfScratch := make(AddrSet)
 	for i, es := range epochs {
 		cf := conflicts[i]
 		out[i] = make([]AnnSets, len(es.Nodes))
 		for n, ns := range es.Nodes {
-			var prevSW AddrSet = AddrSet{}
-			var prevSR AddrSet = AddrSet{}
+			// Neighbouring-epoch sets; nil (no such epoch) reads as empty.
+			var prevSW, prevSR, nextSW, nextSR AddrSet
 			if i > 0 {
 				prevSW = epochs[i-1].Nodes[n].SW
 				prevSR = epochs[i-1].Nodes[n].SR
 			}
-			var nextS AddrSet = AddrSet{}
-			var nextSW AddrSet = AddrSet{}
 			if i+1 < len(epochs) {
-				nextS = epochs[i+1].Nodes[n].S()
 				nextSW = epochs[i+1].Nodes[n].SW
+				nextSR = epochs[i+1].Nodes[n].SR
 			}
 			// futureRead collects SR_i addresses some OTHER processor
 			// writes within the lookahead window, stopping a given address
-			// once this node touches it again before the write.
+			// once this node touches it again before the write. The
+			// returned set is the shared scratch — valid only until the
+			// next call.
 			futureRead := func() AddrSet {
-				out := make(AddrSet)
-				selfTouched := make(AddrSet)
+				fr, selfTouched := frScratch, selfScratch
+				clear(fr)
+				selfFilled := false
 				for k := 1; k <= ciLookahead && i+k < len(epochs); k++ {
-					ek := epochs[i+k]
+					ekn := epochs[i+k].Nodes[n]
 					for addr := range ns.SR {
-						if out[addr] || selfTouched[addr] {
+						if fr[addr] || (selfFilled && selfTouched[addr]) {
 							continue
 						}
-						if ek.AllSW[addr] && !ek.Nodes[n].SW[addr] {
-							out[addr] = true
+						if epochs[i+k].AllSW[addr] && !ekn.SW[addr] {
+							fr[addr] = true
 						}
 					}
-					for addr := range ek.Nodes[n].S() {
-						selfTouched[addr] = true
+					// S of the intermediate epoch; only needed if another
+					// lookahead round will consult it.
+					if k < ciLookahead && i+k+1 < len(epochs) {
+						if !selfFilled {
+							clear(selfTouched)
+							selfFilled = true
+						}
+						for addr := range ekn.SW {
+							selfTouched[addr] = true
+						}
+						for addr := range ekn.SR {
+							selfTouched[addr] = true
+						}
 					}
 				}
-				return out
+				return fr
 			}
 
 			a := AnnSets{}
 			switch style {
 			case StyleProgrammer:
-				a.CoX = ns.SW.Minus(prevSW).Filter(not(cf.DRFS)).
-					Union(ns.SW.Filter(cf.DRFS))
-				a.CoS = ns.SR.Minus(prevSR).Filter(not(cf.FS)).
-					Union(ns.SR.Filter(cf.FS)).
-					Minus(a.CoX) // an exclusive check-out subsumes a shared one
-				a.CI = ns.S().Minus(nextS).Filter(not(cf.DRFS)).
-					Union(ns.S().Filter(cf.DRFS))
+				// Output sets are presized to their source-set bounds: the
+				// predicates pass most addresses, so the hint is near-exact
+				// and growth rehashes disappear from the profile.
+				a.CoX = make(AddrSet, len(ns.SW))
+				for addr := range ns.SW {
+					if cf.DRFS(addr) || !prevSW[addr] {
+						a.CoX[addr] = true
+					}
+				}
+				// An exclusive check-out subsumes a shared one.
+				a.CoS = make(AddrSet, len(ns.SR))
+				for addr := range ns.SR {
+					if (cf.FS(addr) || !prevSR[addr]) && !a.CoX[addr] {
+						a.CoS[addr] = true
+					}
+				}
+				// ci over S = SW ∪ SR, with next-epoch S membership tested
+				// against its two halves.
+				a.CI = make(AddrSet, len(ns.SW)+len(ns.SR))
+				ci := func(addr uint64) {
+					if cf.DRFS(addr) || !(nextSW[addr] || nextSR[addr]) {
+						a.CI[addr] = true
+					}
+				}
+				for addr := range ns.SW {
+					ci(addr)
+				}
+				for addr := range ns.SR {
+					if !ns.SW[addr] {
+						ci(addr)
+					}
+				}
 			case StylePerformance:
-				a.CoX = ns.WF.Minus(prevSW).Filter(not(cf.DRFS)).
-					Union(ns.WF.Filter(cf.DRFS))
+				a.CoX = make(AddrSet, len(ns.WF))
+				for addr := range ns.WF {
+					if cf.DRFS(addr) || !prevSW[addr] {
+						a.CoX[addr] = true
+					}
+				}
 				a.CoS = make(AddrSet)
-				a.CI = ns.SW.Minus(nextSW).Filter(not(cf.DRFS)).
-					Union(futureRead().Filter(not(cf.DRFS))).
-					Union(ns.S().Filter(cf.DRFS))
+				// The SW loop also covers S.Filter(DRFS) for written
+				// addresses; the SR loop adds the read-only DRFS remainder.
+				a.CI = make(AddrSet, len(ns.SW))
+				for addr := range ns.SW {
+					if cf.DRFS(addr) || !nextSW[addr] {
+						a.CI[addr] = true
+					}
+				}
+				for addr := range futureRead() {
+					if !cf.DRFS(addr) {
+						a.CI[addr] = true
+					}
+				}
+				for addr := range ns.SR {
+					if cf.DRFS(addr) {
+						a.CI[addr] = true
+					}
+				}
 			}
 			out[i][n] = a
 		}

@@ -134,9 +134,6 @@ func TestProcessTraceFoldsWriteFaults(t *testing.T) {
 	setEq(t, "SR", ns.SR, bAddr) // a removed: its fault folded into SW
 	setEq(t, "SW", ns.SW, aAddr)
 	setEq(t, "WF", ns.WF, aAddr)
-	if len(ns.WritePCs[aAddr]) != 1 || ns.WritePCs[aAddr][0] != 2 {
-		t.Errorf("write PCs = %v", ns.WritePCs[aAddr])
-	}
 	if len(ns.PCs[aAddr]) != 2 {
 		t.Errorf("PCs = %v", ns.PCs[aAddr])
 	}

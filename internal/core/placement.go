@@ -104,12 +104,14 @@ func (pl *planner) refFor(stmt parc.Stmt, varName string, write bool) (analysis.
 	return fallback, found
 }
 
-// attribute groups annotation addresses by (reference site, variable). For
-// check-outs each address is attributed to its earliest referencing
-// statement, for check-ins (pickMax) the latest. With spread, conflicted
-// addresses are attributed to every referencing statement so each reference
-// gets a pinned annotation.
-func (pl *planner) attribute(epochs []*EpochSets, group []int, get func(e, n int) AddrSet,
+// attribute groups annotation addresses by (reference site, variable). get
+// returns the address set for one (epoch, node) plus an optional membership
+// predicate applied while iterating (so callers never materialize filtered
+// copies). For check-outs each address is attributed to its earliest
+// referencing statement, for check-ins (pickMax) the latest. With spread,
+// conflicted addresses are attributed to every referencing statement so each
+// reference gets a pinned annotation.
+func (pl *planner) attribute(epochs []*EpochSets, group []int, get func(e, n int) (AddrSet, func(uint64) bool),
 	pickMax, spread bool) []*siteWork {
 
 	type key struct {
@@ -142,9 +144,13 @@ func (pl *planner) attribute(epochs []*EpochSets, group []int, get func(e, n int
 	for _, ei := range group {
 		es := epochs[ei]
 		for n, ns := range es.Nodes {
-			for addr := range get(ei, n) {
-				region, _, ok := pl.layout.Resolve(addr)
-				if !ok {
+			set, keep := get(ei, n)
+			for addr := range set {
+				if keep != nil && !keep(addr) {
+					continue
+				}
+				region := pl.layout.RegionOf(addr)
+				if region == nil {
 					continue
 				}
 				ids := ns.PCs[addr]
@@ -297,18 +303,21 @@ func (pl *planner) spansFor(varName string) []uint64 {
 	}
 	nd := len(region.DimSizes)
 	spans := make([]uint64, nd)
+	ixBuf := make([]int, nd)
 	for _, ei := range pl.curGroup {
 		for _, ns := range pl.curEpochs[ei].Nodes {
 			lo := make([]int, nd)
 			hi := make([]int, nd)
 			first := true
-			for addr := range ns.S() {
+			// Scan S = SW ∪ SR without materializing the union; an address
+			// in both sets is folded twice, which min/max absorbs.
+			scan := func(addr uint64) {
 				if !region.Contains(addr) {
-					continue
+					return
 				}
-				ix, err := region.IndexOf(addr)
+				ix, err := region.IndexInto(addr, ixBuf)
 				if err != nil {
-					continue
+					return
 				}
 				for d := 0; d < nd; d++ {
 					if first || ix[d] < lo[d] {
@@ -319,6 +328,12 @@ func (pl *planner) spansFor(varName string) []uint64 {
 					}
 				}
 				first = false
+			}
+			for addr := range ns.SW {
+				scan(addr)
+			}
+			for addr := range ns.SR {
+				scan(addr)
 			}
 			if first {
 				continue
@@ -348,6 +363,7 @@ func (pl *planner) dimSpans(w *siteWork, decl *parc.SharedDecl) []uint64 {
 		return nil
 	}
 	spans := make([]uint64, nd)
+	ixBuf := make([]int, nd)
 	for _, set := range w.perNode {
 		if len(set) == 0 {
 			continue
@@ -357,7 +373,7 @@ func (pl *planner) dimSpans(w *siteWork, decl *parc.SharedDecl) []uint64 {
 		first := true
 		region := pl.layout.Region(decl.Name)
 		for addr := range set {
-			ix, err := region.IndexOf(addr)
+			ix, err := region.IndexInto(addr, ixBuf)
 			if err != nil {
 				continue
 			}
@@ -653,6 +669,12 @@ func (pl *planner) addInsertion(kind parc.AnnKind, anchor parc.Stmt, where where
 	if _, dup := pl.insertions[key]; dup {
 		return
 	}
+	if target != nil && target.Shared == nil {
+		// Resolve the generated target against the shared declarations now;
+		// the interpreter otherwise re-derives exactly this binding on every
+		// execution of the directive.
+		target.Shared = pl.prog.SharedMap[target.Name]
+	}
 	st := &parc.CICOStmt{Kind: kind, Target: target}
 	setStmtID(pl.prog, st)
 	pl.insertions[key] = &insertion{
@@ -675,9 +697,11 @@ func (pl *planner) addGeneratedLoop(kind parc.AnnKind, anchor parc.Stmt, where w
 		return
 	}
 	iv := fmt.Sprintf("__cico%d", len(pl.insertions))
+	ivRef := parc.NewVarRef(iv)
 	cico := &parc.CICOStmt{Kind: kind, Target: &parc.RangeRef{
 		Name:    varName,
-		Indices: []parc.RangeIndex{{Lo: parc.NewVarRef(iv)}},
+		Indices: []parc.RangeIndex{{Lo: ivRef}},
+		Shared:  pl.prog.SharedMap[varName],
 	}}
 	body := &parc.Block{Stmts: []parc.Stmt{cico}}
 	loop := &parc.ForStmt{
@@ -686,6 +710,26 @@ func (pl *planner) addGeneratedLoop(kind parc.AnnKind, anchor parc.Stmt, where w
 		To:   parc.NewIntLit(hi),
 		Step: parc.NewIntLit(step),
 		Body: body,
+	}
+	// Bind the counter into the enclosing function's frame at rewrite time,
+	// exactly as Check would have: the name is fresh (derived from the
+	// insertion count) and ParC scoping is function-wide, so extending the
+	// frame by one scalar slot is always sound. The mutated AST then executes
+	// the loop through the ordinary slot path — the interpreter's dynamic
+	// name fallback and the bytecode compiler's synthetic-register machinery
+	// remain only for ASTs rewritten by other tools.
+	if fn := pl.info.Func(anchor.ID()); fn != nil {
+		if _, exists := fn.Bindings[iv]; !exists {
+			if fn.Bindings == nil {
+				fn.Bindings = make(map[string]parc.Binding)
+			}
+			slot := fn.NumScalars
+			fn.NumScalars++
+			fn.Bindings[iv] = parc.Binding{Slot: slot}
+			loop.VarSlot = slot + 1
+			ivRef.Ref = parc.RefLocal
+			ivRef.Slot = slot
+		}
 	}
 	setStmtID(pl.prog, loop)
 	setStmtID(pl.prog, body)

@@ -110,8 +110,6 @@ type NodeSets struct {
 	// PCs maps each address to the statement IDs whose misses touched it
 	// this epoch, for attributing annotations to reference sites.
 	PCs map[uint64][]int
-	// WritePCs is the subset of PCs from write misses/faults.
-	WritePCs map[uint64][]int
 }
 
 // S returns the node's full access set SW ∪ SR.
@@ -212,28 +210,44 @@ type EpochSets struct {
 // (Section 4's first phase).
 func ProcessTrace(tr *trace.Trace) []*EpochSets {
 	out := make([]*EpochSets, 0, len(tr.Epochs))
+	// Map size hints are adaptive: each epoch's maps are presized to the
+	// previous epoch's final counts. Successive epochs of the same program
+	// have similar footprints, so the hints are near-exact — growth
+	// rehashes disappear without the fixed-hint failure mode (tried:
+	// misses/4 per epoch map, misses/nodes per node map) of zeroing large
+	// never-filled buckets for the many epochs with few or no misses.
+	var lastES *EpochSets
 	for _, ep := range tr.Epochs {
-		// Presize the per-epoch maps. Distinct addresses are bounded by the
-		// miss count; a quarter of it is a comfortable overestimate for the
-		// benchmarks (every node misses each communicated address) that
-		// still eliminates nearly all incremental map growth.
-		hint := len(ep.Misses)/4 + 8
 		es := &EpochSets{
 			Index:     ep.Index,
 			BarrierPC: ep.BarrierPC,
-			Touched:   make(map[uint64]NodeBits, hint),
-			Written:   make(AddrSet, hint),
-			AllSW:     make(AddrSet, hint),
 		}
-		perNode := len(ep.Misses)/max(tr.Nodes, 1) + 8
+		if lastES != nil {
+			es.Touched = make(map[uint64]NodeBits, len(lastES.Touched))
+			es.Written = make(AddrSet, len(lastES.Written))
+		} else {
+			es.Touched = make(map[uint64]NodeBits)
+			es.Written = make(AddrSet)
+		}
+		// AllSW = ∪ SW over nodes, and every SW insertion below also inserts
+		// into Written (and vice versa), so the union is Written itself. Both
+		// fields are read-only after this function; aliasing is safe.
+		es.AllSW = es.Written
 		for n := 0; n < tr.Nodes; n++ {
-			es.Nodes = append(es.Nodes, &NodeSets{
-				SR:       make(AddrSet, perNode),
-				SW:       make(AddrSet, perNode),
-				WF:       make(AddrSet),
-				PCs:      make(map[uint64][]int, perNode),
-				WritePCs: make(map[uint64][]int, perNode),
-			})
+			ns := &NodeSets{}
+			if lastES != nil {
+				ln := lastES.Nodes[n]
+				ns.SR = make(AddrSet, len(ln.SR))
+				ns.SW = make(AddrSet, len(ln.SW))
+				ns.WF = make(AddrSet, len(ln.WF))
+				ns.PCs = make(map[uint64][]int, len(ln.PCs))
+			} else {
+				ns.SR = make(AddrSet)
+				ns.SW = make(AddrSet)
+				ns.WF = make(AddrSet)
+				ns.PCs = make(map[uint64][]int)
+			}
+			es.Nodes = append(es.Nodes, ns)
 		}
 		for _, m := range ep.Misses {
 			ns := es.Nodes[m.Node]
@@ -243,7 +257,6 @@ func ProcessTrace(tr *trace.Trace) []*EpochSets {
 			case trace.WriteMiss:
 				ns.SW[m.Addr] = true
 				es.Written[m.Addr] = true
-				ns.WritePCs[m.Addr] = append(ns.WritePCs[m.Addr], m.PC)
 			case trace.WriteFault:
 				// Fold write faults into SW and remember them separately:
 				// these are the read-then-written locations an explicit
@@ -251,7 +264,6 @@ func ProcessTrace(tr *trace.Trace) []*EpochSets {
 				ns.SW[m.Addr] = true
 				ns.WF[m.Addr] = true
 				es.Written[m.Addr] = true
-				ns.WritePCs[m.Addr] = append(ns.WritePCs[m.Addr], m.PC)
 			}
 			ns.PCs[m.Addr] = append(ns.PCs[m.Addr], m.PC)
 			es.Touched[m.Addr] = es.Touched[m.Addr].with(m.Node)
@@ -263,11 +275,9 @@ func ProcessTrace(tr *trace.Trace) []*EpochSets {
 			for a := range ns.WF {
 				delete(ns.SR, a)
 			}
-			for a := range ns.SW {
-				es.AllSW[a] = true
-			}
 		}
 		out = append(out, es)
+		lastES = es
 	}
 	return out
 }

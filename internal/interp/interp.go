@@ -25,7 +25,24 @@ type Context struct {
 
 	privReads  uint64 // private-array loads (for sharing-degree statistics)
 	privWrites uint64 // private-array stores
+
+	// Bytecode engine state (vm.go). The tree-walker below stays the
+	// reference implementation; set treeWalk to force it.
+	treeWalk bool
+	pools    [][]*vmFrame // per-function frame free-lists
+	printBuf []Value      // print argument scratch
+	rangeBuf []AddrRange  // directive range scratch (valid during the call only)
+	dirLos   []int        // directive per-dimension clamped bounds
+	dirHis   []int
+	dirIdx   []int // cartesian walk scratch
 }
+
+// UseTreeWalker forces this context onto the reference tree-walking
+// interpreter instead of the compiled bytecode VM. The two are
+// observationally identical (the conformance corpus and FuzzVMEquivalence
+// run them differentially); the tree-walker exists as the executable
+// specification and for debugging the compiler.
+func (c *Context) UseTreeWalker() { c.treeWalk = true }
 
 // PrivateAccesses returns how many private-array loads and stores this
 // context performed; the simulator uses them to compute sharing degrees
@@ -50,11 +67,21 @@ func NewContext(prog *parc.Program, store *Store, mach Machine, node, nprocs int
 	}
 }
 
-// Run executes main to completion, flushing any residual work.
+// Run executes main to completion, flushing any residual work. Programs are
+// compiled to bytecode once (cached on the Program itself) and run on the
+// register VM; functions the compiler cannot lower — and whole programs,
+// when main is one of them or UseTreeWalker was called — execute on the
+// reference tree-walker with identical observable behaviour.
 func (c *Context) Run() error {
 	main := c.prog.FuncMap["main"]
 	if main == nil {
 		return fmt.Errorf("interp: program has no main")
+	}
+	if !c.treeWalk {
+		pcm := c.prog.Artifact(func() any { return compileProgram(c.prog) }).(*progCode)
+		if co := pcm.fns[main]; co != nil {
+			return c.runVM(pcm, co)
+		}
 	}
 	if _, err := c.call(main, nil); err != nil {
 		return err
@@ -102,6 +129,11 @@ type privArray struct {
 	base parc.BaseType
 	dims []int
 	data []Value
+
+	// cache retains the backing slice across VM frame reuse so re-executed
+	// declarations allocate only on first use; data stays the source of
+	// truth (nil means "declaration never executed this activation").
+	cache []Value
 }
 
 // setDyn binds a runtime-created scalar name (generated loop counters).

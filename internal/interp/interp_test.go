@@ -39,7 +39,12 @@ func (m *mockMachine) Access(node int, write bool, addr uint64, pc int) {
 	m.accesses = append(m.accesses, mockAccess{node, write, addr, pc})
 }
 func (m *mockMachine) Directive(node int, kind parc.AnnKind, ranges []AddrRange, pc int) {
-	m.directives = append(m.directives, mockDirective{node, kind, ranges, pc})
+	// Ranges are only valid during the call; retain a copy.
+	var cp []AddrRange
+	if ranges != nil {
+		cp = append([]AddrRange{}, ranges...)
+	}
+	m.directives = append(m.directives, mockDirective{node, kind, cp, pc})
 }
 func (m *mockMachine) Barrier(node int, pc int)          { m.barriers = append(m.barriers, pc) }
 func (m *mockMachine) Lock(node int, id int64, pc int)   { m.locks = append(m.locks, id) }

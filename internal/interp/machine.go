@@ -25,7 +25,10 @@ type Machine interface {
 	// given statement ID.
 	Access(node int, write bool, addr uint64, pc int)
 
-	// Directive reports an explicit CICO annotation execution.
+	// Directive reports an explicit CICO annotation execution. The ranges
+	// slice is only valid for the duration of the call (the VM reuses a
+	// per-context scratch buffer); implementations that retain it must
+	// copy.
 	Directive(node int, kind parc.AnnKind, ranges []AddrRange, pc int)
 
 	// Barrier blocks the node until all nodes arrive.

@@ -126,6 +126,13 @@ func (r *Region) AddrOf(indices ...int) (uint64, error) {
 
 // IndexOf converts an address inside the region back to element indices.
 func (r *Region) IndexOf(addr uint64) ([]int, error) {
+	return r.IndexInto(addr, nil)
+}
+
+// IndexInto is IndexOf writing into buf when it has sufficient capacity, so
+// callers converting many addresses can reuse one allocation. The returned
+// slice aliases buf in that case.
+func (r *Region) IndexInto(addr uint64, buf []int) ([]int, error) {
 	if !r.Contains(addr) {
 		return nil, fmt.Errorf("memory: address %#x not in region %s", addr, r.Name)
 	}
@@ -133,7 +140,12 @@ func (r *Region) IndexOf(addr uint64) ([]int, error) {
 	if len(r.DimSizes) == 0 {
 		return nil, nil
 	}
-	out := make([]int, len(r.DimSizes))
+	var out []int
+	if cap(buf) >= len(r.DimSizes) {
+		out = buf[:len(r.DimSizes)]
+	} else {
+		out = make([]int, len(r.DimSizes))
+	}
 	for d := len(r.DimSizes) - 1; d >= 0; d-- {
 		out[d] = off % r.DimSizes[d]
 		off /= r.DimSizes[d]
@@ -141,16 +153,25 @@ func (r *Region) IndexOf(addr uint64) ([]int, error) {
 	return out, nil
 }
 
-// Resolve maps an address to its region and element indices. ok is false for
-// addresses outside every region (including padding between regions).
-func (l *Layout) Resolve(addr uint64) (r *Region, indices []int, ok bool) {
+// RegionOf returns the region containing the address, or nil for addresses
+// outside every region (including padding between regions).
+func (l *Layout) RegionOf(addr uint64) *Region {
 	i := sort.Search(len(l.Regions), func(i int) bool {
 		return l.Regions[i].End() > addr
 	})
 	if i >= len(l.Regions) || !l.Regions[i].Contains(addr) {
+		return nil
+	}
+	return l.Regions[i]
+}
+
+// Resolve maps an address to its region and element indices. ok is false for
+// addresses outside every region (including padding between regions).
+func (l *Layout) Resolve(addr uint64) (r *Region, indices []int, ok bool) {
+	r = l.RegionOf(addr)
+	if r == nil {
 		return nil, nil, false
 	}
-	r = l.Regions[i]
 	ix, err := r.IndexOf(addr)
 	if err != nil {
 		return nil, nil, false

@@ -1,5 +1,7 @@
 package parc
 
+import "sync"
+
 // BaseType is a ParC scalar element type.
 type BaseType int
 
@@ -70,6 +72,28 @@ type Program struct {
 	SharedMap map[string]*SharedDecl
 	FuncMap   map[string]*FuncDecl
 	Stmts     map[int]Stmt // statement ID -> statement
+
+	artifactMu  sync.Mutex
+	artifact    any
+	artifactIDs int
+}
+
+// Artifact returns a per-Program derived artifact, building it on first use
+// and rebuilding it if statement IDs have been allocated since (the rewriter
+// assigns NewID to every statement it inserts, so structural growth
+// invalidates the cache). The parc package has no opinion about the value;
+// the interpreter uses it to cache compiled bytecode across the many
+// contexts and runs that execute one parsed Program. Safe for concurrent
+// use; mutating a Program without allocating IDs after its first execution
+// is not supported.
+func (p *Program) Artifact(build func() any) any {
+	p.artifactMu.Lock()
+	defer p.artifactMu.Unlock()
+	if p.artifact == nil || p.artifactIDs != p.nextID {
+		p.artifact = build()
+		p.artifactIDs = p.nextID
+	}
+	return p.artifact
 }
 
 // NumStmts returns the number of statement IDs allocated so far; valid IDs

@@ -101,6 +101,13 @@ type Config struct {
 	// violation fails the run at the next barrier (or at completion).
 	// O(nodes) per access — for conformance testing, not performance runs.
 	Probe bool
+
+	// TreeWalk forces the interpreter's tree-walking reference
+	// implementation instead of the bytecode VM. The two are maintained to
+	// produce identical Machine call sequences; the conformance harness
+	// runs both and compares, and this switch is how it (or a suspicious
+	// user) pins the reference path.
+	TreeWalk bool
 }
 
 // DefaultConfig is the paper's machine: 32 nodes, 256 KB 4-way caches,
@@ -314,6 +321,9 @@ func Run(prog *parc.Program, cfg Config) (*Result, error) {
 	ctxs := make([]*interp.Context, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		ctxs[i] = interp.NewContext(prog, m.store, m, i, cfg.Nodes)
+		if cfg.TreeWalk {
+			ctxs[i].UseTreeWalker()
+		}
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		go m.runProc(ctxs[i], m.procs[i])

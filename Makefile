@@ -15,8 +15,16 @@ test:
 race:
 	$(GO) test -race ./internal/bench/...
 
+# Static checks: go vet over the Go code, then parcvet (the ParC static
+# race detector and CICO annotation linter, cmd/parcvet) over the checked-in
+# ParC sources and the Figure 6 benchmark ports. The annotated Jacobi must
+# come out clean, the race demo must be flagged, and every benchmark's
+# verdict must match its known racy/race-free classification.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/parcvet examples/parc/jacobi_wholefit.parc
+	$(GO) run ./cmd/parcvet -q -expect-races examples/parc/race_demo.parc
+	$(GO) run ./cmd/parcvet -q -bench all
 
 # One pass over the performance-tracking benchmarks (see EXPERIMENTS.md,
 # "Simulator performance"), then the Figure 6 harness with its

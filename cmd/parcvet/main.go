@@ -1,0 +1,139 @@
+// Command parcvet statically checks ParC programs for the two properties
+// Cachier assumes of its input and promises of its output: that the
+// program is free of data races (paper Section 3's epoch model relies on
+// barrier-synchronized sharing), and that its CICO annotations follow the
+// check-out/check-in protocol.
+//
+// Usage:
+//
+//	parcvet [flags] program.parc...
+//	parcvet -bench NAME|all
+//
+//	-nprocs N       SPMD nodes to model (default 4; -bench uses each
+//	                benchmark's own machine size)
+//	-bench NAME     vet a built-in Figure 6 benchmark port ("all" runs the
+//	                whole suite and checks each verdict against its known
+//	                racy/race-free classification)
+//	-expect-races   invert the file verdict: succeed only if every file
+//	                has at least one race (for known-racy demos)
+//	-q              print only errors, not warnings or infos
+//
+// Exit status: 0 clean (or expectations met), 1 findings of error
+// severity (or expectations violated), 2 usage or parse errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cachier/internal/bench"
+	"cachier/internal/vet"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole program behind a status-code seam so tests can drive it
+// with in-memory writers.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("parcvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		nprocs      = fs.Int("nprocs", 4, "SPMD nodes to model")
+		benchName   = fs.String("bench", "", `vet a built-in benchmark port by name, or "all"`)
+		expectRaces = fs.Bool("expect-races", false, "succeed only if every file has at least one race")
+		quiet       = fs.Bool("q", false, "print only error-severity findings")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *benchName != "" {
+		if fs.NArg() != 0 {
+			fmt.Fprintln(stderr, "parcvet: -bench takes no file arguments")
+			return 2
+		}
+		return runBench(*benchName, *quiet, stdout, stderr)
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: parcvet [flags] program.parc...")
+		fs.Usage()
+		return 2
+	}
+	status := 0
+	for _, file := range fs.Args() {
+		srcBytes, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(stderr, "parcvet:", err)
+			return 2
+		}
+		rep, err := vet.AnalyzeSource(file, string(srcBytes), vet.Options{Nprocs: *nprocs})
+		if err != nil {
+			fmt.Fprintln(stderr, "parcvet:", err)
+			return 2
+		}
+		printReport(stdout, rep, *quiet)
+		if *expectRaces {
+			if len(rep.Races()) == 0 {
+				fmt.Fprintf(stderr, "parcvet: %s: expected at least one data race, found none\n", file)
+				status = 1
+			}
+			continue
+		}
+		if len(rep.Errors()) > 0 {
+			status = 1
+		}
+	}
+	return status
+}
+
+// runBench vets the built-in benchmark ports at their training inputs. For
+// "all", the exit status reports whether every port's verdict matches its
+// known classification: MatMul and Mp3d race, the rest are clean.
+func runBench(name string, quiet bool, stdout, stderr io.Writer) int {
+	var targets []*bench.Benchmark
+	if name == "all" {
+		targets = bench.All()
+	} else {
+		b, err := bench.ByName(name)
+		if err != nil {
+			fmt.Fprintln(stderr, "parcvet:", err)
+			return 2
+		}
+		targets = []*bench.Benchmark{b}
+	}
+	status := 0
+	for _, b := range targets {
+		src := b.Source(b.Train)
+		rep, err := vet.AnalyzeSource(b.Name+".parc", src, vet.Options{Nprocs: b.Nodes})
+		if err != nil {
+			fmt.Fprintln(stderr, "parcvet:", err)
+			return 2
+		}
+		verdict := "race-free"
+		if len(rep.Races()) > 0 {
+			verdict = "racy"
+		}
+		want := "race-free"
+		if b.Racy {
+			want = "racy"
+		}
+		fmt.Fprintf(stdout, "%s: %s (expected %s)\n", b.Name, verdict, want)
+		printReport(stdout, rep, quiet)
+		if verdict != want {
+			status = 1
+		}
+	}
+	return status
+}
+
+func printReport(w io.Writer, rep *vet.Report, quiet bool) {
+	for _, f := range rep.Findings {
+		if quiet && f.Severity != vet.SevError {
+			continue
+		}
+		fmt.Fprintln(w, f)
+	}
+}

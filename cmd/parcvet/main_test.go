@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCleanFile(t *testing.T) {
+	path := write(t, "clean.parc", `
+const N = 64;
+shared float A[N] label "A";
+func main() {
+    var chunk int = N / nprocs();
+    for i = pid() * chunk to pid() * chunk + chunk - 1 {
+        A[i] = 1.0;
+    }
+    barrier;
+}`)
+	var out, errOut strings.Builder
+	if code := run([]string{path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d for a clean program\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("unexpected output for a clean program:\n%s", out.String())
+	}
+}
+
+func TestRunRacyFile(t *testing.T) {
+	path := write(t, "racy.parc", `
+shared float total label "t";
+func main() {
+    total = total + 1.0;
+    barrier;
+}`)
+	var out, errOut strings.Builder
+	if code := run([]string{path}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d for a racy program, want 1", code)
+	}
+	if !strings.Contains(out.String(), "race-write-write") {
+		t.Fatalf("output missing the race finding:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), path+":") {
+		t.Fatalf("findings should carry file:line:col locations:\n%s", out.String())
+	}
+
+	// The same file under -expect-races succeeds.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-expect-races", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d with -expect-races on a racy program, want 0", code)
+	}
+}
+
+func TestRunExpectRacesFailsOnClean(t *testing.T) {
+	path := write(t, "clean.parc", `
+shared int x label "x";
+func main() {
+    if pid() == 0 {
+        x = 1;
+    }
+    barrier;
+}`)
+	var out, errOut strings.Builder
+	if code := run([]string{"-expect-races", path}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d with -expect-races on a clean program, want 1", code)
+	}
+}
+
+func TestRunParseErrorExitsTwo(t *testing.T) {
+	path := write(t, "broken.parc", "func main() {")
+	var out, errOut strings.Builder
+	if code := run([]string{path}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d for a parse error, want 2", code)
+	}
+	if errOut.Len() == 0 {
+		t.Fatal("parse error should be reported on stderr")
+	}
+}
+
+func TestRunMissingArgs(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d with no arguments, want 2", code)
+	}
+}
+
+// TestRunBenchAll pins the headline classification: the suite verdicts all
+// match, so the exit status is 0 and both racy ports appear as such.
+func TestRunBenchAll(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-q", "-bench", "all"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d for -bench all, want 0\n%s%s", code, out.String(), errOut.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"Mp3d: racy (expected racy)",
+		"MatrixMultiply: racy (expected racy)",
+		"Barnes: race-free (expected race-free)",
+		"Ocean: race-free (expected race-free)",
+		"Tomcatv: race-free (expected race-free)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunBenchUnknown(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-bench", "nosuch"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d for unknown benchmark, want 2", code)
+	}
+}

@@ -268,6 +268,35 @@ func AffineInVar(e parc.Expr, v string) (offset parc.Expr, negated bool, ok bool
 	return nil, false, false
 }
 
+// TripCount computes a for-loop's static trip count when its bounds and step
+// are program constants. Both Cachier's placement (loop footprints) and the
+// vet race detector (epoch-aligned loop enumeration) depend on it.
+func TripCount(l *parc.ForStmt, consts map[string]int64) (uint64, bool) {
+	from, ok1 := ConstExpr(l.From, consts)
+	to, ok2 := ConstExpr(l.To, consts)
+	if !ok1 || !ok2 {
+		return 0, false
+	}
+	step := int64(1)
+	if l.Step != nil {
+		s, ok := ConstExpr(l.Step, consts)
+		if !ok || s == 0 {
+			return 0, false
+		}
+		step = s
+	}
+	if step > 0 {
+		if to < from {
+			return 0, true
+		}
+		return uint64((to-from)/step + 1), true
+	}
+	if from < to {
+		return 0, true
+	}
+	return uint64((from-to)/(-step) + 1), true
+}
+
 // ConstExpr evaluates an expression that uses only literals and program
 // constants, reporting ok=false otherwise. Used to compute trip counts and
 // footprints statically where possible.

@@ -45,6 +45,11 @@ type Benchmark struct {
 	// they take minutes rather than seconds to simulate.
 	BigTrain Params
 	BigTest  Params
+
+	// Racy marks benchmarks whose ParC ports genuinely race (the paper
+	// runs them anyway; Section 3.1's epoch model tolerates them). The
+	// static race detector is expected to flag exactly these.
+	Racy bool
 }
 
 // UseBig switches the benchmark to its near-paper-scale inputs.

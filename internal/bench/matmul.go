@@ -17,6 +17,7 @@ func MatMul() *Benchmark {
 		Test:     Params{N: 32, P: 4, Seed: 97},
 		BigTrain: Params{N: 64, P: 4, Seed: 11},
 		BigTest:  Params{N: 64, P: 4, Seed: 97},
+		Racy:     true,
 	}
 }
 

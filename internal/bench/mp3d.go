@@ -19,6 +19,7 @@ func Mp3d() *Benchmark {
 		Test:     Params{N: 1600, Steps: 3, Seed: 203},
 		BigTrain: Params{N: 6400, Steps: 6, Seed: 9},
 		BigTest:  Params{N: 6400, Steps: 6, Seed: 203},
+		Racy:     true,
 	}
 }
 

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"testing"
+
+	"cachier/internal/vet"
+)
+
+// vetBench runs the static race detector over a benchmark's unannotated
+// source at its training input.
+func vetBench(t *testing.T, b *Benchmark) *vet.Report {
+	t.Helper()
+	src := b.Source(b.Train)
+	rep, err := vet.AnalyzeSource(b.Name+".parc", src, vet.Options{Nprocs: b.Nodes})
+	if err != nil {
+		t.Fatalf("%s: %v", b.Name, err)
+	}
+	return rep
+}
+
+// TestVetClassifiesBenchmarks checks the headline property from the issue:
+// parcvet flags the two genuinely racy ports (MatMul, Mp3d) with usable
+// source locations and passes the race-free ones with zero findings.
+func TestVetClassifiesBenchmarks(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			rep := vetBench(t, b)
+			races := rep.Races()
+			if len(rep.Findings) > 0 {
+				t.Logf("%s findings:\n%s", b.Name, rep)
+			}
+			if b.Racy {
+				if len(races) == 0 {
+					t.Fatalf("%s is marked racy but vet found no races:\n%s", b.Name, rep)
+				}
+				for _, f := range races {
+					if !f.Pos.IsValid() {
+						t.Errorf("%s: race finding lacks a source location: %s", b.Name, f)
+					}
+				}
+				return
+			}
+			if len(rep.Findings) != 0 {
+				t.Fatalf("%s is race-free but vet reported findings:\n%s", b.Name, rep)
+			}
+		})
+	}
+}
+
+// TestVetJacobiClean covers the Section 2.1 Jacobi worked example in all
+// three variants: the unannotated program must produce zero findings, and
+// the two annotation regimes must pass the protocol lint with no errors.
+func TestVetJacobiClean(t *testing.T) {
+	p := JacobiParams
+	nodes := p.P * p.P
+	variants := map[string]string{
+		"unannotated": JacobiUnannotated(p),
+		"wholefit":    JacobiWholeFit(p),
+		"rowfit":      JacobiRowFit(p),
+	}
+	for name, src := range variants {
+		rep, err := vet.AnalyzeSource("jacobi_"+name+".parc", src, vet.Options{Nprocs: nodes})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if name == "unannotated" {
+			if len(rep.Findings) != 0 {
+				t.Errorf("unannotated Jacobi should vet clean:\n%s", rep)
+			}
+			continue
+		}
+		if len(rep.Races()) != 0 || len(rep.LintErrors()) != 0 {
+			t.Errorf("%s Jacobi should have no races or lint errors:\n%s", name, rep)
+		}
+	}
+}
+
+// TestVetHandAnnotations lints the paper's hand-annotated variants. The
+// Mp3d hand version is documented (Section 6) to check blocks in too
+// early — the lint must catch that as a use-after-check-in error.
+func TestVetHandAnnotations(t *testing.T) {
+	mp3d, err := ByName("Mp3d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := mp3d.Hand(mp3d.Train)
+	rep, err := vet.AnalyzeSource("mp3d_hand.parc", src, vet.Options{Nprocs: mp3d.Nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.LintErrors()) == 0 {
+		t.Fatalf("mp3d hand annotations check blocks in too early; lint should flag it:\n%s", rep)
+	}
+}

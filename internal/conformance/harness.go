@@ -32,6 +32,7 @@ import (
 	"cachier/internal/parcgen"
 	"cachier/internal/sim"
 	"cachier/internal/testutil"
+	"cachier/internal/vet"
 )
 
 // Nodes is the simulated machine size used for generated programs; it must
@@ -61,6 +62,13 @@ func RunSource(src string) error {
 	prog, err := parseChecked(src)
 	if err != nil {
 		return fmt.Errorf("generated program invalid: %w", err)
+	}
+
+	// Static checks: the generator partitions all shared writes by node
+	// (disjoint slices or common locks), so the race detector must find
+	// nothing at all — any finding here is a vet false positive.
+	if rep := vet.Analyze(prog, vet.Options{Nprocs: Nodes}); len(rep.Findings) != 0 {
+		return fmt.Errorf("vet reported findings on a generated program:\n%s", rep)
 	}
 
 	// Printer round trip: the printed form must re-parse to the same AST.
@@ -158,6 +166,15 @@ func RunSource(src string) error {
 		annProg, err := parseChecked(res.Source)
 		if err != nil {
 			return fmt.Errorf("%s: annotated source invalid: %w\n%s", v.name, err, res.Source)
+		}
+		// Cachier's inserted annotations must satisfy the CICO protocol
+		// lint (and must not, of course, have introduced races).
+		annVet := vet.Analyze(annProg, vet.Options{Nprocs: Nodes})
+		if races := annVet.Races(); len(races) != 0 {
+			return fmt.Errorf("%s: annotated program has races:\n%s\n%s", v.name, annVet, res.Source)
+		}
+		if lintErrs := annVet.LintErrors(); len(lintErrs) != 0 {
+			return fmt.Errorf("%s: annotated program fails the CICO lint:\n%s\n%s", v.name, annVet, res.Source)
 		}
 		annRes, err := sim.Run(annProg, simConfig(sim.ModePerf))
 		if err != nil {

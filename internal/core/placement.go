@@ -418,7 +418,7 @@ func (pl *planner) footprint(ref analysis.Ref, decl *parc.SharedDecl, hoisted []
 		size := uint64(1)
 		for _, l := range hoisted {
 			if analysis.MentionsVar(ix, l.Var) {
-				if tc, ok := tripCount(l, pl.prog.ConstVal); ok {
+				if tc, ok := analysis.TripCount(l, pl.prog.ConstVal); ok {
 					size = tc
 				} else if d < len(spans) {
 					size = spans[d]
@@ -431,33 +431,6 @@ func (pl *planner) footprint(ref analysis.Ref, decl *parc.SharedDecl, hoisted []
 		total *= size
 	}
 	return total
-}
-
-// tripCount computes a loop's static trip count when bounds are constant.
-func tripCount(l *parc.ForStmt, consts map[string]int64) (uint64, bool) {
-	from, ok1 := analysis.ConstExpr(l.From, consts)
-	to, ok2 := analysis.ConstExpr(l.To, consts)
-	if !ok1 || !ok2 {
-		return 0, false
-	}
-	step := int64(1)
-	if l.Step != nil {
-		s, ok := analysis.ConstExpr(l.Step, consts)
-		if !ok || s == 0 {
-			return 0, false
-		}
-		step = s
-	}
-	if step > 0 {
-		if to < from {
-			return 0, true
-		}
-		return uint64((to-from)/step + 1), true
-	}
-	if from < to {
-		return 0, true
-	}
-	return uint64((from-to)/(-step) + 1), true
 }
 
 // scopeOK verifies that an annotation placed before the hoist target would

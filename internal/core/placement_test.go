@@ -63,16 +63,16 @@ func main() {
 		}
 		return true
 	})
-	if n, ok := tripCount(loops[0], prog.ConstVal); !ok || n != 10 {
+	if n, ok := analysis.TripCount(loops[0], prog.ConstVal); !ok || n != 10 {
 		t.Errorf("i loop: %d, %v", n, ok)
 	}
-	if n, ok := tripCount(loops[1], prog.ConstVal); !ok || n != 4 {
+	if n, ok := analysis.TripCount(loops[1], prog.ConstVal); !ok || n != 4 {
 		t.Errorf("j loop (10,7,4,1): %d, %v", n, ok)
 	}
-	if n, ok := tripCount(loops[2], prog.ConstVal); !ok || n != 0 {
+	if n, ok := analysis.TripCount(loops[2], prog.ConstVal); !ok || n != 0 {
 		t.Errorf("empty loop: %d, %v", n, ok)
 	}
-	if _, ok := tripCount(loops[3], prog.ConstVal); ok {
+	if _, ok := analysis.TripCount(loops[3], prog.ConstVal); ok {
 		t.Error("non-constant bound evaluated")
 	}
 }

@@ -61,6 +61,7 @@ func (k AnnKind) IsCheckOut() bool { return k != AnnCheckIn }
 // a Program and dense in [0, NumStmts); the simulator reports them as trace
 // program counters.
 type Program struct {
+	File    string // source file name when parsed with ParseFile, else ""
 	Consts  []*ConstDecl
 	Shareds []*SharedDecl
 	Funcs   []*FuncDecl

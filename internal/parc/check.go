@@ -110,7 +110,9 @@ func (c *checker) run() error {
 
 	main, ok := p.FuncMap["main"]
 	if !ok {
-		return c.errorf(Pos{}, "program has no main function")
+		// A whole-program error has no statement to point at; anchor it at
+		// the top of the file so it still prints as file:line:col.
+		return c.errorf(Pos{File: p.File, Line: 1, Col: 1}, "program has no main function")
 	}
 	if len(main.Params) != 0 {
 		return c.errorf(main.Pos, "main must take no parameters")

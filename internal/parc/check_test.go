@@ -1,0 +1,143 @@
+package parc
+
+import (
+	"testing"
+)
+
+// TestCheckerErrorMessages pins the checker's diagnostics end to end:
+// every error must render as file:line:col followed by the message, with
+// the position pointing at the offending token, so downstream tools
+// (cachier, parcvet) print locations a user can click through to.
+func TestCheckerErrorMessages(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "no main function",
+			src:  `const N = 4;`,
+			want: `test.parc:1:1: program has no main function`,
+		},
+		{
+			name: "redeclared constant",
+			src: `const N = 4;
+const N = 8;
+func main() { barrier; }`,
+			want: `test.parc:2:1: constant "N" redeclared`,
+		},
+		{
+			name: "shared collides with constant",
+			src: `const N = 4;
+shared float N label "N";
+func main() { barrier; }`,
+			want: `test.parc:2:1: shared "N" collides with a constant`,
+		},
+		{
+			name: "non-positive shared dimension",
+			src: `shared float A[0] label "A";
+func main() { barrier; }`,
+			want: `test.parc:1:1: shared "A" has non-positive dimension 0`,
+		},
+		{
+			name: "main takes parameters",
+			src:  `func main(x int) { barrier; }`,
+			want: `test.parc:1:1: main must take no parameters`,
+		},
+		{
+			name: "undefined variable assignment",
+			src: `func main() {
+    y = 1;
+}`,
+			want: `test.parc:2:5: undefined variable "y"`,
+		},
+		{
+			name: "assignment to constant",
+			src: `const N = 4;
+func main() {
+    N = 5;
+}`,
+			want: `test.parc:3:5: cannot assign to constant "N"`,
+		},
+		{
+			name: "undefined name in expression",
+			src: `func main() {
+    var x int = q + 1;
+}`,
+			want: `test.parc:2:17: undefined name "q"`,
+		},
+		{
+			name: "wrong rank",
+			src: `shared float A[4][4] label "A";
+func main() {
+    A[1] = 0.0;
+}`,
+			want: `test.parc:3:5: "A" has rank 2 but is indexed with 1 subscript(s)`,
+		},
+		{
+			name: "annotation target not shared",
+			src: `func main() {
+    var x int;
+    check_out_x x;
+}`,
+			want: `test.parc:3:17: CICO annotation target "x" is not a shared variable`,
+		},
+		{
+			name: "builtin arity",
+			src: `func main() {
+    var x int = min(1);
+}`,
+			want: `test.parc:2:17: builtin "min" takes 2 argument(s), got 1`,
+		},
+		{
+			name: "undefined function",
+			src: `func main() {
+    var x int = nothere(3);
+}`,
+			want: `test.parc:2:17: undefined function "nothere"`,
+		},
+		{
+			name: "shared array without subscripts",
+			src: `shared float A[4] label "A";
+func main() {
+    var x float = A;
+}`,
+			want: `test.parc:3:19: shared array "A" used without subscripts`,
+		},
+		{
+			name: "private loop variable required",
+			src: `shared int i label "i";
+func main() {
+    for i = 0 to 3 {
+        barrier;
+    }
+}`,
+			want: `test.parc:3:5: loop variable "i" must be private`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseFile("test.parc", tc.src)
+			if err == nil {
+				t.Fatalf("expected a checker error")
+			}
+			if got := err.Error(); got != tc.want {
+				t.Errorf("error message:\n got %q\nwant %q", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCheckerErrorsWithoutFile: positions from the plain Parse entry point
+// render as line:col with no file prefix.
+func TestCheckerErrorsWithoutFile(t *testing.T) {
+	_, err := Parse(`func main() {
+    y = 1;
+}`)
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if got, want := err.Error(), `2:5: undefined variable "y"`; got != want {
+		t.Errorf("error message:\n got %q\nwant %q", got, want)
+	}
+}

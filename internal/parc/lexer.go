@@ -24,6 +24,7 @@ func (e *Error) Error() string {
 // insignificant.
 type Lexer struct {
 	src  string
+	file string
 	off  int
 	line int
 	col  int
@@ -32,6 +33,12 @@ type Lexer struct {
 // NewLexer returns a lexer over src.
 func NewLexer(src string) *Lexer {
 	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// NewLexerFile returns a lexer over src whose token positions carry file as
+// their file name.
+func NewLexerFile(file, src string) *Lexer {
+	return &Lexer{src: src, file: file, line: 1, col: 1}
 }
 
 func (l *Lexer) errorf(pos Pos, format string, args ...any) error {
@@ -64,7 +71,7 @@ func (l *Lexer) advance() byte {
 	return c
 }
 
-func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+func (l *Lexer) pos() Pos { return Pos{File: l.file, Line: l.line, Col: l.col} }
 
 func (l *Lexer) skipSpaceAndComments() {
 	for l.off < len(l.src) {
@@ -259,7 +266,13 @@ func (l *Lexer) Next() (Token, error) {
 // Tokenize lexes the whole input, returning the token stream including the
 // trailing EOF token.
 func Tokenize(src string) ([]Token, error) {
-	l := NewLexer(src)
+	return TokenizeFile("", src)
+}
+
+// TokenizeFile lexes src like Tokenize, stamping file into every token
+// position (and hence into any error) when it is non-empty.
+func TokenizeFile(file, src string) ([]Token, error) {
+	l := NewLexerFile(file, src)
 	var toks []Token
 	for {
 		t, err := l.Next()

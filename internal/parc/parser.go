@@ -11,11 +11,18 @@ type Parser struct {
 
 // Parse parses a complete ParC program and runs the semantic checker.
 func Parse(src string) (*Program, error) {
-	toks, err := Tokenize(src)
+	return ParseFile("", src)
+}
+
+// ParseFile parses src like Parse, recording file as the source file name:
+// every statement position, checker diagnostic, and downstream vet finding
+// then prints as file:line:col.
+func ParseFile(file, src string) (*Program, error) {
+	toks, err := TokenizeFile(file, src)
 	if err != nil {
 		return nil, err
 	}
-	p := &Parser{toks: toks, prog: &Program{}}
+	p := &Parser{toks: toks, prog: &Program{File: file}}
 	if err := p.parseProgram(); err != nil {
 		return nil, err
 	}

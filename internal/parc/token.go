@@ -13,13 +13,21 @@ package parc
 
 import "fmt"
 
-// Pos is a source position: 1-based line and column.
+// Pos is a source position: 1-based line and column, plus the name of the
+// file the source came from when it is known (ParseFile stamps it so that
+// diagnostics and vet findings print as file:line:col).
 type Pos struct {
+	File string
 	Line int
 	Col  int
 }
 
-func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+func (p Pos) String() string {
+	if p.File != "" {
+		return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
 
 // IsValid reports whether the position has been set.
 func (p Pos) IsValid() bool { return p.Line > 0 }

@@ -1,0 +1,124 @@
+package vet
+
+import (
+	"fmt"
+
+	"cachier/internal/analysis"
+	"cachier/internal/parc"
+)
+
+// The epoch CFG is ParC's control structure viewed through its barriers:
+// because control flow is structured, each function body splits into
+// straight-line segments separated by barrier statements, and the epoch a
+// statement executes in is determined by how many barriers precede it. The
+// checks here are the node-independent structural ones — places where the
+// barrier count is data- or node-dependent, which both voids that epoch
+// numbering and risks real barrier deadlock at run time.
+
+// cfg is the barrier-segmented view of one function body.
+type cfg struct {
+	fn       *parc.FuncDecl
+	segments [][]parc.Stmt // top-level statement runs between barriers
+	barriers int           // statically known barrier executions, -1 if unknown
+	findings []Finding
+}
+
+// buildCFG segments a function at its barriers and collects structural
+// findings about barrier placements whose epoch structure the abstract
+// interpreter can only approximate.
+func buildCFG(fn *parc.FuncDecl, info *analysis.Info, consts map[string]int64) *cfg {
+	c := &cfg{fn: fn}
+	var seg []parc.Stmt
+	for _, s := range fn.Body.Stmts {
+		if _, isBar := s.(*parc.BarrierStmt); isBar {
+			c.segments = append(c.segments, seg)
+			seg = nil
+			continue
+		}
+		seg = append(seg, s)
+	}
+	c.segments = append(c.segments, seg)
+	n, known := c.countBarriers(fn.Body, consts)
+	if !known {
+		n = -1
+	}
+	c.barriers = n
+	if fn.Name != "main" && info.ContainsBarrier(fn.Body) {
+		c.warn(fn.Pos, "barrier inside function %q: every node must call it in lockstep or the program deadlocks", fn.Name)
+	}
+	return c
+}
+
+func (c *cfg) warn(pos parc.Pos, format string, args ...any) {
+	c.findings = append(c.findings, Finding{
+		Rule: RuleStructural, Severity: SevWarning, Pos: pos, Epoch: -1,
+		Nodes: [2]int{-1, -1},
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// countBarriers computes how many barriers executing s runs, when that is
+// statically determined, flagging the constructs that make it data-dependent.
+func (c *cfg) countBarriers(s parc.Stmt, consts map[string]int64) (int, bool) {
+	switch n := s.(type) {
+	case *parc.Block:
+		total, known := 0, true
+		for _, child := range n.Stmts {
+			k, ok := c.countBarriers(child, consts)
+			if !ok {
+				known = false
+			}
+			total += k
+		}
+		return total, known
+	case *parc.BarrierStmt:
+		return 1, true
+	case *parc.IfStmt:
+		tb, tok := c.countBarriers(n.Then, consts)
+		eb, eok := 0, true
+		if n.Else != nil {
+			eb, eok = c.countBarriers(n.Else, consts)
+		}
+		if tok && eok && tb == eb {
+			return tb, true
+		}
+		if tb > 0 || eb > 0 || !tok || !eok {
+			c.warn(n.Position(), "branches of this if may execute different numbers of barriers; if the condition is node-dependent the program deadlocks")
+			return maxInt(tb, eb), false
+		}
+		return 0, true
+	case *parc.WhileStmt:
+		b, _ := c.countBarriers(n.Body, consts)
+		if b > 0 {
+			c.warn(n.Position(), "barrier inside while loop: the iteration count, and so the epoch structure, is data-dependent")
+			return 0, false
+		}
+		return 0, true
+	case *parc.ForStmt:
+		b, ok := c.countBarriers(n.Body, consts)
+		if b == 0 && ok {
+			return 0, true
+		}
+		if tc, tok := analysis.TripCount(n, consts); tok && ok {
+			return int(tc) * b, true
+		}
+		// The abstract interpreter reports this case; it knows whether the
+		// loop is actually enumerable.
+		return 0, false
+	}
+	return 0, true
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// checkCFG surfaces a CFG's structural findings through the vetter.
+func (v *vetter) checkCFG(c *cfg) {
+	for _, f := range c.findings {
+		v.add(f)
+	}
+}

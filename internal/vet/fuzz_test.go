@@ -1,0 +1,45 @@
+package vet
+
+import (
+	"testing"
+
+	"cachier/internal/parcgen"
+)
+
+// FuzzVetGenerated: for any generator seed, the analysis terminates
+// without panicking and — because the generator partitions every shared
+// write by node — reports nothing at all. The fixed-corpus slice of this
+// property (seeds 0..199) runs in internal/conformance; fuzzing extends it
+// to arbitrary seeds.
+func FuzzVetGenerated(f *testing.F) {
+	for seed := int64(0); seed < 16; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		src := parcgen.Generate(seed)
+		rep, err := AnalyzeSource("gen.parc", src, Options{Nprocs: 4})
+		if err != nil {
+			t.Fatalf("seed %d: generated program failed to parse: %v", seed, err)
+		}
+		if len(rep.Findings) != 0 {
+			t.Fatalf("seed %d: generated program should vet clean:\n%s\n%s", seed, rep, src)
+		}
+	})
+}
+
+// FuzzVetSource: arbitrary text must never panic the analyzer. Parse
+// errors are the expected outcome for junk; anything that parses gets the
+// full analysis, whose only obligation here is termination.
+func FuzzVetSource(f *testing.F) {
+	f.Add(`shared float A[8] label "A"; func main() { A[pid()] = 1.0; barrier; }`)
+	f.Add(`func main() { barrier; }`)
+	f.Add(`const N = 4; shared int x label "x"; func main() { while x < N { x += 1; } barrier; }`)
+	f.Add("func main() {")
+	f.Fuzz(func(t *testing.T, src string) {
+		rep, err := AnalyzeSource("fuzz.parc", src, Options{Nprocs: 3})
+		if err != nil {
+			return
+		}
+		_ = rep.String()
+	})
+}

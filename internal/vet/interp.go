@@ -1,0 +1,1451 @@
+package vet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cachier/internal/analysis"
+	"cachier/internal/parc"
+)
+
+// The abstract interpreter runs main() once per node with pid() bound to a
+// concrete id. SPMD partition arithmetic ((pid()%P)*BS, N/nprocs()*pid())
+// then folds to per-node constants, and only genuine per-iteration or
+// data-dependent quantities stay abstract, as strided intervals.
+//
+// Loops with small concrete trip counts are enumerated exactly (this is
+// what keeps epoch counting precise for time-step loops containing
+// barriers); other loops bind their variable to the strided interval of
+// the bounds and run the body to a widened fixpoint, then once more with
+// event recording on. Barrier-carrying loops that cannot be enumerated get
+// two recording passes, so accesses before and after an in-loop barrier
+// still meet in a shared epoch (the cross-iteration adjacency).
+
+// Tunables. Enumeration limits trade precision for event volume; the fuel
+// bounds total work on adversarial (fuzzed) inputs.
+const (
+	enumLimit        = 8
+	barrierEnumLimit = 64
+	widenAfter       = 3
+	fixCap           = 40
+	maxCallDepth     = 8
+	maxFuel          = 400000
+)
+
+type eventKind int
+
+const (
+	evAccess eventKind = iota
+	evAnn
+	evBarrier
+)
+
+// event is one element of a node's abstract execution stream.
+type event struct {
+	kind     eventKind
+	varName  string
+	decl     *parc.SharedDecl
+	dims     []si
+	write    bool         // for evAccess
+	ann      parc.AnnKind // for evAnn
+	lockKey  string       // canonical "0,1" of concretely held locks
+	epoch    int
+	pos      parc.Pos
+	stmtID   int
+	exprText string
+	iterCtx  int  // which loop-body instance produced it
+	variant  bool // dims depend on an abstract (non-constant) value
+}
+
+// aval is an abstract value: a float of unknown value, a strided-interval
+// set of ints, or — transiently, within one expression or condition — an
+// affine view coef*slot+off of a scalar frame slot. Affine views are never
+// stored; they exist so conditions can refine the underlying slot and so
+// indices like G[i][j-1] keep the slot's congruence.
+type aval struct {
+	isFloat bool
+	aff     bool
+	slot    int
+	coef    int64
+	off     int64
+	set     si
+}
+
+func avC(c int64) aval   { return aval{set: siConst(c)} }
+func avInt(s si) aval    { return aval{set: s} }
+func avTopInt() aval     { return aval{set: siTop} }
+func avFloat() aval      { return aval{isFloat: true, set: siTop} }
+func avAff(slot int, coef, off int64) aval {
+	return aval{aff: true, slot: slot, coef: coef, off: off}
+}
+
+// state is one activation frame's abstract store plus path condition flags.
+type state struct {
+	fn   *parc.FuncDecl
+	vals []aval
+	dead bool // path proven unreachable
+	ret  bool // function has returned on this path
+}
+
+func newState(fn *parc.FuncDecl) *state {
+	st := &state{fn: fn, vals: make([]aval, fn.NumScalars)}
+	// Frame slots start zeroed, matching the interpreter's zero-initialized
+	// frames.
+	for i := range st.vals {
+		st.vals[i] = avC(0)
+	}
+	return st
+}
+
+func (st *state) clone() *state {
+	c := *st
+	c.vals = append([]aval(nil), st.vals...)
+	return &c
+}
+
+func (st *state) equal(o *state) bool {
+	if st.dead != o.dead || st.ret != o.ret || len(st.vals) != len(o.vals) {
+		return false
+	}
+	for i := range st.vals {
+		if st.vals[i] != o.vals[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// joinState merges two path states; a finished path (returned or dead)
+// contributes nothing to the continuation.
+func joinState(a, b *state) *state {
+	if a.dead || a.ret {
+		if b.dead || b.ret {
+			return a
+		}
+		return b
+	}
+	if b.dead || b.ret {
+		return a
+	}
+	for len(a.vals) < len(b.vals) {
+		a.vals = append(a.vals, avC(0))
+	}
+	for i := range a.vals {
+		var bv aval
+		if i < len(b.vals) {
+			bv = b.vals[i]
+		} else {
+			bv = avC(0)
+		}
+		a.vals[i] = joinAval(a.vals[i], bv)
+	}
+	return a
+}
+
+func joinAval(a, b aval) aval {
+	if a == b {
+		return a
+	}
+	if a.isFloat || b.isFloat {
+		return avFloat()
+	}
+	return avInt(a.set.join(b.set))
+}
+
+func widenState(old, next *state) *state {
+	if old.dead || old.ret || next.dead || next.ret {
+		return next
+	}
+	for i := range next.vals {
+		if i >= len(old.vals) {
+			break
+		}
+		a, b := old.vals[i], next.vals[i]
+		if a == b {
+			continue
+		}
+		if a.isFloat || b.isFloat {
+			next.vals[i] = avFloat()
+			continue
+		}
+		next.vals[i] = avInt(a.set.widen(b.set))
+	}
+	return next
+}
+
+type retAgg struct {
+	val aval
+	has bool
+}
+
+// nodeRun is the abstract execution of main() on one node.
+type nodeRun struct {
+	v        *vetter
+	node     int
+	epoch    int
+	depth    int
+	suppress int // >0: re-evaluation (fixpoint/refinement); no events, no epoch advance
+	fuel     int
+	outOfGas bool
+	events   []event
+	iterCtx  int
+	nextIter int
+	locks    map[int64]int
+	lockTop  int
+	rets     []*retAgg
+	lockStr  string
+	lockDirt bool
+}
+
+func newNodeRun(v *vetter, node int) *nodeRun {
+	return &nodeRun{v: v, node: node, fuel: maxFuel, locks: make(map[int64]int)}
+}
+
+func (r *nodeRun) run(main *parc.FuncDecl) {
+	if main == nil {
+		return
+	}
+	st := newState(main)
+	agg := &retAgg{}
+	r.rets = append(r.rets, agg)
+	r.evalStmt(st, main.Body)
+	r.rets = r.rets[:len(r.rets)-1]
+	if r.outOfGas {
+		r.v.add(Finding{
+			Rule: RuleStructural, Severity: SevWarning, Epoch: -1,
+			Nodes: [2]int{r.node, -1},
+			Msg:   fmt.Sprintf("analysis budget exhausted on node %d; results may be incomplete", r.node),
+		})
+	}
+}
+
+func (r *nodeRun) spend() bool {
+	r.fuel--
+	if r.fuel <= 0 {
+		r.outOfGas = true
+		return true
+	}
+	return false
+}
+
+func (r *nodeRun) newIter() int {
+	r.nextIter++
+	return r.nextIter
+}
+
+func (r *nodeRun) emit(ev event) {
+	if r.suppress > 0 {
+		return
+	}
+	ev.epoch = r.epoch
+	ev.iterCtx = r.iterCtx
+	r.events = append(r.events, ev)
+}
+
+func (r *nodeRun) lockKey() string {
+	if !r.lockDirt {
+		return r.lockStr
+	}
+	r.lockDirt = false
+	ids := make([]int64, 0, len(r.locks))
+	for id, n := range r.locks {
+		if n > 0 {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		r.lockStr = ""
+		return ""
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprint(id)
+	}
+	r.lockStr = strings.Join(parts, ",")
+	return r.lockStr
+}
+
+func (r *nodeRun) structural(pos parc.Pos, format string, args ...any) {
+	r.v.add(Finding{
+		Rule: RuleStructural, Severity: SevInfo, Pos: pos, Epoch: -1,
+		Nodes: [2]int{r.node, -1},
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// ---- name resolution (handles generated nodes left RefUnresolved) ----
+
+func (r *nodeRun) scalarSlot(st *state, name string) int {
+	if b, ok := st.fn.Bindings[name]; ok && !b.Array {
+		return b.Slot
+	}
+	return -1
+}
+
+func (r *nodeRun) loopSlot(st *state, n *parc.ForStmt) int {
+	if n.VarSlot > 0 {
+		return n.VarSlot - 1
+	}
+	return r.scalarSlot(st, n.Var)
+}
+
+func (r *nodeRun) load(st *state, slot int) aval {
+	if slot < 0 || slot >= len(st.vals) {
+		return avTopInt()
+	}
+	return st.vals[slot]
+}
+
+func (r *nodeRun) store(st *state, slot int, a aval) {
+	if slot < 0 {
+		return
+	}
+	for slot >= len(st.vals) {
+		st.vals = append(st.vals, avC(0))
+	}
+	if a.aff {
+		a = r.matv(st, a)
+	}
+	st.vals[slot] = a
+}
+
+// mat materializes an abstract value to its strided-interval set under the
+// current state.
+func (r *nodeRun) mat(st *state, a aval) si {
+	if a.isFloat {
+		return siTop
+	}
+	if !a.aff {
+		return a.set
+	}
+	base := siTop
+	if a.slot >= 0 && a.slot < len(st.vals) && !st.vals[a.slot].isFloat {
+		base = st.vals[a.slot].set
+	}
+	return base.scale(a.coef).addConst(a.off)
+}
+
+func (r *nodeRun) matv(st *state, a aval) aval {
+	if a.isFloat {
+		return avFloat()
+	}
+	return avInt(r.mat(st, a))
+}
+
+func (r *nodeRun) matConst(st *state, a aval) (int64, bool) {
+	s := r.mat(st, a)
+	if !a.isFloat && s.isConst() {
+		return s.lo, true
+	}
+	return 0, false
+}
+
+// ---- expressions ----
+
+func (r *nodeRun) evalExpr(st *state, e parc.Expr) aval {
+	if e == nil || r.spend() {
+		return avTopInt()
+	}
+	switch n := e.(type) {
+	case *parc.IntLit:
+		return avC(n.Value)
+	case *parc.FloatLit:
+		return avFloat()
+	case *parc.VarRef:
+		return r.varRef(st, n)
+	case *parc.IndexExpr:
+		return r.indexExpr(st, n)
+	case *parc.CallExpr:
+		return r.call(st, n)
+	case *parc.UnaryExpr:
+		if n.Op == parc.TokMinus {
+			return r.negVal(st, r.evalExpr(st, n.X))
+		}
+		// Logical not: !x is x == 0.
+		return triVal(notTri(r.truth(st, n.X)))
+	case *parc.BinaryExpr:
+		return r.binary(st, n)
+	}
+	return avTopInt()
+}
+
+func (r *nodeRun) varRef(st *state, n *parc.VarRef) aval {
+	switch n.Ref {
+	case parc.RefConst:
+		return avC(n.Const)
+	case parc.RefLocal:
+		return r.localVal(st, n.Slot)
+	case parc.RefShared:
+		return r.sharedScalar(st, n.Shared, n.Position(), n.Name)
+	}
+	// Generated node: resolve by name.
+	if c, ok := r.v.prog.ConstVal[n.Name]; ok {
+		return avC(c)
+	}
+	if b, ok := st.fn.Bindings[n.Name]; ok && !b.Array {
+		return r.localVal(st, b.Slot)
+	}
+	if d, ok := r.v.prog.SharedMap[n.Name]; ok && len(d.DimSizes) == 0 {
+		return r.sharedScalar(st, d, n.Position(), n.Name)
+	}
+	return avTopInt()
+}
+
+func (r *nodeRun) localVal(st *state, slot int) aval {
+	v := r.load(st, slot)
+	if v.isFloat {
+		return v
+	}
+	if v.set.isConst() {
+		return v
+	}
+	// Non-constant int slot: hand out an affine view so conditions refine
+	// the slot and index arithmetic keeps its congruence.
+	return avAff(slot, 1, 0)
+}
+
+func (r *nodeRun) sharedScalar(st *state, decl *parc.SharedDecl, pos parc.Pos, name string) aval {
+	r.emit(event{
+		kind: evAccess, varName: name, decl: decl, write: false,
+		lockKey: r.lockKey(), pos: pos, exprText: name,
+	})
+	if decl != nil && decl.Base == parc.IntType {
+		return avTopInt()
+	}
+	return avFloat()
+}
+
+func (r *nodeRun) indexExpr(st *state, n *parc.IndexExpr) aval {
+	decl := n.Shared
+	if decl == nil && n.Ref == parc.RefUnresolved {
+		decl = r.v.prog.SharedMap[n.Name]
+	}
+	if decl != nil {
+		dims, variant, text := r.indexDims(st, decl, n.Name, n.Indices)
+		r.emit(event{
+			kind: evAccess, varName: n.Name, decl: decl, dims: dims,
+			write: false, lockKey: r.lockKey(), pos: n.Position(),
+			exprText: text, variant: variant,
+		})
+		if decl.Base == parc.IntType {
+			return avTopInt()
+		}
+		return avFloat()
+	}
+	// Private array: evaluate indices for their side effects; the element
+	// value itself is untracked.
+	for _, ix := range n.Indices {
+		r.evalExpr(st, ix)
+	}
+	if b, ok := st.fn.Bindings[n.Name]; ok && b.Decl != nil && b.Decl.Base == parc.IntType {
+		return avTopInt()
+	}
+	return avFloat()
+}
+
+// indexDims evaluates subscripts to per-dimension element sets, clamped to
+// the array's bounds (a run that stays in bounds cannot touch elements
+// outside them, and clamping keeps data-dependent Top indices readable).
+func (r *nodeRun) indexDims(st *state, decl *parc.SharedDecl, name string, idxs []parc.Expr) (dims []si, variant bool, text string) {
+	var b strings.Builder
+	b.WriteString(name)
+	for d, ix := range idxs {
+		a := r.evalExpr(st, ix)
+		s := r.mat(st, a)
+		if d < len(decl.DimSizes) {
+			s = s.clampMin(0).clampMax(int64(decl.DimSizes[d]) - 1)
+		}
+		if !s.isConst() {
+			variant = true
+		}
+		dims = append(dims, s)
+		b.WriteByte('[')
+		b.WriteString(parc.ExprString(ix))
+		b.WriteByte(']')
+	}
+	return dims, variant, b.String()
+}
+
+func (r *nodeRun) negVal(st *state, a aval) aval {
+	if a.isFloat {
+		return a
+	}
+	if a.aff {
+		return avAff(a.slot, -a.coef, -a.off)
+	}
+	return avInt(a.set.scale(-1))
+}
+
+func (r *nodeRun) binary(st *state, n *parc.BinaryExpr) aval {
+	switch n.Op {
+	case parc.TokEq, parc.TokNe, parc.TokLt, parc.TokLe, parc.TokGt, parc.TokGe,
+		parc.TokAndAnd, parc.TokOrOr:
+		return triVal(r.condTri(st, n))
+	}
+	a := r.evalExpr(st, n.X)
+	b := r.evalExpr(st, n.Y)
+	return r.arith(st, n.Op, a, b)
+}
+
+func (r *nodeRun) arith(st *state, op parc.TokKind, a, b aval) aval {
+	if a.isFloat || b.isFloat {
+		return avFloat()
+	}
+	switch op {
+	case parc.TokPlus:
+		return r.addVal(st, a, b)
+	case parc.TokMinus:
+		return r.addVal(st, a, r.negVal(st, b))
+	case parc.TokStar:
+		if c, ok := r.matConst(st, b); ok && a.aff {
+			return avAff(a.slot, a.coef*c, a.off*c).normAff()
+		}
+		if c, ok := r.matConst(st, a); ok && b.aff {
+			return avAff(b.slot, b.coef*c, b.off*c).normAff()
+		}
+		return avInt(r.mat(st, a).mul(r.mat(st, b)))
+	case parc.TokSlash:
+		if c, ok := r.matConst(st, b); ok && c != 0 {
+			return avInt(r.mat(st, a).divConst(c))
+		}
+		return avTopInt()
+	case parc.TokPercent:
+		if c, ok := r.matConst(st, b); ok && c > 0 {
+			return avInt(r.mat(st, a).mod(c))
+		}
+		return avTopInt()
+	}
+	return avTopInt()
+}
+
+// normAff collapses an affine view whose coefficient vanished.
+func (a aval) normAff() aval {
+	if a.aff && a.coef == 0 {
+		return avC(a.off)
+	}
+	return a
+}
+
+func (r *nodeRun) addVal(st *state, a, b aval) aval {
+	if c, ok := r.matConst(st, b); ok {
+		if a.aff {
+			return avAff(a.slot, a.coef, a.off+c)
+		}
+		return avInt(a.set.addConst(c))
+	}
+	if c, ok := r.matConst(st, a); ok && b.aff {
+		return avAff(b.slot, b.coef, b.off+c)
+	}
+	if a.aff && b.aff && a.slot == b.slot {
+		return avAff(a.slot, a.coef+b.coef, a.off+b.off).normAff()
+	}
+	return avInt(r.mat(st, a).add(r.mat(st, b)))
+}
+
+var builtinByName = map[string]parc.BuiltinID{
+	"pid": parc.BuiltinPid, "nprocs": parc.BuiltinNprocs,
+	"min": parc.BuiltinMin, "max": parc.BuiltinMax, "abs": parc.BuiltinAbs,
+	"sqrt": parc.BuiltinSqrt, "sin": parc.BuiltinSin, "cos": parc.BuiltinCos,
+	"floor": parc.BuiltinFloor, "float": parc.BuiltinFloat, "int": parc.BuiltinInt,
+	"rnd": parc.BuiltinRnd, "rndseed": parc.BuiltinRndseed,
+}
+
+func (r *nodeRun) call(st *state, n *parc.CallExpr) aval {
+	bi, fn := n.Builtin, n.Fn
+	if bi == parc.BuiltinNone && fn == nil {
+		if id, ok := builtinByName[n.Name]; ok {
+			bi = id
+		} else {
+			fn = r.v.prog.FuncMap[n.Name]
+		}
+	}
+	if bi != parc.BuiltinNone {
+		args := make([]aval, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = r.evalExpr(st, a)
+		}
+		return r.builtin(st, bi, args)
+	}
+	if fn == nil {
+		for _, a := range n.Args {
+			r.evalExpr(st, a)
+		}
+		return avTopInt()
+	}
+	args := make([]aval, len(n.Args))
+	for i, a := range n.Args {
+		args[i] = r.matv(st, r.evalExpr(st, a))
+	}
+	if r.depth >= maxCallDepth {
+		r.structural(n.Position(), "call depth limit reached at %s(); analysis truncated", n.Name)
+		return avTopInt()
+	}
+	r.depth++
+	fst := newState(fn)
+	for i := range fn.Params {
+		if i < len(args) {
+			fst.vals[i] = args[i]
+		}
+	}
+	agg := &retAgg{}
+	r.rets = append(r.rets, agg)
+	r.evalStmt(fst, fn.Body)
+	r.rets = r.rets[:len(r.rets)-1]
+	r.depth--
+	if agg.has {
+		return agg.val
+	}
+	if fn.Result != nil && *fn.Result == parc.FloatType {
+		return avFloat()
+	}
+	return avTopInt()
+}
+
+func (r *nodeRun) builtin(st *state, id parc.BuiltinID, args []aval) aval {
+	arg := func(i int) si {
+		if i < len(args) {
+			return r.mat(st, args[i])
+		}
+		return siTop
+	}
+	argFloat := func(i int) bool { return i < len(args) && args[i].isFloat }
+	switch id {
+	case parc.BuiltinPid:
+		return avC(int64(r.node))
+	case parc.BuiltinNprocs:
+		return avC(int64(r.v.opts.Nprocs))
+	case parc.BuiltinMin:
+		if argFloat(0) || argFloat(1) {
+			return avFloat()
+		}
+		return avInt(minSI(arg(0), arg(1)))
+	case parc.BuiltinMax:
+		if argFloat(0) || argFloat(1) {
+			return avFloat()
+		}
+		return avInt(maxSI(arg(0), arg(1)))
+	case parc.BuiltinAbs:
+		if argFloat(0) {
+			return avFloat()
+		}
+		return avInt(absSI(arg(0)))
+	case parc.BuiltinFloat, parc.BuiltinSqrt, parc.BuiltinSin, parc.BuiltinCos,
+		parc.BuiltinFloor, parc.BuiltinRnd:
+		return avFloat()
+	case parc.BuiltinInt:
+		if len(args) == 1 && !args[0].isFloat {
+			return args[0]
+		}
+		return avTopInt()
+	}
+	return avTopInt()
+}
+
+// minSI and maxSI over-approximate elementwise min/max: the result lies in
+// the union's congruence grid, between the pointwise bound extremes.
+func minSI(a, b si) si {
+	if a.empty() || b.empty() {
+		return siTop
+	}
+	return si{minI(a.lo, b.lo), minI(a.hi, b.hi), unionStride(a, b)}.norm()
+}
+
+func maxSI(a, b si) si {
+	if a.empty() || b.empty() {
+		return siTop
+	}
+	return si{maxI(a.lo, b.lo), maxI(a.hi, b.hi), unionStride(a, b)}.norm()
+}
+
+func unionStride(a, b si) int64 {
+	d := a.lo - b.lo
+	if d < 0 {
+		d = -d
+	}
+	return gcd(gcd(a.stride, b.stride), d)
+}
+
+func absSI(a si) si {
+	switch {
+	case a.empty():
+		return siTop
+	case a.lo >= 0:
+		return a
+	case a.hi <= 0:
+		return a.scale(-1)
+	default:
+		return si{0, maxI(-a.lo, a.hi), 1}.norm()
+	}
+}
+
+// ---- conditions ----
+
+type tri int
+
+const (
+	triUnknown tri = iota
+	triTrue
+	triFalse
+)
+
+func notTri(t tri) tri {
+	switch t {
+	case triTrue:
+		return triFalse
+	case triFalse:
+		return triTrue
+	}
+	return triUnknown
+}
+
+func triVal(t tri) aval {
+	switch t {
+	case triTrue:
+		return avC(1)
+	case triFalse:
+		return avC(0)
+	}
+	return avInt(siRange(0, 1, 1))
+}
+
+// truth evaluates an expression as a condition (nonzero is true).
+func (r *nodeRun) truth(st *state, e parc.Expr) tri {
+	a := r.evalExpr(st, e)
+	if a.isFloat {
+		return triUnknown
+	}
+	s := r.mat(st, a)
+	if s.isConst() {
+		if s.lo != 0 {
+			return triTrue
+		}
+		return triFalse
+	}
+	if !s.member(0) {
+		return triTrue
+	}
+	return triUnknown
+}
+
+// condTri evaluates a condition to a three-valued truth, recording any
+// shared reads it performs.
+func (r *nodeRun) condTri(st *state, e parc.Expr) tri {
+	switch n := e.(type) {
+	case *parc.UnaryExpr:
+		if n.Op == parc.TokNot {
+			return notTri(r.condTri(st, n.X))
+		}
+	case *parc.BinaryExpr:
+		switch n.Op {
+		case parc.TokAndAnd:
+			ta := r.condTri(st, n.X)
+			tb := r.condTri(st, n.Y)
+			if ta == triFalse || tb == triFalse {
+				return triFalse
+			}
+			if ta == triTrue && tb == triTrue {
+				return triTrue
+			}
+			return triUnknown
+		case parc.TokOrOr:
+			ta := r.condTri(st, n.X)
+			tb := r.condTri(st, n.Y)
+			if ta == triTrue || tb == triTrue {
+				return triTrue
+			}
+			if ta == triFalse && tb == triFalse {
+				return triFalse
+			}
+			return triUnknown
+		case parc.TokEq, parc.TokNe, parc.TokLt, parc.TokLe, parc.TokGt, parc.TokGe:
+			a := r.evalExpr(st, n.X)
+			b := r.evalExpr(st, n.Y)
+			if a.isFloat || b.isFloat {
+				return triUnknown
+			}
+			return cmpTri(n.Op, r.mat(st, a), r.mat(st, b))
+		}
+	}
+	return r.truth(st, e)
+}
+
+func cmpTri(op parc.TokKind, a, b si) tri {
+	if a.empty() || b.empty() {
+		return triUnknown
+	}
+	switch op {
+	case parc.TokEq:
+		if a.isConst() && b.isConst() {
+			if a.lo == b.lo {
+				return triTrue
+			}
+			return triFalse
+		}
+		if !a.overlaps(b) {
+			return triFalse
+		}
+		return triUnknown
+	case parc.TokNe:
+		return notTri(cmpTri(parc.TokEq, a, b))
+	case parc.TokLt:
+		if a.hi < b.lo {
+			return triTrue
+		}
+		if a.lo >= b.hi {
+			return triFalse
+		}
+	case parc.TokLe:
+		if a.hi <= b.lo {
+			return triTrue
+		}
+		if a.lo > b.hi {
+			return triFalse
+		}
+	case parc.TokGt:
+		return cmpTri(parc.TokLt, b, a)
+	case parc.TokGe:
+		return cmpTri(parc.TokLe, b, a)
+	}
+	return triUnknown
+}
+
+// refine narrows st under the assumption that e evaluates to want.
+// Sub-expressions are re-evaluated with events suppressed, so refinement
+// never double-records accesses.
+func (r *nodeRun) refine(st *state, e parc.Expr, want bool) {
+	r.suppress++
+	r.refine1(st, e, want)
+	r.suppress--
+}
+
+func (r *nodeRun) refine1(st *state, e parc.Expr, want bool) {
+	switch n := e.(type) {
+	case *parc.UnaryExpr:
+		if n.Op == parc.TokNot {
+			r.refine1(st, n.X, !want)
+		}
+	case *parc.BinaryExpr:
+		switch n.Op {
+		case parc.TokAndAnd:
+			if want {
+				r.refine1(st, n.X, true)
+				r.refine1(st, n.Y, true)
+			}
+		case parc.TokOrOr:
+			if !want {
+				r.refine1(st, n.X, false)
+				r.refine1(st, n.Y, false)
+			}
+		case parc.TokEq, parc.TokNe, parc.TokLt, parc.TokLe, parc.TokGt, parc.TokGe:
+			op := n.Op
+			if !want {
+				op = negCmp(op)
+			}
+			r.refineCmpExpr(st, op, n.X, n.Y)
+		}
+	}
+}
+
+func negCmp(op parc.TokKind) parc.TokKind {
+	switch op {
+	case parc.TokEq:
+		return parc.TokNe
+	case parc.TokNe:
+		return parc.TokEq
+	case parc.TokLt:
+		return parc.TokGe
+	case parc.TokLe:
+		return parc.TokGt
+	case parc.TokGt:
+		return parc.TokLe
+	case parc.TokGe:
+		return parc.TokLt
+	}
+	return op
+}
+
+func flipCmp(op parc.TokKind) parc.TokKind {
+	switch op {
+	case parc.TokLt:
+		return parc.TokGt
+	case parc.TokLe:
+		return parc.TokGe
+	case parc.TokGt:
+		return parc.TokLt
+	case parc.TokGe:
+		return parc.TokLe
+	}
+	return op
+}
+
+func (r *nodeRun) refineCmpExpr(st *state, op parc.TokKind, x, y parc.Expr) {
+	// Congruence pattern: (E % m) == c refines E's slot to a residue class
+	// — the rule that proves red/black sweeps disjoint.
+	if op == parc.TokEq {
+		if r.refineMod(st, x, y) || r.refineMod(st, y, x) {
+			return
+		}
+	}
+	a := r.evalExpr(st, x)
+	b := r.evalExpr(st, y)
+	if a.isFloat || b.isFloat {
+		return
+	}
+	if a.aff {
+		if c, ok := r.matConst(st, b); ok {
+			r.refineCmp(st, a, op, c)
+			return
+		}
+	}
+	if b.aff {
+		if c, ok := r.matConst(st, a); ok {
+			r.refineCmp(st, b, flipCmp(op), c)
+		}
+	}
+}
+
+func (r *nodeRun) refineMod(st *state, x, y parc.Expr) bool {
+	me, ok := x.(*parc.BinaryExpr)
+	if !ok || me.Op != parc.TokPercent {
+		return false
+	}
+	m, mok := r.matConst(st, r.evalExpr(st, me.Y))
+	if !mok || m <= 1 {
+		return false
+	}
+	c, cok := r.matConst(st, r.evalExpr(st, y))
+	if !cok {
+		return false
+	}
+	inner := r.evalExpr(st, me.X)
+	if !inner.aff {
+		return false
+	}
+	// Solve coef*v + off ≡ c (mod m) for v.
+	coef, rhs := inner.coef, c-inner.off
+	d := gcd(coef, m)
+	if ((rhs%d)+d)%d != 0 {
+		st.dead = true
+		return true
+	}
+	md := m / d
+	if md == 1 {
+		return true // every v satisfies it; no information
+	}
+	cd := ((coef/d)%md + md) % md
+	_, p, _ := egcd(cd, md)
+	v0 := ((rhs / d % md * (((p % md) + md) % md)) % md + md) % md
+	cur := r.load(st, inner.slot)
+	if cur.isFloat {
+		return true
+	}
+	next := refineClass(cur.set, v0, md)
+	if next.empty() {
+		st.dead = true
+		return true
+	}
+	r.store(st, inner.slot, avInt(next))
+	return true
+}
+
+// refineClass intersects a set with the residue class v ≡ v0 (mod md).
+// Only finite sets keep congruence information.
+func refineClass(cur si, v0, md int64) si {
+	if cur.empty() || cur.lo <= negInf || cur.hi >= posInf {
+		return cur
+	}
+	lo := v0 + ceilDiv(cur.lo-v0, md)*md
+	hi := v0 + floorDiv(cur.hi-v0, md)*md
+	if lo > hi {
+		return siEmpty
+	}
+	return cur.intersect(si{lo, hi, md}.norm())
+}
+
+// refineCmp narrows an affine view's slot under coef*v + off OP c.
+func (r *nodeRun) refineCmp(st *state, a aval, op parc.TokKind, c int64) {
+	cur := r.load(st, a.slot)
+	if cur.isFloat || a.coef == 0 {
+		return
+	}
+	set := cur.set
+	K := c - a.off
+	switch op {
+	case parc.TokEq:
+		if K%a.coef != 0 {
+			st.dead = true
+			return
+		}
+		v := K / a.coef
+		if !set.member(v) {
+			st.dead = true
+			return
+		}
+		r.store(st, a.slot, avC(v))
+		return
+	case parc.TokNe:
+		if K%a.coef != 0 {
+			return
+		}
+		v := K / a.coef
+		switch {
+		case set.isConst() && set.lo == v:
+			st.dead = true
+		case set.lo == v:
+			r.store(st, a.slot, avInt(set.clampMin(v+1)))
+		case set.hi == v:
+			r.store(st, a.slot, avInt(set.clampMax(v-1)))
+		}
+		return
+	}
+	var upper, strictAdj bool
+	switch op {
+	case parc.TokLt:
+		upper, strictAdj = true, true
+	case parc.TokLe:
+		upper = true
+	case parc.TokGt:
+		strictAdj = true
+	case parc.TokGe:
+	default:
+		return
+	}
+	if strictAdj {
+		if upper {
+			K--
+		} else {
+			K++
+		}
+	}
+	// coef*v <= K (upper) or coef*v >= K (!upper); dividing by a negative
+	// coef flips the direction.
+	var next si
+	if a.coef > 0 {
+		if upper {
+			next = set.clampMax(floorDiv(K, a.coef))
+		} else {
+			next = set.clampMin(ceilDiv(K, a.coef))
+		}
+	} else {
+		if upper {
+			next = set.clampMin(ceilDivNeg(K, a.coef))
+		} else {
+			next = set.clampMax(floorDivNeg(K, a.coef))
+		}
+	}
+	if next.empty() {
+		st.dead = true
+		return
+	}
+	r.store(st, a.slot, avInt(next))
+}
+
+// floorDiv and ceilDiv implement mathematical floor/ceil division for b > 0.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) == (b < 0) {
+		q++
+	}
+	return q
+}
+
+// ceilDivNeg computes ceil(a/b) for b < 0; floorDivNeg computes floor(a/b).
+func ceilDivNeg(a, b int64) int64  { return -floorDiv(a, -b) }
+func floorDivNeg(a, b int64) int64 { return -ceilDiv(a, -b) }
+
+// ---- statements ----
+
+func (r *nodeRun) evalStmt(st *state, s parc.Stmt) {
+	if s == nil || st.dead || st.ret || r.spend() {
+		return
+	}
+	switch n := s.(type) {
+	case *parc.Block:
+		for _, c := range n.Stmts {
+			if st.dead || st.ret || r.outOfGas {
+				return
+			}
+			r.evalStmt(st, c)
+		}
+	case *parc.VarDeclStmt:
+		if n.Init != nil {
+			v := r.evalExpr(st, n.Init)
+			slot := n.Slot - 1
+			if n.Slot == 0 {
+				slot = r.scalarSlot(st, n.Name)
+			}
+			r.store(st, slot, v)
+		}
+	case *parc.AssignStmt:
+		r.assign(st, n)
+	case *parc.IfStmt:
+		r.evalIf(st, n)
+	case *parc.WhileStmt:
+		r.evalWhile(st, n)
+	case *parc.ForStmt:
+		r.evalFor(st, n)
+	case *parc.BarrierStmt:
+		r.emit(event{kind: evBarrier, pos: n.Position(), stmtID: n.ID()})
+		if r.suppress == 0 {
+			r.epoch++
+		}
+	case *parc.LockStmt:
+		r.lockOp(st, n.LockID, 1)
+	case *parc.UnlockStmt:
+		r.lockOp(st, n.LockID, -1)
+	case *parc.ReturnStmt:
+		if n.Value != nil {
+			v := r.matv(st, r.evalExpr(st, n.Value))
+			agg := r.rets[len(r.rets)-1]
+			if agg.has {
+				agg.val = joinAval(agg.val, v)
+			} else {
+				agg.val, agg.has = v, true
+			}
+		}
+		st.ret = true
+	case *parc.ExprStmt:
+		r.call(st, n.Call)
+	case *parc.PrintStmt:
+		for _, a := range n.Args {
+			r.evalExpr(st, a)
+		}
+	case *parc.CICOStmt:
+		r.cico(st, n)
+	}
+}
+
+func (r *nodeRun) lockOp(st *state, idExpr parc.Expr, delta int) {
+	id, ok := r.matConst(st, r.evalExpr(st, idExpr))
+	if r.suppress > 0 {
+		return
+	}
+	if !ok {
+		r.lockTop += delta
+		return
+	}
+	r.locks[id] += delta
+	if r.locks[id] < 0 {
+		r.locks[id] = 0
+	}
+	r.lockDirt = true
+}
+
+func (r *nodeRun) assign(st *state, n *parc.AssignStmt) {
+	rhs := r.evalExpr(st, n.RHS)
+	lv := n.LHS
+	ref, slot, decl := lv.Ref, lv.Slot, lv.Shared
+	if ref == parc.RefUnresolved {
+		if d, ok := r.v.prog.SharedMap[lv.Name]; ok {
+			ref, decl = parc.RefShared, d
+		} else if b, ok := st.fn.Bindings[lv.Name]; ok {
+			if b.Array {
+				ref = parc.RefArray
+			} else {
+				ref, slot = parc.RefLocal, b.Slot
+			}
+		}
+	}
+	switch ref {
+	case parc.RefShared:
+		dims, variant, text := r.indexDims(st, decl, lv.Name, lv.Indices)
+		base := event{
+			varName: lv.Name, decl: decl, dims: dims, lockKey: r.lockKey(),
+			pos: lv.Pos, stmtID: n.ID(), exprText: text, variant: variant,
+		}
+		if n.Op != parc.OpSet {
+			rd := base
+			rd.kind, rd.write = evAccess, false
+			r.emit(rd)
+		}
+		wr := base
+		wr.kind, wr.write = evAccess, true
+		r.emit(wr)
+	case parc.RefLocal:
+		var nv aval
+		if n.Op == parc.OpSet {
+			nv = rhs
+		} else {
+			nv = r.arith(st, assignTok(n.Op), r.load(st, slot), rhs)
+		}
+		r.store(st, slot, nv)
+	case parc.RefArray:
+		for _, ix := range lv.Indices {
+			r.evalExpr(st, ix)
+		}
+	}
+}
+
+func assignTok(op parc.AssignOp) parc.TokKind {
+	switch op {
+	case parc.OpAdd:
+		return parc.TokPlus
+	case parc.OpSub:
+		return parc.TokMinus
+	case parc.OpMul:
+		return parc.TokStar
+	case parc.OpDiv:
+		return parc.TokSlash
+	}
+	return parc.TokPlus
+}
+
+func (r *nodeRun) cico(st *state, n *parc.CICOStmt) {
+	tgt := n.Target
+	if tgt == nil {
+		return
+	}
+	decl := tgt.Shared
+	if decl == nil {
+		decl = r.v.prog.SharedMap[tgt.Name]
+	}
+	if decl == nil {
+		return
+	}
+	var dims []si
+	variant := false
+	for d, ix := range tgt.Indices {
+		lo := r.mat(st, r.evalExpr(st, ix.Lo))
+		s := lo
+		stable := lo.isConst()
+		if ix.Hi != nil {
+			hi := r.mat(st, r.evalExpr(st, ix.Hi))
+			stable = stable && hi.isConst()
+			if lo.empty() || hi.empty() {
+				s = siEmpty
+			} else {
+				s = si{lo.lo, hi.hi, 1}.norm()
+			}
+		}
+		if d < len(decl.DimSizes) {
+			s = s.clampMin(0).clampMax(int64(decl.DimSizes[d]) - 1)
+		}
+		if !stable {
+			variant = true
+		}
+		dims = append(dims, s)
+	}
+	r.emit(event{
+		kind: evAnn, ann: n.Kind, varName: tgt.Name, decl: decl, dims: dims,
+		lockKey: r.lockKey(), pos: n.Position(), stmtID: n.ID(),
+		exprText: parc.RangeRefString(tgt), variant: variant,
+	})
+}
+
+func (r *nodeRun) evalIf(st *state, n *parc.IfStmt) {
+	switch r.condTri(st, n.Cond) {
+	case triTrue:
+		r.evalStmt(st, n.Then)
+	case triFalse:
+		r.evalStmt(st, n.Else)
+	default:
+		thenSt := st.clone()
+		r.refine(thenSt, n.Cond, true)
+		if !thenSt.dead {
+			r.evalStmt(thenSt, n.Then)
+		}
+		elseSt := st.clone()
+		r.refine(elseSt, n.Cond, false)
+		if !elseSt.dead && n.Else != nil {
+			r.evalStmt(elseSt, n.Else)
+		}
+		*st = *joinState(thenSt, elseSt)
+	}
+}
+
+func (r *nodeRun) evalWhile(st *state, n *parc.WhileStmt) {
+	hasBar := r.v.info.ContainsBarrier(n)
+	passes := 1
+	if hasBar {
+		// buildCFG already warned about the data-dependent epoch structure.
+		passes = 2
+	}
+	cur := st.clone()
+	r.suppress++
+	for i := 0; i < fixCap; i++ {
+		if r.outOfGas {
+			break
+		}
+		if r.condTri(cur, n.Cond) == triFalse {
+			break
+		}
+		body := cur.clone()
+		r.refine(body, n.Cond, true)
+		if body.dead {
+			break
+		}
+		r.evalStmt(body, n.Body)
+		next := joinState(cur.clone(), body)
+		if i >= widenAfter {
+			next = widenState(cur, next)
+		}
+		if next.equal(cur) {
+			break
+		}
+		cur = next
+	}
+	r.suppress--
+	t := r.condTri(cur, n.Cond) // record guard reads once
+	if t != triFalse {
+		save := r.iterCtx
+		for p := 0; p < passes; p++ {
+			body := cur.clone()
+			r.refine(body, n.Cond, true)
+			if body.dead {
+				break
+			}
+			r.iterCtx = r.newIter()
+			r.evalStmt(body, n.Body)
+		}
+		r.iterCtx = save
+	}
+	*st = *cur
+	r.refine(st, n.Cond, false)
+	st.dead = false // the abstract exit state may be vacuous; execution continues
+}
+
+func (r *nodeRun) evalFor(st *state, n *parc.ForStmt) {
+	slot := r.loopSlot(st, n)
+	from := r.mat(st, r.evalExpr(st, n.From))
+	to := r.mat(st, r.evalExpr(st, n.To))
+	step, stepOK := int64(1), true
+	if n.Step != nil {
+		if s, ok := r.matConst(st, r.evalExpr(st, n.Step)); ok && s != 0 {
+			step = s
+		} else {
+			stepOK = false
+		}
+	}
+	hasBar := r.v.info.ContainsBarrier(n)
+	if hasBar {
+		// Epoch alignment across nodes requires a node-independent trip
+		// count, so only program-constant bounds may enumerate.
+		if tc, ok := analysis.TripCount(n, r.v.prog.ConstVal); ok && tc <= barrierEnumLimit &&
+			from.isConst() && to.isConst() && stepOK {
+			r.enumFor(st, n, slot, from.lo, to.lo, step)
+			return
+		}
+		r.structural(n.Position(), "cannot enumerate loop containing a barrier; epoch boundaries approximated")
+		r.approxFor(st, n, slot, from, to, step, stepOK, 2)
+		return
+	}
+	if from.isConst() && to.isConst() && stepOK {
+		trip := int64(0)
+		if step > 0 && to.lo >= from.lo {
+			trip = (to.lo-from.lo)/step + 1
+		} else if step < 0 && from.lo >= to.lo {
+			trip = (from.lo-to.lo)/(-step) + 1
+		}
+		if trip <= enumLimit {
+			r.enumFor(st, n, slot, from.lo, to.lo, step)
+			return
+		}
+	}
+	r.approxFor(st, n, slot, from, to, step, stepOK, 1)
+}
+
+func (r *nodeRun) enumFor(st *state, n *parc.ForStmt, slot int, from, to, step int64) {
+	save := r.iterCtx
+	v := from
+	for ; (step > 0 && v <= to) || (step < 0 && v >= to); v += step {
+		if st.dead || st.ret || r.outOfGas {
+			break
+		}
+		r.store(st, slot, avC(v))
+		r.iterCtx = r.newIter()
+		r.evalStmt(st, n.Body)
+	}
+	r.iterCtx = save
+	if !st.dead && !st.ret {
+		r.store(st, slot, avC(v))
+	}
+}
+
+func (r *nodeRun) approxFor(st *state, n *parc.ForStmt, slot int, from, to si, step int64, stepOK bool, passes int) {
+	varSI := loopVarSI(from, to, step, stepOK)
+	if varSI.empty() {
+		// Provably zero trips for this node.
+		if !from.empty() {
+			r.store(st, slot, avInt(from))
+		}
+		return
+	}
+	cur := st.clone()
+	r.suppress++
+	for i := 0; i < fixCap; i++ {
+		if r.outOfGas {
+			break
+		}
+		body := cur.clone()
+		r.store(body, slot, avInt(varSI))
+		r.evalStmt(body, n.Body)
+		next := joinState(cur.clone(), body)
+		if i >= widenAfter {
+			next = widenState(cur, next)
+		}
+		if next.equal(cur) {
+			break
+		}
+		cur = next
+	}
+	r.suppress--
+	save := r.iterCtx
+	for p := 0; p < passes; p++ {
+		body := cur.clone()
+		r.store(body, slot, avInt(varSI))
+		if body.dead || body.ret {
+			break
+		}
+		r.iterCtx = r.newIter()
+		r.evalStmt(body, n.Body)
+	}
+	r.iterCtx = save
+	*st = *cur
+	st.dead, st.ret = false, false
+	exit := varSI
+	if stepOK {
+		exit = varSI.join(varSI.addConst(step))
+	}
+	r.store(st, slot, avInt(exit))
+}
+
+// loopVarSI over-approximates the values a for-loop variable takes. The
+// congruence anchor is the from bound, so stride-s partition loops stay in
+// their residue class.
+func loopVarSI(from, to si, step int64, stepOK bool) si {
+	if from.empty() || to.empty() {
+		return siTop
+	}
+	if !stepOK {
+		return si{minI(from.lo, to.lo), maxI(from.hi, to.hi), 1}.norm()
+	}
+	if step > 0 {
+		if to.hi < from.lo {
+			return siEmpty
+		}
+		g := step
+		if !from.isConst() {
+			g = gcd(step, maxI(from.stride, 1))
+		}
+		return si{from.lo, to.hi, g}.norm()
+	}
+	// Negative step.
+	if from.hi < to.lo {
+		return siEmpty
+	}
+	if from.isConst() && to.isConst() {
+		lo := from.lo - (from.lo-to.lo)/(-step)*(-step)
+		return si{lo, from.lo, -step}.norm()
+	}
+	return si{to.lo, from.hi, 1}.norm()
+}

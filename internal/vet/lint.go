@@ -1,0 +1,234 @@
+package vet
+
+import (
+	"fmt"
+
+	"cachier/internal/parc"
+)
+
+// The annotation linter replays one node's event stream against a
+// per-variable checkout state machine. The protocol it checks is the CICO
+// discipline from paper Section 3: a node checks out the blocks it will
+// touch, uses them, and checks them back in before the next barrier; a
+// shared check-out grants read-only access; a block is unusable between
+// its check-in and a re-check-out.
+//
+// Identity across loop iterations matters: check_out(pv[i]) in iteration 3
+// and a write to pv[i] in iteration 4 name different elements even though
+// both abstract to the same interval. Two events are about the same
+// instance only when they come from the same loop-body instance (iterCtx)
+// or when neither depends on an abstract value at all (both invariant).
+
+// annEntry is one outstanding or retired checkout region.
+type annEntry struct {
+	dims    []si
+	shared  bool // check_out_s
+	variant bool
+	iterCtx int
+	epoch   int
+	pos     parc.Pos
+}
+
+// access is one shared access not covered by any active checkout when it
+// happened, kept for the late-check-out rule.
+type access struct {
+	dims    []si
+	write   bool
+	variant bool
+	iterCtx int
+	pos     parc.Pos
+	text    string
+}
+
+type lintVar struct {
+	active    []annEntry // checked out, not yet checked in
+	checkedIn []annEntry // checked in during the current epoch
+	bare      []access   // uncovered accesses in the current epoch
+}
+
+func sameInstance(aVariant bool, aIter int, bVariant bool, bIter int) bool {
+	if !aVariant && !bVariant {
+		return true
+	}
+	return aIter == bIter
+}
+
+// dimsMayOverlap reports whether two per-dimension element sets can name a
+// common element. Missing trailing dimensions (whole-array annotations)
+// cover everything.
+func dimsMayOverlap(a, b []si) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for d := 0; d < n; d++ {
+		if !a[d].overlaps(b[d]) {
+			return false
+		}
+	}
+	return true
+}
+
+// dimsCover reports whether outer covers every element of inner.
+func dimsCover(outer, inner []si) bool {
+	for d, o := range outer {
+		if d >= len(inner) {
+			// Outer constrains a dimension inner doesn't: inner spans it all.
+			return false
+		}
+		if !o.contains(inner[d]) {
+			return false
+		}
+	}
+	return true
+}
+
+// lint replays one node's event stream through the checkout state machine.
+func (v *vetter) lint(r *nodeRun) {
+	vars := make(map[string]*lintVar)
+	get := func(name string) *lintVar {
+		lv := vars[name]
+		if lv == nil {
+			lv = &lintVar{}
+			vars[name] = lv
+		}
+		return lv
+	}
+	flagOpen := func(name string, e annEntry, why string) {
+		v.add(Finding{
+			Rule: RuleMissingCI, Severity: SevInfo, Pos: e.pos, Var: name,
+			Epoch: e.epoch, Nodes: [2]int{r.node, -1},
+			Msg: fmt.Sprintf("%s of %s has no matching check_in before %s", coName(e.shared), name, why),
+		})
+	}
+	for _, ev := range r.events {
+		switch ev.kind {
+		case evBarrier:
+			// Checked-out blocks legitimately stay out across barriers —
+			// the Section 2.1 whole-fit regime owns its block for the whole
+			// time loop — so holding one here is only worth an advisory
+			// note (the vetter dedups it to one finding per check-out).
+			// Epoch-scoped state is reset.
+			for name, lv := range vars {
+				for _, e := range lv.active {
+					flagOpen(name, e, "the barrier")
+				}
+				lv.checkedIn = lv.checkedIn[:0]
+				lv.bare = lv.bare[:0]
+			}
+		case evAnn:
+			v.lintAnn(r, ev, get(ev.varName))
+		case evAccess:
+			v.lintAccess(r, ev, get(ev.varName))
+		}
+	}
+	for name, lv := range vars {
+		for _, e := range lv.active {
+			flagOpen(name, e, "the node returns")
+		}
+	}
+}
+
+func coName(shared bool) string {
+	if shared {
+		return "check_out_s"
+	}
+	return "check_out_x"
+}
+
+func (v *vetter) lintAnn(r *nodeRun, ev event, lv *lintVar) {
+	entry := annEntry{
+		dims: ev.dims, shared: ev.ann == parc.AnnCheckOutS,
+		variant: ev.variant, iterCtx: ev.iterCtx, epoch: ev.epoch, pos: ev.pos,
+	}
+	switch ev.ann {
+	case parc.AnnCheckOutX, parc.AnnCheckOutS:
+		for _, a := range lv.active {
+			if a.epoch == ev.epoch && dimsMayOverlap(a.dims, ev.dims) &&
+				sameInstance(a.variant, a.iterCtx, ev.variant, ev.iterCtx) {
+				v.add(Finding{
+					Rule: RuleDoubleCO, Severity: SevWarning, Pos: ev.pos,
+					Var: ev.varName, Epoch: ev.epoch, Nodes: [2]int{r.node, -1},
+					Msg: fmt.Sprintf("%s overlaps a block of %s already checked out at %s",
+						ev.exprText, ev.varName, posString(a.pos)),
+				})
+				break
+			}
+		}
+		for _, b := range lv.bare {
+			if dimsMayOverlap(b.dims, ev.dims) &&
+				sameInstance(b.variant, b.iterCtx, ev.variant, ev.iterCtx) {
+				v.add(Finding{
+					Rule: RuleLateCO, Severity: SevWarning, Pos: ev.pos,
+					Var: ev.varName, Epoch: ev.epoch, Nodes: [2]int{r.node, -1},
+					Msg: fmt.Sprintf("%s of %s follows an unannotated access to %s at %s in the same epoch",
+						coName(entry.shared), ev.varName, b.text, posString(b.pos)),
+				})
+				break
+			}
+		}
+		lv.active = append(lv.active, entry)
+	case parc.AnnCheckIn:
+		lv.checkedIn = append(lv.checkedIn, entry)
+		kept := lv.active[:0]
+		for _, a := range lv.active {
+			if !dimsCover(ev.dims, a.dims) {
+				kept = append(kept, a)
+			}
+		}
+		lv.active = kept
+	// Prefetches are performance hints, not protocol obligations; the
+	// simulator treats an unmatched prefetch as harmless, so the linter
+	// does too.
+	case parc.AnnPrefetchX, parc.AnnPrefetchS:
+	}
+}
+
+func (v *vetter) lintAccess(r *nodeRun, ev event, lv *lintVar) {
+	covered := false
+	for _, a := range lv.active {
+		if !dimsCover(a.dims, ev.dims) {
+			continue
+		}
+		covered = true
+		if ev.write && a.shared {
+			v.add(Finding{
+				Rule: RuleSharedW, Severity: SevWarning, Pos: ev.pos,
+				Var: ev.varName, Epoch: ev.epoch, Nodes: [2]int{r.node, -1},
+				Msg: fmt.Sprintf("write to %s under a shared check-out (check_out_s at %s); shared blocks are read-only",
+					ev.exprText, posString(a.pos)),
+			})
+		}
+		break
+	}
+	if covered {
+		return
+	}
+	// Use-after-check-in is only certain within the same loop-body
+	// instance: re-touching a block checked in by an *earlier* iteration
+	// is legal under the protocol (the access re-fetches the block; slow,
+	// not wrong), and Cachier's own output does it.
+	for _, ci := range lv.checkedIn {
+		if ci.epoch == ev.epoch && ci.iterCtx == ev.iterCtx &&
+			dimsMayOverlap(ci.dims, ev.dims) {
+			v.add(Finding{
+				Rule: RuleUseAfterCI, Severity: SevError, Pos: ev.pos,
+				Var: ev.varName, Epoch: ev.epoch, Nodes: [2]int{r.node, -1},
+				Msg: fmt.Sprintf("%s is accessed after its block was checked in at %s in the same epoch; the node no longer owns it",
+					ev.exprText, posString(ci.pos)),
+			})
+			return
+		}
+	}
+	lv.bare = append(lv.bare, access{
+		dims: ev.dims, write: ev.write, variant: ev.variant,
+		iterCtx: ev.iterCtx, pos: ev.pos, text: ev.exprText,
+	})
+}
+
+func posString(p parc.Pos) string {
+	if !p.IsValid() {
+		return "<generated>"
+	}
+	return p.String()
+}

@@ -1,0 +1,381 @@
+// Package vet statically checks ParC programs for the two properties
+// Cachier's correctness argument assumes but never verifies (paper Section
+// 3): that the input program is data-race-free, and that its CICO
+// annotations follow the check-out/check-in protocol discipline.
+//
+// The race detector runs the program abstractly once per node with pid()
+// bound to that node's id, so pid-dependent partition arithmetic folds to
+// constants, and models every shared-array access as a strided interval per
+// dimension. Barriers advance an epoch counter during the abstract run;
+// accesses from two different nodes in the same epoch conflict when at
+// least one writes, every dimension's element sets intersect, and the nodes
+// hold no common lock.
+//
+// The annotation linter replays each node's event stream — accesses,
+// annotations, barriers in abstract program order — against a per-variable
+// checkout state machine, flagging accesses after a check-in, writes under
+// a shared check-out, double check-outs, late check-outs, and check-outs
+// still open at a barrier or return.
+package vet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cachier/internal/analysis"
+	"cachier/internal/parc"
+)
+
+// Options configures an analysis run.
+type Options struct {
+	// Nprocs is the number of SPMD nodes to model; it should match the
+	// machine size the program is written for (partition arithmetic like
+	// N/nprocs() folds per node). Defaults to 4.
+	Nprocs int
+}
+
+// Severity ranks findings.
+type Severity int
+
+// Severities, least to most severe.
+const (
+	SevInfo Severity = iota
+	SevWarning
+	SevError
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	}
+	return "info"
+}
+
+// Finding rules.
+const (
+	RuleRaceWW     = "race-write-write"
+	RuleRaceWR     = "race-write-read"
+	RuleBarrierDiv = "barrier-divergence"
+	RuleStructural = "epoch-approximation"
+	RuleUseAfterCI = "use-after-check-in"
+	RuleDoubleCO   = "double-check-out"
+	RuleSharedW    = "write-under-check-out-s"
+	RuleLateCO     = "check-out-after-use"
+	RuleMissingCI  = "missing-check-in"
+)
+
+// Finding is one diagnostic produced by the analysis.
+type Finding struct {
+	Rule     string
+	Severity Severity
+	Pos      parc.Pos
+	Var      string // shared variable involved, "" for structural findings
+	Epoch    int    // epoch index the finding occurred in, -1 if not epochal
+	Nodes    [2]int // the node pair for races, {node, -1} otherwise
+	Msg      string
+}
+
+func (f Finding) String() string {
+	loc := f.Pos.String()
+	if !f.Pos.IsValid() {
+		loc = "<generated>"
+	}
+	return fmt.Sprintf("%s: %s: [%s] %s", loc, f.Severity, f.Rule, f.Msg)
+}
+
+// Report is the result of one analysis run.
+type Report struct {
+	Findings []Finding
+}
+
+// Races returns the data-race findings.
+func (r *Report) Races() []Finding { return r.filter(RuleRaceWW, RuleRaceWR) }
+
+// LintErrors returns annotation-lint findings of Error severity; a program
+// "passes the annotation lint" when this is empty.
+func (r *Report) LintErrors() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Severity == SevError && f.Rule != RuleRaceWW && f.Rule != RuleRaceWR {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Errors returns all Error-severity findings (races included).
+func (r *Report) Errors() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Severity == SevError {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func (r *Report) filter(rules ...string) []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		for _, rule := range rules {
+			if f.Rule == rule {
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+func (r *Report) String() string {
+	var b strings.Builder
+	for _, f := range r.Findings {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Analyze runs both engines over a checked program and returns the combined
+// report. The program must have passed parc.Check (Parse guarantees this).
+func Analyze(prog *parc.Program, opts Options) *Report {
+	if opts.Nprocs <= 0 {
+		opts.Nprocs = 4
+	}
+	v := &vetter{
+		prog: prog,
+		info: analysis.Analyze(prog),
+		opts: opts,
+		seen: make(map[string]bool),
+	}
+	for _, fn := range prog.Funcs {
+		v.checkCFG(buildCFG(fn, v.info, prog.ConstVal))
+	}
+	main := prog.FuncMap["main"]
+	runs := make([]*nodeRun, opts.Nprocs)
+	for p := 0; p < opts.Nprocs; p++ {
+		runs[p] = newNodeRun(v, p)
+		runs[p].run(main)
+	}
+	v.checkAlignment(runs)
+	v.findRaces(runs)
+	for _, r := range runs {
+		v.lint(r)
+	}
+	sort.SliceStable(v.findings, func(i, j int) bool {
+		a, b := v.findings[i], v.findings[j]
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Col < b.Pos.Col
+	})
+	return &Report{Findings: v.findings}
+}
+
+// AnalyzeSource parses a ParC file and vets it. The file name is stamped
+// into every position so findings print file:line:col.
+func AnalyzeSource(file, src string, opts Options) (*Report, error) {
+	prog, err := parc.ParseFile(file, src)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(prog, opts), nil
+}
+
+// maxFindings bounds the report; a pathological program should produce a
+// readable prefix, not an unbounded dump.
+const maxFindings = 200
+
+type vetter struct {
+	prog     *parc.Program
+	info     *analysis.Info
+	opts     Options
+	findings []Finding
+	seen     map[string]bool // finding dedup keys
+}
+
+func (v *vetter) add(f Finding) {
+	key := f.Rule + "|" + f.Pos.String() + "|" + f.Var + "|" + f.Msg
+	if v.seen[key] || len(v.findings) >= maxFindings {
+		return
+	}
+	v.seen[key] = true
+	v.findings = append(v.findings, f)
+}
+
+// checkAlignment verifies every node executed the same number of barriers;
+// a divergence means the program can deadlock at a barrier and also voids
+// the race detector's epoch pairing, so it is an Error.
+func (v *vetter) checkAlignment(runs []*nodeRun) {
+	for _, r := range runs[1:] {
+		if r.epoch != runs[0].epoch {
+			v.add(Finding{
+				Rule:     RuleBarrierDiv,
+				Severity: SevError,
+				Epoch:    -1,
+				Nodes:    [2]int{0, r.node},
+				Msg: fmt.Sprintf("node 0 executes %d barrier(s) but node %d executes %d; barrier arrival is node-dependent",
+					runs[0].epoch, r.node, r.epoch),
+			})
+			return
+		}
+	}
+}
+
+// findRaces pairs shared accesses across nodes within each epoch.
+func (v *vetter) findRaces(runs []*nodeRun) {
+	// Bucket deduplicated accesses by (var, epoch), keeping per-node lists.
+	type bucket struct {
+		accs [][]event // by node
+	}
+	buckets := make(map[string]*bucket)
+	for _, r := range runs {
+		dedup := make(map[string]bool)
+		for _, ev := range r.events {
+			if ev.kind != evAccess {
+				continue
+			}
+			key := fmt.Sprintf("%d|%d|%v|%s|%s", ev.stmtID, ev.epoch, ev.write, dimsString(ev.dims), ev.lockKey)
+			if dedup[key] {
+				continue
+			}
+			dedup[key] = true
+			bk := fmt.Sprintf("%s@%d", ev.varName, ev.epoch)
+			b := buckets[bk]
+			if b == nil {
+				b = &bucket{accs: make([][]event, len(runs))}
+				buckets[bk] = b
+			}
+			b.accs[r.node] = append(b.accs[r.node], ev)
+		}
+	}
+	keys := make([]string, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	reported := make(map[string]bool)
+	for _, k := range keys {
+		b := buckets[k]
+		for p := 0; p < len(b.accs); p++ {
+			for q := p + 1; q < len(b.accs); q++ {
+				for _, ea := range b.accs[p] {
+					for _, eb := range b.accs[q] {
+						v.checkPair(ea, eb, p, q, reported)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (v *vetter) checkPair(a, b event, p, q int, reported map[string]bool) {
+	if !a.write && !b.write {
+		return
+	}
+	if commonLock(a, b) {
+		return
+	}
+	for d := range a.dims {
+		if d >= len(b.dims) || !a.dims[d].overlaps(b.dims[d]) {
+			return
+		}
+	}
+	// Put a write first for the message and the finding position.
+	if !a.write {
+		a, b = b, a
+		p, q = q, p
+	}
+	rule, kind := RuleRaceWR, "write-read"
+	if b.write {
+		rule, kind = RuleRaceWW, "write-write"
+	}
+	// One finding per (rule, statement pair); other node pairs hitting the
+	// same source lines add nothing.
+	lo, hi := a.stmtID, b.stmtID
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	rk := fmt.Sprintf("%s|%d|%d|%d", rule, lo, hi, a.epoch)
+	if reported[rk] {
+		return
+	}
+	reported[rk] = true
+	bverb := "reads"
+	if b.write {
+		bverb = "writes"
+	}
+	other := ""
+	if a.stmtID != b.stmtID || a.exprText != b.exprText {
+		otherLoc := b.pos.String()
+		if !b.pos.IsValid() {
+			otherLoc = "<generated>"
+		}
+		other = fmt.Sprintf(" (at %s)", otherLoc)
+	}
+	v.add(Finding{
+		Rule:     rule,
+		Severity: SevError,
+		Pos:      a.pos,
+		Var:      a.varName,
+		Epoch:    a.epoch,
+		Nodes:    [2]int{p, q},
+		Msg: fmt.Sprintf("possible %s data race on %s in epoch %d: node %d writes %s = elements %s, node %d %s %s = elements %s%s, no common lock",
+			kind, a.varName, a.epoch, p, a.exprText, dimsString(a.dims),
+			q, bverb, b.exprText, dimsString(b.dims), other),
+	})
+}
+
+func commonLock(a, b event) bool {
+	if a.lockKey == "" || b.lockKey == "" {
+		return false
+	}
+	as := strings.Split(a.lockKey, ",")
+	bs := strings.Split(b.lockKey, ",")
+	for _, x := range as {
+		for _, y := range bs {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// dimsString renders element sets like [0:31][1:61:2]; a scalar renders "".
+func dimsString(dims []si) string {
+	if len(dims) == 0 {
+		return "(scalar)"
+	}
+	var b strings.Builder
+	for _, d := range dims {
+		b.WriteString(siString(d))
+	}
+	return b.String()
+}
+
+func siString(d si) string {
+	switch {
+	case d.empty():
+		return "[empty]"
+	case d.isConst():
+		return fmt.Sprintf("[%d]", d.lo)
+	}
+	lo, hi := fmt.Sprint(d.lo), fmt.Sprint(d.hi)
+	if d.lo <= negInf {
+		lo = "-inf"
+	}
+	if d.hi >= posInf {
+		hi = "+inf"
+	}
+	if d.stride > 1 {
+		return fmt.Sprintf("[%s:%s:%d]", lo, hi, d.stride)
+	}
+	return fmt.Sprintf("[%s:%s]", lo, hi)
+}

@@ -1,0 +1,473 @@
+package vet
+
+import (
+	"strings"
+	"testing"
+)
+
+func analyze(t *testing.T, src string) *Report {
+	t.Helper()
+	rep, err := AnalyzeSource("test.parc", src, Options{Nprocs: 4})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return rep
+}
+
+func wantRule(t *testing.T, rep *Report, rule string) {
+	t.Helper()
+	for _, f := range rep.Findings {
+		if f.Rule == rule {
+			return
+		}
+	}
+	t.Fatalf("expected a %s finding, got:\n%s", rule, rep)
+}
+
+func wantNoRule(t *testing.T, rep *Report, rule string) {
+	t.Helper()
+	for _, f := range rep.Findings {
+		if f.Rule == rule {
+			t.Fatalf("unexpected %s finding:\n%s", rule, rep)
+		}
+	}
+}
+
+func wantClean(t *testing.T, rep *Report) {
+	t.Helper()
+	if len(rep.Findings) != 0 {
+		t.Fatalf("expected no findings, got:\n%s", rep)
+	}
+}
+
+func TestRaceCases(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string // rules that must appear
+		not  []string // rules that must not appear
+	}{
+		{
+			name: "scalar write-write race",
+			src: `
+shared float total label "t";
+func main() {
+    total = total + 1.0;
+    barrier;
+}`,
+			want: []string{RuleRaceWW, RuleRaceWR},
+		},
+		{
+			name: "lock suppresses race",
+			src: `
+shared float total label "t";
+func main() {
+    lock(0);
+    total = total + 1.0;
+    unlock(0);
+    barrier;
+}`,
+			not: []string{RuleRaceWW, RuleRaceWR},
+		},
+		{
+			name: "different locks do not suppress",
+			src: `
+shared float total label "t";
+func main() {
+    lock(pid() % 2);
+    total = total + 1.0;
+    unlock(pid() % 2);
+    barrier;
+}`,
+			want: []string{RuleRaceWW},
+		},
+		{
+			name: "partitioned writes are disjoint",
+			src: `
+const N = 64;
+shared float A[N] label "A";
+func main() {
+    var chunk int = N / nprocs();
+    for i = pid() * chunk to pid() * chunk + chunk - 1 {
+        A[i] = 1.0;
+    }
+    barrier;
+}`,
+			not: []string{RuleRaceWW, RuleRaceWR},
+		},
+		{
+			name: "overlapping partitions race",
+			src: `
+const N = 64;
+shared float A[N] label "A";
+func main() {
+    var chunk int = N / nprocs();
+    for i = pid() * chunk to pid() * chunk + chunk {
+        A[i] = 1.0;
+    }
+    barrier;
+}`,
+			want: []string{RuleRaceWW},
+		},
+		{
+			name: "strided interleave is disjoint",
+			src: `
+const N = 64;
+shared float A[N] label "A";
+func main() {
+    for i = pid() to N - 1 step 4 {
+        A[i] = 1.0;
+    }
+    barrier;
+}`,
+			not: []string{RuleRaceWW, RuleRaceWR},
+		},
+		{
+			name: "single-writer guard",
+			src: `
+shared int done label "d";
+func main() {
+    if pid() == 0 {
+        done = 1;
+    }
+    barrier;
+}`,
+			not: []string{RuleRaceWW},
+		},
+		{
+			name: "barrier separates write from read",
+			src: `
+shared int done label "d";
+func main() {
+    var x int;
+    if pid() == 0 {
+        done = 1;
+    }
+    barrier;
+    x = done;
+    print("%d", x);
+}`,
+			not: []string{RuleRaceWW, RuleRaceWR},
+		},
+		{
+			name: "write-read race without barrier",
+			src: `
+shared int done label "d";
+func main() {
+    var x int;
+    if pid() == 0 {
+        done = 1;
+    }
+    x = done;
+    print("%d", x);
+    barrier;
+}`,
+			want: []string{RuleRaceWR},
+		},
+		{
+			name: "red-black parity is disjoint",
+			src: `
+const N = 16;
+shared float G[N][N] label "G";
+func main() {
+    var rows int = N / nprocs();
+    var lo int = pid() * rows;
+    for i = lo to lo + rows - 1 {
+        for j = 0 to N - 1 {
+            if (i + j) % 2 == 0 {
+                G[i][j] = 1.0;
+            }
+        }
+    }
+    barrier;
+    for i = lo to lo + rows - 1 {
+        for j = 0 to N - 1 {
+            if (i + j) % 2 == 1 {
+                G[i][j] = 2.0;
+            }
+        }
+    }
+    barrier;
+}`,
+			not: []string{RuleRaceWW, RuleRaceWR},
+		},
+		{
+			name: "column groups overlapping rows race",
+			src: `
+const N = 32;
+shared float C[N][N] label "C";
+func main() {
+    var bs int = N / nprocs();
+    var j0 int = pid() * bs;
+    for i = 0 to N - 1 {
+        for j = j0 to j0 + bs {
+            C[i][j % N] = 0.0;
+        }
+    }
+    barrier;
+}`,
+			want: []string{RuleRaceWW},
+		},
+		{
+			name: "data-dependent index races",
+			src: `
+const CELLS = 32;
+shared int cell[CELLS] label "cell";
+shared float particles[128] label "p";
+func main() {
+    var c int;
+    for i = pid() to 127 step 4 {
+        c = int(particles[i] * 31.0);
+        cell[c] = cell[c] + 1;
+    }
+    barrier;
+}`,
+			want: []string{RuleRaceWW},
+		},
+		{
+			name: "barrier divergence",
+			src: `
+shared int done label "d";
+func main() {
+    if pid() == 0 {
+        barrier;
+    }
+    barrier;
+}`,
+			want: []string{RuleBarrierDiv},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := analyze(t, tc.src)
+			for _, rule := range tc.want {
+				wantRule(t, rep, rule)
+			}
+			for _, rule := range tc.not {
+				wantNoRule(t, rep, rule)
+			}
+		})
+	}
+}
+
+func TestLintCases(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string
+		not  []string
+	}{
+		{
+			name: "use after check-in",
+			src: `
+const N = 16;
+shared float A[N] label "A";
+func main() {
+    var i int = pid();
+    check_out_x A[i];
+    A[i] = 1.0;
+    check_in A[i];
+    A[i] = 2.0;
+    barrier;
+}`,
+			want: []string{RuleUseAfterCI},
+		},
+		{
+			name: "clean checkout discipline",
+			src: `
+const N = 16;
+shared float A[N] label "A";
+func main() {
+    var i int = pid();
+    check_out_x A[i];
+    A[i] = 1.0;
+    check_in A[i];
+    barrier;
+}`,
+			not: []string{RuleUseAfterCI, RuleDoubleCO, RuleSharedW, RuleMissingCI, RuleLateCO},
+		},
+		{
+			name: "double check-out",
+			src: `
+const N = 16;
+shared float A[N] label "A";
+func main() {
+    var i int = pid();
+    check_out_x A[i];
+    check_out_x A[i];
+    A[i] = 1.0;
+    check_in A[i];
+    barrier;
+}`,
+			want: []string{RuleDoubleCO},
+		},
+		{
+			name: "re-checkout after check-in is legal",
+			src: `
+const N = 16;
+shared float A[N] label "A";
+func main() {
+    var i int = pid();
+    check_out_x A[i];
+    A[i] = 1.0;
+    check_in A[i];
+    check_out_x A[i];
+    A[i] = 2.0;
+    check_in A[i];
+    barrier;
+}`,
+			not: []string{RuleUseAfterCI, RuleDoubleCO},
+		},
+		{
+			name: "write under shared check-out",
+			src: `
+const N = 16;
+shared float A[N] label "A";
+func main() {
+    var i int = pid();
+    check_out_s A[i];
+    A[i] = 1.0;
+    check_in A[i];
+    barrier;
+}`,
+			want: []string{RuleSharedW},
+		},
+		{
+			name: "missing check-in before barrier",
+			src: `
+const N = 16;
+shared float A[N] label "A";
+func main() {
+    var i int = pid();
+    check_out_x A[i];
+    A[i] = 1.0;
+    barrier;
+}`,
+			want: []string{RuleMissingCI},
+		},
+		{
+			name: "late check-out",
+			src: `
+const N = 16;
+shared float A[N] label "A";
+func main() {
+    var i int = pid();
+    A[i] = 1.0;
+    check_out_x A[i];
+    A[i] = 2.0;
+    check_in A[i];
+    barrier;
+}`,
+			want: []string{RuleLateCO},
+		},
+		{
+			name: "per-iteration checkout in a loop",
+			src: `
+const N = 64;
+shared float A[N] label "A";
+func main() {
+    for i = pid() to N - 1 step 4 {
+        check_out_x A[i];
+        A[i] = 1.0;
+        check_in A[i];
+    }
+    barrier;
+}`,
+			not: []string{RuleUseAfterCI, RuleDoubleCO},
+		},
+		{
+			name: "whole-array check-in covers element checkouts",
+			src: `
+const N = 16;
+shared float A[N] label "A";
+func main() {
+    var i int = pid();
+    check_out_x A[i];
+    A[i] = 1.0;
+    check_in A[0:N-1];
+    barrier;
+}`,
+			not: []string{RuleMissingCI},
+		},
+		{
+			name: "prefetch needs no check-in",
+			src: `
+const N = 16;
+shared float A[N] label "A";
+func main() {
+    var x float;
+    prefetch_s A[0:N-1];
+    barrier;
+    x = A[pid()];
+    print("%f", x);
+    barrier;
+}`,
+			not: []string{RuleMissingCI, RuleUseAfterCI},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := analyze(t, tc.src)
+			for _, rule := range tc.want {
+				wantRule(t, rep, rule)
+			}
+			for _, rule := range tc.not {
+				wantNoRule(t, rep, rule)
+			}
+		})
+	}
+}
+
+func TestCleanProgramHasNoFindings(t *testing.T) {
+	rep := analyze(t, `
+const N = 64;
+shared float A[N] label "A";
+shared float B[N] label "B";
+func main() {
+    var chunk int = N / nprocs();
+    var lo int = pid() * chunk;
+    for i = lo to lo + chunk - 1 {
+        A[i] = 1.0;
+    }
+    barrier;
+    for i = lo to lo + chunk - 1 {
+        B[i] = A[i] * 2.0;
+    }
+    barrier;
+}`)
+	wantClean(t, rep)
+}
+
+func TestFindingPositions(t *testing.T) {
+	rep := analyze(t, `
+shared float total label "t";
+func main() {
+    total = total + 1.0;
+    barrier;
+}`)
+	races := rep.Races()
+	if len(races) == 0 {
+		t.Fatal("expected a race")
+	}
+	for _, f := range races {
+		if !f.Pos.IsValid() || f.Pos.File != "test.parc" {
+			t.Errorf("race finding lacks a usable position: %s", f)
+		}
+		if !strings.Contains(f.String(), "test.parc:") {
+			t.Errorf("finding does not print file:line:col: %s", f)
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := analyze(t, `
+shared int done label "d";
+func main() {
+    done = 1;
+    barrier;
+}`)
+	s := rep.String()
+	if !strings.Contains(s, "race-write-write") {
+		t.Fatalf("report text missing rule name:\n%s", s)
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench check fuzz cover
+.PHONY: all build test race vet bench check fuzz cover timeline
 
 all: build
 
@@ -35,6 +35,16 @@ bench:
 	$(GO) test -run xxx -bench 'Fig6|Scheduler|DirectoryLookup|Interp' -benchtime 1x ./...
 	$(GO) run ./cmd/fig6 -json BENCH_fig6.json
 
+# Observability demo: one benchmark with the recorder and timeline on.
+# TIMELINE_fig6.json is a Chrome trace-event file — open it in
+# https://ui.perfetto.dev (or chrome://tracing); STATS_fig6.json is the full
+# structured stats snapshot (internal/obs schema). Pick another benchmark
+# with TIMELINE_BENCH=Barnes etc.
+TIMELINE_BENCH ?= Ocean
+timeline:
+	$(GO) run ./cmd/fig6 -bench $(TIMELINE_BENCH) \
+		-timeline TIMELINE_fig6.json -statsjson STATS_fig6.json
+
 check: build vet test race
 
 # Native fuzzing over the conformance harness: FuzzPipeline explores the
@@ -46,13 +56,21 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzPipeline$$' -fuzztime $(FUZZTIME) ./internal/conformance
 	$(GO) test -run '^$$' -fuzz '^FuzzAnnotatedEquivalence$$' -fuzztime $(FUZZTIME) ./internal/conformance
 
-# Coverage with a checked-in floor. The floor sits a few points under the
-# current total (see EXPERIMENTS.md) so it trips on real regressions, not on
-# noise.
+# Coverage with checked-in floors. The floors sit a few points under the
+# current numbers (see EXPERIMENTS.md) so they trip on real regressions, not
+# on noise. The observability layer carries its own, higher floor: every
+# regression test in the repo leans on its snapshots, so its invariants must
+# stay thoroughly exercised.
 COVER_MIN ?= 75
+OBS_COVER_MIN ?= 80
 cover:
 	$(GO) test ./... -coverprofile=cover.out
 	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
 	awk -v t=$$total -v min=$(COVER_MIN) 'BEGIN { \
 		if (t+0 < min+0) { printf "FAIL: total coverage %.1f%% is below the %d%% minimum\n", t, min; exit 1 } \
 		printf "total coverage %.1f%% (minimum %d%%)\n", t, min }'
+	$(GO) test ./internal/obs -coverprofile=cover-obs.out
+	@total=$$($(GO) tool cover -func=cover-obs.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
+	awk -v t=$$total -v min=$(OBS_COVER_MIN) 'BEGIN { \
+		if (t+0 < min+0) { printf "FAIL: internal/obs coverage %.1f%% is below the %d%% minimum\n", t, min; exit 1 } \
+		printf "internal/obs coverage %.1f%% (minimum %d%%)\n", t, min }'

@@ -29,6 +29,7 @@ import (
 	"cachier/internal/cico"
 	"cachier/internal/core"
 	"cachier/internal/dir1sw"
+	"cachier/internal/obs"
 	"cachier/internal/parc"
 	"cachier/internal/sim"
 )
@@ -75,11 +76,12 @@ func BenchmarkJacobiCost(b *testing.B) {
 			cfg.Nodes = p.P * p.P
 			var got uint64
 			for i := 0; i < b.N; i++ {
-				res, err := sim.Run(parc.MustParse(c.src), cfg)
+				cfg.Recorder = obs.New(cfg.Nodes, cfg.BlockSize)
+				_, err := sim.Run(parc.MustParse(c.src), cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
-				got = res.PerVar["U"].CheckOuts()
+				got = cfg.Recorder.Var("U").CheckOuts()
 			}
 			if int64(got) != c.formula {
 				b.Fatalf("measured %d check-outs, formula %d", got, c.formula)
@@ -103,18 +105,22 @@ func BenchmarkRestructure(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := sim.Run(parc.MustParse(row.AnnotatedSource), cfg)
+		origCfg := cfg
+		origCfg.Recorder = obs.New(cfg.Nodes, cfg.BlockSize)
+		res, err := sim.Run(parc.MustParse(row.AnnotatedSource), origCfg)
 		if err != nil {
 			b.Fatal(err)
 		}
 		orig = res
-		restr, err = sim.Run(parc.MustParse(bench.RestructuredMatMul(bm.Train)), cfg)
+		restrCfg := cfg
+		restrCfg.Recorder = obs.New(cfg.Nodes, cfg.BlockSize)
+		restr, err = sim.Run(parc.MustParse(bench.RestructuredMatMul(bm.Train)), restrCfg)
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(float64(orig.PerVar["C"].CheckOuts()), "orig-C-checkouts")
-	b.ReportMetric(float64(restr.PerVar["C"].CheckOuts()), "restr-C-checkouts")
+	b.ReportMetric(float64(orig.Snapshot.VarByName("C").CheckOuts()), "orig-C-checkouts")
+	b.ReportMetric(float64(restr.Snapshot.VarByName("C").CheckOuts()), "restr-C-checkouts")
 	b.ReportMetric(float64(restr.Cycles)/float64(orig.Cycles), "restr/orig-cycles")
 }
 

@@ -17,6 +17,8 @@
 //	-prefetch       also insert prefetch annotations
 //	-cache BYTES    cache capacity assumed by placement (default 262144)
 //	-nodes N        nodes for -self tracing (default 32)
+//	-stats FILE     simulate the annotated program and write its structured
+//	                stats snapshot (internal/obs JSON) to FILE
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"strings"
 
 	"cachier/internal/core"
+	"cachier/internal/obs"
 	"cachier/internal/parc"
 	"cachier/internal/sim"
 	"cachier/internal/trace"
@@ -55,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		report    = fs.Bool("report", false, "print the CICO communication cost report")
 		cache     = fs.Int("cache", 256*1024, "cache capacity for placement decisions")
 		nodes     = fs.Int("nodes", 32, "nodes for -self tracing")
+		stats     = fs.String("stats", "", "simulate the annotated program and write its stats snapshot (JSON) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -139,5 +143,41 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *report {
 		fmt.Fprint(stderr, res.Cost.String())
 	}
+	if *stats != "" {
+		if err := writeStats(*stats, res.Source, *nodes, *cache, stderr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeStats simulates the annotated program on the Dir1SW machine with the
+// observability recorder attached and writes the structured stats snapshot
+// (internal/obs) — the same schema fig6 -statsjson and tracestat -json emit.
+func writeStats(path, source string, nodes, cache int, stderr io.Writer) error {
+	prog, err := parc.Parse(source)
+	if err != nil {
+		return fmt.Errorf("annotated program does not parse: %w", err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Nodes = nodes
+	cfg.CacheSize = cache
+	cfg.Recorder = obs.New(cfg.Nodes, cfg.BlockSize)
+	res, err := sim.Run(prog, cfg)
+	if err != nil {
+		return fmt.Errorf("simulating annotated program: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.Snapshot.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "cachier: wrote stats snapshot %s (%d simulated cycles)\n", path, res.Cycles)
 	return nil
 }

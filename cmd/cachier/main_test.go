@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"cachier/internal/obs"
 	"cachier/internal/parc"
 	"cachier/internal/sim"
 	"cachier/internal/trace"
@@ -97,6 +98,41 @@ func TestTraceFileMatchesSelf(t *testing.T) {
 	if !bytes.Equal(fromFile.Bytes(), fromSelf.Bytes()) {
 		t.Errorf("-trace and -self annotate differently:\n--- file ---\n%s\n--- self ---\n%s",
 			fromFile.String(), fromSelf.String())
+	}
+}
+
+// TestStatsSnapshot runs the full annotate-then-simulate path behind -stats
+// and checks the emitted snapshot decodes, is internally consistent, and
+// reflects the inserted annotations (the annotated fixture must execute
+// CICO directives).
+func TestStatsSnapshot(t *testing.T) {
+	statsPath := filepath.Join(t.TempDir(), "stats.json")
+	var stdout, stderr bytes.Buffer
+	args := []string{"-self", "-nodes", "4", "-stats", statsPath,
+		filepath.Join("testdata", "fixture.parc")}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	f, err := os.Open(statsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := obs.ReadSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+	if snap.Nodes != 4 || snap.Cycles == 0 {
+		t.Errorf("snapshot nodes=%d cycles=%d", snap.Nodes, snap.Cycles)
+	}
+	if snap.Protocol.CheckOutX+snap.Protocol.CheckOutS == 0 {
+		t.Error("annotated program executed no check-out directives")
+	}
+	if len(snap.Vars) == 0 {
+		t.Error("no per-variable directive attribution in snapshot")
 	}
 }
 

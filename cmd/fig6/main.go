@@ -4,9 +4,18 @@
 // Dir1SW machine. Each benchmark is traced on its training input and
 // measured on a different test input, as in Section 6.
 //
+// With -stats, -statsjson, or -timeline the benchmarks run with the
+// observability recorder attached (internal/obs): -stats prints each
+// variant's protocol summary from the structured snapshot, -statsjson
+// writes the Cachier variant's full snapshot as JSON, and -timeline writes
+// the Cachier variant's per-epoch Perfetto/Chrome trace (load it in
+// https://ui.perfetto.dev). An attached recorder never changes simulated
+// results — the golden-stats tests pin that.
+//
 // Usage:
 //
 //	fig6 [-bench NAME] [-sharing] [-stats] [-source] [-json FILE]
+//	     [-statsjson FILE] [-timeline FILE]
 //	     [-cpuprofile FILE] [-memprofile FILE]
 package main
 
@@ -14,9 +23,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"sync"
 	"time"
 
@@ -45,10 +57,16 @@ func main() {
 		source     = flag.Bool("source", false, "print each Cachier-annotated program")
 		big        = flag.Bool("big", false, "near-paper-scale inputs (takes minutes)")
 		jsonOut    = flag.String("json", "", "write machine-readable result rows to this file")
+		statsJSON  = flag.String("statsjson", "", "write the Cachier variant's stats snapshot (JSON) to this file (per-benchmark suffix when running several)")
+		timeline   = flag.String("timeline", "", "write the Cachier variant's Perfetto timeline (JSON) to this file (per-benchmark suffix when running several)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (taken after the runs) to this file")
 	)
 	flag.Parse()
+
+	// The recorder is attached only when an observability output was asked
+	// for, so plain -json wall-clock rows keep measuring the bare simulator.
+	observe := *stats || *statsJSON != "" || *timeline != ""
 
 	var benches []*bench.Benchmark
 	if *only != "" {
@@ -88,7 +106,11 @@ func main() {
 		go func(i int, b *bench.Benchmark) {
 			defer wg.Done()
 			start := time.Now()
-			rows[i], errs[i] = bench.RunBenchmark(b)
+			if observe {
+				rows[i], errs[i] = bench.RunBenchmarkObserved(b, *timeline != "")
+			} else {
+				rows[i], errs[i] = bench.RunBenchmark(b)
+			}
 			walls[i] = time.Since(start)
 		}(i, b)
 	}
@@ -119,9 +141,10 @@ func main() {
 		for _, r := range rows {
 			fmt.Printf("\n%s protocol statistics:\n", r.Benchmark)
 			for _, v := range bench.Variants() {
-				s := r.Stats[v]
-				fmt.Printf("  %-17s cycles=%-10d misses=%-7d faults=%-6d traps=%-6d msgs=%d\n",
-					v, r.Cycles[v], s.Misses(), s.WriteFaults, s.Traps, s.TotalMsgs())
+				s := r.Snapshots[v]
+				fmt.Printf("  %-17s cycles=%-10d misses=%-7d faults=%-6d traps=%-6d msgs=%d epochs=%d\n",
+					v, s.Cycles, s.Protocol.Misses(), s.Protocol.WriteFaults,
+					s.Protocol.Traps, s.Protocol.TotalMsgs(), len(s.Epochs))
 			}
 			if len(r.Reports) > 0 {
 				fmt.Println("  conflicts flagged by Cachier:")
@@ -129,6 +152,28 @@ func main() {
 					fmt.Printf("    %s on %s (epoch %d)\n", rep.Kind, rep.Var, rep.Epoch)
 				}
 			}
+		}
+	}
+	if *statsJSON != "" {
+		for _, r := range rows {
+			path := perBenchPath(*statsJSON, r.Benchmark, len(rows))
+			if err := writeTo(path, r.Snapshots[bench.VariantCachier].WriteJSON); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "fig6: wrote stats snapshot %s\n", path)
+		}
+	}
+	if *timeline != "" {
+		for _, r := range rows {
+			path := perBenchPath(*timeline, r.Benchmark, len(rows))
+			rec := r.Recorders[bench.VariantCachier]
+			err := writeTo(path, func(w io.Writer) error {
+				return rec.WriteTimeline(w, r.Benchmark)
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "fig6: wrote timeline %s\n", path)
 		}
 	}
 	if *source {
@@ -169,6 +214,30 @@ func writeJSON(path string, rows []*bench.Row, walls []time.Duration) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// perBenchPath returns path unchanged when a single benchmark ran, or
+// inserts the lower-case benchmark name before the extension when several
+// did, so one -statsjson/-timeline flag fans out to one file per benchmark.
+func perBenchPath(path, benchName string, n int) string {
+	if n == 1 {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "." + strings.ToLower(benchName) + ext
+}
+
+// writeTo creates path and streams fn's output into it.
+func writeTo(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

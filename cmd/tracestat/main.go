@@ -3,9 +3,13 @@
 // shared regions (the paper's address-to-data-structure mapping), and the
 // data races and false sharing Cachier's analysis finds in the trace.
 //
+// The trace is folded into the observability layer's stats tree
+// (internal/obs), so the text report and the -json export use the same
+// snapshot schema as fig6 -statsjson and wwt -statsjson.
+//
 // Usage:
 //
-//	tracestat [-races] [-vars] trace-file
+//	tracestat [-races] [-vars] [-json FILE] trace-file
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"sort"
 
 	"cachier/internal/core"
+	"cachier/internal/obs"
 	"cachier/internal/trace"
 )
 
@@ -35,6 +40,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	races := fs.Bool("races", false, "list data races and false sharing per epoch")
 	vars := fs.Bool("vars", false, "attribute misses to labelled regions")
+	jsonOut := fs.String("json", "", "write the trace's stats snapshot (JSON) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,26 +59,36 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	snap := replayTrace(tr)
+	if *jsonOut != "" {
+		out, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := snap.WriteJSON(out); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+	}
+
 	fmt.Fprintf(stdout, "trace: %d nodes, %d-byte blocks, %d epochs, %d labelled regions\n",
 		tr.Nodes, tr.BlockSize, len(tr.Epochs), len(tr.Labels))
 
 	labelOf := makeLabeler(tr.Labels)
-	var totR, totW, totF int
-	for _, ep := range tr.Epochs {
-		var r, w, fl int
-		for _, m := range ep.Misses {
-			switch m.Kind {
-			case trace.ReadMiss:
-				r++
-			case trace.WriteMiss:
-				w++
-			case trace.WriteFault:
-				fl++
-			}
+	var totR, totW, totF uint64
+	for _, ep := range snap.Epochs {
+		var r, w, fl uint64
+		for _, ne := range ep.Nodes {
+			r += ne.ReadMisses
+			w += ne.WriteMisses
+			fl += ne.WriteFaults
 		}
 		totR, totW, totF = totR+r, totW+w, totF+fl
 		fmt.Fprintf(stdout, "epoch %2d (barrier pc %4d): %6d read misses, %6d write misses, %6d write faults\n",
-			ep.Index, ep.BarrierPC, r, w, fl)
+			ep.Index, barrierPCOf(tr, ep.Index), r, w, fl)
 	}
 	fmt.Fprintf(stdout, "total: %d read misses, %d write misses, %d write faults\n", totR, totW, totF)
 
@@ -128,6 +144,71 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// barrierPCOf preserves the trace's own barrier PC for the final epoch when
+// it differs from the snapshot's convention (both use -1 for program end, so
+// in practice they agree; the trace remains the source of truth).
+func barrierPCOf(tr *trace.Trace, index int) int {
+	if index >= 0 && index < len(tr.Epochs) {
+		return tr.Epochs[index].BarrierPC
+	}
+	return -1
+}
+
+// replayTrace folds the trace into an observability recorder: each miss is
+// an access, each epoch boundary a barrier whose per-node arrival times are
+// the trace's virtual times. The resulting snapshot carries per-epoch,
+// per-node miss and working-set detail plus barrier-imbalance stalls; the
+// protocol block holds only what a trace records (misses — traced runs have
+// no CICO directives or traps).
+func replayTrace(tr *trace.Trace) *obs.Snapshot {
+	rec := obs.New(tr.Nodes, tr.BlockSize)
+	bs := uint64(tr.BlockSize)
+	var p obs.ProtocolStats
+	var cycles uint64
+	last := make([]uint64, tr.Nodes)
+	for i, ep := range tr.Epochs {
+		for _, m := range ep.Misses {
+			var k obs.AccessKind
+			switch m.Kind {
+			case trace.ReadMiss:
+				k = obs.ReadMiss
+				p.ReadMisses++
+				p.Reads++
+			case trace.WriteMiss:
+				k = obs.WriteMiss
+				p.WriteMisses++
+				p.Writes++
+			default:
+				k = obs.WriteFault
+				p.WriteFaults++
+				p.Writes++
+			}
+			rec.Access(m.Node, k, m.Addr/bs, 0, false, 0)
+		}
+		var release uint64
+		for _, vt := range ep.VT {
+			if vt > release {
+				release = vt
+			}
+		}
+		if release > cycles {
+			cycles = release
+		}
+		if i == len(tr.Epochs)-1 {
+			copy(last, ep.VT)
+			rec.Finish(ep.VT)
+		} else {
+			rec.BarrierEnd(ep.BarrierPC, ep.VT, release)
+		}
+	}
+	barriers := len(tr.Epochs) - 1
+	if len(tr.Epochs) == 0 {
+		rec.Finish(last)
+		barriers = 0
+	}
+	return rec.Snapshot(cycles, last, barriers, p)
 }
 
 // makeLabeler maps addresses to region labels using the trace's labelling

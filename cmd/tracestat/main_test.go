@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"cachier/internal/obs"
 	"cachier/internal/parc"
 	"cachier/internal/sim"
 	"cachier/internal/trace"
@@ -68,17 +69,36 @@ func checkGolden(t *testing.T, name string, got []byte) {
 
 // TestGolden pins the full -races -vars report for the fixture trace. The
 // trace is regenerated in-process each run, so this also guards trace
-// determinism through the Write/Read round trip.
+// determinism through the Write/Read round trip. The text report is printed
+// from the obs snapshot, and -json exports that same snapshot, so the two
+// golden files lock both faces of the one stats tree.
 func TestGolden(t *testing.T) {
 	path := writeFixtureTrace(t)
+	jsonPath := filepath.Join(t.TempDir(), "snapshot.json")
 	var stdout, stderr bytes.Buffer
-	if err := run([]string{"-races", "-vars", path}, &stdout, &stderr); err != nil {
+	if err := run([]string{"-races", "-vars", "-json", jsonPath, path}, &stdout, &stderr); err != nil {
 		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
 	}
 	if stderr.Len() != 0 {
 		t.Errorf("unexpected stderr: %s", stderr.String())
 	}
 	checkGolden(t, "tracestat.golden", stdout.Bytes())
+
+	snapData, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "snapshot.golden.json", snapData)
+	snap, err := obs.ReadSnapshot(bytes.NewReader(snapData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+	if snap.Nodes != 4 {
+		t.Errorf("snapshot nodes = %d, want 4", snap.Nodes)
+	}
 }
 
 func TestRunArgErrors(t *testing.T) {

@@ -17,6 +17,8 @@
 //	-ignore-cico    ignore CICO statements (unannotated baseline)
 //	-no-prefetch    ignore prefetch annotations only
 //	-stats          print detailed protocol statistics
+//	-statsjson FILE write the full stats snapshot as JSON
+//	-timeline FILE  write a Chrome-trace/Perfetto timeline as JSON
 //	-poststore      KSR-1 post-store semantics for check-ins (ablation)
 //	-fullmap        full-map hardware directory instead of Dir1SW (ablation)
 package main
@@ -25,7 +27,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
+	"cachier/internal/obs"
 	"cachier/internal/parc"
 	"cachier/internal/sim"
 	"cachier/internal/trace"
@@ -41,6 +45,8 @@ func main() {
 		ignore     = flag.Bool("ignore-cico", false, "ignore CICO statements")
 		noPrefetch = flag.Bool("no-prefetch", false, "ignore prefetch annotations")
 		stats      = flag.Bool("stats", false, "print detailed protocol statistics")
+		statsJSON  = flag.String("statsjson", "", "write the full stats snapshot as JSON to this file")
+		timeline   = flag.String("timeline", "", "write a Chrome-trace/Perfetto timeline as JSON to this file")
 		postStore  = flag.Bool("poststore", false, "KSR-1 post-store semantics for check-ins")
 		fullMap    = flag.Bool("fullmap", false, "full-map hardware directory instead of Dir1SW")
 	)
@@ -70,6 +76,12 @@ func main() {
 	if *traceFile != "" {
 		cfg.Mode = sim.ModeTrace
 	}
+	if *stats || *statsJSON != "" || *timeline != "" {
+		cfg.Recorder = obs.New(cfg.Nodes, cfg.BlockSize)
+		if *timeline != "" {
+			cfg.Recorder.EnableTimeline()
+		}
+	}
 	res, err := sim.Run(prog, cfg)
 	if err != nil {
 		fatal(err)
@@ -83,18 +95,39 @@ func main() {
 	fmt.Printf("misses: %d read, %d write, %d write faults; %d traps\n",
 		s.ReadMisses, s.WriteMisses, s.WriteFaults, s.Traps)
 	if *stats {
-		fmt.Printf("accesses: %d reads, %d writes, %d hits\n", s.Reads, s.Writes, s.Hits)
+		snap := res.Snapshot
+		p := &snap.Protocol
+		fmt.Printf("accesses: %d reads, %d writes, %d hits\n", p.Reads, p.Writes, p.Hits)
 		fmt.Printf("messages: %d requests, %d data, %d control (%d total)\n",
-			s.ReqMsgs, s.DataMsgs, s.CtlMsgs, s.TotalMsgs())
-		fmt.Printf("coherence: %d invalidations, %d writebacks\n", s.Invalidations, s.Writebacks)
+			p.ReqMsgs, p.DataMsgs, p.CtlMsgs, p.TotalMsgs())
+		fmt.Printf("coherence: %d invalidations, %d writebacks\n", p.Invalidations, p.Writebacks)
 		fmt.Printf("directives: %d co_x, %d co_s, %d ci, %d pf_x, %d pf_s (%d wasted)\n",
-			s.CheckOutX, s.CheckOutS, s.CheckIns, s.PrefetchX, s.PrefetchS, s.WastedDirs)
+			p.CheckOutX, p.CheckOutS, p.CheckIns, p.PrefetchX, p.PrefetchS, p.WastedDirs)
+		fmt.Printf("interp: %d ops, %d handoffs, %d work cycles\n",
+			snap.Interp.Ops, snap.Interp.Handoffs, snap.Interp.WorkCycles)
+		for _, tr := range snap.Directory.Transitions {
+			fmt.Printf("  dir %-9s -> %-9s %d\n", tr.From, tr.To, tr.Count)
+		}
+		for _, tc := range snap.Directory.TrapCauses {
+			fmt.Printf("  trap %-19s %d\n", tc.Cause, tc.Count)
+		}
 		loads, stores := res.SharingDegree()
 		fmt.Printf("sharing degree: %.1f%% of loads, %.1f%% of stores\n", 100*loads, 100*stores)
-		for name, vd := range res.PerVar {
+		for _, vd := range snap.Vars {
 			fmt.Printf("  %-12s co_x=%-8d co_s=%-8d ci=%-8d pf=%d\n",
-				name, vd.CheckOutX, vd.CheckOutS, vd.CheckIns, vd.PrefetchX+vd.PrefetchS)
+				vd.Name, vd.CheckOutX, vd.CheckOutS, vd.CheckIns, vd.PrefetchX+vd.PrefetchS)
 		}
+	}
+	if *statsJSON != "" {
+		writeFile(*statsJSON, func(w *os.File) error { return res.Snapshot.WriteJSON(w) })
+		fmt.Printf("stats snapshot: %s\n", *statsJSON)
+	}
+	if *timeline != "" {
+		label := filepath.Base(flag.Arg(0))
+		writeFile(*timeline, func(w *os.File) error {
+			return cfg.Recorder.WriteTimeline(w, label)
+		})
+		fmt.Printf("timeline: %s\n", *timeline)
 	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
@@ -108,6 +141,21 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("trace: %d epochs written to %s\n", len(res.Trace.Epochs), *traceFile)
+	}
+}
+
+// writeFile creates path and streams write into it, failing the command on
+// any error.
+func writeFile(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := write(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"cachier/internal/bench"
 	"cachier/internal/cico"
+	"cachier/internal/obs"
 	"cachier/internal/parc"
 	"cachier/internal/sim"
 )
@@ -21,12 +22,14 @@ func main() {
 	cfg := sim.DefaultConfig()
 	cfg.Nodes = p.P * p.P
 
-	run := func(src string) *sim.Result {
-		res, err := sim.Run(parc.MustParse(src), cfg)
+	run := func(src string) (*sim.Result, *obs.Recorder) {
+		rcfg := cfg
+		rcfg.Recorder = obs.New(rcfg.Nodes, rcfg.BlockSize)
+		res, err := sim.Run(parc.MustParse(src), rcfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		return res
+		return res, rcfg.Recorder
 	}
 
 	n, pp, t := int64(p.N), int64(p.P), int64(p.Steps)
@@ -35,17 +38,19 @@ func main() {
 	fmt.Printf("Jacobi relaxation, N=%d, P=%d (%d processors), T=%d, b=%d\n\n",
 		p.N, p.P, p.P*p.P, p.Steps, b)
 
-	whole := run(bench.JacobiWholeFit(p))
+	whole, wholeRec := run(bench.JacobiWholeFit(p))
+	wholeU := wholeRec.Var("U")
 	wantWhole := cico.JacobiWholeMatrixCheckouts(n, pp, t, b)
 	fmt.Printf("regime 1 (block fits in cache):\n")
 	fmt.Printf("  formula 2NPT(1+b)/b + N^2/b = %d blocks\n", wantWhole)
-	fmt.Printf("  measured check-outs of U     = %d blocks\n\n", whole.PerVar["U"].CheckOuts())
+	fmt.Printf("  measured check-outs of U     = %d blocks\n\n", wholeU.CheckOuts())
 
-	row := run(bench.JacobiRowFit(p))
+	row, rowRec := run(bench.JacobiRowFit(p))
+	rowU := rowRec.Var("U")
 	wantRow := cico.JacobiColumnCheckouts(n, pp, t, b)
 	fmt.Printf("regime 2 (single rows fit):\n")
 	fmt.Printf("  formula (2NP(1+b)/b + N^2/b)T = %d blocks\n", wantRow)
-	fmt.Printf("  measured check-outs of U      = %d blocks\n\n", row.PerVar["U"].CheckOuts())
+	fmt.Printf("  measured check-outs of U      = %d blocks\n\n", rowU.CheckOuts())
 
 	fmt.Printf("per-processor per-column blocks, regime 1: %d  regime 2: %d (ratio T=%d)\n",
 		cico.JacobiPerProcColumnBlocksWholeFit(n, pp, b),
@@ -53,8 +58,8 @@ func main() {
 
 	costs := cico.DefaultCosts()
 	fmt.Printf("\nCICO model communication cost: regime 1 = %d, regime 2 = %d\n",
-		costs.ProgramCost(whole.PerVar["U"].CheckOuts(), whole.PerVar["U"].CheckIns),
-		costs.ProgramCost(row.PerVar["U"].CheckOuts(), row.PerVar["U"].CheckIns))
+		costs.ProgramCost(wholeU.CheckOuts(), wholeU.CheckIns),
+		costs.ProgramCost(rowU.CheckOuts(), rowU.CheckIns))
 	fmt.Printf("simulated execution time:      regime 1 = %d, regime 2 = %d cycles\n",
 		whole.Cycles, row.Cycles)
 }

@@ -14,6 +14,7 @@ import (
 	"cachier/internal/bench"
 	"cachier/internal/cico"
 	"cachier/internal/core"
+	"cachier/internal/obs"
 	"cachier/internal/parc"
 	"cachier/internal/sim"
 )
@@ -69,7 +70,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	restructured, err := sim.Run(parc.MustParse(bench.RestructuredMatMul(b.Test)), cfg)
+	restrCfg := cfg
+	restrCfg.Recorder = obs.New(restrCfg.Nodes, restrCfg.BlockSize)
+	restructured, err := sim.Run(parc.MustParse(bench.RestructuredMatMul(b.Test)), restrCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,5 +81,5 @@ func main() {
 		float64(annotated.Cycles)/float64(base.Cycles))
 	fmt.Printf("restructured (Sec. 5): %9d cycles (%.3f), measured C check-outs: %d\n",
 		restructured.Cycles, float64(restructured.Cycles)/float64(base.Cycles),
-		restructured.PerVar["C"].CheckOuts())
+		restrCfg.Recorder.Var("C").CheckOuts())
 }

@@ -3,6 +3,7 @@ package bench
 import (
 	"testing"
 
+	"cachier/internal/obs"
 	"cachier/internal/parc"
 	"cachier/internal/sim"
 )
@@ -176,6 +177,7 @@ func runDirective(t *testing.T, src string, nodes int) *sim.Result {
 		t.Fatal(err)
 	}
 	cfg := machineConfig(nodes)
+	cfg.Recorder = obs.New(cfg.Nodes, cfg.BlockSize)
 	res, err := sim.Run(prog, cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -6,6 +6,7 @@ import (
 
 	"cachier/internal/cico"
 	"cachier/internal/core"
+	"cachier/internal/obs"
 	"cachier/internal/parc"
 	"cachier/internal/sim"
 )
@@ -17,7 +18,7 @@ func TestJacobiCostModelWholeFit(t *testing.T) {
 	p := JacobiParams
 	res := runDirective(t, JacobiWholeFit(p), p.P*p.P)
 	want := cico.JacobiWholeMatrixCheckouts(int64(p.N), int64(p.P), int64(p.Steps), 4)
-	got := res.PerVar["U"].CheckOuts()
+	got := res.Snapshot.VarByName("U").CheckOuts()
 	if int64(got) != want {
 		t.Errorf("whole-fit check-outs = %d, formula = %d", got, want)
 	}
@@ -30,7 +31,7 @@ func TestJacobiCostModelRowFit(t *testing.T) {
 	p := JacobiParams
 	res := runDirective(t, JacobiRowFit(p), p.P*p.P)
 	want := cico.JacobiColumnCheckouts(int64(p.N), int64(p.P), int64(p.Steps), 4)
-	got := res.PerVar["U"].CheckOuts()
+	got := res.Snapshot.VarByName("U").CheckOuts()
 	if int64(got) != want {
 		t.Errorf("row-fit check-outs = %d, formula = %d", got, want)
 	}
@@ -41,8 +42,8 @@ func TestJacobiCostModelRowFit(t *testing.T) {
 // checking the whole block out once.
 func TestJacobiRegimesOrdering(t *testing.T) {
 	p := JacobiParams
-	whole := runDirective(t, JacobiWholeFit(p), p.P*p.P).PerVar["U"].CheckOuts()
-	row := runDirective(t, JacobiRowFit(p), p.P*p.P).PerVar["U"].CheckOuts()
+	whole := runDirective(t, JacobiWholeFit(p), p.P*p.P).Snapshot.VarByName("U").CheckOuts()
+	row := runDirective(t, JacobiRowFit(p), p.P*p.P).Snapshot.VarByName("U").CheckOuts()
 	if row <= whole {
 		t.Errorf("row regime (%d) should check out more than whole-fit (%d)", row, whole)
 	}
@@ -76,7 +77,7 @@ func TestJacobiSemantics(t *testing.T) {
 func TestRestructuredMatMulCheckouts(t *testing.T) {
 	p := Params{N: 32, P: 4, Seed: 11}
 	res := runDirective(t, RestructuredMatMul(p), p.P*p.P)
-	c := res.PerVar["C"]
+	c := res.Snapshot.VarByName("C")
 	wantTotal := cico.MatMulRestructuredCCheckouts(int64(p.N), int64(p.P), 4)
 	wantRacy := cico.MatMulRestructuredRacyCheckouts(int64(p.N), int64(p.P), 4)
 	if int64(c.CheckOuts()) != wantTotal {
@@ -107,12 +108,13 @@ func TestOriginalMatMulCheckouts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	cfg.Recorder = obs.New(cfg.Nodes, cfg.BlockSize)
 	res, err := runVariant(ann.Source, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	n := int64(b.Train.N)
-	if got := int64(res.PerVar["C"].CheckOutX); got != cico.MatMulOriginalCCheckouts(n) {
+	if got := int64(res.Snapshot.VarByName("C").CheckOutX); got != cico.MatMulOriginalCCheckouts(n) {
 		t.Errorf("original C check-outs = %d, want N^3 = %d", got, n*n*n)
 	}
 }

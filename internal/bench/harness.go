@@ -9,6 +9,7 @@ import (
 
 	"cachier/internal/core"
 	"cachier/internal/dir1sw"
+	"cachier/internal/obs"
 	"cachier/internal/parc"
 	"cachier/internal/sim"
 )
@@ -46,6 +47,12 @@ type Row struct {
 	Nodes     int
 	Cycles    map[Variant]uint64
 	Stats     map[Variant]dir1sw.Stats
+
+	// Snapshots and Recorders hold each variant's structured stats tree and
+	// the recorder that produced it (for timeline export); both are nil
+	// unless the row came from RunBenchmarkObserved.
+	Snapshots map[Variant]*obs.Snapshot
+	Recorders map[Variant]*obs.Recorder
 
 	// SharingLoads and SharingStores are the unannotated run's sharing
 	// degrees (Section 6's discussion of why Ocean and Mp3d gain most).
@@ -113,6 +120,19 @@ func runVariant(src string, cfg sim.Config) (*sim.Result, error) {
 // variant simulations. Each sim.Run builds its own machine, so results are
 // identical to the sequential schedule.
 func RunBenchmark(b *Benchmark) (*Row, error) {
+	return runBenchmark(b, false, false)
+}
+
+// RunBenchmarkObserved is RunBenchmark with an obs.Recorder attached to
+// every measured variant, filling Row.Snapshots (and Row.Recorders, with
+// per-node timelines when timeline is set). Simulated results are
+// bit-identical to RunBenchmark's — the recorder only observes — so the
+// golden-stats tests use this entry point and still check Figure 6 cycles.
+func RunBenchmarkObserved(b *Benchmark, timeline bool) (*Row, error) {
+	return runBenchmark(b, true, timeline)
+}
+
+func runBenchmark(b *Benchmark, observe, timeline bool) (*Row, error) {
 	cfg := machineConfig(b.Nodes)
 
 	// 1. Trace the unannotated program on the training input; both
@@ -187,8 +207,13 @@ func RunBenchmark(b *Benchmark) (*Row, error) {
 		AnnotatedSource: annotated.Source,
 		Reports:         annotated.Reports,
 	}
+	if observe {
+		row.Snapshots = make(map[Variant]*obs.Snapshot)
+		row.Recorders = make(map[Variant]*obs.Recorder)
+	}
 	variants := Variants()
 	results := make([]*sim.Result, len(variants))
+	recs := make([]*obs.Recorder, len(variants))
 	errs := make([]error, len(variants))
 	for i, v := range variants {
 		wg.Add(1)
@@ -196,7 +221,15 @@ func RunBenchmark(b *Benchmark) (*Row, error) {
 			defer wg.Done()
 			acquireWork()
 			defer releaseWork()
-			results[i], errs[i] = runVariant(sources[v], cfg)
+			vcfg := cfg
+			if observe {
+				recs[i] = obs.New(cfg.Nodes, cfg.BlockSize)
+				if timeline {
+					recs[i].EnableTimeline()
+				}
+				vcfg.Recorder = recs[i]
+			}
+			results[i], errs[i] = runVariant(sources[v], vcfg)
 		}(i, v)
 	}
 	wg.Wait()
@@ -206,6 +239,10 @@ func RunBenchmark(b *Benchmark) (*Row, error) {
 		}
 		row.Cycles[v] = results[i].Cycles
 		row.Stats[v] = results[i].Stats
+		if observe {
+			row.Snapshots[v] = results[i].Snapshot
+			row.Recorders[v] = recs[i]
+		}
 		if v == VariantNone {
 			row.SharingLoads, row.SharingStores = results[i].SharingDegree()
 		}

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cachier/internal/obs"
+	"cachier/internal/parc"
+	"cachier/internal/sim"
+)
+
+var updateStats = flag.Bool("update", false, "rewrite golden stats snapshots")
+
+// statsGoldenPath returns the golden snapshot file for one benchmark.
+func statsGoldenPath(name string) string {
+	return filepath.Join("testdata", "stats", strings.ToLower(name)+".golden.json")
+}
+
+// TestGoldenStatsSnapshots locks the full structured stats tree, not just
+// cycle totals: every Figure 6 benchmark runs through the observed harness
+// and the Cachier variant's Snapshot must match testdata/stats byte for
+// byte (refresh with `go test ./internal/bench -run GoldenStats -update`).
+// Because the observed harness shares goldenFig6's frozen cycle counts, a
+// pass here also proves an attached recorder changes no simulated result.
+func TestGoldenStatsSnapshots(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	for _, want := range goldenFig6 {
+		want := want
+		t.Run(want.Benchmark, func(t *testing.T) {
+			t.Parallel()
+			b, err := ByName(want.Benchmark)
+			if err != nil {
+				t.Fatal(err)
+			}
+			row, err := RunBenchmarkObserved(b, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden := map[Variant]uint64{
+				VariantNone:            want.None,
+				VariantHand:            want.Hand,
+				VariantCachier:         want.Cachier,
+				VariantCachierPrefetch: want.CachierPF,
+			}
+			for _, v := range Variants() {
+				if row.Cycles[v] != golden[v] {
+					t.Errorf("%s: recorder-observed run took %d cycles, golden %d",
+						v, row.Cycles[v], golden[v])
+				}
+				snap := row.Snapshots[v]
+				if snap == nil {
+					t.Fatalf("%s: no snapshot from observed harness", v)
+				}
+				if snap.Cycles != row.Cycles[v] {
+					t.Errorf("%s: snapshot cycles %d, result cycles %d", v, snap.Cycles, row.Cycles[v])
+				}
+				if err := snap.CheckConsistency(); err != nil {
+					t.Errorf("%s: %v", v, err)
+				}
+			}
+
+			data, err := row.Snapshots[VariantCachier].MarshalIndentJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := statsGoldenPath(b.Name)
+			if *updateStats {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(data))
+				return
+			}
+			wantData, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if !bytes.Equal(data, wantData) {
+				t.Errorf("snapshot differs from %s (run with -update to regenerate)\ngot %d bytes, want %d",
+					path, len(data), len(wantData))
+			}
+			// The golden file must round-trip through the public decoder.
+			snap, err := obs.ReadSnapshot(bytes.NewReader(wantData))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if snap.Cycles != want.Cachier || snap.Nodes != b.Nodes {
+				t.Errorf("decoded golden: cycles=%d nodes=%d, want cycles=%d nodes=%d",
+					snap.Cycles, snap.Nodes, want.Cachier, b.Nodes)
+			}
+		})
+	}
+}
+
+// BenchmarkRecorderOverhead measures the observability layer's wall-clock
+// cost on a full benchmark simulation: disabled (nil recorder — the
+// measured configuration, which must stay within noise of the pre-obs
+// simulator), enabled, and enabled with the timeline on.
+func BenchmarkRecorderOverhead(b *testing.B) {
+	bm, err := ByName("Ocean")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := parc.Parse(bm.Source(bm.Test))
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := machineConfig(bm.Nodes)
+	runOnce := func(b *testing.B, mk func() *obs.Recorder) {
+		b.ReportAllocs()
+		var cycles uint64
+		for i := 0; i < b.N; i++ {
+			cfg := base
+			cfg.Recorder = mk()
+			res, err := sim.Run(prog, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if cycles == 0 {
+				cycles = res.Cycles
+			} else if res.Cycles != cycles {
+				b.Fatalf("cycles changed across runs: %d vs %d", res.Cycles, cycles)
+			}
+		}
+		b.ReportMetric(float64(cycles), "sim-cycles")
+	}
+	b.Run("disabled", func(b *testing.B) {
+		runOnce(b, func() *obs.Recorder { return nil })
+	})
+	b.Run("enabled", func(b *testing.B) {
+		runOnce(b, func() *obs.Recorder { return obs.New(base.Nodes, base.BlockSize) })
+	})
+	b.Run("timeline", func(b *testing.B) {
+		runOnce(b, func() *obs.Recorder {
+			r := obs.New(base.Nodes, base.BlockSize)
+			r.EnableTimeline()
+			return r
+		})
+	})
+}

@@ -21,12 +21,14 @@
 package conformance
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 
 	"cachier/internal/cico"
 	"cachier/internal/core"
 	"cachier/internal/dir1sw"
+	"cachier/internal/obs"
 	"cachier/internal/oracle"
 	"cachier/internal/parc"
 	"cachier/internal/parcgen"
@@ -144,6 +146,16 @@ func RunSource(src string) error {
 			plainRes.Stats, treeRes.Stats)
 	}
 
+	// Observability differential: the recorder only observes, so attaching
+	// one (timeline included) must leave the simulation bit-identical —
+	// same cycles, same protocol stats. The snapshot must be internally
+	// consistent (per-epoch sums vs protocol totals), deterministic across
+	// two identical runs, and the timeline must satisfy the trace-event
+	// schema invariants.
+	if err := checkObservability(prog, plainRes); err != nil {
+		return err
+	}
+
 	// Cachier placement in all three styles, each simulated from its
 	// printed source so the annotated text round-trips through the real
 	// parser exactly as a user's file would.
@@ -243,6 +255,59 @@ func RunAnnotatedEquivalence(seed int64) error {
 		return fmt.Errorf("no-prefetch run: %w\n%s", err, res.Source)
 	}
 	return checkVariant("no-prefetch", annRes, want)
+}
+
+// checkObservability re-runs prog with a recorder (and timeline) attached
+// and checks it against the plain run; see the call site for the contract.
+func checkObservability(prog *parc.Program, plain *sim.Result) error {
+	run := func() (*sim.Result, *obs.Recorder, error) {
+		cfg := simConfig(sim.ModePerf)
+		cfg.Recorder = obs.New(cfg.Nodes, cfg.BlockSize)
+		cfg.Recorder.EnableTimeline()
+		res, err := sim.Run(prog, cfg)
+		return res, cfg.Recorder, err
+	}
+	res, rec, err := run()
+	if err != nil {
+		return fmt.Errorf("recorded run: %w", err)
+	}
+	if res.Cycles != plain.Cycles {
+		return fmt.Errorf("observability differential: recorder changed cycles: %d with, %d without",
+			res.Cycles, plain.Cycles)
+	}
+	if res.Stats != plain.Stats {
+		return fmt.Errorf("observability differential: recorder changed protocol stats\nwithout: %+v\nwith:    %+v",
+			plain.Stats, res.Stats)
+	}
+	if res.Snapshot == nil {
+		return fmt.Errorf("observability differential: recorded run produced no snapshot")
+	}
+	if err := res.Snapshot.CheckConsistency(); err != nil {
+		return fmt.Errorf("observability differential: %w", err)
+	}
+	tl := rec.Timeline("conformance")
+	if tl == nil {
+		return fmt.Errorf("observability differential: no timeline despite EnableTimeline")
+	}
+	if err := tl.Validate(); err != nil {
+		return fmt.Errorf("observability differential: invalid timeline: %w", err)
+	}
+	data, err := res.Snapshot.MarshalIndentJSON()
+	if err != nil {
+		return fmt.Errorf("observability differential: marshal snapshot: %w", err)
+	}
+	res2, _, err := run()
+	if err != nil {
+		return fmt.Errorf("second recorded run: %w", err)
+	}
+	data2, err := res2.Snapshot.MarshalIndentJSON()
+	if err != nil {
+		return fmt.Errorf("observability differential: marshal second snapshot: %w", err)
+	}
+	if !bytes.Equal(data, data2) {
+		return fmt.Errorf("observability differential: snapshots of identical runs differ")
+	}
+	return nil
 }
 
 func parseChecked(src string) (*parc.Program, error) {

@@ -21,6 +21,8 @@
 // overlap transfer latency with computation.
 package dir1sw
 
+import "cachier/internal/obs"
+
 // Costs parameterizes the cycle cost model. The defaults are loosely scaled
 // to the WWT/Dir1SW publications (single-cycle cache hits, ~100-cycle clean
 // remote misses, expensive software traps); the reproduction's experiments
@@ -97,3 +99,37 @@ func (s *Stats) TotalMsgs() uint64 { return s.ReqMsgs + s.DataMsgs + s.CtlMsgs }
 
 // Misses returns all misses including write faults.
 func (s *Stats) Misses() uint64 { return s.ReadMisses + s.WriteMisses + s.WriteFaults }
+
+// Protocol converts the counters to the observability layer's snapshot
+// form (obs cannot import dir1sw without a cycle, so the mirror type lives
+// there and the conversion lives here).
+func (s *Stats) Protocol() obs.ProtocolStats {
+	return obs.ProtocolStats{
+		Reads:  s.Reads,
+		Writes: s.Writes,
+
+		Hits:        s.Hits,
+		ReadMisses:  s.ReadMisses,
+		WriteMisses: s.WriteMisses,
+		WriteFaults: s.WriteFaults,
+
+		Traps:         s.Traps,
+		Invalidations: s.Invalidations,
+		Writebacks:    s.Writebacks,
+
+		ReqMsgs:  s.ReqMsgs,
+		DataMsgs: s.DataMsgs,
+		CtlMsgs:  s.CtlMsgs,
+
+		CheckOutX:  s.CheckOutX,
+		CheckOutS:  s.CheckOutS,
+		CheckIns:   s.CheckIns,
+		PrefetchX:  s.PrefetchX,
+		PrefetchS:  s.PrefetchS,
+		WastedDirs: s.WastedDirs,
+
+		PostStores:     s.PostStores,
+		PrefetchHits:   s.PrefetchHits,
+		PrefetchStalls: s.PrefetchStalls,
+	}
+}

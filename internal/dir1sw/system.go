@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"cachier/internal/cache"
+	"cachier/internal/obs"
 )
 
 // dirState is a directory entry's state.
@@ -95,6 +96,12 @@ type Config struct {
 	// ProbeError. O(nodes) per access — meant for differential testing, not
 	// performance runs.
 	Probe bool
+
+	// Recorder receives directory state transitions, trap causes, and
+	// per-requester invalidation counts for the observability layer. nil
+	// (the default) disables recording at the cost of an untaken branch
+	// per event; recording never changes protocol behaviour.
+	Recorder *obs.Recorder
 }
 
 // DefaultConfig is the paper's evaluated machine: 32 nodes, 256 KB 4-way
@@ -146,6 +153,9 @@ type System struct {
 	// probeErr latches the first violation the per-access probe found.
 	probeErr error
 
+	// rec is the observability recorder (nil when disabled).
+	rec *obs.Recorder
+
 	Stats Stats
 }
 
@@ -158,7 +168,7 @@ func New(cfg Config) (*System, error) {
 	if cfg.Nodes <= 0 {
 		return nil, fmt.Errorf("dir1sw: need at least one node, got %d", cfg.Nodes)
 	}
-	s := &System{cfg: cfg, dir: make(map[uint64]*entry)}
+	s := &System{cfg: cfg, dir: make(map[uint64]*entry), rec: cfg.Recorder}
 	if cfg.AddrSpace > 0 && cfg.BlockSize > 0 {
 		if blocks := (cfg.AddrSpace + uint64(cfg.BlockSize) - 1) / uint64(cfg.BlockSize); blocks <= maxDenseBlocks {
 			s.dense = make([]entry, blocks)
@@ -238,6 +248,26 @@ func (s *System) dirView(block uint64) (state dirState, owner int, sharers []int
 	return e.state, e.owner, e.sharers.members()
 }
 
+// obsState maps a directory state to its observability-layer enum.
+func obsState(st dirState) obs.DirState {
+	switch st {
+	case dirShared:
+		return obs.StateShared
+	case dirExclusive:
+		return obs.StateExclusive
+	}
+	return obs.StateIdle
+}
+
+// setState moves a directory entry to a new state, recording the
+// transition. Exclusive-to-exclusive ownership handoffs are recorded too
+// (callers invoke it even when the state enum is unchanged but the owner
+// moves).
+func (s *System) setState(e *entry, to dirState) {
+	s.rec.DirTransition(obsState(e.state), obsState(to))
+	e.state = to
+}
+
 // evict reconciles the directory with a cache eviction. Dir1SW requires
 // replacement notification so the counter stays exact.
 func (s *System) evict(node int, v cache.Victim) {
@@ -250,11 +280,11 @@ func (s *System) evict(node int, v cache.Victim) {
 		e.sharers.remove(node)
 		s.Stats.CtlMsgs++ // replacement notification
 		if e.sharers.count() == 0 {
-			e.state = dirIdle
+			s.setState(e, dirIdle)
 		}
 	case dirExclusive:
 		if e.owner == node {
-			e.state = dirIdle
+			s.setState(e, dirIdle)
 			if v.Dirty {
 				s.Stats.Writebacks++
 				s.Stats.DataMsgs++
@@ -338,7 +368,7 @@ func (s *System) fetchShared(node int, block uint64) (cost uint64, trap bool) {
 	s.Stats.ReqMsgs++
 	switch e.state {
 	case dirIdle:
-		e.state = dirShared
+		s.setState(e, dirShared)
 		e.sharers.add(node)
 		s.Stats.DataMsgs++
 		return co.cleanMiss(), false
@@ -353,7 +383,7 @@ func (s *System) fetchShared(node int, block uint64) (cost uint64, trap bool) {
 			s.Stats.Writebacks++
 		}
 		s.caches[owner].SetState(block, cache.Shared)
-		e.state = dirShared
+		s.setState(e, dirShared)
 		e.sharers.clear()
 		e.sharers.add(owner)
 		e.sharers.add(node)
@@ -362,6 +392,7 @@ func (s *System) fetchShared(node int, block uint64) (cost uint64, trap bool) {
 		if s.cfg.FullMap {
 			return 4*co.NetHop + co.DirService + co.MemAccess, false
 		}
+		s.rec.Trap(obs.TrapDowngrade)
 		return co.Trap + 4*co.NetHop + co.DirService + co.MemAccess, true
 	}
 }
@@ -428,9 +459,10 @@ func (s *System) upgrade(node int, block uint64) (cost uint64, trap bool) {
 			others++
 		}
 	}
-	e.state = dirExclusive
+	s.setState(e, dirExclusive)
 	e.owner = node
 	e.sharers.clear()
+	s.rec.Invalidations(node, uint64(others))
 	if others == 0 {
 		// Pointer check succeeds: hardware handles the sole-sharer upgrade.
 		return co.upgrade(), false
@@ -442,6 +474,7 @@ func (s *System) upgrade(node int, block uint64) (cost uint64, trap bool) {
 	}
 	bcast := uint64(s.cfg.Nodes - 1)
 	s.Stats.CtlMsgs += 2 * bcast // broadcast invalidations + acks
+	s.rec.Trap(obs.TrapUpgrade)
 	return co.Trap + co.upgrade() + bcast*co.InvalMsg, true
 }
 
@@ -452,7 +485,7 @@ func (s *System) fetchExclusive(node int, block uint64) (cost uint64, trap bool)
 	s.Stats.ReqMsgs++
 	switch e.state {
 	case dirIdle:
-		e.state = dirExclusive
+		s.setState(e, dirExclusive)
 		e.owner = node
 		s.Stats.DataMsgs++
 		return co.cleanMiss(), false
@@ -467,9 +500,10 @@ func (s *System) fetchExclusive(node int, block uint64) (cost uint64, trap bool)
 				n++
 			}
 		}
-		e.state = dirExclusive
+		s.setState(e, dirExclusive)
 		e.owner = node
 		e.sharers.clear()
+		s.rec.Invalidations(node, uint64(n))
 		s.Stats.DataMsgs++
 		if n == 0 {
 			return co.cleanMiss(), false
@@ -481,6 +515,7 @@ func (s *System) fetchExclusive(node int, block uint64) (cost uint64, trap bool)
 		// Trap + broadcast: the counter does not identify the sharers.
 		bcast := uint64(s.cfg.Nodes - 1)
 		s.Stats.CtlMsgs += 2 * bcast
+		s.rec.Trap(obs.TrapWriteBroadcast)
 		return co.Trap + co.cleanMiss() + bcast*co.InvalMsg, true
 	default: // dirExclusive by another node
 		owner := e.owner
@@ -491,13 +526,18 @@ func (s *System) fetchExclusive(node int, block uint64) (cost uint64, trap bool)
 		s.caches[owner].Invalidate(block)
 		s.noteInvalidated(e, owner)
 		s.Stats.Invalidations++
+		// An ownership handoff is a transition even though the state enum
+		// is unchanged.
+		s.setState(e, dirExclusive)
 		e.owner = node
+		s.rec.Invalidations(node, 1)
 		s.Stats.CtlMsgs += 2
 		s.Stats.DataMsgs += 2
 		if s.cfg.FullMap {
 			// Hardware forwarding: same messages, no software trap.
 			return 4*co.NetHop + co.DirService + co.MemAccess, false
 		}
+		s.rec.Trap(obs.TrapSteal)
 		return co.Trap + 4*co.NetHop + co.DirService + co.MemAccess, true
 	}
 }
@@ -594,11 +634,11 @@ func (s *System) CheckIn(node int, addr uint64) Result {
 		e.sharers.remove(node)
 		s.Stats.CtlMsgs++
 		if e.sharers.count() == 0 {
-			e.state = dirIdle
+			s.setState(e, dirIdle)
 		}
 	case dirExclusive:
 		if e.owner == node {
-			e.state = dirIdle
+			s.setState(e, dirIdle)
 			if dirty {
 				s.Stats.Writebacks++
 				s.Stats.DataMsgs++
@@ -633,7 +673,7 @@ func (s *System) postStore(e *entry, block uint64, node int) {
 		}
 		s.install(h, block, cache.Shared)
 		if e.state == dirIdle {
-			e.state = dirShared
+			s.setState(e, dirShared)
 		}
 		e.sharers.add(h)
 		s.Stats.DataMsgs++
@@ -702,11 +742,11 @@ func (s *System) FlushNode(node int) {
 		case dirShared:
 			e.sharers.remove(node)
 			if e.sharers.count() == 0 {
-				e.state = dirIdle
+				s.setState(e, dirIdle)
 			}
 		case dirExclusive:
 			if e.owner == node {
-				e.state = dirIdle
+				s.setState(e, dirIdle)
 				if dirty {
 					s.Stats.Writebacks++
 				}
@@ -721,11 +761,11 @@ func (s *System) FlushNode(node int) {
 		case dirShared:
 			e.sharers.remove(node)
 			if e.sharers.count() == 0 {
-				e.state = dirIdle
+				s.setState(e, dirIdle)
 			}
 		case dirExclusive:
 			if e.owner == node {
-				e.state = dirIdle
+				s.setState(e, dirIdle)
 			}
 		}
 		delete(s.inflight[node], block)

@@ -26,6 +26,12 @@ type Context struct {
 	privReads  uint64 // private-array loads (for sharing-degree statistics)
 	privWrites uint64 // private-array stores
 
+	// countOps enables the dispatched-op counter for the observability
+	// layer. Off by default so the measured path pays only an untaken
+	// branch per dispatch; see CountOps.
+	countOps bool
+	ops      uint64
+
 	// Bytecode engine state (vm.go). The tree-walker below stays the
 	// reference implementation; set treeWalk to force it.
 	treeWalk bool
@@ -50,6 +56,15 @@ func (c *Context) UseTreeWalker() { c.treeWalk = true }
 func (c *Context) PrivateAccesses() (reads, writes uint64) {
 	return c.privReads, c.privWrites
 }
+
+// CountOps enables the dispatched-op counter: VM instructions retired, or
+// statements executed on the tree-walking reference. The simulator turns
+// it on when an obs.Recorder is attached; counting never affects execution.
+func (c *Context) CountOps(on bool) { c.countOps = on }
+
+// OpsDispatched returns the dispatched-op count accumulated since CountOps
+// was enabled.
+func (c *Context) OpsDispatched() uint64 { return c.ops }
 
 // maxCallDepth bounds recursion; ParC benchmarks are loop-based, so any
 // deep recursion is almost certainly a bug in the program under test.
@@ -194,6 +209,9 @@ func (c *Context) execStmt(s parc.Stmt, fr *frame) (ctrl, Value, error) {
 	c.curPC = s.ID()
 	c.curPos = s.Position()
 	c.work(1)
+	if c.countOps {
+		c.ops++
+	}
 	switch n := s.(type) {
 	case *parc.Block:
 		return c.execBlock(n, fr)

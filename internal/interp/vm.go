@@ -167,8 +167,21 @@ func (c *Context) exec(co *fnCode, fr *vmFrame) (Value, error) {
 	ins := co.ins
 	regs := fr.regs
 	ip := 0
+	// Dispatched-op counting for the observability layer: accumulate into a
+	// local so the hot loop pays one register increment when enabled and a
+	// single predictable untaken branch when disabled, folding into the
+	// context only once per activation (the deferred add also covers every
+	// error return).
+	count := c.countOps
+	var nops uint64
+	if count {
+		defer func() { c.ops += nops }()
+	}
 	for {
 		in := &ins[ip]
+		if count {
+			nops++
+		}
 		if in.nwork != 0 {
 			// Inlined chargeUnits fast path: stay below the flush limit.
 			if tot := c.pending + uint64(in.nwork); tot < workFlushLimit {

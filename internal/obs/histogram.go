@@ -1,0 +1,94 @@
+package obs
+
+import "math/bits"
+
+// histBuckets is the fixed bucket count: bucket 0 holds zero values and
+// bucket i (i >= 1) holds values v with 2^(i-1) <= v < 2^i, so the last
+// bucket covers everything up to 2^63.
+const histBuckets = 65
+
+// Histogram is a fixed-shape power-of-two histogram of uint64 samples. The
+// fixed bucket layout keeps Observe allocation-free and the JSON encoding
+// deterministic (trailing empty buckets are trimmed at snapshot time by
+// Compact).
+//
+// Invariants (asserted by the package's property tests):
+//
+//	Count == sum(Buckets)
+//	Count == 0  =>  Sum == Min == Max == 0
+//	Count > 0   =>  Min <= Max, Min <= Sum/Count <= Max
+type Histogram struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Min     uint64   `json:"min"`
+	Max     uint64   `json:"max"`
+	Buckets []uint64 `json:"buckets,omitempty"`
+}
+
+// bucketOf returns the bucket index for a sample.
+func bucketOf(v uint64) int {
+	if v == 0 {
+		return 0
+	}
+	return bits.Len64(v)
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(v uint64) {
+	if h.Buckets == nil {
+		h.Buckets = make([]uint64, histBuckets)
+	}
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+	h.Buckets[bucketOf(v)]++
+}
+
+// Mean returns the sample mean (0 for an empty histogram).
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Merge folds another histogram into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.Count == 0 {
+		return
+	}
+	if h.Buckets == nil {
+		h.Buckets = make([]uint64, histBuckets)
+	}
+	if h.Count == 0 || o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	for i, c := range o.Buckets {
+		h.Buckets[i] += c
+	}
+}
+
+// Compact trims trailing empty buckets so the JSON form is short and
+// independent of the fixed internal capacity. An empty histogram compacts
+// to no buckets at all.
+func (h *Histogram) Compact() {
+	n := len(h.Buckets)
+	for n > 0 && h.Buckets[n-1] == 0 {
+		n--
+	}
+	if n == 0 {
+		h.Buckets = nil
+		return
+	}
+	h.Buckets = h.Buckets[:n:n]
+}

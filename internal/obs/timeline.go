@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TimelineEvent is one Chrome-trace/Perfetto JSON event. The recorder
+// emits duration pairs (Phase "B"/"E") for epoch compute and barrier-wait
+// intervals on one track per node, instant events (Phase "i") for protocol
+// traps and CICO directives, and metadata events (Phase "M") naming the
+// process and node tracks. Timestamps are simulated cycles, presented as
+// microseconds (the trace format's unit), so one cycle renders as 1 us.
+type TimelineEvent struct {
+	Name  string            `json:"name"`
+	Phase string            `json:"ph"`
+	TS    uint64            `json:"ts"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`    // instant scope: "t" (thread)
+	Args  map[string]string `json:"args,omitempty"` // metadata payload
+}
+
+// Timeline is a complete exported timeline in the Chrome trace-event JSON
+// object format Perfetto and chrome://tracing both load.
+type Timeline struct {
+	TraceEvents     []TimelineEvent `json:"traceEvents"`
+	DisplayTimeUnit string          `json:"displayTimeUnit,omitempty"`
+}
+
+func epochName(i int) string   { return fmt.Sprintf("epoch %d", i) }
+func barrierName(i int) string { return fmt.Sprintf("barrier %d", i) }
+
+// Timeline builds the exported timeline, labelling the process track. It
+// returns nil when the recorder is nil or EnableTimeline was never called.
+// Event order is deterministic: metadata first, then each node's stream in
+// node order (each stream is chronological by construction).
+func (r *Recorder) Timeline(label string) *Timeline {
+	if r == nil || !r.timeline {
+		return nil
+	}
+	if label == "" {
+		label = "sim"
+	}
+	t := &Timeline{DisplayTimeUnit: "ms"}
+	t.TraceEvents = append(t.TraceEvents, TimelineEvent{
+		Name: "process_name", Phase: "M", Args: map[string]string{"name": label},
+	})
+	for n := 0; n < r.nodes; n++ {
+		t.TraceEvents = append(t.TraceEvents, TimelineEvent{
+			Name: "thread_name", Phase: "M", TID: n,
+			Args: map[string]string{"name": fmt.Sprintf("node %d", n)},
+		})
+	}
+	for n := 0; n < r.nodes; n++ {
+		t.TraceEvents = append(t.TraceEvents, r.tl[n]...)
+	}
+	return t
+}
+
+// WriteTimeline writes the timeline as indented JSON (with a trailing
+// newline, so golden files are byte-stable). It fails if the timeline was
+// never enabled.
+func (r *Recorder) WriteTimeline(w io.Writer, label string) error {
+	t := r.Timeline(label)
+	if t == nil {
+		return fmt.Errorf("obs: timeline not enabled on this recorder")
+	}
+	return t.WriteJSON(w)
+}
+
+// WriteJSON writes the timeline as indented JSON with a trailing newline.
+func (t *Timeline) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// ReadTimeline decodes a timeline previously written by WriteJSON.
+func ReadTimeline(rd io.Reader) (*Timeline, error) {
+	var t Timeline
+	if err := json.NewDecoder(rd).Decode(&t); err != nil {
+		return nil, fmt.Errorf("obs: decoding timeline: %w", err)
+	}
+	return &t, nil
+}
+
+// Validate checks the trace-event schema invariants the exporter
+// guarantees: per track (pid, tid), timestamps are non-decreasing, "B" and
+// "E" events pair up with stack discipline and matching names, every span
+// is closed, and instants carry a scope. Tests and the conformance harness
+// run this over every emitted timeline.
+func (t *Timeline) Validate() error {
+	type track struct{ pid, tid int }
+	lastTS := map[track]uint64{}
+	stacks := map[track][]TimelineEvent{}
+	for i, e := range t.TraceEvents {
+		k := track{e.PID, e.TID}
+		switch e.Phase {
+		case "M":
+			continue
+		case "B", "E", "i":
+		default:
+			return fmt.Errorf("event %d: unknown phase %q", i, e.Phase)
+		}
+		if ts, ok := lastTS[k]; ok && e.TS < ts {
+			return fmt.Errorf("event %d (%s %q): timestamp %d goes backwards (track %v was at %d)",
+				i, e.Phase, e.Name, e.TS, k, ts)
+		}
+		lastTS[k] = e.TS
+		switch e.Phase {
+		case "B":
+			stacks[k] = append(stacks[k], e)
+		case "E":
+			st := stacks[k]
+			if len(st) == 0 {
+				return fmt.Errorf("event %d: E %q on track %v with no open span", i, e.Name, k)
+			}
+			open := st[len(st)-1]
+			if open.Name != e.Name {
+				return fmt.Errorf("event %d: E %q closes span %q", i, e.Name, open.Name)
+			}
+			stacks[k] = st[:len(st)-1]
+		case "i":
+			if e.Scope == "" {
+				return fmt.Errorf("event %d: instant %q without a scope", i, e.Name)
+			}
+		}
+	}
+	for k, st := range stacks {
+		if len(st) > 0 {
+			return fmt.Errorf("track %v: span %q never closed", k, st[len(st)-1].Name)
+		}
+	}
+	return nil
+}

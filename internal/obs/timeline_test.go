@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// tev abbreviates hand-building timeline events in validator tests.
+func tev(name, phase string, ts uint64, tid int, scope string) TimelineEvent {
+	return TimelineEvent{Name: name, Phase: phase, TS: ts, TID: tid, Scope: scope}
+}
+
+func TestTimelineValidate(t *testing.T) {
+	valid := &Timeline{TraceEvents: []TimelineEvent{
+		{Name: "process_name", Phase: "M"},
+		tev("epoch 0", "B", 0, 0, ""),
+		tev("trap", "i", 5, 0, "t"),
+		tev("epoch 0", "E", 10, 0, ""),
+		tev("barrier 0", "B", 10, 0, ""),
+		tev("barrier 0", "E", 20, 0, ""),
+		tev("epoch 0", "B", 0, 1, ""),
+		tev("epoch 0", "E", 8, 1, ""),
+	}}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid timeline rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		events []TimelineEvent
+		want   string
+	}{
+		{"backwards timestamp", []TimelineEvent{
+			tev("epoch 0", "B", 10, 0, ""),
+			tev("epoch 0", "E", 5, 0, ""),
+		}, "goes backwards"},
+		{"mismatched close", []TimelineEvent{
+			tev("epoch 0", "B", 0, 0, ""),
+			tev("epoch 1", "E", 5, 0, ""),
+		}, "closes span"},
+		{"close without open", []TimelineEvent{
+			tev("epoch 0", "E", 5, 0, ""),
+		}, "no open span"},
+		{"unclosed span", []TimelineEvent{
+			tev("epoch 0", "B", 0, 0, ""),
+		}, "never closed"},
+		{"instant without scope", []TimelineEvent{
+			tev("trap", "i", 5, 0, ""),
+		}, "without a scope"},
+		{"unknown phase", []TimelineEvent{
+			tev("x", "X", 0, 0, ""),
+		}, "unknown phase"},
+	}
+	for _, c := range cases {
+		tl := &Timeline{TraceEvents: c.events}
+		err := tl.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+
+	// Tracks are independent: an open span on (0,0) does not leak to (0,1),
+	// and per-track timestamps may interleave globally.
+	independent := &Timeline{TraceEvents: []TimelineEvent{
+		tev("epoch 0", "B", 100, 0, ""),
+		tev("epoch 0", "B", 0, 1, ""),
+		tev("epoch 0", "E", 50, 1, ""),
+		tev("epoch 0", "E", 200, 0, ""),
+	}}
+	if err := independent.Validate(); err != nil {
+		t.Errorf("independent tracks rejected: %v", err)
+	}
+}
+
+// TestRecorderTimelineStructure drives the scripted run and checks the
+// exporter's guarantees directly: metadata first, one named track per node,
+// schema-valid streams, stable label default.
+func TestRecorderTimelineStructure(t *testing.T) {
+	r := New(2, 32)
+	r.EnableTimeline()
+	drive(r)
+	tl := r.Timeline("")
+	if tl == nil {
+		t.Fatal("no timeline")
+	}
+	if err := tl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tl.TraceEvents[0].Phase != "M" || tl.TraceEvents[0].Args["name"] != "sim" {
+		t.Errorf("first event = %+v, want process_name metadata with default label", tl.TraceEvents[0])
+	}
+	names := map[int]string{}
+	var instants int
+	for _, e := range tl.TraceEvents {
+		if e.Phase == "M" && e.Name == "thread_name" {
+			names[e.TID] = e.Args["name"]
+		}
+		if e.Phase == "i" {
+			instants++
+		}
+	}
+	if names[0] != "node 0" || names[1] != "node 1" {
+		t.Errorf("thread names = %v", names)
+	}
+	// The script records 2 traps (one access, one directive) and 2
+	// directives; all four become instants.
+	if instants != 4 {
+		t.Errorf("instants = %d, want 4", instants)
+	}
+	// Without EnableTimeline there is no timeline.
+	r2 := New(2, 32)
+	drive(r2)
+	if r2.Timeline("x") != nil {
+		t.Error("timeline without EnableTimeline")
+	}
+}

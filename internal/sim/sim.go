@@ -32,6 +32,7 @@ import (
 	"cachier/internal/dir1sw"
 	"cachier/internal/interp"
 	"cachier/internal/memory"
+	"cachier/internal/obs"
 	"cachier/internal/parc"
 	"cachier/internal/trace"
 )
@@ -102,6 +103,13 @@ type Config struct {
 	// O(nodes) per access — for conformance testing, not performance runs.
 	Probe bool
 
+	// Recorder, when non-nil, receives the run's structured metrics (see
+	// internal/obs): per-node per-epoch access and trap counts, directory
+	// transitions, directive tallies, and optionally a timeline (call
+	// EnableTimeline before Run). Recording never changes simulated
+	// results; nil disables it at the cost of a branch per event.
+	Recorder *obs.Recorder
+
 	// TreeWalk forces the interpreter's tree-walking reference
 	// implementation instead of the bytecode VM. The two are maintained to
 	// produce identical Machine call sequences; the conformance harness
@@ -147,24 +155,12 @@ type Result struct {
 	privReads  uint64 // private-array loads, summed over nodes
 	privWrites uint64 // private-array stores, summed over nodes
 
-	// PerVar counts directive activity per shared variable (by region
-	// name); Section 5's restructuring comparison counts check-outs of the
-	// result matrix specifically.
-	PerVar map[string]*VarDirectives
+	// Snapshot is the run's structured stats tree, non-nil iff a Recorder
+	// was configured. Per-variable directive tallies (Section 5's
+	// restructuring comparison counts check-outs of the result matrix
+	// specifically) live in Snapshot.Vars / Recorder.Var.
+	Snapshot *obs.Snapshot
 }
-
-// VarDirectives tallies the CICO directives applied to one shared variable,
-// in blocks.
-type VarDirectives struct {
-	CheckOutX uint64
-	CheckOutS uint64
-	CheckIns  uint64
-	PrefetchX uint64
-	PrefetchS uint64
-}
-
-// CheckOuts returns all check-outs (exclusive + shared) of the variable.
-func (v *VarDirectives) CheckOuts() uint64 { return v.CheckOutX + v.CheckOutS }
 
 // SharingDegree returns the fraction of (array) loads and stores that
 // touched shared data, aggregated over nodes.
@@ -262,7 +258,8 @@ type Machine struct {
 
 	sharedReads  []uint64
 	sharedWrites []uint64
-	perVar       map[string]*VarDirectives
+	rec          *obs.Recorder // nil when recording is disabled
+	blockSz      uint64        // cache block size, for block-number computation
 
 	added struct {
 		privReads  uint64
@@ -295,6 +292,7 @@ func Run(prog *parc.Program, cfg Config) (*Result, error) {
 		FullMap:   cfg.FullMap,
 		AddrSpace: layout.TotalBytes(),
 		Probe:     cfg.Probe,
+		Recorder:  cfg.Recorder,
 	})
 	if err != nil {
 		return nil, err
@@ -309,7 +307,8 @@ func Run(prog *parc.Program, cfg Config) (*Result, error) {
 		wake:         make(chan struct{}, 1),
 		sharedReads:  make([]uint64, cfg.Nodes),
 		sharedWrites: make([]uint64, cfg.Nodes),
-		perVar:       make(map[string]*VarDirectives),
+		rec:          cfg.Recorder,
+		blockSz:      uint64(cfg.BlockSize),
 	}
 	if cfg.Mode == ModeTrace {
 		m.builder = trace.NewBuilder(cfg.Nodes, cfg.BlockSize, labelsFromLayout(layout))
@@ -324,6 +323,7 @@ func Run(prog *parc.Program, cfg Config) (*Result, error) {
 		if cfg.TreeWalk {
 			ctxs[i].UseTreeWalker()
 		}
+		ctxs[i].CountOps(cfg.Recorder != nil)
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		go m.runProc(ctxs[i], m.procs[i])
@@ -363,13 +363,19 @@ func Run(prog *parc.Program, cfg Config) (*Result, error) {
 		Barriers:     m.barriers,
 		privReads:    m.added.privReads,
 		privWrites:   m.added.privWrites,
-		PerVar:       m.perVar,
 	}
 	for i, p := range m.procs {
 		res.NodeCycles[i] = p.clock
 		if p.clock > res.Cycles {
 			res.Cycles = p.clock
 		}
+	}
+	if m.rec != nil {
+		m.rec.Finish(res.NodeCycles)
+		for i, ctx := range ctxs {
+			m.rec.SetOps(i, ctx.OpsDispatched())
+		}
+		res.Snapshot = m.rec.Snapshot(res.Cycles, res.NodeCycles, m.barriers, sys.Stats.Protocol())
 	}
 	if m.builder != nil {
 		vts := make([]uint64, cfg.Nodes)
@@ -411,6 +417,7 @@ func (m *Machine) runProc(ctx *interp.Context, p *proc) {
 	m.added.privReads += pr
 	m.added.privWrites += pw
 	p.status = statusDone
+	m.rec.NodeDone(p.id, p.clock)
 	m.done++
 	if err != nil && m.runErr == nil && !errors.Is(err, errProcFault) {
 		m.runErr = err
@@ -494,6 +501,7 @@ func (m *Machine) yieldSwitch(p *proc) {
 		return
 	}
 	q := m.ready.pop()
+	m.rec.Handoff()
 	if p.status == statusReady {
 		m.ready.push(p)
 	}
@@ -527,7 +535,23 @@ func (m *Machine) Access(node int, write bool, addr uint64, pc int) {
 	if m.builder != nil && r.Kind != dir1sw.Hit {
 		m.builder.AddMiss(missKind(r.Kind), addr, pc, node)
 	}
+	if m.rec != nil {
+		m.rec.Access(node, obsAccessKind(r.Kind), addr/m.blockSz, r.Cycles, r.Trap, p.clock)
+	}
 	m.yield(p)
+}
+
+func obsAccessKind(k dir1sw.AccessKind) obs.AccessKind {
+	switch k {
+	case dir1sw.Hit:
+		return obs.Hit
+	case dir1sw.ReadMiss:
+		return obs.ReadMiss
+	case dir1sw.WriteMiss:
+		return obs.WriteMiss
+	default:
+		return obs.WriteFault
+	}
 }
 
 func missKind(k dir1sw.AccessKind) trace.Kind {
@@ -553,25 +577,11 @@ func (m *Machine) Directive(node int, kind parc.AnnKind, ranges []interp.AddrRan
 		m.yield(p)
 		return
 	}
-	bs := uint64(m.cfg.BlockSize)
+	bs := m.blockSz
 	for _, ar := range ranges {
-		vd := m.varDirectives(ar.Lo)
+		blocks := ar.Hi/bs - ar.Lo/bs + 1
 		for b := ar.Lo / bs; b <= ar.Hi/bs; b++ {
 			addr := b * bs
-			if vd != nil {
-				switch kind {
-				case parc.AnnCheckOutX:
-					vd.CheckOutX++
-				case parc.AnnCheckOutS:
-					vd.CheckOutS++
-				case parc.AnnCheckIn:
-					vd.CheckIns++
-				case parc.AnnPrefetchX:
-					vd.PrefetchX++
-				case parc.AnnPrefetchS:
-					vd.PrefetchS++
-				}
-			}
 			var r dir1sw.Result
 			switch kind {
 			case parc.AnnCheckOutX:
@@ -586,24 +596,34 @@ func (m *Machine) Directive(node int, kind parc.AnnKind, ranges []interp.AddrRan
 				r = m.sys.Prefetch(node, addr, p.clock, false)
 			}
 			p.clock += r.Cycles
+			if m.rec != nil && r.Trap {
+				m.rec.DirectiveTrap(node, p.clock)
+			}
+		}
+		if m.rec != nil {
+			dk := obsDirKind(kind)
+			m.rec.Directive(node, dk, blocks, p.clock)
+			if reg, _, ok := m.layout.Resolve(ar.Lo); ok {
+				m.rec.VarDirective(reg.Name, dk, blocks)
+			}
 		}
 	}
 	m.yield(p)
 }
 
-// varDirectives returns the per-variable tally for the region containing
-// addr, creating it on first use.
-func (m *Machine) varDirectives(addr uint64) *VarDirectives {
-	r, _, ok := m.layout.Resolve(addr)
-	if !ok {
-		return nil
+func obsDirKind(kind parc.AnnKind) obs.DirKind {
+	switch kind {
+	case parc.AnnCheckOutX:
+		return obs.DirCheckOutX
+	case parc.AnnCheckOutS:
+		return obs.DirCheckOutS
+	case parc.AnnCheckIn:
+		return obs.DirCheckIn
+	case parc.AnnPrefetchX:
+		return obs.DirPrefetchX
+	default:
+		return obs.DirPrefetchS
 	}
-	vd := m.perVar[r.Name]
-	if vd == nil {
-		vd = &VarDirectives{}
-		m.perVar[r.Name] = vd
-	}
-	return vd
 }
 
 // Barrier implements interp.Machine.
@@ -634,6 +654,17 @@ func (m *Machine) releaseBarrier(pc int, active int) {
 		}
 	}
 	release := maxClock + m.cfg.BarrierBase + m.cfg.BarrierPerNode*log2(len(m.procs))
+	if m.rec != nil {
+		arrivals := make([]uint64, len(m.procs))
+		for i, q := range m.procs {
+			if q.status == statusBarrier {
+				arrivals[i] = q.arrival
+			} else {
+				arrivals[i] = q.clock // already finished
+			}
+		}
+		m.rec.BarrierEnd(pc, arrivals, release)
+	}
 	if m.builder != nil {
 		vts := make([]uint64, len(m.procs))
 		for i, q := range m.procs {
@@ -731,6 +762,7 @@ func (m *Machine) Unlock(node int, id int64, pc int) {
 func (m *Machine) Work(node int, cycles uint64) {
 	p := m.procs[node]
 	p.clock += cycles
+	m.rec.Work(node, cycles)
 	m.yield(p)
 }
 

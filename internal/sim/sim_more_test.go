@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"cachier/internal/obs"
 	"cachier/internal/parc"
 )
 
@@ -167,6 +168,8 @@ func main() {
 }
 
 func TestPerVarDirectiveCounts(t *testing.T) {
+	cfg := cfg4()
+	cfg.Recorder = obs.New(cfg.Nodes, cfg.BlockSize)
 	res := runSrc(t, `
 shared float A[32] label "matA";
 shared float B[32];
@@ -179,13 +182,13 @@ func main() {
         prefetch_s B[16];
     }
 }
-`, cfg4())
-	a := res.PerVar["A"]
-	if a == nil || a.CheckOutX != 8 || a.CheckIns != 8 || a.CheckOuts() != 8 {
+`, cfg)
+	a := res.Snapshot.VarByName("A")
+	if a.CheckOutX != 8 || a.CheckIns != 8 || a.CheckOuts() != 8 {
 		t.Errorf("A directives: %+v", a)
 	}
-	b := res.PerVar["B"]
-	if b == nil || b.CheckOutS != 2 || b.PrefetchX != 1 || b.PrefetchS != 1 {
+	b := res.Snapshot.VarByName("B")
+	if b.CheckOutS != 2 || b.PrefetchX != 1 || b.PrefetchS != 1 {
 		t.Errorf("B directives: %+v", b)
 	}
 }

@@ -10,10 +10,11 @@ build:
 test:
 	$(GO) test ./...
 
-# The bench package exercises the parallel Figure-6 harness; run it under
-# the race detector after touching sim, interp, dir1sw, or bench.
+# The bench package exercises the parallel Figure-6 harness, and sim hosts
+# the epoch-parallel engine (producer goroutines + committer); run all of it
+# under the race detector after touching sim, interp, dir1sw, or bench.
 race:
-	$(GO) test -race ./internal/bench/...
+	$(GO) test -race ./internal/sim/... ./internal/dir1sw/... ./internal/bench/...
 
 # Static checks: go vet over the Go code, then parcvet (the ParC static
 # race detector and CICO annotation linter, cmd/parcvet) over the checked-in
@@ -29,11 +30,15 @@ vet:
 # One pass over the performance-tracking benchmarks (see EXPERIMENTS.md,
 # "Simulator performance"), then the Figure 6 harness with its
 # machine-readable result rows — BENCH_fig6.json records cycles, normalized
-# time, and wall-clock per (benchmark, variant) so performance can be
-# tracked across commits.
+# time, per-variant wall-clock, and engine per (benchmark, variant) so
+# performance can be tracked across commits. -ab measures every benchmark
+# on both the sequential and the epoch-parallel engine (cycle counts must
+# match bit-for-bit; the harness fails otherwise). BENCH_baseline.json at
+# the repo root is the checked-in reference — refresh it alongside
+# deliberate performance changes (see EXPERIMENTS.md).
 bench:
 	$(GO) test -run xxx -bench 'Fig6|Scheduler|DirectoryLookup|Interp' -benchtime 1x ./...
-	$(GO) run ./cmd/fig6 -json BENCH_fig6.json
+	$(GO) run ./cmd/fig6 -ab -json BENCH_fig6.json
 
 # Observability demo: one benchmark with the recorder and timeline on.
 # TIMELINE_fig6.json is a Chrome trace-event file — open it in
@@ -49,12 +54,15 @@ check: build vet test race
 
 # Native fuzzing over the conformance harness: FuzzPipeline explores the
 # generator's seed space through the full trace/annotate/simulate pipeline,
-# FuzzAnnotatedEquivalence hammers the annotated artifact itself. Raise
-# FUZZTIME for long soaks (make fuzz FUZZTIME=10m).
+# FuzzAnnotatedEquivalence hammers the annotated artifact itself, and
+# FuzzParallelEquivalence diffs the epoch-parallel engine against the
+# sequential scheduler on every surface (cycles, stats, snapshot, timeline).
+# Raise FUZZTIME for long soaks (make fuzz FUZZTIME=10m).
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzPipeline$$' -fuzztime $(FUZZTIME) ./internal/conformance
 	$(GO) test -run '^$$' -fuzz '^FuzzAnnotatedEquivalence$$' -fuzztime $(FUZZTIME) ./internal/conformance
+	$(GO) test -run '^$$' -fuzz '^FuzzParallelEquivalence$$' -fuzztime $(FUZZTIME) ./internal/conformance
 
 # Coverage with checked-in floors. The floors sit a few points under the
 # current numbers (see EXPERIMENTS.md) so they trip on real regressions, not

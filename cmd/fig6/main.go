@@ -15,8 +15,16 @@
 // Usage:
 //
 //	fig6 [-bench NAME] [-sharing] [-stats] [-source] [-json FILE]
+//	     [-big] [-paper] [-parallel N] [-ab]
 //	     [-statsjson FILE] [-timeline FILE]
 //	     [-cpuprofile FILE] [-memprofile FILE]
+//
+// -parallel N simulates on the epoch-parallel engine with N workers (-1:
+// one per CPU); results are bit-identical to the sequential engine, only
+// host wall-clock changes. -ab runs the suite on both engines and writes
+// both measurements to -json, with engine and per-variant wall-clock on
+// every row. -big selects near-paper-scale inputs, -paper the paper-scale
+// ones (Section 6's problem sizes; expect minutes per benchmark).
 package main
 
 import (
@@ -35,18 +43,27 @@ import (
 	"cachier/internal/bench"
 )
 
-// jsonRow is one (benchmark, variant) measurement in the -json output: the
-// simulated cycle count, the Figure 6 normalized time, and the wall-clock
-// seconds the benchmark's full pipeline (trace, annotate, simulate all
-// variants) took on the host. Wall-clock is per benchmark, repeated on each
-// of its variant rows; benchmarks run concurrently, so it measures time to
-// produce the row, not exclusive CPU time.
+// jsonRow is one (benchmark, variant) measurement in the -json output.
+// WallSecs is this variant's own sim.Run wall-clock on the host; Engine
+// says which simulation engine produced it ("sequential", "parallel", or
+// the conflict-fallback label) and Interp which interpreter ran the program
+// (the harness always uses the bytecode VM). BenchWallSecs is the
+// benchmark's full pipeline wall (trace, annotate, simulate all variants),
+// repeated on each of its rows; benchmarks run concurrently, so it measures
+// time to produce the row, not exclusive CPU time. Parallel and HostCPUs
+// record the A/B context: configured workers and the host's CPU count.
 type jsonRow struct {
-	Benchmark  string  `json:"benchmark"`
-	Variant    string  `json:"variant"`
-	Cycles     uint64  `json:"cycles"`
-	Normalized float64 `json:"normalized"`
-	WallSecs   float64 `json:"wall_seconds"`
+	Benchmark     string  `json:"benchmark"`
+	Variant       string  `json:"variant"`
+	Nodes         int     `json:"nodes"`
+	Cycles        uint64  `json:"cycles"`
+	Normalized    float64 `json:"normalized"`
+	Engine        string  `json:"engine"`
+	Interp        string  `json:"interp"`
+	Parallel      int     `json:"parallel"`
+	HostCPUs      int     `json:"host_cpus"`
+	WallSecs      float64 `json:"wall_seconds"`
+	BenchWallSecs float64 `json:"bench_wall_seconds"`
 }
 
 func main() {
@@ -56,6 +73,9 @@ func main() {
 		stats      = flag.Bool("stats", false, "print per-variant protocol statistics")
 		source     = flag.Bool("source", false, "print each Cachier-annotated program")
 		big        = flag.Bool("big", false, "near-paper-scale inputs (takes minutes)")
+		paper      = flag.Bool("paper", false, "paper-scale inputs (Section 6 problem sizes; takes minutes per benchmark)")
+		parallel   = flag.Int("parallel", 0, "epoch-parallel simulation workers (0 sequential, -1 one per CPU); results are bit-identical")
+		ab         = flag.Bool("ab", false, "A/B: run the suite on the sequential engine AND with -parallel workers (-1 if unset), emitting both in -json")
 		jsonOut    = flag.String("json", "", "write machine-readable result rows to this file")
 		statsJSON  = flag.String("statsjson", "", "write the Cachier variant's stats snapshot (JSON) to this file (per-benchmark suffix when running several)")
 		timeline   = flag.String("timeline", "", "write the Cachier variant's Perfetto timeline (JSON) to this file (per-benchmark suffix when running several)")
@@ -91,41 +111,86 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	// Benchmarks run concurrently (RunBenchmark bounds actual compute to
-	// the machine's CPUs); rows keep the listing order.
-	rows := make([]*bench.Row, len(benches))
-	errs := make([]error, len(benches))
-	walls := make([]time.Duration, len(benches))
-	var wg sync.WaitGroup
-	for i, b := range benches {
-		if *big {
+	for _, b := range benches {
+		if *paper {
+			b.UsePaper()
+		} else if *big {
 			b.UseBig()
 		}
-		fmt.Fprintf(os.Stderr, "running %s (%d nodes)...\n", b.Name, b.Nodes)
-		wg.Add(1)
-		go func(i int, b *bench.Benchmark) {
-			defer wg.Done()
-			start := time.Now()
-			if observe {
-				rows[i], errs[i] = bench.RunBenchmarkObserved(b, *timeline != "")
-			} else {
-				rows[i], errs[i] = bench.RunBenchmark(b)
-			}
-			walls[i] = time.Since(start)
-		}(i, b)
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			fatal(err)
+
+	// runSuite measures every benchmark on one engine configuration.
+	// Benchmarks run concurrently (RunBenchmark bounds actual compute to
+	// the machine's CPUs); rows keep the listing order.
+	runSuite := func(workers int) ([]*bench.Row, []time.Duration) {
+		rows := make([]*bench.Row, len(benches))
+		errs := make([]error, len(benches))
+		walls := make([]time.Duration, len(benches))
+		var wg sync.WaitGroup
+		for i, b := range benches {
+			b.Parallel = workers
+			fmt.Fprintf(os.Stderr, "running %s (%d nodes, parallel=%d)...\n", b.Name, b.Nodes, workers)
+			wg.Add(1)
+			go func(i int, b *bench.Benchmark) {
+				defer wg.Done()
+				start := time.Now()
+				if observe {
+					rows[i], errs[i] = bench.RunBenchmarkObserved(b, *timeline != "")
+				} else {
+					rows[i], errs[i] = bench.RunBenchmark(b)
+				}
+				walls[i] = time.Since(start)
+			}(i, b)
 		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				fatal(err)
+			}
+		}
+		return rows, walls
+	}
+
+	rows, walls := runSuite(*parallel)
+	jsonRows := collectRows(rows, walls, *parallel)
+
+	// A/B mode: re-run the whole suite on the other engine. The cycle
+	// counts are bit-identical by design (the conformance corpus pins
+	// that); only the host wall-clock differs.
+	if *ab {
+		workers := *parallel
+		if workers == 0 {
+			workers = -1
+		}
+		abRows, abWalls := runSuite(workers)
+		jsonRows = append(jsonRows, collectRows(abRows, abWalls, workers)...)
+		fmt.Println("Engine A/B: per-variant simulation wall-clock, sequential vs parallel")
+		fmt.Printf("%-16s %-17s | %12s %12s %8s | %s\n",
+			"benchmark", "variant", "seq", "par", "ratio", "engines")
+		for i, r := range rows {
+			for _, v := range bench.Variants() {
+				seqW := r.Walls[v].Seconds()
+				parW := abRows[i].Walls[v].Seconds()
+				ratio := 0.0
+				if parW > 0 {
+					ratio = seqW / parW
+				}
+				if r.Cycles[v] != abRows[i].Cycles[v] {
+					fatal(fmt.Errorf("A/B cycle divergence on %s/%s: %d vs %d",
+						r.Benchmark, v, r.Cycles[v], abRows[i].Cycles[v]))
+				}
+				fmt.Printf("%-16s %-17s | %11.3fs %11.3fs %7.2fx | %s -> %s\n",
+					r.Benchmark, v, seqW, parW, ratio, r.Engines[v], abRows[i].Engines[v])
+			}
+		}
+		fmt.Println()
 	}
 
 	fmt.Println("Figure 6: execution time normalized to the unannotated version")
 	fmt.Print(bench.FormatRows(rows))
 
 	if *jsonOut != "" {
-		if err := writeJSON(*jsonOut, rows, walls); err != nil {
+		if err := writeJSON(*jsonOut, jsonRows); err != nil {
 			fatal(err)
 		}
 	}
@@ -195,21 +260,33 @@ func main() {
 	}
 }
 
-// writeJSON emits one row per (benchmark, variant) in listing order.
-func writeJSON(path string, rows []*bench.Row, walls []time.Duration) error {
+// collectRows flattens one suite run into JSON rows, one per (benchmark,
+// variant) in listing order.
+func collectRows(rows []*bench.Row, walls []time.Duration, workers int) []jsonRow {
 	var out []jsonRow
 	for i, r := range rows {
 		for _, v := range bench.Variants() {
 			out = append(out, jsonRow{
-				Benchmark:  r.Benchmark,
-				Variant:    string(v),
-				Cycles:     r.Cycles[v],
-				Normalized: r.Normalized(v),
-				WallSecs:   walls[i].Seconds(),
+				Benchmark:     r.Benchmark,
+				Variant:       string(v),
+				Nodes:         r.Nodes,
+				Cycles:        r.Cycles[v],
+				Normalized:    r.Normalized(v),
+				Engine:        r.Engines[v],
+				Interp:        "vm",
+				Parallel:      workers,
+				HostCPUs:      runtime.NumCPU(),
+				WallSecs:      r.Walls[v].Seconds(),
+				BenchWallSecs: walls[i].Seconds(),
 			})
 		}
 	}
-	data, err := json.MarshalIndent(out, "", "  ")
+	return out
+}
+
+// writeJSON emits the collected measurement rows.
+func writeJSON(path string, rows []jsonRow) error {
+	data, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {
 		return err
 	}

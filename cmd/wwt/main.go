@@ -21,6 +21,8 @@
 //	-timeline FILE  write a Chrome-trace/Perfetto timeline as JSON
 //	-poststore      KSR-1 post-store semantics for check-ins (ablation)
 //	-fullmap        full-map hardware directory instead of Dir1SW (ablation)
+//	-parallel N     epoch-parallel engine with N workers (-1: one per CPU);
+//	                results are bit-identical to the sequential engine
 package main
 
 import (
@@ -49,6 +51,7 @@ func main() {
 		timeline   = flag.String("timeline", "", "write a Chrome-trace/Perfetto timeline as JSON to this file")
 		postStore  = flag.Bool("poststore", false, "KSR-1 post-store semantics for check-ins")
 		fullMap    = flag.Bool("fullmap", false, "full-map hardware directory instead of Dir1SW")
+		parallel   = flag.Int("parallel", 0, "epoch-parallel engine workers (0 sequential, -1 one per CPU); results are bit-identical")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -73,6 +76,7 @@ func main() {
 	cfg.DisablePrefetch = *noPrefetch
 	cfg.PostStore = *postStore
 	cfg.FullMap = *fullMap
+	cfg.Parallel = *parallel
 	if *traceFile != "" {
 		cfg.Mode = sim.ModeTrace
 	}
@@ -91,6 +95,9 @@ func main() {
 	}
 	fmt.Printf("execution time: %d cycles on %d nodes (%d barriers)\n",
 		res.Cycles, *nodes, res.Barriers)
+	if *parallel != 0 {
+		fmt.Printf("engine: %s\n", res.Engine)
+	}
 	s := res.Stats
 	fmt.Printf("misses: %d read, %d write, %d write faults; %d traps\n",
 		s.ReadMisses, s.WriteMisses, s.WriteFaults, s.Traps)

@@ -19,6 +19,9 @@ func Barnes() *Benchmark {
 		Test:     Params{N: 256, Steps: 2, Seed: 131},
 		BigTrain: Params{N: 1024, Steps: 3, Seed: 17},
 		BigTest:  Params{N: 1024, Steps: 3, Seed: 131},
+		// Paper scale: 1024 bodies; more steps than -big for a longer run.
+		PaperTrain: Params{N: 1024, Steps: 4, Seed: 17},
+		PaperTest:  Params{N: 1024, Steps: 4, Seed: 131},
 	}
 }
 

@@ -46,6 +46,19 @@ type Benchmark struct {
 	BigTrain Params
 	BigTest  Params
 
+	// PaperTrain and PaperTest are the paper-scale inputs (cmd/fig6
+	// -paper): the Section 6 problem sizes — 256x256 Matrix Multiply,
+	// 1024-body Barnes, 1024x1024 Tomcatv — at full cost. Expect minutes
+	// per benchmark on the pure-Go simulator.
+	PaperTrain Params
+	PaperTest  Params
+
+	// Parallel selects the simulator's epoch-parallel engine for every run
+	// of this benchmark (sim.Config.Parallel: 0 sequential, -1 one worker
+	// per CPU). Results are bit-identical either way; only host wall-clock
+	// changes.
+	Parallel int
+
 	// Racy marks benchmarks whose ParC ports genuinely race (the paper
 	// runs them anyway; Section 3.1's epoch model tolerates them). The
 	// static race detector is expected to flag exactly these.
@@ -55,6 +68,11 @@ type Benchmark struct {
 // UseBig switches the benchmark to its near-paper-scale inputs.
 func (b *Benchmark) UseBig() {
 	b.Train, b.Test = b.BigTrain, b.BigTest
+}
+
+// UsePaper switches the benchmark to its paper-scale inputs.
+func (b *Benchmark) UsePaper() {
+	b.Train, b.Test = b.PaperTrain, b.PaperTest
 }
 
 // All returns the Figure 6 benchmark suite in the paper's presentation

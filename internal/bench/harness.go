@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"cachier/internal/core"
 	"cachier/internal/dir1sw"
@@ -47,6 +48,13 @@ type Row struct {
 	Nodes     int
 	Cycles    map[Variant]uint64
 	Stats     map[Variant]dir1sw.Stats
+
+	// Walls is each variant's simulation wall-clock on the host (just the
+	// measured sim.Run, not tracing or annotation); Engines is the engine
+	// that produced it ("sequential", "parallel", or the conflict-fallback
+	// label). Both are filled on every run.
+	Walls   map[Variant]time.Duration
+	Engines map[Variant]string
 
 	// Snapshots and Recorders hold each variant's structured stats tree and
 	// the recorder that produced it (for timeline export); both are nil
@@ -134,6 +142,7 @@ func RunBenchmarkObserved(b *Benchmark, timeline bool) (*Row, error) {
 
 func runBenchmark(b *Benchmark, observe, timeline bool) (*Row, error) {
 	cfg := machineConfig(b.Nodes)
+	cfg.Parallel = b.Parallel
 
 	// 1. Trace the unannotated program on the training input; both
 	// annotation passes need it.
@@ -204,6 +213,8 @@ func runBenchmark(b *Benchmark, observe, timeline bool) (*Row, error) {
 		Nodes:           b.Nodes,
 		Cycles:          make(map[Variant]uint64),
 		Stats:           make(map[Variant]dir1sw.Stats),
+		Walls:           make(map[Variant]time.Duration),
+		Engines:         make(map[Variant]string),
 		AnnotatedSource: annotated.Source,
 		Reports:         annotated.Reports,
 	}
@@ -215,6 +226,7 @@ func runBenchmark(b *Benchmark, observe, timeline bool) (*Row, error) {
 	results := make([]*sim.Result, len(variants))
 	recs := make([]*obs.Recorder, len(variants))
 	errs := make([]error, len(variants))
+	walls := make([]time.Duration, len(variants))
 	for i, v := range variants {
 		wg.Add(1)
 		go func(i int, v Variant) {
@@ -229,7 +241,9 @@ func runBenchmark(b *Benchmark, observe, timeline bool) (*Row, error) {
 				}
 				vcfg.Recorder = recs[i]
 			}
+			start := time.Now()
 			results[i], errs[i] = runVariant(sources[v], vcfg)
+			walls[i] = time.Since(start)
 		}(i, v)
 	}
 	wg.Wait()
@@ -239,6 +253,8 @@ func runBenchmark(b *Benchmark, observe, timeline bool) (*Row, error) {
 		}
 		row.Cycles[v] = results[i].Cycles
 		row.Stats[v] = results[i].Stats
+		row.Walls[v] = walls[i]
+		row.Engines[v] = results[i].Engine
 		if observe {
 			row.Snapshots[v] = results[i].Snapshot
 			row.Recorders[v] = recs[i]

@@ -17,6 +17,9 @@ func MatMul() *Benchmark {
 		Test:     Params{N: 32, P: 4, Seed: 97},
 		BigTrain: Params{N: 64, P: 4, Seed: 11},
 		BigTest:  Params{N: 64, P: 4, Seed: 97},
+		// Paper scale: 256x256 matrices (Section 6).
+		PaperTrain: Params{N: 256, P: 4, Seed: 11},
+		PaperTest:  Params{N: 256, P: 4, Seed: 97},
 		Racy:     true,
 	}
 }

@@ -19,6 +19,9 @@ func Mp3d() *Benchmark {
 		Test:     Params{N: 1600, Steps: 3, Seed: 203},
 		BigTrain: Params{N: 6400, Steps: 6, Seed: 9},
 		BigTest:  Params{N: 6400, Steps: 6, Seed: 203},
+		// Paper scale: 10,000 particles (the Mp3d runs Section 6 reports).
+		PaperTrain: Params{N: 10000, Steps: 8, Seed: 9},
+		PaperTest:  Params{N: 10000, Steps: 8, Seed: 203},
 		Racy:     true,
 	}
 }

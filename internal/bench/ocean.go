@@ -16,6 +16,9 @@ func Ocean() *Benchmark {
 		Test:     Params{N: 64, Steps: 2, Seed: 71},
 		BigTrain: Params{N: 96, Steps: 4, Seed: 5},
 		BigTest:  Params{N: 96, Steps: 4, Seed: 71},
+		// Paper scale: a 128x128 grid over more relaxation steps.
+		PaperTrain: Params{N: 128, Steps: 6, Seed: 5},
+		PaperTest:  Params{N: 128, Steps: 6, Seed: 71},
 	}
 }
 

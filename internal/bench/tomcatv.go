@@ -16,6 +16,9 @@ func Tomcatv() *Benchmark {
 		Test:     Params{N: 256, Steps: 2, Seed: 51},
 		BigTrain: Params{N: 512, Steps: 3, Seed: 3},
 		BigTest:  Params{N: 512, Steps: 3, Seed: 51},
+		// Paper scale: a 1024x1024 mesh (Section 6's Tomcatv grid).
+		PaperTrain: Params{N: 1024, Steps: 2, Seed: 3},
+		PaperTest:  Params{N: 1024, Steps: 2, Seed: 51},
 	}
 }
 

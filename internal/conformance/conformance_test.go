@@ -38,6 +38,22 @@ func TestAnnotatedEquivalenceCorpus(t *testing.T) {
 	}
 }
 
+// TestParallelEquivalenceCorpus runs the parallel-engine differential over
+// the full corpus: every seed's program (and its annotated form) must be
+// bit-identical — cycles, stats, memory, snapshot JSON, timeline JSON —
+// between the sequential scheduler and the epoch-parallel engine.
+func TestParallelEquivalenceCorpus(t *testing.T) {
+	for seed := int64(0); seed < corpusSize; seed++ {
+		seed := seed
+		t.Run(seedName(seed), func(t *testing.T) {
+			t.Parallel()
+			if err := RunParallelEquivalence(seed); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		})
+	}
+}
+
 func seedName(seed int64) string {
 	const digits = "0123456789"
 	if seed == 0 {
@@ -73,6 +89,19 @@ func FuzzAnnotatedEquivalence(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, seed int64) {
 		if err := RunAnnotatedEquivalence(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzParallelEquivalence fuzzes the sequential-vs-parallel engine
+// differential over the generator's seed space.
+func FuzzParallelEquivalence(f *testing.F) {
+	for seed := int64(0); seed < 10; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if err := RunParallelEquivalence(seed); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -257,6 +257,118 @@ func RunAnnotatedEquivalence(seed int64) error {
 	return checkVariant("no-prefetch", annRes, want)
 }
 
+// RunParallelEquivalence is the parallel-engine differential: the
+// epoch-parallel engine must be observationally indistinguishable from the
+// sequential scheduler — not statistically close, bit-identical. It runs the
+// generated program, and its Performance+prefetch annotated form (annotation
+// directives travel the parallel engine's cold event path), on both engines
+// with full observability attached, demanding identical cycles, per-node
+// clocks, protocol stats, shared memory, output, snapshot JSON, and timeline
+// JSON. Generated programs are race-free by construction, so a conflict
+// fallback is legal but the fallback result must still match exactly.
+func RunParallelEquivalence(seed int64) error {
+	src := parcgen.Generate(seed)
+	if err := checkParallelSource("plain", src); err != nil {
+		return err
+	}
+	prog, err := parseChecked(src)
+	if err != nil {
+		return fmt.Errorf("generated program invalid: %w", err)
+	}
+	traceRes, err := sim.Run(prog, simConfig(sim.ModeTrace))
+	if err != nil {
+		return fmt.Errorf("trace run: %w", err)
+	}
+	res, err := core.Annotate(src, traceRes.Trace, core.Options{Style: core.StylePerformance, Prefetch: true})
+	if err != nil {
+		return fmt.Errorf("annotate: %w", err)
+	}
+	return checkParallelSource("annotated", res.Source)
+}
+
+// checkParallelSource runs one source text on both engines and diffs every
+// observable surface.
+func checkParallelSource(name, src string) error {
+	prog, err := parseChecked(src)
+	if err != nil {
+		return fmt.Errorf("%s: source invalid: %w\n%s", name, err, src)
+	}
+	run := func(parallel int) (*sim.Result, *obs.Recorder, error) {
+		cfg := simConfig(sim.ModePerf)
+		cfg.Parallel = parallel
+		cfg.Recorder = obs.New(cfg.Nodes, cfg.BlockSize)
+		cfg.Recorder.EnableTimeline()
+		res, err := sim.Run(prog, cfg)
+		return res, cfg.Recorder, err
+	}
+	seq, seqRec, seqErr := run(0)
+	par, parRec, parErr := run(sim.ParallelAuto)
+	if (seqErr == nil) != (parErr == nil) {
+		return fmt.Errorf("%s: error divergence: sequential %v, parallel %v", name, seqErr, parErr)
+	}
+	if seqErr != nil {
+		if seqErr.Error() != parErr.Error() {
+			return fmt.Errorf("%s: error text divergence:\nsequential: %v\nparallel:   %v", name, seqErr, parErr)
+		}
+		return nil
+	}
+	if seq.Cycles != par.Cycles {
+		return fmt.Errorf("%s: cycles diverge: sequential %d, parallel %d (%s)", name, seq.Cycles, par.Cycles, par.Engine)
+	}
+	if !equalUints(seq.NodeCycles, par.NodeCycles) {
+		return fmt.Errorf("%s: node cycles diverge (%s)", name, par.Engine)
+	}
+	if seq.Stats != par.Stats {
+		return fmt.Errorf("%s: protocol stats diverge (%s)\nsequential: %+v\nparallel:   %+v", name, par.Engine, seq.Stats, par.Stats)
+	}
+	if !equalUints(seq.Store.Words(), par.Store.Words()) {
+		return fmt.Errorf("%s: shared memory diverges (%s)", name, par.Engine)
+	}
+	if err := diffOutput(par.Output, seq.Output); err != nil {
+		return fmt.Errorf("%s (%s): %w", name, par.Engine, err)
+	}
+	for i := range seq.Output {
+		if seq.Output[i] != par.Output[i] {
+			return fmt.Errorf("%s: output order diverges at line %d (%s): %q vs %q",
+				name, i, par.Engine, seq.Output[i], par.Output[i])
+		}
+	}
+	seqSnap, err := seq.Snapshot.MarshalIndentJSON()
+	if err != nil {
+		return fmt.Errorf("%s: marshal sequential snapshot: %w", name, err)
+	}
+	parSnap, err := par.Snapshot.MarshalIndentJSON()
+	if err != nil {
+		return fmt.Errorf("%s: marshal parallel snapshot: %w", name, err)
+	}
+	if !bytes.Equal(seqSnap, parSnap) {
+		return fmt.Errorf("%s: snapshots diverge (%s)", name, par.Engine)
+	}
+	var seqTL, parTL bytes.Buffer
+	if err := seqRec.Timeline("conformance").WriteJSON(&seqTL); err != nil {
+		return fmt.Errorf("%s: sequential timeline: %w", name, err)
+	}
+	if err := parRec.Timeline("conformance").WriteJSON(&parTL); err != nil {
+		return fmt.Errorf("%s: parallel timeline: %w", name, err)
+	}
+	if !bytes.Equal(seqTL.Bytes(), parTL.Bytes()) {
+		return fmt.Errorf("%s: timelines diverge (%s)", name, par.Engine)
+	}
+	return nil
+}
+
+func equalUints(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // checkObservability re-runs prog with a recorder (and timeline) attached
 // and checks it against the plain run; see the call site for the contract.
 func checkObservability(prog *parc.Program, plain *sim.Result) error {

@@ -128,6 +128,10 @@ type pending struct {
 type System struct {
 	cfg    Config
 	caches []*cache.Cache
+	// blockShift is log2(BlockSize) when the block size is a power of two
+	// (every real configuration), letting BlockOf shift instead of paying a
+	// 64-bit divide on every access; blockShift < 0 falls back to division.
+	blockShift int
 	// dense holds directory entries for blocks inside the known shared
 	// address space (Config.AddrSpace), indexed by block number; dir is the
 	// fallback for everything else. Entries are zero-initialized to Idle and
@@ -168,7 +172,10 @@ func New(cfg Config) (*System, error) {
 	if cfg.Nodes <= 0 {
 		return nil, fmt.Errorf("dir1sw: need at least one node, got %d", cfg.Nodes)
 	}
-	s := &System{cfg: cfg, dir: make(map[uint64]*entry), rec: cfg.Recorder}
+	s := &System{cfg: cfg, dir: make(map[uint64]*entry), rec: cfg.Recorder, blockShift: -1}
+	if b := cfg.BlockSize; b > 0 && b&(b-1) == 0 {
+		s.blockShift = bits.TrailingZeros(uint(b))
+	}
 	if cfg.AddrSpace > 0 && cfg.BlockSize > 0 {
 		if blocks := (cfg.AddrSpace + uint64(cfg.BlockSize) - 1) / uint64(cfg.BlockSize); blocks <= maxDenseBlocks {
 			s.dense = make([]entry, blocks)
@@ -207,7 +214,12 @@ func (s *System) CacheCapacity() int { return s.cfg.CacheSize }
 func (s *System) Cache(node int) *cache.Cache { return s.caches[node] }
 
 // BlockOf returns the block number for an address.
-func (s *System) BlockOf(addr uint64) uint64 { return addr / uint64(s.cfg.BlockSize) }
+func (s *System) BlockOf(addr uint64) uint64 {
+	if s.blockShift >= 0 {
+		return addr >> uint(s.blockShift)
+	}
+	return addr / uint64(s.cfg.BlockSize)
+}
 
 func (s *System) entryFor(block uint64) *entry {
 	if block < uint64(len(s.dense)) {

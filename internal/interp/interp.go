@@ -8,11 +8,23 @@ import (
 	"cachier/internal/parc"
 )
 
+// Memory is the context's view of shared-variable storage. The default
+// view is the run's *Store; the simulator's epoch-parallel engine swaps in
+// a speculative view (epoch-start shadow plus the node's private writes)
+// via SetMemory. Every shared load and store the interpreter performs goes
+// through this interface, bracketed by the corresponding Machine.Access
+// call exactly as with the plain store.
+type Memory interface {
+	Load(addr uint64) uint64
+	StoreWord(addr uint64, bits uint64)
+}
+
 // Context executes one simulated processor's SPMD instance of a ParC
 // program.
 type Context struct {
 	prog   *parc.Program
 	store  *Store
+	mem    Memory // shared-data override; nil means the plain store
 	mach   Machine
 	node   int
 	nprocs int
@@ -80,6 +92,30 @@ func NewContext(prog *parc.Program, store *Store, mach Machine, node, nprocs int
 		nprocs: nprocs,
 		rng:    uint64(node)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03,
 	}
+}
+
+// SetMemory replaces the context's shared-data view; nil restores the run's
+// plain store. Must be called before Run.
+func (c *Context) SetMemory(m Memory) {
+	c.mem = m
+}
+
+// memLoad and memStore route shared-data traffic: the common (sequential)
+// case has no override and stays a direct, inlinable *Store call; only a
+// context the parallel engine rewired pays interface dispatch.
+func (c *Context) memLoad(addr uint64) uint64 {
+	if c.mem != nil {
+		return c.mem.Load(addr)
+	}
+	return c.store.Load(addr)
+}
+
+func (c *Context) memStore(addr uint64, bits uint64) {
+	if c.mem != nil {
+		c.mem.StoreWord(addr, bits)
+		return
+	}
+	c.store.StoreWord(addr, bits)
 }
 
 // Run executes main to completion, flushing any residual work. Programs are
@@ -456,12 +492,12 @@ func (c *Context) execAssign(n *parc.AssignStmt, fr *frame) error {
 			// Compound assignment reads the old value first.
 			c.flush()
 			c.mach.Access(c.node, false, addr, c.curPC)
-			cur = FromBits(c.store.Load(addr), isFloat)
+			cur = FromBits(c.memLoad(addr), isFloat)
 		}
 		out := applyOp(cur, n.Op, rhs, isFloat)
 		c.flush()
 		c.mach.Access(c.node, true, addr, c.curPC)
-		c.store.StoreWord(addr, out.Bits())
+		c.memStore(addr, out.Bits())
 		return nil
 	}
 
@@ -564,7 +600,7 @@ func (c *Context) sharedAddr(decl *parc.SharedDecl, indices []parc.Expr, fr *fra
 func (c *Context) loadShared(addr uint64, base parc.BaseType) Value {
 	c.flush()
 	c.mach.Access(c.node, false, addr, c.curPC)
-	return FromBits(c.store.Load(addr), base == parc.FloatType)
+	return FromBits(c.memLoad(addr), base == parc.FloatType)
 }
 
 // evalPrivIndex reads an element of a private array slot.

@@ -102,6 +102,12 @@ func (s *Store) Load(addr uint64) uint64 { return s.words[addr/parc.ElemSize] }
 // StoreWord writes the element word at addr.
 func (s *Store) StoreWord(addr uint64, bits uint64) { s.words[addr/parc.ElemSize] = bits }
 
+// Words exposes the store's backing array, one uint64 per element word
+// (index addr/parc.ElemSize). The simulator's epoch-parallel engine uses it
+// to build and synchronize its shadow image of shared memory; callers must
+// follow the same single-active-writer discipline as Load/StoreWord.
+func (s *Store) Words() []uint64 { return s.words }
+
 // RuntimeError is an error raised during ParC execution, carrying the
 // processor, source position, and statement ID where it occurred.
 type RuntimeError struct {

@@ -481,7 +481,7 @@ func (c *Context) exec(co *fnCode, fr *vmFrame) (Value, error) {
 			addr := ma.decl.BaseAddr + uint64(off)*parc.ElemSize
 			c.flush()
 			c.mach.Access(c.node, false, addr, int(in.pc))
-			regs[in.a] = FromBits(c.store.Load(addr), ma.isFloat)
+			regs[in.a] = FromBits(c.memLoad(addr), ma.isFloat)
 
 		case opAsgShared:
 			ma := in.aux.(*memAccess)
@@ -498,12 +498,12 @@ func (c *Context) exec(co *fnCode, fr *vmFrame) (Value, error) {
 				// Compound assignment reads the old value first.
 				c.flush()
 				c.mach.Access(c.node, false, addr, int(in.pc))
-				cur = FromBits(c.store.Load(addr), ma.isFloat)
+				cur = FromBits(c.memLoad(addr), ma.isFloat)
 			}
 			out := applyOp(cur, ma.assignOp, regs[in.b], ma.isFloat)
 			c.flush()
 			c.mach.Access(c.node, true, addr, int(in.pc))
-			c.store.StoreWord(addr, out.Bits())
+			c.memStore(addr, out.Bits())
 
 		case opBarrier:
 			c.flush()

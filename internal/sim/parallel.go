@@ -1,0 +1,753 @@
+// Epoch-parallel execution engine.
+//
+// Between two barriers, simulated nodes interact only through the Dir1SW
+// directory: the values a node reads can depend on other nodes, but only via
+// shared memory, and the paper's programming model orders cross-node data
+// flow with barriers and locks. The engine exploits that: every node's
+// interpreter runs speculatively on its own goroutine against a frozen
+// epoch-start image of shared memory, accumulating a private log of protocol
+// events, while a single committer goroutine merges the logs by driving the
+// unchanged sequential Machine — same min-(clock, id) scheduler, same cost
+// model, same recorder hooks — so the committed order IS the sequential
+// schedule and every observable result (cycles, stats, output, Snapshot,
+// timeline) is bit-identical by construction.
+//
+// Speculation is validated, not trusted: every speculative load logs the
+// value the interpreter consumed, and the committer re-checks it against the
+// live store at the exact position in the committed order where the
+// sequential engine would have performed the load (for an access whose
+// scheduling decision suspends the node, that is when the scheduler next
+// runs it — the check and the store-apply are carried as pending work on the
+// node's cursor until then). A mismatch means the program has cross-node
+// data flow that barriers and locks do not order (a race); the engine halts
+// and Run re-executes sequentially, which is authoritative.
+//
+// Lock-protected data flow is kept exact rather than speculated: from lock
+// acquire to final release a node runs in "direct" mode, where every event
+// is a synchronous send+ack round trip with the committer, so its loads can
+// safely read the live store at the node's true position in the schedule
+// (the committer is parked between the ack and the next event, and nothing
+// else touches the store).
+//
+// At each barrier all live producers are blocked waiting for their release
+// ack, which makes the barrier the one quiescent point: the committer folds
+// the epoch's committed writes into the shared shadow image (dirty pages
+// only) before acking, and each producer drops its private copy-on-write
+// pages, so the next epoch speculates from the post-barrier memory state.
+package sim
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"cachier/internal/interp"
+	"cachier/internal/parc"
+)
+
+// Private-page and batching geometry. Pages are 512 words (4 KB) — big
+// enough that copy-on-write faults are rare, small enough that a node
+// touching one element does not copy a whole array. Event batches amortize
+// the producer→committer channel handoff over specBatch events.
+const (
+	pageShift = 9
+	pageWords = 1 << pageShift
+	pageMask  = pageWords - 1
+	specBatch = 512
+	outDepth  = 4 // per-node in-flight batches; bounds producer run-ahead
+)
+
+type pevKind uint8
+
+// Protocol event kinds. evRead/evWrite are Machine.Access calls; the value
+// side of an access — the speculative load to validate, the store to land —
+// rides on the same event as evfCheck/evfApply flags, patched in by the
+// producer's Load/StoreWord immediately after it logs the Access (the
+// interpreter's contract is that the data touch directly follows the Access
+// report). evCheck/evWApply are the standalone forms, used when an event
+// cannot be patched (direct-mode stores, or a data touch whose Access event
+// was already flushed).
+const (
+	evWork pevKind = iota
+	evRead
+	evWrite
+	evCheck
+	evWApply
+	evDirective
+	evBarrier
+	evLock
+	evUnlock
+	evPrint
+	evDone
+)
+
+// pEvent flags: which value actions ride on an evRead/evWrite.
+const (
+	evfCheck uint8 = 1 << iota // validate a: the speculative load's value
+	evfApply                   // land b in the live store
+)
+
+// pEvent is one logged protocol event, sized for the hot path (32 bytes —
+// accesses dominate event traffic). Cold payloads (directive ranges, print
+// text, completion errors, counter snapshots) live in a parallel aux stream;
+// an aux-bearing event consumes the batch's next pAux.
+type pEvent struct {
+	kind  pevKind
+	flags uint8
+	ann   uint8 // parc.AnnKind, for evDirective
+	pc    int32
+	addr  uint64 // address, or lock id for evLock/evUnlock
+	a     uint64 // checked word / work cycles
+	b     uint64 // applied word
+}
+
+// pAux carries one cold event payload: evDirective (ranges), evPrint (text),
+// evUnlock (counter snapshot for fault retirement), evDone (error + final
+// counters).
+type pAux struct {
+	ranges   []interp.AddrRange
+	text     string
+	err      error
+	pr, pw   uint64
+	diverged bool // evDone: producer panicked on speculative state
+}
+
+// pBatch is one producer→committer handoff: events plus their aux payloads
+// in matching FIFO order.
+type pBatch struct {
+	evs []pEvent
+	aux []pAux
+}
+
+type parAck struct {
+	die bool // terminate the producer (committer retired its processor)
+}
+
+// parCursor is the committer's view of one node's event stream plus the
+// mirrored producer mode (direct/lock depth) needed to run the ack protocol.
+type parCursor struct {
+	out  chan pBatch
+	free chan pBatch // recycled batches back to the producer
+	ack  chan parAck
+	die  chan struct{} // closed to kill a free-running speculative producer
+
+	buf    []pEvent
+	aux    []pAux
+	pos    int
+	auxPos int
+
+	// pend holds an access's deferred value actions when the scheduler
+	// switched away inside Machine.Access: they settle when the node is
+	// next scheduled, which is exactly when the sequential interpreter
+	// would have touched the store.
+	pend    pEvent
+	hasPend bool
+
+	direct     bool // producer is lock-synchronous; every event is acked
+	lockDepth  int
+	ackPending bool // producer is blocked awaiting an ack from next()
+	atBarrier  bool // producer is blocked awaiting the epoch-roll ack
+}
+
+// parEngine drives one parallel run. It is owned by the committer goroutine
+// (the Run caller); producers touch only their own specNode, their cursor's
+// channels, and the immutable shadow image.
+type parEngine struct {
+	m        *Machine
+	cur      *proc // whose stream the committer consumes next
+	halt     bool  // stop the commit loop (completion, deadlock, conflict)
+	conflict bool  // halt was a speculation conflict: fall back to sequential
+
+	cursors []*parCursor
+
+	liveW      []uint64 // the live store's backing words
+	shadow     []uint64 // epoch-start image, padded to a page multiple
+	dirty      []bool   // live pages written since the last epoch roll
+	dirtyPages []int
+
+	slots chan struct{} // semaphore bounding concurrently-running producers
+	abort chan struct{} // closed at teardown; unblocks every producer
+	wg    sync.WaitGroup
+}
+
+// runParallel executes prog on the epoch-parallel engine. ok reports whether
+// the run is authoritative; ok == false means a speculation conflict was
+// detected and the caller must re-run sequentially.
+func runParallel(prog *parc.Program, cfg Config) (res *Result, err error, ok bool) {
+	m, _, err := newMachine(prog, cfg)
+	if err != nil {
+		return nil, err, true
+	}
+	workers := cfg.Parallel
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Nodes {
+		workers = cfg.Nodes
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	liveW := m.store.Words()
+	npages := (len(liveW) + pageWords - 1) / pageWords
+	shadow := make([]uint64, npages*pageWords)
+	copy(shadow, liveW)
+	eng := &parEngine{
+		m:       m,
+		cursors: make([]*parCursor, cfg.Nodes),
+		liveW:   liveW,
+		shadow:  shadow,
+		dirty:   make([]bool, npages),
+		slots:   make(chan struct{}, workers),
+		abort:   make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		eng.slots <- struct{}{}
+	}
+	m.par = eng
+
+	// Producers get their own interpreter contexts wired to a specNode —
+	// the speculative Machine + Memory — instead of the live machine.
+	ctxs := make([]*interp.Context, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		eng.cursors[i] = &parCursor{
+			out:  make(chan pBatch, outDepth),
+			free: make(chan pBatch, outDepth),
+			ack:  make(chan parAck),
+			die:  make(chan struct{}),
+		}
+		n := &specNode{
+			eng:    eng,
+			node:   i,
+			c:      eng.cursors[i],
+			live:   m.store,
+			shadow: shadow,
+			pages:  make([][]uint64, npages),
+			buf:    make([]pEvent, 0, specBatch),
+		}
+		ctxs[i] = interp.NewContext(prog, m.store, n, i, cfg.Nodes)
+		if cfg.TreeWalk {
+			ctxs[i].UseTreeWalker()
+		}
+		ctxs[i].CountOps(cfg.Recorder != nil)
+		ctxs[i].SetMemory(n)
+		n.ctx = ctxs[i]
+		eng.wg.Add(1)
+		go eng.runProducer(ctxs[i], n)
+	}
+
+	// Identical scheduler bootstrap to the sequential engine: processor 0
+	// runs, everyone else is parked runnable at clock 0.
+	for i := 1; i < cfg.Nodes; i++ {
+		m.ready.push(m.procs[i])
+	}
+	m.refreshLimit()
+	eng.cur = m.procs[0]
+
+	for !eng.halt {
+		node := eng.cur.id
+		ev, live := eng.next(eng.cursors[node])
+		if !live {
+			break
+		}
+		eng.commit(node, ev)
+	}
+
+	close(eng.abort)
+	eng.wg.Wait()
+	m.par = nil
+	if eng.conflict {
+		return nil, nil, false
+	}
+	res, err = m.buildResult(ctxs)
+	if res != nil {
+		res.Engine = engineParallel
+	}
+	return res, err, true
+}
+
+// next yields the current node's next logged event, first settling the
+// node's deferred value actions and running the ack handshake its producer
+// mode requires: a producer that sent a synchronous event is released
+// exactly when the committer returns to its stream — i.e. when the
+// scheduler runs the node again.
+func (eng *parEngine) next(c *parCursor) (pEvent, bool) {
+	if c.hasPend {
+		c.hasPend = false
+		eng.settle(c.pend)
+		if eng.halt {
+			return pEvent{}, false
+		}
+	}
+	if c.ackPending {
+		c.ackPending = false
+		c.ack <- parAck{}
+	}
+	for c.pos >= len(c.buf) {
+		if c.buf != nil {
+			select {
+			case c.free <- pBatch{evs: c.buf[:0], aux: c.aux[:0]}:
+			default:
+			}
+			c.buf, c.aux = nil, nil
+		}
+		b := <-c.out
+		c.buf, c.aux = b.evs, b.aux
+		c.pos, c.auxPos = 0, 0
+	}
+	ev := c.buf[c.pos]
+	c.pos++
+	if c.direct {
+		// Direct-mode producers block after every send; owe them an ack
+		// the next time the schedule comes back around to this node.
+		c.ackPending = true
+	}
+	return ev, true
+}
+
+// takeAux consumes the cursor's next cold payload; commit calls it exactly
+// once per aux-bearing event kind, keeping the two streams in lockstep
+// without copying a pAux for the hot access/work events.
+func (c *parCursor) takeAux() *pAux {
+	a := &c.aux[c.auxPos]
+	c.auxPos++
+	return a
+}
+
+// settle performs an access's value actions at the node's current schedule
+// position: validate the speculative load, land the store.
+func (eng *parEngine) settle(ev pEvent) {
+	if ev.flags&evfCheck != 0 {
+		if eng.m.store.Load(ev.addr) != ev.a {
+			// The speculative load consumed a value the committed order
+			// does not produce: unordered cross-node data flow.
+			eng.conflict = true
+			eng.halt = true
+			return
+		}
+	}
+	if ev.flags&evfApply != 0 {
+		eng.m.store.StoreWord(ev.addr, ev.b)
+		eng.markDirty(ev.addr)
+	}
+}
+
+// commit applies one event to the live machine in committed order. All
+// timing, scheduling, recording, and protocol work happens inside the
+// unchanged sequential Machine methods.
+func (eng *parEngine) commit(node int, ev pEvent) {
+	m := eng.m
+	c := eng.cursors[node]
+	switch ev.kind {
+	case evWork:
+		m.Work(node, ev.a)
+	case evRead, evWrite:
+		p := m.procs[node]
+		m.Access(node, ev.kind == evWrite, ev.addr, int(ev.pc))
+		if ev.flags != 0 {
+			// The data touch happens when the node next runs: now if the
+			// access kept it scheduled, else when the scheduler returns.
+			if eng.cur == p {
+				eng.settle(ev)
+			} else {
+				c.pend = ev
+				c.hasPend = true
+			}
+		}
+	case evCheck:
+		eng.settle(pEvent{flags: evfCheck, addr: ev.addr, a: ev.a})
+	case evWApply:
+		eng.settle(pEvent{flags: evfApply, addr: ev.addr, b: ev.b})
+	case evDirective:
+		m.Directive(node, parc.AnnKind(ev.ann), c.takeAux().ranges, int(ev.pc))
+	case evBarrier:
+		c.ackPending = false // the epoch roll acks barrier waiters
+		c.atBarrier = true
+		c.direct = false // post-barrier code speculates even under a lock
+		m.Barrier(node, int(ev.pc))
+	case evLock:
+		c.lockDepth++
+		c.direct = true
+		c.ackPending = true // released when granted and scheduled
+		m.Lock(node, int64(ev.addr), int(ev.pc))
+	case evUnlock:
+		aux := c.takeAux()
+		wasDirect := c.direct
+		c.lockDepth--
+		if c.lockDepth <= 0 {
+			c.direct = false
+		}
+		if fault := m.unlockCore(node, int64(ev.addr)); fault != nil {
+			// Mirror the sequential panic: the processor terminates at the
+			// faulting unlock with its counters as of this instant.
+			c.ackPending = false
+			if wasDirect {
+				c.ack <- parAck{die: true}
+			} else {
+				close(c.die)
+			}
+			m.finishProc(m.procs[node], fault, aux.pr, aux.pw)
+		}
+	case evPrint:
+		m.Print(node, c.takeAux().text)
+	case evDone:
+		aux := c.takeAux()
+		c.ackPending = false
+		if aux.diverged {
+			// The producer crashed on speculative state; whether the crash
+			// is real only the sequential semantics can say.
+			eng.conflict = true
+			eng.halt = true
+			return
+		}
+		m.finishProc(m.procs[node], aux.err, aux.pr, aux.pw)
+	}
+}
+
+// epochRoll runs inside releaseBarrier, when every live producer is blocked
+// on its barrier ack: fold the epoch's committed writes into the shadow
+// image, then release the waiters into the next epoch.
+func (eng *parEngine) epochRoll() {
+	live := eng.liveW
+	for _, pg := range eng.dirtyPages {
+		lo := pg << pageShift
+		hi := lo + pageWords
+		if hi > len(live) {
+			hi = len(live)
+		}
+		copy(eng.shadow[lo:hi], live[lo:hi])
+		eng.dirty[pg] = false
+	}
+	eng.dirtyPages = eng.dirtyPages[:0]
+	for _, c := range eng.cursors {
+		if c.atBarrier {
+			c.atBarrier = false
+			c.ack <- parAck{}
+		}
+	}
+}
+
+func (eng *parEngine) markDirty(addr uint64) {
+	pg := int(addr / parc.ElemSize >> pageShift)
+	if !eng.dirty[pg] {
+		eng.dirty[pg] = true
+		eng.dirtyPages = append(eng.dirtyPages, pg)
+	}
+}
+
+// runProducer is one node's speculative interpreter goroutine.
+func (eng *parEngine) runProducer(ctx *interp.Context, n *specNode) {
+	defer eng.wg.Done()
+	defer n.releaseSlot()
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if err, isErr := r.(error); isErr && errors.Is(err, errAborted) {
+			return // committer tore us down (halt, fault kill, or conflict)
+		}
+		// The interpreter panicked. On speculative state that can be a
+		// divergence artifact rather than a real program fault, so don't
+		// crash the process: report it and let the committer fall back to
+		// the authoritative sequential run (which reproduces any genuine
+		// panic). Best-effort send — never re-panic inside a recover.
+		n.releaseSlot()
+		b := pBatch{
+			evs: append(n.buf[:0], pEvent{kind: evDone}),
+			aux: append(n.aux[:0], pAux{diverged: true}),
+		}
+		select {
+		case n.c.out <- b:
+		case <-n.eng.abort:
+		case <-n.c.die:
+		}
+	}()
+	n.acquireSlot()
+	err := ctx.Run()
+	pr, pw := ctx.PrivateAccesses()
+	n.pushAux(pEvent{kind: evDone}, pAux{err: err, pr: pr, pw: pw})
+	n.flushBuf()
+}
+
+// specNode is one node's speculative execution state: it implements
+// interp.Machine by logging events and interp.Memory by reading the epoch
+// shadow overlaid with the node's private copy-on-write pages (or, in
+// direct mode, the live store at the node's true schedule position).
+type specNode struct {
+	eng  *parEngine
+	node int
+	ctx  *interp.Context
+	c    *parCursor
+
+	live   *interp.Store
+	shadow []uint64
+
+	pages     [][]uint64 // private COW pages, indexed by page number
+	touched   []int
+	freePages [][]uint64
+
+	buf       []pEvent
+	aux       []pAux
+	direct    bool
+	lockDepth int
+	hasSlot   bool
+}
+
+// --- event transport (producer side) ---
+
+// push logs a speculative event, flushing the batch first if it is full (so
+// the logged event survives for patching until the next push).
+func (n *specNode) push(ev pEvent) {
+	if len(n.buf) >= specBatch {
+		n.flushBuf()
+	}
+	n.buf = append(n.buf, ev)
+}
+
+// pushAux logs an event with a cold payload.
+func (n *specNode) pushAux(ev pEvent, aux pAux) {
+	n.push(ev)
+	n.aux = append(n.aux, aux)
+}
+
+// sync logs a synchronous event: flush everything and block until the
+// committer has applied it and scheduled this node again.
+func (n *specNode) sync(ev pEvent) {
+	n.push(ev)
+	n.flushBuf()
+	n.waitAck()
+}
+
+func (n *specNode) flushBuf() {
+	if len(n.buf) == 0 {
+		return
+	}
+	b := pBatch{evs: n.buf, aux: n.aux}
+	select {
+	case n.c.out <- b:
+	default:
+		// Channel full: release the run slot while blocked so other
+		// producers (possibly the one the committer is waiting on) can run.
+		n.releaseSlot()
+		select {
+		case n.c.out <- b:
+		case <-n.eng.abort:
+			panic(errAborted)
+		case <-n.c.die:
+			panic(errAborted)
+		}
+		n.acquireSlot()
+	}
+	select {
+	case r := <-n.c.free:
+		n.buf, n.aux = r.evs, r.aux
+	default:
+		n.buf, n.aux = make([]pEvent, 0, specBatch), nil
+	}
+}
+
+func (n *specNode) waitAck() {
+	n.releaseSlot()
+	select {
+	case a := <-n.c.ack:
+		if a.die {
+			panic(errAborted)
+		}
+		n.acquireSlot()
+	case <-n.eng.abort:
+		panic(errAborted)
+	case <-n.c.die:
+		panic(errAborted)
+	}
+}
+
+func (n *specNode) acquireSlot() {
+	select {
+	case <-n.eng.slots:
+		n.hasSlot = true
+	case <-n.eng.abort:
+		panic(errAborted)
+	case <-n.c.die:
+		panic(errAborted)
+	}
+}
+
+func (n *specNode) releaseSlot() {
+	if n.hasSlot {
+		n.hasSlot = false
+		n.eng.slots <- struct{}{}
+	}
+}
+
+// --- interp.Memory implementation ---
+
+// Load reads shared data. Speculative loads come from the node's private
+// view, and the value consumed is patched onto the access event just logged
+// for validation at the commit position; direct-mode loads read the live
+// store, which is exact because the committer is parked at this node's
+// position with every prior store landed.
+func (n *specNode) Load(addr uint64) uint64 {
+	if n.direct {
+		return n.live.Load(addr)
+	}
+	w := addr / parc.ElemSize
+	var v uint64
+	if p := n.pages[w>>pageShift]; p != nil {
+		v = p[w&pageMask]
+	} else {
+		v = n.shadow[w]
+	}
+	if i := len(n.buf) - 1; i >= 0 {
+		if e := &n.buf[i]; (e.kind == evRead || e.kind == evWrite) && e.addr == addr && e.flags&evfCheck == 0 {
+			e.flags |= evfCheck
+			e.a = v
+			return v
+		}
+	}
+	n.push(pEvent{kind: evCheck, addr: addr, a: v})
+	return v
+}
+
+// StoreWord writes shared data into the node's private page (so its own
+// later loads see it) and logs the store for the committer to land on the
+// live store at the exact committed position. Direct mode keeps the private
+// copy too: it is what post-unlock speculation resumes from.
+func (n *specNode) StoreWord(addr uint64, bits uint64) {
+	w := addr / parc.ElemSize
+	pg := int(w >> pageShift)
+	p := n.pages[pg]
+	if p == nil {
+		p = n.newPage(pg)
+	}
+	p[w&pageMask] = bits
+	if n.direct {
+		n.sync(pEvent{kind: evWApply, addr: addr, b: bits})
+		return
+	}
+	if i := len(n.buf) - 1; i >= 0 {
+		if e := &n.buf[i]; e.kind == evWrite && e.addr == addr && e.flags&evfApply == 0 {
+			e.flags |= evfApply
+			e.b = bits
+			return
+		}
+	}
+	n.push(pEvent{kind: evWApply, addr: addr, b: bits})
+}
+
+func (n *specNode) newPage(pg int) []uint64 {
+	var p []uint64
+	if k := len(n.freePages) - 1; k >= 0 {
+		p = n.freePages[k]
+		n.freePages = n.freePages[:k]
+	} else {
+		p = make([]uint64, pageWords)
+	}
+	copy(p, n.shadow[pg<<pageShift:(pg+1)<<pageShift])
+	n.pages[pg] = p
+	n.touched = append(n.touched, pg)
+	return p
+}
+
+// resetPages drops the node's private pages at a barrier: the committer has
+// already folded every committed write into the shadow.
+func (n *specNode) resetPages() {
+	for _, pg := range n.touched {
+		n.freePages = append(n.freePages, n.pages[pg])
+		n.pages[pg] = nil
+	}
+	n.touched = n.touched[:0]
+}
+
+// --- interp.Machine implementation ---
+
+func (n *specNode) Access(node int, write bool, addr uint64, pc int) {
+	k := evRead
+	if write {
+		k = evWrite
+	}
+	ev := pEvent{kind: k, addr: addr, pc: int32(pc)}
+	if n.direct {
+		// Direct mode is synchronous: the node's schedule position must be
+		// exact before the Load/StoreWord that follows touches live memory.
+		n.sync(ev)
+		return
+	}
+	if len(n.buf) >= specBatch {
+		n.flushBuf()
+	}
+	n.buf = append(n.buf, ev)
+}
+
+func (n *specNode) Directive(node int, kind parc.AnnKind, ranges []interp.AddrRange, pc int) {
+	// The interpreter reuses the ranges scratch buffer; the log retains it.
+	ev := pEvent{kind: evDirective, ann: uint8(kind), pc: int32(pc)}
+	aux := pAux{ranges: append([]interp.AddrRange(nil), ranges...)}
+	if n.direct {
+		n.pushAux(ev, aux)
+		n.flushBuf()
+		n.waitAck()
+		return
+	}
+	n.pushAux(ev, aux)
+}
+
+func (n *specNode) Barrier(node int, pc int) {
+	n.direct = false // exit direct mode: the epoch roll resyncs everything
+	n.push(pEvent{kind: evBarrier, pc: int32(pc)})
+	n.flushBuf()
+	n.waitAck() // released by the epoch roll
+	n.resetPages()
+}
+
+func (n *specNode) Lock(node int, id int64, pc int) {
+	n.push(pEvent{kind: evLock, addr: uint64(id), pc: int32(pc)})
+	n.flushBuf()
+	n.waitAck() // acked when the lock is granted and this node is scheduled
+	n.lockDepth++
+	n.direct = true
+}
+
+func (n *specNode) Unlock(node int, id int64, pc int) {
+	// Snapshot the private-access tallies: if this unlock faults, the
+	// committer retires the processor with the counters as of this call,
+	// exactly like the sequential engine's panic unwinding does.
+	pr, pw := n.ctx.PrivateAccesses()
+	ev := pEvent{kind: evUnlock, addr: uint64(id), pc: int32(pc)}
+	aux := pAux{pr: pr, pw: pw}
+	if n.direct {
+		n.pushAux(ev, aux)
+		n.flushBuf()
+		n.waitAck()
+	} else {
+		n.pushAux(ev, aux)
+	}
+	n.lockDepth--
+	if n.lockDepth == 0 {
+		n.direct = false
+	}
+}
+
+func (n *specNode) Work(node int, cycles uint64) {
+	if n.direct {
+		n.sync(pEvent{kind: evWork, a: cycles})
+		return
+	}
+	if len(n.buf) >= specBatch {
+		n.flushBuf()
+	}
+	n.buf = append(n.buf, pEvent{kind: evWork, a: cycles})
+}
+
+func (n *specNode) Print(node int, text string) {
+	ev := pEvent{kind: evPrint}
+	aux := pAux{text: text}
+	if n.direct {
+		n.pushAux(ev, aux)
+		n.flushBuf()
+		n.waitAck()
+		return
+	}
+	n.pushAux(ev, aux)
+}

@@ -1,0 +1,339 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"cachier/internal/obs"
+	"cachier/internal/parc"
+)
+
+// runEngine runs src on the given engine configuration with a recorder and
+// timeline attached, returning the result and the recorder.
+func runEngine(t *testing.T, src string, parallel int, mutate func(*Config)) (*Result, *obs.Recorder, error) {
+	t.Helper()
+	prog, err := parc.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cfg := DefaultConfig()
+	cfg.Nodes = 8
+	cfg.Parallel = parallel
+	cfg.Recorder = obs.New(cfg.Nodes, cfg.BlockSize)
+	cfg.Recorder.EnableTimeline()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := Run(prog, cfg)
+	return res, cfg.Recorder, err
+}
+
+// checkEquivalent asserts the parallel run of src is bit-identical to the
+// sequential run: cycles, per-node clocks, protocol stats, output, sharing
+// counters, snapshot JSON, and timeline JSON.
+func checkEquivalent(t *testing.T, src string, mutate func(*Config)) {
+	t.Helper()
+	seq, seqRec, seqErr := runEngine(t, src, 0, mutate)
+	par, parRec, parErr := runEngine(t, src, 4, mutate)
+
+	if (seqErr == nil) != (parErr == nil) {
+		t.Fatalf("error divergence: sequential %v, parallel %v", seqErr, parErr)
+	}
+	if seqErr != nil {
+		if seqErr.Error() != parErr.Error() {
+			t.Fatalf("error text divergence:\nsequential: %v\nparallel:   %v", seqErr, parErr)
+		}
+		return
+	}
+	if seq.Engine != engineSequential {
+		t.Fatalf("sequential run reported engine %q", seq.Engine)
+	}
+	if par.Engine != engineParallel && par.Engine != engineSeqFallback {
+		t.Fatalf("parallel run reported engine %q", par.Engine)
+	}
+	if seq.Cycles != par.Cycles {
+		t.Errorf("cycles: sequential %d, parallel %d", seq.Cycles, par.Cycles)
+	}
+	if !reflect.DeepEqual(seq.NodeCycles, par.NodeCycles) {
+		t.Errorf("node cycles diverge:\nsequential: %v\nparallel:   %v", seq.NodeCycles, par.NodeCycles)
+	}
+	if seq.Stats != par.Stats {
+		t.Errorf("stats diverge:\nsequential: %+v\nparallel:   %+v", seq.Stats, par.Stats)
+	}
+	if !reflect.DeepEqual(seq.Output, par.Output) {
+		t.Errorf("output diverges:\nsequential: %q\nparallel:   %q", seq.Output, par.Output)
+	}
+	if seq.Barriers != par.Barriers {
+		t.Errorf("barriers: sequential %d, parallel %d", seq.Barriers, par.Barriers)
+	}
+	if !reflect.DeepEqual(seq.SharedReads, par.SharedReads) || !reflect.DeepEqual(seq.SharedWrites, par.SharedWrites) {
+		t.Errorf("sharing counters diverge")
+	}
+	sl, ss := seq.SharingDegree()
+	pl, ps := par.SharingDegree()
+	if sl != pl || ss != ps {
+		t.Errorf("sharing degree diverges: sequential (%g, %g), parallel (%g, %g)", sl, ss, pl, ps)
+	}
+	if !reflect.DeepEqual(seq.Store.Words(), par.Store.Words()) {
+		words := seq.Store.Words()
+		pwords := par.Store.Words()
+		for i := range words {
+			if words[i] != pwords[i] {
+				t.Errorf("shared memory diverges at word %d: sequential %#x, parallel %#x", i, words[i], pwords[i])
+				break
+			}
+		}
+	}
+	seqSnap, err := seq.Snapshot.MarshalIndentJSON()
+	if err != nil {
+		t.Fatalf("marshal sequential snapshot: %v", err)
+	}
+	parSnap, err := par.Snapshot.MarshalIndentJSON()
+	if err != nil {
+		t.Fatalf("marshal parallel snapshot: %v", err)
+	}
+	if !bytes.Equal(seqSnap, parSnap) {
+		t.Errorf("snapshots diverge:\nsequential:\n%s\nparallel:\n%s", seqSnap, parSnap)
+	}
+	var seqTL, parTL bytes.Buffer
+	if err := seqRec.Timeline("t").WriteJSON(&seqTL); err != nil {
+		t.Fatalf("sequential timeline: %v", err)
+	}
+	if err := parRec.Timeline("t").WriteJSON(&parTL); err != nil {
+		t.Fatalf("parallel timeline: %v", err)
+	}
+	if !bytes.Equal(seqTL.Bytes(), parTL.Bytes()) {
+		t.Errorf("timelines diverge")
+	}
+}
+
+func TestParallelEquivalenceBarrierProgram(t *testing.T) {
+	checkEquivalent(t, `
+shared float a[32][32];
+shared float b[32][32];
+shared float c[32][32];
+func main() {
+    for i = pid() to 31 step nprocs() {
+        for j = 0 to 31 {
+            a[i][j] = i + j;
+            b[i][j] = i - j;
+        }
+    }
+    barrier;
+    for i = pid() to 31 step nprocs() {
+        for j = 0 to 31 {
+            var acc float = 0.0;
+            for k = 0 to 31 {
+                acc += a[i][k] * b[k][j];
+            }
+            c[i][j] = acc;
+        }
+    }
+    barrier;
+    if (pid() == 0) {
+        print("trace", c[1][1]);
+    }
+}
+`, nil)
+}
+
+func TestParallelEquivalenceLocks(t *testing.T) {
+	checkEquivalent(t, `
+shared int sum[1];
+shared int hist[64];
+func main() {
+    for i = pid() to 63 step nprocs() {
+        hist[i] = i * i;
+    }
+    barrier;
+    var local int = 0;
+    for i = pid() to 63 step nprocs() {
+        local += hist[i];
+    }
+    lock(1);
+    sum[0] += local;
+    unlock(1);
+    barrier;
+    if (pid() == 0) {
+        print("sum", sum[0]);
+    }
+}
+`, nil)
+}
+
+// A lock held across a barrier: the engine drops to speculative mode at the
+// barrier and the later unlock is a plain batched event.
+func TestParallelEquivalenceLockAcrossBarrier(t *testing.T) {
+	checkEquivalent(t, `
+shared int v[8];
+func main() {
+    if (pid() == 0) {
+        lock(7);
+        v[0] = 41;
+    }
+    barrier;
+    v[pid()] = v[0] + pid();
+    if (pid() == 0) {
+        unlock(7);
+    }
+    barrier;
+}
+`, nil)
+}
+
+// A cross-node read/write race with no ordering: the speculative read is
+// stale, the value check must catch it, and the fall-back sequential re-run
+// must produce exactly the sequential results.
+func TestParallelConflictFallback(t *testing.T) {
+	src := `
+shared int flag[8];
+func main() {
+    var r int = 0;
+    for i = 0 to 4000 {
+        r = r + i;
+    }
+    flag[pid()] = r + pid();
+    if (pid() > 0) {
+        r = flag[pid() - 1];
+    }
+    flag[pid()] = r;
+    barrier;
+}
+`
+	seq, _, seqErr := runEngine(t, src, 0, nil)
+	par, _, parErr := runEngine(t, src, 4, nil)
+	if seqErr != nil || parErr != nil {
+		t.Fatalf("runs failed: sequential %v, parallel %v", seqErr, parErr)
+	}
+	if par.Engine != engineSeqFallback {
+		t.Fatalf("racy program should fall back, engine = %q", par.Engine)
+	}
+	if seq.Cycles != par.Cycles || seq.Stats != par.Stats {
+		t.Fatalf("fallback run diverges from sequential")
+	}
+	if !reflect.DeepEqual(seq.Store.Words(), par.Store.Words()) {
+		t.Fatalf("fallback memory diverges from sequential")
+	}
+	seqSnap, _ := seq.Snapshot.MarshalIndentJSON()
+	parSnap, _ := par.Snapshot.MarshalIndentJSON()
+	if !bytes.Equal(seqSnap, parSnap) {
+		t.Fatalf("fallback snapshot diverges (Recorder.Reset leak?):\nsequential:\n%s\nparallel:\n%s", seqSnap, parSnap)
+	}
+}
+
+// Unlocking a lock the node does not hold is a machine fault that kills the
+// processor on both engines; the run error must match exactly.
+func TestParallelEquivalenceUnlockFault(t *testing.T) {
+	checkEquivalent(t, `
+shared int v[8];
+func main() {
+    v[pid()] = pid();
+    if (pid() == 3) {
+        unlock(9);
+    }
+    v[pid()] = v[pid()] + 1;
+}
+`, nil)
+}
+
+// A processor exiting while holding a lock the others want: deadlock, with
+// an identical diagnostic from both engines.
+func TestParallelEquivalenceDeadlock(t *testing.T) {
+	checkEquivalent(t, `
+func main() {
+    if (pid() == 0) {
+        lock(1);
+    }
+    if (pid() != 0) {
+        lock(1);
+        unlock(1);
+    }
+}
+`, nil)
+}
+
+func TestParallelEquivalenceTreeWalker(t *testing.T) {
+	checkEquivalent(t, `
+shared float a[16][16];
+func main() {
+    for i = pid() to 15 step nprocs() {
+        for j = 0 to 15 {
+            a[i][j] = i * j;
+        }
+    }
+    barrier;
+    var acc float = 0.0;
+    for i = 0 to 15 {
+        acc += a[i][pid() % 16];
+    }
+    print("acc", acc);
+}
+`, func(cfg *Config) { cfg.TreeWalk = true })
+}
+
+func TestParallelEquivalenceTraceMode(t *testing.T) {
+	src := `
+shared float a[32][8];
+func main() {
+    for i = pid() to 31 step nprocs() {
+        for j = 0 to 7 {
+            a[i][j] = i + j;
+        }
+    }
+    barrier;
+    var acc float = 0.0;
+    for i = 0 to 31 {
+        acc += a[i][pid() % 8];
+    }
+    barrier;
+}
+`
+	seq, _, seqErr := runEngine(t, src, 0, func(cfg *Config) { cfg.Mode = ModeTrace })
+	par, _, parErr := runEngine(t, src, 4, func(cfg *Config) { cfg.Mode = ModeTrace })
+	if seqErr != nil || parErr != nil {
+		t.Fatalf("trace runs failed: sequential %v, parallel %v", seqErr, parErr)
+	}
+	if seq.Cycles != par.Cycles {
+		t.Fatalf("trace cycles diverge: %d vs %d", seq.Cycles, par.Cycles)
+	}
+	if !reflect.DeepEqual(seq.Trace, par.Trace) {
+		t.Fatalf("miss traces diverge")
+	}
+}
+
+// ParallelAuto and worker counts beyond the node count must behave like any
+// other parallel run.
+func TestParallelWorkerClamping(t *testing.T) {
+	for _, workers := range []int{ParallelAuto, 1, 64} {
+		seq, _, err := runEngine(t, `
+shared int v[8];
+func main() {
+    v[pid()] = pid() * 3;
+    barrier;
+    var x int = v[(pid() + 1) % 8];
+    barrier;
+    v[pid()] = x;
+}
+`, 0, nil)
+		if err != nil {
+			t.Fatalf("sequential: %v", err)
+		}
+		par, _, err := runEngine(t, `
+shared int v[8];
+func main() {
+    v[pid()] = pid() * 3;
+    barrier;
+    var x int = v[(pid() + 1) % 8];
+    barrier;
+    v[pid()] = x;
+}
+`, workers, nil)
+		if err != nil {
+			t.Fatalf("parallel(%d): %v", workers, err)
+		}
+		if seq.Cycles != par.Cycles || !reflect.DeepEqual(seq.Store.Words(), par.Store.Words()) {
+			t.Fatalf("parallel(%d) diverges from sequential", workers)
+		}
+	}
+}

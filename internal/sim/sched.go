@@ -44,15 +44,31 @@ func (h *readyHeap) pop() *proc {
 	h.ps[0] = h.ps[last]
 	h.ps[last] = nil
 	h.ps = h.ps[:last]
-	// Sift the relocated root down.
+	h.siftDown()
+	return top
+}
+
+// replaceMin swaps p in for the current minimum and restores heap order with
+// a single sift-down, replacing the pop-then-push pair on the scheduler's
+// handoff path. The caller must have read min() first; the popped order is
+// unaffected because (clock, id) is a strict total order, so which array
+// layout the heap happens to hold never changes which processor pops next.
+func (h *readyHeap) replaceMin(p *proc) {
+	h.ps[0] = p
+	h.siftDown()
+}
+
+// siftDown restores heap order after the root was replaced.
+func (h *readyHeap) siftDown() {
+	n := len(h.ps)
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i
-		if l < last && heapLess(h.ps[l], h.ps[smallest]) {
+		if l < n && heapLess(h.ps[l], h.ps[smallest]) {
 			smallest = l
 		}
-		if r < last && heapLess(h.ps[r], h.ps[smallest]) {
+		if r < n && heapLess(h.ps[r], h.ps[smallest]) {
 			smallest = r
 		}
 		if smallest == i {
@@ -61,5 +77,4 @@ func (h *readyHeap) pop() *proc {
 		h.ps[i], h.ps[smallest] = h.ps[smallest], h.ps[i]
 		i = smallest
 	}
-	return top
 }

@@ -6,12 +6,11 @@ import (
 	"cachier/internal/parc"
 )
 
-// BenchmarkScheduler stresses the ready-queue: many processors with skewed
-// per-round compute separated by barriers, so every quantum expiry and
-// barrier release reschedules among P runnable contexts. This is the
+// schedulerSource is the ready-queue stress program: many processors with
+// skewed per-round compute separated by barriers, so every quantum expiry
+// and barrier release reschedules among P runnable contexts. This is the
 // workload where the indexed min-heap replaces the seed's O(P) linear scan.
-func BenchmarkScheduler(b *testing.B) {
-	src := `
+const schedulerSource = `
 shared int sink[64];
 func main() {
     var acc int = 0;
@@ -24,16 +23,28 @@ func main() {
     sink[pid()] = acc;
 }
 `
-	prog, err := parc.Parse(src)
+
+func benchScheduler(b *testing.B, parallel int) {
+	prog, err := parc.Parse(schedulerSource)
 	if err != nil {
 		b.Fatal(err)
 	}
 	cfg := DefaultConfig()
 	cfg.Nodes = 64
+	cfg.Parallel = parallel
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Run(prog, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+func BenchmarkScheduler(b *testing.B) {
+	// sequential: the in-place scheduler driving interpreters directly.
+	b.Run("sequential", func(b *testing.B) { benchScheduler(b, 0) })
+	// parallel: the same schedule via the epoch dispatcher — producer
+	// goroutines logging events, the committer replaying them through the
+	// identical heap. Measures dispatch overhead, bit-identical results.
+	b.Run("parallel", func(b *testing.B) { benchScheduler(b, ParallelAuto) })
 }

@@ -116,7 +116,21 @@ type Config struct {
 	// runs both and compares, and this switch is how it (or a suspicious
 	// user) pins the reference path.
 	TreeWalk bool
+
+	// Parallel selects the epoch-parallel engine (see parallel.go): node
+	// interpreters run speculatively on real goroutines and their protocol
+	// events are committed by a single merge goroutine in the exact order
+	// the sequential scheduler produces, so every simulated result — cycles,
+	// stats, output, Snapshot, timeline — is bit-identical to Parallel == 0.
+	// The value caps how many node interpreters execute concurrently;
+	// ParallelAuto uses GOMAXPROCS. 0 (the default) runs sequentially. A
+	// speculation conflict (a racy program whose cross-node data flow is not
+	// lock- or barrier-ordered) falls back to one sequential re-run.
+	Parallel int
 }
+
+// ParallelAuto sizes Config.Parallel to runtime.GOMAXPROCS(0).
+const ParallelAuto = -1
 
 // DefaultConfig is the paper's machine: 32 nodes, 256 KB 4-way caches,
 // 32-byte blocks.
@@ -138,6 +152,11 @@ func DefaultConfig() Config {
 
 // Result reports a completed simulation.
 type Result struct {
+	// Engine names the execution engine that produced the result:
+	// "sequential", "parallel", or "sequential (conflict fallback)" when a
+	// Parallel run hit a speculation conflict and was re-run sequentially.
+	Engine string
+
 	Cycles     uint64   // execution time: max node completion clock
 	NodeCycles []uint64 // per-node completion clocks
 	Stats      dir1sw.Stats
@@ -261,6 +280,11 @@ type Machine struct {
 	rec          *obs.Recorder // nil when recording is disabled
 	blockSz      uint64        // cache block size, for block-number computation
 
+	// par is non-nil when this machine is driven by the epoch-parallel
+	// committer (parallel.go) instead of per-processor goroutines; the
+	// scheduler seam in yieldSwitch consults it instead of parking.
+	par *parEngine
+
 	added struct {
 		privReads  uint64
 		privWrites uint64
@@ -278,9 +302,73 @@ func Run(prog *parc.Program, cfg Config) (*Result, error) {
 	if cfg.Mode == ModeTrace {
 		cfg.IgnoreDirectives = true
 	}
-	layout, err := memory.New(prog, cfg.BlockSize)
+	if cfg.Parallel != 0 && cfg.Nodes > 1 {
+		res, err, ok := runParallel(prog, cfg)
+		if ok {
+			return res, err
+		}
+		// Speculation conflict: the program's cross-node data flow is not
+		// ordered by barriers or locks, so the epoch logs cannot commit.
+		// Re-run sequentially — the authoritative semantics — after wiping
+		// anything the discarded attempt fed the recorder.
+		if cfg.Recorder != nil {
+			cfg.Recorder.Reset()
+		}
+		res, err = runSequential(prog, cfg)
+		if res != nil {
+			res.Engine = engineSeqFallback
+		}
+		return res, err
+	}
+	return runSequential(prog, cfg)
+}
+
+// Engine names reported in Result.Engine.
+const (
+	engineSequential  = "sequential"
+	engineParallel    = "parallel"
+	engineSeqFallback = "sequential (conflict fallback)"
+)
+
+// runSequential is the original engine: one goroutine per simulated
+// processor, exactly one unparked at a time.
+func runSequential(prog *parc.Program, cfg Config) (*Result, error) {
+	m, ctxs, err := newMachine(prog, cfg)
 	if err != nil {
 		return nil, err
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		go m.runProc(ctxs[i], m.procs[i])
+	}
+
+	// Start processor 0 and wait for the machine to finish or fail. All
+	// other processors begin parked and runnable at clock 0.
+	for i := 1; i < cfg.Nodes; i++ {
+		m.ready.push(m.procs[i])
+	}
+	m.refreshLimit()
+	m.procs[0].resume <- resumeMsg{}
+	<-m.wake
+
+	// Unblock any still-parked goroutines so they exit.
+	for _, p := range m.procs {
+		if p.status != statusDone {
+			p.resume <- resumeMsg{abort: true}
+		}
+	}
+	res, err := m.buildResult(ctxs)
+	if res != nil {
+		res.Engine = engineSequential
+	}
+	return res, err
+}
+
+// newMachine builds the simulation state shared by both engines: layout,
+// store, memory system, processors, and one interpreter context per node.
+func newMachine(prog *parc.Program, cfg Config) (*Machine, []*interp.Context, error) {
+	layout, err := memory.New(prog, cfg.BlockSize)
+	if err != nil {
+		return nil, nil, err
 	}
 	sys, err := dir1sw.New(dir1sw.Config{
 		Nodes:     cfg.Nodes,
@@ -295,7 +383,7 @@ func Run(prog *parc.Program, cfg Config) (*Result, error) {
 		Recorder:  cfg.Recorder,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	m := &Machine{
 		cfg:          cfg,
@@ -325,26 +413,14 @@ func Run(prog *parc.Program, cfg Config) (*Result, error) {
 		}
 		ctxs[i].CountOps(cfg.Recorder != nil)
 	}
-	for i := 0; i < cfg.Nodes; i++ {
-		go m.runProc(ctxs[i], m.procs[i])
-	}
+	return m, ctxs, nil
+}
 
-	// Start processor 0 and wait for the machine to finish or fail. All
-	// other processors begin parked and runnable at clock 0.
-	for i := 1; i < cfg.Nodes; i++ {
-		m.ready.push(m.procs[i])
-	}
-	m.refreshLimit()
-	m.procs[0].resume <- resumeMsg{}
-	<-m.wake
-
-	// Unblock any still-parked goroutines so they exit.
-	for _, p := range m.procs {
-		if p.status != statusDone {
-			p.resume <- resumeMsg{abort: true}
-		}
-	}
-
+// buildResult is the shared run epilogue: surface run errors, validate the
+// protocol probe, and assemble the Result (stats, snapshot, trace).
+func (m *Machine) buildResult(ctxs []*interp.Context) (*Result, error) {
+	cfg := m.cfg
+	sys := m.sys
 	if m.runErr != nil {
 		return nil, m.runErr
 	}
@@ -356,7 +432,7 @@ func Run(prog *parc.Program, cfg Config) (*Result, error) {
 		NodeCycles:   make([]uint64, cfg.Nodes),
 		Stats:        sys.Stats,
 		Output:       m.outputs,
-		Layout:       layout,
+		Layout:       m.layout,
 		Store:        m.store,
 		SharedReads:  m.sharedReads,
 		SharedWrites: m.sharedWrites,
@@ -412,10 +488,17 @@ func (m *Machine) runProc(ctx *interp.Context, p *proc) {
 	if errors.Is(err, errAborted) {
 		return // coordinator shut us down mid-run; touch nothing
 	}
-	// Fold this context's private access counters into the machine.
 	pr, pw := ctx.PrivateAccesses()
-	m.added.privReads += pr
-	m.added.privWrites += pw
+	m.finishProc(p, err, pr, pw)
+}
+
+// finishProc retires a completed (or faulted) processor: folds its private
+// access counters into the machine, records completion, surfaces its error,
+// releases a barrier it was the last straggler for, and yields its place in
+// the schedule. Both engines terminate processors through this path.
+func (m *Machine) finishProc(p *proc, err error, privReads, privWrites uint64) {
+	m.added.privReads += privReads
+	m.added.privWrites += privWrites
 	p.status = statusDone
 	m.rec.NodeDone(p.id, p.clock)
 	m.done++
@@ -494,18 +577,36 @@ func (m *Machine) yieldSwitch(p *proc) {
 			m.runErr = fmt.Errorf("sim: deadlock: %d of %d nodes blocked (barrier waiters: %d)",
 				len(m.procs)-m.done, len(m.procs), m.waiting)
 		}
+		if m.par != nil {
+			m.par.halt = true
+			return
+		}
 		m.wake <- struct{}{}
 		if p.status != statusDone {
 			m.park(p) // blocks until the coordinator aborts us
 		}
 		return
 	}
-	q := m.ready.pop()
+	q := m.ready.min()
 	m.rec.Handoff()
 	if p.status == statusReady {
-		m.ready.push(p)
+		// The common handoff: the caller stays runnable, so it takes the
+		// popped minimum's slot directly (one sift-down instead of
+		// pop+push), and the new limit is read off the root without the
+		// empty-heap test refreshLimit would repeat.
+		m.ready.replaceMin(p)
+		m.limit = m.ready.min().clock + m.cfg.Quantum
+	} else {
+		m.ready.pop()
+		m.refreshLimit()
 	}
-	m.refreshLimit()
+	if m.par != nil {
+		// Epoch-parallel commit: the single committer goroutine drives every
+		// processor, so a context switch is just retargeting which event
+		// stream it consumes next — no parking, no channel handoff.
+		m.par.cur = q
+		return
+	}
 	// Decide our own fate BEFORE waking the next processor: after the send,
 	// the woken chain runs concurrently with us and may mutate our status
 	// (a barrier release flipping us back to ready), so reading it past the
@@ -697,6 +798,13 @@ func (m *Machine) releaseBarrier(pc int, active int) {
 			m.runErr = fmt.Errorf("sim: invariant violation by barrier %d: %w", m.barriers, err)
 		}
 	}
+	if m.par != nil {
+		// Epoch boundary on the parallel engine: every live producer is
+		// blocked on its barrier ack, so this is the one quiescent point
+		// where the epoch-start shadow image can absorb the epoch's
+		// committed writes before the producers speculate onward.
+		m.par.epochRoll()
+	}
 }
 
 func log2(n int) uint64 {
@@ -730,15 +838,26 @@ func (m *Machine) Lock(node int, id int64, pc int) {
 
 // Unlock implements interp.Machine.
 func (m *Machine) Unlock(node int, id int64, pc int) {
+	if err := m.unlockCore(node, id); err != nil {
+		// Terminate this processor: unwind its interpreter so it cannot
+		// keep executing concurrently with whoever is scheduled next.
+		panic(err)
+	}
+}
+
+// unlockCore releases a lock and hands it to the head waiter. A release of a
+// lock the node does not hold is a machine fault: it is recorded in runErr
+// and errProcFault is returned so the caller can terminate the processor —
+// by panic on the sequential engine, by killing the producer on the parallel
+// one.
+func (m *Machine) unlockCore(node int, id int64) error {
 	p := m.procs[node]
 	ls := m.locks[id]
 	if ls == nil || !ls.held || ls.owner != node {
 		if m.runErr == nil {
 			m.runErr = fmt.Errorf("sim: node %d unlocked lock %d it does not hold", node, id)
 		}
-		// Terminate this processor: unwind its interpreter so it cannot
-		// keep executing concurrently with whoever is scheduled next.
-		panic(errProcFault)
+		return errProcFault
 	}
 	p.clock += m.cfg.LockAcquire
 	if len(ls.waiters) > 0 {
@@ -756,6 +875,7 @@ func (m *Machine) Unlock(node int, id int64, pc int) {
 		ls.held = false
 	}
 	m.yield(p)
+	return nil
 }
 
 // Work implements interp.Machine.

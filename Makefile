@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench check fuzz cover timeline
+.PHONY: all build test race vet bench protosweep check fuzz cover timeline
 
 all: build
 
@@ -14,7 +14,8 @@ test:
 # the epoch-parallel engine (producer goroutines + committer); run all of it
 # under the race detector after touching sim, interp, dir1sw, or bench.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/dir1sw/... ./internal/bench/...
+	$(GO) test -race ./internal/sim/... ./internal/coherence/... ./internal/dir1sw/... \
+		./internal/dirn/... ./internal/bench/...
 
 # Static checks: go vet over the Go code, then parcvet (the ParC static
 # race detector and CICO annotation linter, cmd/parcvet) over the checked-in
@@ -26,6 +27,11 @@ vet:
 	$(GO) run ./cmd/parcvet examples/parc/jacobi_wholefit.parc
 	$(GO) run ./cmd/parcvet -q -expect-races examples/parc/race_demo.parc
 	$(GO) run ./cmd/parcvet -q -bench all
+	# Verdicts are static source properties: every protocol must agree with
+	# the Dir1SW run above, byte for byte (cross-checked by diffing outputs).
+	$(GO) run ./cmd/parcvet -q -bench all > /tmp/parcvet.dir1sw.out
+	$(GO) run ./cmd/parcvet -q -protocol dirnnb:4 -bench all | diff /tmp/parcvet.dir1sw.out -
+	$(GO) run ./cmd/parcvet -q -protocol dirnb:4 -bench all | diff /tmp/parcvet.dir1sw.out -
 
 # One pass over the performance-tracking benchmarks (see EXPERIMENTS.md,
 # "Simulator performance"), then the Figure 6 harness with its
@@ -39,6 +45,13 @@ vet:
 bench:
 	$(GO) test -run xxx -bench 'Fig6|Scheduler|DirectoryLookup|Interp' -benchtime 1x ./...
 	$(GO) run ./cmd/fig6 -ab -json BENCH_fig6.json
+
+# Cross-protocol smoke sweep: the Figure 6 suite under Dir1SW, Dir4NB, and
+# Dir4B in one run. BENCH_protosweep.json carries one row per (benchmark,
+# variant, protocol) so per-protocol cycles and CICO benefit can be tracked
+# across commits (see EXPERIMENTS.md, "Cross-protocol comparison").
+protosweep:
+	$(GO) run ./cmd/fig6 -protosweep -json BENCH_protosweep.json
 
 # Observability demo: one benchmark with the recorder and timeline on.
 # TIMELINE_fig6.json is a Chrome trace-event file — open it in
@@ -63,14 +76,18 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzPipeline$$' -fuzztime $(FUZZTIME) ./internal/conformance
 	$(GO) test -run '^$$' -fuzz '^FuzzAnnotatedEquivalence$$' -fuzztime $(FUZZTIME) ./internal/conformance
 	$(GO) test -run '^$$' -fuzz '^FuzzParallelEquivalence$$' -fuzztime $(FUZZTIME) ./internal/conformance
+	$(GO) test -run '^$$' -fuzz '^FuzzProtocolEquivalence$$' -fuzztime $(FUZZTIME) ./internal/conformance
 
 # Coverage with checked-in floors. The floors sit a few points under the
 # current numbers (see EXPERIMENTS.md) so they trip on real regressions, not
 # on noise. The observability layer carries its own, higher floor: every
 # regression test in the repo leans on its snapshots, so its invariants must
-# stay thoroughly exercised.
+# stay thoroughly exercised. The shared coherence machinery (directory,
+# caches, cost model behind every protocol) carries the same higher floor —
+# a hole there silently weakens all protocol conformance runs at once.
 COVER_MIN ?= 75
 OBS_COVER_MIN ?= 80
+COHERENCE_COVER_MIN ?= 80
 cover:
 	$(GO) test ./... -coverprofile=cover.out
 	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
@@ -82,3 +99,8 @@ cover:
 	awk -v t=$$total -v min=$(OBS_COVER_MIN) 'BEGIN { \
 		if (t+0 < min+0) { printf "FAIL: internal/obs coverage %.1f%% is below the %d%% minimum\n", t, min; exit 1 } \
 		printf "internal/obs coverage %.1f%% (minimum %d%%)\n", t, min }'
+	$(GO) test ./internal/coherence -coverprofile=cover-coherence.out
+	@total=$$($(GO) tool cover -func=cover-coherence.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
+	awk -v t=$$total -v min=$(COHERENCE_COVER_MIN) 'BEGIN { \
+		if (t+0 < min+0) { printf "FAIL: internal/coherence coverage %.1f%% is below the %d%% minimum\n", t, min; exit 1 } \
+		printf "internal/coherence coverage %.1f%% (minimum %d%%)\n", t, min }'

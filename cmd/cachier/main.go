@@ -19,6 +19,9 @@
 //	-nodes N        nodes for -self tracing (default 32)
 //	-stats FILE     simulate the annotated program and write its structured
 //	                stats snapshot (internal/obs JSON) to FILE
+//	-protocol SPEC  coherence protocol for -self tracing and -stats
+//	                simulation: dir1sw (default), dirnnb[:n], dirnb[:n];
+//	                annotation itself is protocol-independent
 package main
 
 import (
@@ -59,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cache     = fs.Int("cache", 256*1024, "cache capacity for placement decisions")
 		nodes     = fs.Int("nodes", 32, "nodes for -self tracing")
 		stats     = fs.String("stats", "", "simulate the annotated program and write its stats snapshot (JSON) to this file")
+		protocol  = fs.String("protocol", "", `coherence protocol for -self/-stats simulations: "dir1sw" (default), "dirnnb[:n]", or "dirnb[:n]"`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		cfg := sim.DefaultConfig()
 		cfg.Nodes = *nodes
+		cfg.Protocol = *protocol
 		cfg.Mode = sim.ModeTrace
 		res, err := sim.Run(prog, cfg)
 		if err != nil {
@@ -144,17 +149,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprint(stderr, res.Cost.String())
 	}
 	if *stats != "" {
-		if err := writeStats(*stats, res.Source, *nodes, *cache, stderr); err != nil {
+		if err := writeStats(*stats, res.Source, *nodes, *cache, *protocol, stderr); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// writeStats simulates the annotated program on the Dir1SW machine with the
-// observability recorder attached and writes the structured stats snapshot
-// (internal/obs) — the same schema fig6 -statsjson and tracestat -json emit.
-func writeStats(path, source string, nodes, cache int, stderr io.Writer) error {
+// writeStats simulates the annotated program on the selected coherence
+// protocol (Dir1SW by default) with the observability recorder attached and
+// writes the structured stats snapshot (internal/obs) — the same schema
+// fig6 -statsjson and tracestat -json emit.
+func writeStats(path, source string, nodes, cache int, protocol string, stderr io.Writer) error {
 	prog, err := parc.Parse(source)
 	if err != nil {
 		return fmt.Errorf("annotated program does not parse: %w", err)
@@ -162,6 +168,7 @@ func writeStats(path, source string, nodes, cache int, stderr io.Writer) error {
 	cfg := sim.DefaultConfig()
 	cfg.Nodes = nodes
 	cfg.CacheSize = cache
+	cfg.Protocol = protocol
 	cfg.Recorder = obs.New(cfg.Nodes, cfg.BlockSize)
 	res, err := sim.Run(prog, cfg)
 	if err != nil {

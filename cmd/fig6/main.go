@@ -16,6 +16,7 @@
 //
 //	fig6 [-bench NAME] [-sharing] [-stats] [-source] [-json FILE]
 //	     [-big] [-paper] [-parallel N] [-ab]
+//	     [-protocol SPEC] [-protosweep]
 //	     [-statsjson FILE] [-timeline FILE]
 //	     [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -25,6 +26,12 @@
 // both measurements to -json, with engine and per-variant wall-clock on
 // every row. -big selects near-paper-scale inputs, -paper the paper-scale
 // ones (Section 6's problem sizes; expect minutes per benchmark).
+//
+// -protocol SPEC simulates under a different coherence protocol ("dir1sw",
+// "dirnnb[:n]", "dirnb[:n]"; see internal/coherence). -protosweep runs the
+// suite once per protocol in the standard sweep (Dir1SW, Dir4NB, Dir4B) and
+// prints the cross-protocol CICO-benefit table; with -json every row
+// carries its protocol.
 package main
 
 import (
@@ -55,6 +62,7 @@ import (
 type jsonRow struct {
 	Benchmark     string  `json:"benchmark"`
 	Variant       string  `json:"variant"`
+	Protocol      string  `json:"protocol"`
 	Nodes         int     `json:"nodes"`
 	Cycles        uint64  `json:"cycles"`
 	Normalized    float64 `json:"normalized"`
@@ -75,6 +83,8 @@ func main() {
 		big        = flag.Bool("big", false, "near-paper-scale inputs (takes minutes)")
 		paper      = flag.Bool("paper", false, "paper-scale inputs (Section 6 problem sizes; takes minutes per benchmark)")
 		parallel   = flag.Int("parallel", 0, "epoch-parallel simulation workers (0 sequential, -1 one per CPU); results are bit-identical")
+		protocol   = flag.String("protocol", "", `coherence protocol spec: "dir1sw" (the default), "dirnnb[:n]", or "dirnb[:n]"`)
+		protosweep = flag.Bool("protosweep", false, "run the suite once per protocol (dir1sw, dirnnb:4, dirnb:4) and print the cross-protocol table")
 		ab         = flag.Bool("ab", false, "A/B: run the suite on the sequential engine AND with -parallel workers (-1 if unset), emitting both in -json")
 		jsonOut    = flag.String("json", "", "write machine-readable result rows to this file")
 		statsJSON  = flag.String("statsjson", "", "write the Cachier variant's stats snapshot (JSON) to this file (per-benchmark suffix when running several)")
@@ -83,6 +93,15 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile (taken after the runs) to this file")
 	)
 	flag.Parse()
+
+	if *protosweep {
+		if *ab || *statsJSON != "" || *timeline != "" {
+			fatal(fmt.Errorf("-protosweep cannot combine with -ab, -statsjson, or -timeline"))
+		}
+		if *protocol != "" {
+			fatal(fmt.Errorf("-protosweep runs its own protocol list; drop -protocol"))
+		}
+	}
 
 	// The recorder is attached only when an observability output was asked
 	// for, so plain -json wall-clock rows keep measuring the bare simulator.
@@ -122,14 +141,15 @@ func main() {
 	// runSuite measures every benchmark on one engine configuration.
 	// Benchmarks run concurrently (RunBenchmark bounds actual compute to
 	// the machine's CPUs); rows keep the listing order.
-	runSuite := func(workers int) ([]*bench.Row, []time.Duration) {
+	runSuite := func(workers int, proto string) ([]*bench.Row, []time.Duration) {
 		rows := make([]*bench.Row, len(benches))
 		errs := make([]error, len(benches))
 		walls := make([]time.Duration, len(benches))
 		var wg sync.WaitGroup
 		for i, b := range benches {
 			b.Parallel = workers
-			fmt.Fprintf(os.Stderr, "running %s (%d nodes, parallel=%d)...\n", b.Name, b.Nodes, workers)
+			b.Protocol = proto
+			fmt.Fprintf(os.Stderr, "running %s (%d nodes, parallel=%d, protocol=%s)...\n", b.Name, b.Nodes, workers, protoLabel(proto))
 			wg.Add(1)
 			go func(i int, b *bench.Benchmark) {
 				defer wg.Done()
@@ -151,7 +171,7 @@ func main() {
 		return rows, walls
 	}
 
-	rows, walls := runSuite(*parallel)
+	rows, walls := runSuite(*parallel, *protocol)
 	jsonRows := collectRows(rows, walls, *parallel)
 
 	// A/B mode: re-run the whole suite on the other engine. The cycle
@@ -162,7 +182,7 @@ func main() {
 		if workers == 0 {
 			workers = -1
 		}
-		abRows, abWalls := runSuite(workers)
+		abRows, abWalls := runSuite(workers, *protocol)
 		jsonRows = append(jsonRows, collectRows(abRows, abWalls, workers)...)
 		fmt.Println("Engine A/B: per-variant simulation wall-clock, sequential vs parallel")
 		fmt.Printf("%-16s %-17s | %12s %12s %8s | %s\n",
@@ -188,6 +208,31 @@ func main() {
 
 	fmt.Println("Figure 6: execution time normalized to the unannotated version")
 	fmt.Print(bench.FormatRows(rows))
+
+	// Protocol sweep: re-run the whole suite under each remaining protocol
+	// (the run above covered the sweep's first spec, Dir1SW) and print the
+	// cross-protocol comparison. "benefit" is the Cachier variant's saving
+	// over the same protocol's unannotated run — the paper's question
+	// "how much of CICO's benefit survives more sharing pointers?".
+	if *protosweep {
+		allRows := [][]*bench.Row{rows}
+		for _, spec := range bench.SweepSpecs()[1:] {
+			r2, w2 := runSuite(*parallel, spec)
+			jsonRows = append(jsonRows, collectRows(r2, w2, *parallel)...)
+			allRows = append(allRows, r2)
+		}
+		fmt.Println("\nProtocol sweep: unannotated vs Cachier cycles per protocol")
+		fmt.Printf("%-16s %-8s | %10s %10s %8s\n", "benchmark", "protocol", "none", "cachier", "benefit")
+		for i := range rows {
+			for _, rs := range allRows {
+				r := rs[i]
+				fmt.Printf("%-16s %-8s | %10d %10d %7.1f%%\n",
+					r.Benchmark, r.Protocol,
+					r.Cycles[bench.VariantNone], r.Cycles[bench.VariantCachier],
+					100*(1-r.Normalized(bench.VariantCachier)))
+			}
+		}
+	}
 
 	if *jsonOut != "" {
 		if err := writeJSON(*jsonOut, jsonRows); err != nil {
@@ -269,6 +314,7 @@ func collectRows(rows []*bench.Row, walls []time.Duration, workers int) []jsonRo
 			out = append(out, jsonRow{
 				Benchmark:     r.Benchmark,
 				Variant:       string(v),
+				Protocol:      r.Protocol,
 				Nodes:         r.Nodes,
 				Cycles:        r.Cycles[v],
 				Normalized:    r.Normalized(v),
@@ -315,6 +361,15 @@ func writeTo(path string, fn func(io.Writer) error) error {
 		return err
 	}
 	return f.Close()
+}
+
+// protoLabel names a protocol spec for progress lines; "" is the default
+// machine.
+func protoLabel(spec string) string {
+	if spec == "" {
+		return "dir1sw"
+	}
+	return spec
 }
 
 func fatal(err error) {

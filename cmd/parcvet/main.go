@@ -16,6 +16,11 @@
 //	                racy/race-free classification)
 //	-expect-races   invert the file verdict: succeed only if every file
 //	                has at least one race (for known-racy demos)
+//	-protocol SPEC  coherence protocol the program targets: dir1sw
+//	                (default), dirnnb[:n], dirnb[:n]. Validated and
+//	                otherwise a no-op — races and CICO protocol misuse are
+//	                source properties, so verdicts are identical under
+//	                every protocol (make vet checks this stays true)
 //	-q              print only errors, not warnings or infos
 //
 // Exit status: 0 clean (or expectations met), 1 findings of error
@@ -29,6 +34,7 @@ import (
 	"os"
 
 	"cachier/internal/bench"
+	"cachier/internal/coherence"
 	"cachier/internal/vet"
 )
 
@@ -45,9 +51,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		nprocs      = fs.Int("nprocs", 4, "SPMD nodes to model")
 		benchName   = fs.String("bench", "", `vet a built-in benchmark port by name, or "all"`)
 		expectRaces = fs.Bool("expect-races", false, "succeed only if every file has at least one race")
+		protocol    = fs.String("protocol", "", "coherence protocol the program targets (validated; verdicts are protocol-independent)")
 		quiet       = fs.Bool("q", false, "print only error-severity findings")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	// Vet's analyses are static source properties — which protocol will run
+	// the program cannot change a verdict — but the spec is validated so a
+	// typo fails loudly here rather than later at simulation time.
+	if _, err := coherence.ParseSpec(*protocol); err != nil {
+		fmt.Fprintln(stderr, "parcvet:", err)
 		return 2
 	}
 	if *benchName != "" {

@@ -116,6 +116,58 @@ func TestRunBenchAll(t *testing.T) {
 	}
 }
 
+// TestProtocolIndependentVerdicts pins the -protocol contract: vet's
+// verdicts are static source properties, so the same inputs produce
+// byte-identical reports and exit codes under every coherence protocol —
+// and an unknown spec is rejected up front with a usage error.
+func TestProtocolIndependentVerdicts(t *testing.T) {
+	racy := write(t, "racy.parc", `
+shared float total label "t";
+func main() {
+    total = total + 1.0;
+    barrier;
+}`)
+	clean := write(t, "clean.parc", `
+shared int x label "x";
+func main() {
+    if pid() == 0 {
+        x = 1;
+    }
+    barrier;
+}`)
+	type outcome struct {
+		code int
+		out  string
+	}
+	for _, args := range [][]string{{racy}, {clean}, {"-q", "-bench", "all"}} {
+		var base *outcome
+		for _, proto := range []string{"", "dir1sw", "dirnnb:1", "dirnnb:4", "dirnb:4"} {
+			full := args
+			if proto != "" {
+				full = append([]string{"-protocol", proto}, args...)
+			}
+			var out, errOut strings.Builder
+			code := run(full, &out, &errOut)
+			got := outcome{code: code, out: out.String()}
+			if base == nil {
+				base = &got
+				continue
+			}
+			if got != *base {
+				t.Errorf("args %v under -protocol %s diverge: exit %d vs %d\n%s----\n%s",
+					args, proto, got.code, base.code, got.out, base.out)
+			}
+		}
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-protocol", "mesi", racy}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d for unknown protocol spec, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown") {
+		t.Fatalf("stderr should name the bad spec:\n%s", errOut.String())
+	}
+}
+
 func TestRunBenchUnknown(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"-bench", "nosuch"}, &out, &errOut); code != 2 {

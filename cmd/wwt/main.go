@@ -21,6 +21,7 @@
 //	-timeline FILE  write a Chrome-trace/Perfetto timeline as JSON
 //	-poststore      KSR-1 post-store semantics for check-ins (ablation)
 //	-fullmap        full-map hardware directory instead of Dir1SW (ablation)
+//	-protocol SPEC  coherence protocol: dir1sw (default), dirnnb[:n], dirnb[:n]
 //	-parallel N     epoch-parallel engine with N workers (-1: one per CPU);
 //	                results are bit-identical to the sequential engine
 package main
@@ -51,6 +52,7 @@ func main() {
 		timeline   = flag.String("timeline", "", "write a Chrome-trace/Perfetto timeline as JSON to this file")
 		postStore  = flag.Bool("poststore", false, "KSR-1 post-store semantics for check-ins")
 		fullMap    = flag.Bool("fullmap", false, "full-map hardware directory instead of Dir1SW")
+		protocol   = flag.String("protocol", "", `coherence protocol spec: "dir1sw" (default), "dirnnb[:n]", or "dirnb[:n]"`)
 		parallel   = flag.Int("parallel", 0, "epoch-parallel engine workers (0 sequential, -1 one per CPU); results are bit-identical")
 	)
 	flag.Parse()
@@ -76,6 +78,7 @@ func main() {
 	cfg.DisablePrefetch = *noPrefetch
 	cfg.PostStore = *postStore
 	cfg.FullMap = *fullMap
+	cfg.Protocol = *protocol
 	cfg.Parallel = *parallel
 	if *traceFile != "" {
 		cfg.Mode = sim.ModeTrace
@@ -93,8 +96,8 @@ func main() {
 	for _, line := range res.Output {
 		fmt.Println(line)
 	}
-	fmt.Printf("execution time: %d cycles on %d nodes (%d barriers)\n",
-		res.Cycles, *nodes, res.Barriers)
+	fmt.Printf("execution time: %d cycles on %d nodes (%d barriers, %s)\n",
+		res.Cycles, *nodes, res.Barriers, res.Protocol)
 	if *parallel != 0 {
 		fmt.Printf("engine: %s\n", res.Engine)
 	}

@@ -63,6 +63,18 @@ type Benchmark struct {
 	// runs them anyway; Section 3.1's epoch model tolerates them). The
 	// static race detector is expected to flag exactly these.
 	Racy bool
+
+	// Protocol is the coherence protocol spec every run of this benchmark
+	// uses (sim.Config.Protocol); "" is Dir1SW, the paper's machine.
+	Protocol string
+}
+
+// WithProtocol returns a copy of the benchmark that simulates under the
+// given coherence protocol spec (see coherence.ParseSpec).
+func (b *Benchmark) WithProtocol(spec string) *Benchmark {
+	c := *b
+	c.Protocol = spec
+	return &c
 }
 
 // UseBig switches the benchmark to its near-paper-scale inputs.

@@ -46,8 +46,11 @@ func Variants() []Variant {
 type Row struct {
 	Benchmark string
 	Nodes     int
-	Cycles    map[Variant]uint64
-	Stats     map[Variant]dir1sw.Stats
+	// Protocol is the coherence protocol's display name ("Dir1SW",
+	// "Dir4NB", ...); every variant of a row runs under the same protocol.
+	Protocol string
+	Cycles   map[Variant]uint64
+	Stats    map[Variant]dir1sw.Stats
 
 	// Walls is each variant's simulation wall-clock on the host (just the
 	// measured sim.Run, not tracing or annotation); Engines is the engine
@@ -143,6 +146,7 @@ func RunBenchmarkObserved(b *Benchmark, timeline bool) (*Row, error) {
 func runBenchmark(b *Benchmark, observe, timeline bool) (*Row, error) {
 	cfg := machineConfig(b.Nodes)
 	cfg.Parallel = b.Parallel
+	cfg.Protocol = b.Protocol
 
 	// 1. Trace the unannotated program on the training input; both
 	// annotation passes need it.
@@ -251,6 +255,7 @@ func runBenchmark(b *Benchmark, observe, timeline bool) (*Row, error) {
 		if errs[i] != nil {
 			return nil, fmt.Errorf("%s/%s: %w", b.Name, v, errs[i])
 		}
+		row.Protocol = results[i].Protocol
 		row.Cycles[v] = results[i].Cycles
 		row.Stats[v] = results[i].Stats
 		row.Walls[v] = walls[i]
@@ -270,6 +275,13 @@ func runBenchmark(b *Benchmark, observe, timeline bool) (*Row, error) {
 // package worker pool; rows keep the All() order and the first error in
 // that order wins, so output is independent of goroutine scheduling.
 func Figure6() ([]*Row, error) {
+	return Figure6Protocol("")
+}
+
+// Figure6Protocol runs the whole suite under one coherence protocol spec
+// ("" is Dir1SW); the protocol sweep (cmd/fig6 -protosweep) calls this once
+// per spec.
+func Figure6Protocol(spec string) ([]*Row, error) {
 	bs := All()
 	rows := make([]*Row, len(bs))
 	errs := make([]error, len(bs))
@@ -278,7 +290,7 @@ func Figure6() ([]*Row, error) {
 		wg.Add(1)
 		go func(i int, b *Benchmark) {
 			defer wg.Done()
-			rows[i], errs[i] = RunBenchmark(b)
+			rows[i], errs[i] = RunBenchmark(b.WithProtocol(spec))
 		}(i, b)
 	}
 	wg.Wait()
@@ -288,6 +300,13 @@ func Figure6() ([]*Row, error) {
 		}
 	}
 	return rows, nil
+}
+
+// SweepSpecs lists the protocol specs the cross-protocol sweep covers: the
+// paper's Dir1SW plus the Agarwal-taxonomy hardware points DirnNB and DirnB
+// at the default pointer count.
+func SweepSpecs() []string {
+	return []string{"dir1sw", "dirnnb:4", "dirnb:4"}
 }
 
 // FormatRows renders rows as the Figure 6 table: normalized execution time

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestDir1SWRefactorGuard pins the protocol-interface refactor: Dir1SW
+// selected explicitly through the protocol registry (sim.Config.Protocol =
+// "dir1sw", the same resolution path DirnNB/DirnB use) must reproduce the
+// frozen pre-refactor Figure 6 cycle counts exactly. Any drift here means
+// the extraction of the coherence machinery changed Dir1SW's simulated
+// behaviour, which the refactor forbids — hence Fatalf, not Errorf.
+func TestDir1SWRefactorGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	rows, err := Figure6Protocol("dir1sw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range goldenFig6 {
+		r := rows[i]
+		if r.Benchmark != want.Benchmark {
+			t.Fatalf("row %d is %s, want %s", i, r.Benchmark, want.Benchmark)
+		}
+		if r.Protocol != "Dir1SW" {
+			t.Fatalf("%s: protocol %q, want Dir1SW", r.Benchmark, r.Protocol)
+		}
+		golden := map[Variant]uint64{
+			VariantNone:            want.None,
+			VariantHand:            want.Hand,
+			VariantCachier:         want.Cachier,
+			VariantCachierPrefetch: want.CachierPF,
+		}
+		for _, v := range Variants() {
+			if r.Cycles[v] != golden[v] {
+				t.Fatalf("%s/%s: %d cycles under explicit dir1sw, pre-refactor golden %d — the protocol extraction drifted",
+					r.Benchmark, v, r.Cycles[v], golden[v])
+			}
+		}
+	}
+}
+
+// TestGoldenStatsSnapshotsDirn locks the DirnNB and DirnB stats trees the
+// same way TestGoldenStatsSnapshots locks Dir1SW's: every Figure 6
+// benchmark runs observed under each hardware protocol at the sweep's
+// pointer count, every variant's snapshot must be internally consistent
+// (including the transitions-sum-to-DirEvents rule), and the Cachier
+// variant's snapshot must match its golden byte for byte (refresh with
+// `go test ./internal/bench -run GoldenStatsSnapshotsDirn -update`).
+func TestGoldenStatsSnapshotsDirn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	protos := []struct {
+		suffix string // golden filename component
+		spec   string // sim.Config.Protocol
+		name   string // display name reported by the run
+	}{
+		{suffix: "dirnnb", spec: "dirnnb:4", name: "Dir4NB"},
+		{suffix: "dirnb", spec: "dirnb:4", name: "Dir4B"},
+	}
+	for _, p := range protos {
+		for _, want := range goldenFig6 {
+			p, want := p, want
+			t.Run(p.suffix+"/"+want.Benchmark, func(t *testing.T) {
+				t.Parallel()
+				b, err := ByName(want.Benchmark)
+				if err != nil {
+					t.Fatal(err)
+				}
+				row, err := RunBenchmarkObserved(b.WithProtocol(p.spec), false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if row.Protocol != p.name {
+					t.Fatalf("protocol %q, want %q", row.Protocol, p.name)
+				}
+				for _, v := range Variants() {
+					snap := row.Snapshots[v]
+					if snap == nil {
+						t.Fatalf("%s: no snapshot", v)
+					}
+					if snap.ProtocolName != p.name {
+						t.Errorf("%s: snapshot protocol %q, want %q", v, snap.ProtocolName, p.name)
+					}
+					if snap.Protocol.DirEvents == 0 {
+						t.Errorf("%s: snapshot has no directory events", v)
+					}
+					if snap.Protocol.Traps != 0 {
+						t.Errorf("%s: %d traps — %s is all-hardware and never traps", v, snap.Protocol.Traps, p.name)
+					}
+					if err := snap.CheckConsistency(); err != nil {
+						t.Errorf("%s: %v", v, err)
+					}
+				}
+				data, err := row.Snapshots[VariantCachier].MarshalIndentJSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				path := statsGoldenPath(b.Name, p.suffix)
+				if *updateStats {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, data, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					t.Logf("wrote %s (%d bytes)", path, len(data))
+					return
+				}
+				wantData, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("%v (run with -update to regenerate)", err)
+				}
+				if !bytes.Equal(data, wantData) {
+					t.Errorf("snapshot differs from %s (run with -update to regenerate)\ngot %d bytes, want %d",
+						path, len(data), len(wantData))
+				}
+			})
+		}
+	}
+}

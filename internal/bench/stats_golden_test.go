@@ -15,9 +15,15 @@ import (
 
 var updateStats = flag.Bool("update", false, "rewrite golden stats snapshots")
 
-// statsGoldenPath returns the golden snapshot file for one benchmark.
-func statsGoldenPath(name string) string {
-	return filepath.Join("testdata", "stats", strings.ToLower(name)+".golden.json")
+// statsGoldenPath returns the golden snapshot file for one benchmark under
+// one protocol; proto "" is the default Dir1SW machine, anything else gets
+// its own ".<proto>" suffixed golden (e.g. ocean.dirnnb.golden.json).
+func statsGoldenPath(name, proto string) string {
+	base := strings.ToLower(name)
+	if proto != "" {
+		base += "." + proto
+	}
+	return filepath.Join("testdata", "stats", base+".golden.json")
 }
 
 // TestGoldenStatsSnapshots locks the full structured stats tree, not just
@@ -69,7 +75,7 @@ func TestGoldenStatsSnapshots(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			path := statsGoldenPath(b.Name)
+			path := statsGoldenPath(b.Name, "")
 			if *updateStats {
 				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 					t.Fatal(err)

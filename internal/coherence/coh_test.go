@@ -1,0 +1,67 @@
+package coherence_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"cachier/internal/coherence"
+	"cachier/internal/dir1sw"
+)
+
+// randomStorm drives a system with long random sequences of every operation
+// (including explicit check-outs consuming in-flight prefetches — a stale
+// pending entry once resurrected an unregistered shared copy after an
+// eviction) and validates the coherence invariants after every step.
+func randomStorm(t *testing.T, seeds int64, mk func() *coherence.System) {
+	t.Helper()
+	for seed := int64(0); seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := mk()
+		now := uint64(0)
+		for i := 0; i < 60; i++ {
+			node := rng.Intn(4)
+			addr := uint64(rng.Intn(16)) * 32
+			op := rng.Intn(8)
+			switch op {
+			case 0, 1:
+				s.Read(node, addr, now)
+			case 2, 3:
+				s.Write(node, addr, now)
+			case 4:
+				s.CheckOutX(node, addr, now)
+			case 5:
+				s.CheckOutS(node, addr, now)
+			case 6:
+				s.CheckIn(node, addr)
+			case 7:
+				s.Prefetch(node, addr, now, rng.Intn(2) == 0)
+			}
+			now += uint64(rng.Intn(200))
+			if err := s.CheckCoherence(); err != nil {
+				t.Fatalf("seed %d step %d op %d node %d addr %d: %v", seed, i, op, node, addr, err)
+			}
+		}
+	}
+}
+
+func stormConfig() dir1sw.Config {
+	cfg := dir1sw.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.CacheSize = 256
+	cfg.Assoc = 2
+	return cfg
+}
+
+func TestCoherenceRandomDirectiveStorm(t *testing.T) {
+	randomStorm(t, 500, func() *coherence.System {
+		return dir1sw.MustNew(stormConfig())
+	})
+}
+
+func TestCoherenceRandomOpsWithPostStore(t *testing.T) {
+	randomStorm(t, 300, func() *coherence.System {
+		cfg := stormConfig()
+		cfg.PostStore = true
+		return dir1sw.MustNew(cfg)
+	})
+}

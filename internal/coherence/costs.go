@@ -1,25 +1,15 @@
-// Package dir1sw models the Wisconsin Dir1SW directory cache-coherence
-// protocol (Hill et al., "Cooperative Shared Memory: Software and Hardware
-// for Scalable Multiprocessors", TOCS 1993), the memory system the paper
-// uses to evaluate CICO annotations as directives.
-//
-// Dir1SW keeps one hardware pointer plus a sharer counter per block and
-// traps to system software on "complex" transitions. In this model:
-//
-//   - read miss to an Idle or Shared block: handled in hardware;
-//   - write miss/fault when the writer is the only sharer: handled in
-//     hardware (pointer check);
-//   - write miss/fault with other sharers present: software trap that
-//     broadcasts invalidations and collects acknowledgements;
-//   - any miss to a block held Exclusive by another node: software trap
-//     that retrieves/downgrades the owner's copy.
-//
-// CICO annotations act as directives (paper Section 4.1): a miss performs an
-// implicit check-out; an explicit check_out_x before a read-then-write
-// avoids the later upgrade fault; a check_in returns the block toward Idle
-// so the next node's access avoids a trap and invalidations; prefetches
-// overlap transfer latency with computation.
-package dir1sw
+// Package coherence holds the protocol-independent half of the simulated
+// memory system: one shared-data cache per node, the dense directory slab
+// with its per-block entries and sharer bitsets, in-flight prefetch
+// tracking, eviction/installation reconciliation, the CICO directive
+// surface, the barrier-time coherence checker, the per-access invariant
+// probe, and the observability seams. What varies between directory
+// protocols — the state-machine transitions a miss/upgrade performs, the
+// cycle cost and trap behaviour of each, and any protocol-specific
+// invariants — is supplied by a Protocol implementation (see protocol.go):
+// internal/dir1sw for the paper's Dir1SW (and its full-map ablation),
+// internal/dirn for the hardware DirₙNB/DirₙB variants.
+package coherence
 
 import "cachier/internal/obs"
 
@@ -55,13 +45,13 @@ func DefaultCosts() Costs {
 	}
 }
 
-// cleanMiss is the latency of a miss serviced entirely in hardware:
+// CleanMiss is the latency of a miss serviced entirely in hardware:
 // request hop, directory service, memory access, data reply hop.
-func (c Costs) cleanMiss() uint64 { return 2*c.NetHop + c.DirService + c.MemAccess }
+func (c Costs) CleanMiss() uint64 { return 2*c.NetHop + c.DirService + c.MemAccess }
 
-// upgrade is the latency of a hardware shared-to-exclusive upgrade
+// Upgrade is the latency of a hardware shared-to-exclusive upgrade
 // (request + ack, no data transfer).
-func (c Costs) upgrade() uint64 { return 2*c.NetHop + c.DirService }
+func (c Costs) Upgrade() uint64 { return 2*c.NetHop + c.DirService }
 
 // Stats aggregates protocol activity. Message counts let the experiments
 // show CICO's traffic reduction as well as its latency reduction.
@@ -92,6 +82,12 @@ type Stats struct {
 	PostStores     uint64 // read-only copies pushed by KSR-1-style post-store check-ins
 	PrefetchHits   uint64 // accesses fully covered by an earlier prefetch
 	PrefetchStalls uint64 // cycles stalled waiting for in-flight prefetches
+
+	// DirEvents counts directory entry transitions (including same-state
+	// ownership handoffs), incremented by System.SetState independent of the
+	// observability recorder. The Snapshot consistency checker demands the
+	// recorder's transition tallies sum to exactly this.
+	DirEvents uint64
 }
 
 // TotalMsgs returns all messages sent.
@@ -101,8 +97,8 @@ func (s *Stats) TotalMsgs() uint64 { return s.ReqMsgs + s.DataMsgs + s.CtlMsgs }
 func (s *Stats) Misses() uint64 { return s.ReadMisses + s.WriteMisses + s.WriteFaults }
 
 // Protocol converts the counters to the observability layer's snapshot
-// form (obs cannot import dir1sw without a cycle, so the mirror type lives
-// there and the conversion lives here).
+// form (obs cannot import coherence without a cycle, so the mirror type
+// lives there and the conversion lives here).
 func (s *Stats) Protocol() obs.ProtocolStats {
 	return obs.ProtocolStats{
 		Reads:  s.Reads,
@@ -131,5 +127,7 @@ func (s *Stats) Protocol() obs.ProtocolStats {
 		PostStores:     s.PostStores,
 		PrefetchHits:   s.PrefetchHits,
 		PrefetchStalls: s.PrefetchStalls,
+
+		DirEvents: s.DirEvents,
 	}
 }

@@ -1,14 +1,18 @@
-package dir1sw
+package coherence_test
 
-import "testing"
+import (
+	"testing"
+
+	"cachier/internal/dir1sw"
+)
 
 // BenchmarkDirectoryLookup drives a pseudo-random read/write mix over a
 // 4 MB shared space (128K blocks), the access pattern whose per-block
 // directory lookups the dense slice serves without map hashing.
 func BenchmarkDirectoryLookup(b *testing.B) {
-	cfg := DefaultConfig()
+	cfg := dir1sw.DefaultConfig()
 	cfg.AddrSpace = 1 << 22
-	s, err := New(cfg)
+	s, err := dir1sw.New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

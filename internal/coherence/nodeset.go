@@ -1,0 +1,70 @@
+package coherence
+
+import "math/bits"
+
+// NodeSet is a set of node IDs. A directory entry's sharer list is
+// conceptually a handful of hardware pointers (one for Dir1SW, n for the
+// DirₙNB/DirₙB variants); the model keeps the exact set so it can deliver
+// invalidations, and each protocol charges cost wherever its hardware would
+// have had to trap, evict, or broadcast.
+type NodeSet struct {
+	words []uint64
+}
+
+// NewNodeSet returns an empty set sized for nodes 0..n-1.
+func NewNodeSet(n int) NodeSet {
+	return NodeSet{words: make([]uint64, (n+63)/64)}
+}
+
+// Add inserts node i.
+func (s NodeSet) Add(i int) { s.words[i/64] |= 1 << (i % 64) }
+
+// Remove deletes node i.
+func (s NodeSet) Remove(i int) { s.words[i/64] &^= 1 << (i % 64) }
+
+// Has reports whether node i is a member.
+func (s NodeSet) Has(i int) bool { return s.words[i/64]&(1<<(i%64)) != 0 }
+
+// Count returns the number of members.
+func (s NodeSet) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clear empties the set.
+func (s NodeSet) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Members returns the set's node IDs in ascending order.
+func (s NodeSet) Members() []int {
+	var out []int
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*64+b)
+			w &^= 1 << b
+		}
+	}
+	return out
+}
+
+// Sole returns the single member if Count()==1, else -1.
+func (s NodeSet) Sole() int {
+	m := -1
+	for wi, w := range s.words {
+		if w == 0 {
+			continue
+		}
+		if m >= 0 || w&(w-1) != 0 {
+			return -1
+		}
+		m = wi*64 + bits.TrailingZeros64(w)
+	}
+	return m
+}

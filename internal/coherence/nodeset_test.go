@@ -1,0 +1,30 @@
+package coherence
+
+import "testing"
+
+func TestNodeSet(t *testing.T) {
+	s := NewNodeSet(70)
+	if s.Count() != 0 || s.Sole() != -1 {
+		t.Error("empty set wrong")
+	}
+	s.Add(3)
+	s.Add(65)
+	if !s.Has(3) || !s.Has(65) || s.Has(4) {
+		t.Error("membership wrong")
+	}
+	if s.Count() != 2 || s.Sole() != -1 {
+		t.Error("count/sole wrong")
+	}
+	got := s.Members()
+	if len(got) != 2 || got[0] != 3 || got[1] != 65 {
+		t.Errorf("members = %v", got)
+	}
+	s.Remove(3)
+	if s.Sole() != 65 {
+		t.Errorf("sole = %d", s.Sole())
+	}
+	s.Clear()
+	if s.Count() != 0 {
+		t.Error("clear failed")
+	}
+}

@@ -1,0 +1,88 @@
+package coherence
+
+import (
+	"fmt"
+
+	"cachier/internal/cache"
+)
+
+// The per-access invariant probe (Config.Probe) re-validates the coherence
+// invariants on every block a public operation touches — the accessed block
+// and any eviction victim — rather than waiting for the barrier-time
+// CheckCoherence sweep. A violation is latched in probeErr with the
+// operation that exposed it, so a differential harness can pin the fault to
+// the access that introduced it instead of the barrier that noticed it.
+//
+// The generic pass checks the cache→directory direction only: every cached
+// copy must be justified by the directory (at most one exclusive copy
+// anywhere, no shared copy alongside an exclusive one, shared holders
+// contained in the sharer set, an exclusive copy only in the registered
+// owner). The converse — every directory registration has a cached copy —
+// is deliberately NOT asserted: an in-flight prefetch legitimately
+// registers the requester in the directory before any data reaches its
+// cache, and a just-fetched block is registered between the directory
+// transition and the install. The protocol's own CheckEntry invariants
+// (pointer-count bound for DirₙNB, broadcast-bit consistency for DirₙB)
+// run after the generic pass.
+
+// ProbeError returns the first invariant violation the per-access probe
+// observed, or nil. The error is latched: once set it persists for the life
+// of the System.
+func (s *System) ProbeError() error { return s.probeErr }
+
+// probeAfter validates block's invariants after op completes; only called on
+// paths where cfg.Probe is known true or cheap to test.
+func (s *System) probeAfter(op string, block uint64) {
+	if !s.cfg.Probe || s.probeErr != nil {
+		return
+	}
+	if err := s.checkBlock(block); err != nil {
+		s.probeErr = fmt.Errorf("coherence probe (%s): after %s of block %d: %w", s.proto.Name(), op, block, err)
+	}
+}
+
+// checkBlock is the single-block core of CheckCoherence: O(nodes) per call,
+// generic invariants first, then the protocol's CheckEntry.
+func (s *System) checkBlock(block uint64) error {
+	var holders []int
+	exclCount, exclNode := 0, -1
+	for n, c := range s.caches {
+		switch c.Lookup(block) {
+		case cache.Exclusive:
+			exclCount++
+			exclNode = n
+		case cache.Shared:
+			holders = append(holders, n)
+		}
+	}
+	if exclCount > 1 {
+		return fmt.Errorf("exclusive in %d caches", exclCount)
+	}
+	if exclCount == 1 && len(holders) > 0 {
+		return fmt.Errorf("exclusive in node %d but shared in %v", exclNode, holders)
+	}
+	e := s.entryFor(block)
+	switch e.State {
+	case Idle:
+		if exclCount > 0 || len(holders) > 0 {
+			return fmt.Errorf("idle in directory but cached by %v/%d", holders, exclNode)
+		}
+	case Shared:
+		if exclCount > 0 {
+			return fmt.Errorf("shared in directory but exclusive in node %d", exclNode)
+		}
+		for _, h := range holders {
+			if !e.Sharers.Has(h) {
+				return fmt.Errorf("cached shared by node %d missing from sharer set", h)
+			}
+		}
+	case Exclusive:
+		if exclCount == 1 && exclNode != e.Owner {
+			return fmt.Errorf("owned by %d per directory but exclusive in %d", e.Owner, exclNode)
+		}
+		if len(holders) > 0 {
+			return fmt.Errorf("exclusive in directory but shared in %v", holders)
+		}
+	}
+	return s.proto.CheckEntry(s, e, block)
+}

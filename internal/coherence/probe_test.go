@@ -1,20 +1,22 @@
-package dir1sw
+package coherence_test
 
 import (
 	"strings"
 	"testing"
 
 	"cachier/internal/cache"
+	"cachier/internal/coherence"
+	"cachier/internal/dir1sw"
 )
 
-func probeSys(t *testing.T) *System {
+func probeSys(t *testing.T) *coherence.System {
 	t.Helper()
-	return MustNew(Config{
+	return dir1sw.MustNew(dir1sw.Config{
 		Nodes:     4,
 		CacheSize: 1024,
 		Assoc:     2,
 		BlockSize: 32,
-		Costs:     DefaultCosts(),
+		Costs:     coherence.DefaultCosts(),
 		Probe:     true,
 	})
 }
@@ -58,7 +60,7 @@ func TestProbeDetectsViolation(t *testing.T) {
 	now += s.Read(1, 0, now).Cycles
 	// Corrupt: promote node 1's shared copy to exclusive without telling the
 	// directory (simulates the class of protocol bug the probe exists for).
-	s.caches[1].SetState(0, cache.Exclusive)
+	s.Cache(1).SetState(0, cache.Exclusive)
 	s.Read(2, 0, now)
 	err := s.ProbeError()
 	if err == nil {
@@ -76,9 +78,9 @@ func TestProbeDetectsViolation(t *testing.T) {
 
 // TestProbeOffByDefault: without Config.Probe the probe never engages.
 func TestProbeOffByDefault(t *testing.T) {
-	s := MustNew(Config{Nodes: 2, CacheSize: 1024, Assoc: 2, BlockSize: 32, Costs: DefaultCosts()})
+	s := dir1sw.MustNew(dir1sw.Config{Nodes: 2, CacheSize: 1024, Assoc: 2, BlockSize: 32, Costs: coherence.DefaultCosts()})
 	s.Read(0, 0, 0)
-	s.caches[0].SetState(0, cache.Exclusive)
+	s.Cache(0).SetState(0, cache.Exclusive)
 	s.Read(1, 0, 0)
 	if s.ProbeError() != nil {
 		t.Fatal("probe ran despite being disabled")

@@ -1,0 +1,75 @@
+package coherence
+
+import "testing"
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+		str  string
+	}{
+		{"", Spec{Name: SpecDir1SW}, "dir1sw"},
+		{"dir1sw", Spec{Name: SpecDir1SW}, "dir1sw"},
+		{"Dir1SW", Spec{Name: SpecDir1SW}, "dir1sw"},
+		{"dirnnb", Spec{Name: SpecDirnNB, N: 4}, "dirnnb:4"},
+		{"dirnnb:1", Spec{Name: SpecDirnNB, N: 1}, "dirnnb:1"},
+		{"DirnB:8", Spec{Name: SpecDirnB, N: 8}, "dirnb:8"},
+		{" dirnb ", Spec{Name: SpecDirnB, N: 4}, "dirnb:4"},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		if got.String() != c.str {
+			t.Errorf("ParseSpec(%q).String() = %q, want %q", c.in, got.String(), c.str)
+		}
+	}
+	for _, bad := range []string{"mesi", "dir1sw:2", "dirnnb:0", "dirnnb:-1", "dirnb:x"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDirStateString(t *testing.T) {
+	for st, want := range map[DirState]string{Idle: "idle", Shared: "shared", Exclusive: "exclusive"} {
+		if st.String() != want {
+			t.Errorf("%d -> %q, want %q", int(st), st.String(), want)
+		}
+	}
+}
+
+func TestStatsAggregates(t *testing.T) {
+	s := Stats{ReqMsgs: 3, DataMsgs: 4, CtlMsgs: 5, ReadMisses: 1, WriteMisses: 2, WriteFaults: 3}
+	if s.TotalMsgs() != 12 {
+		t.Errorf("TotalMsgs = %d", s.TotalMsgs())
+	}
+	if s.Misses() != 6 {
+		t.Errorf("Misses = %d", s.Misses())
+	}
+}
+
+func TestAccessKindStrings(t *testing.T) {
+	for k, want := range map[AccessKind]string{
+		Hit: "hit", ReadMiss: "read-miss", WriteMiss: "write-miss", WriteFault: "write-fault",
+	} {
+		if k.String() != want {
+			t.Errorf("%d -> %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestCostArithmetic(t *testing.T) {
+	c := Costs{NetHop: 25, DirService: 10, MemAccess: 20, Trap: 250, InvalMsg: 8}
+	if got := c.CleanMiss(); got != 2*25+10+20 {
+		t.Errorf("CleanMiss = %d", got)
+	}
+	if got := c.Upgrade(); got != 2*25+10 {
+		t.Errorf("Upgrade = %d", got)
+	}
+}

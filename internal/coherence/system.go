@@ -1,4 +1,4 @@
-package dir1sw
+package coherence
 
 import (
 	"fmt"
@@ -8,24 +8,49 @@ import (
 	"cachier/internal/obs"
 )
 
-// dirState is a directory entry's state.
-type dirState int
+// DirState is a directory entry's state. All supported protocols share the
+// three-state directory (Idle / Shared / Exclusive); they differ in how and
+// at what cost they move entries between the states.
+type DirState int
 
 const (
-	dirIdle dirState = iota
-	dirShared
-	dirExclusive
+	Idle DirState = iota
+	Shared
+	Exclusive
 )
 
-type entry struct {
-	state   dirState
-	owner   int // valid when dirExclusive
-	sharers nodeSet
+func (d DirState) String() string {
+	switch d {
+	case Idle:
+		return "idle"
+	case Shared:
+		return "shared"
+	case Exclusive:
+		return "exclusive"
+	}
+	return fmt.Sprintf("DirState(%d)", int(d))
+}
+
+// Entry is one block's directory entry. Protocol hooks mutate State, Owner,
+// Sharers, and Bcast directly (always moving State through System.SetState
+// so transitions are recorded); pastHolders belongs to the protocol-
+// independent post-store machinery.
+type Entry struct {
+	State   DirState
+	Owner   int // valid when Exclusive
+	Sharers NodeSet
+
+	// Bcast is the broadcast bit a limited-pointer broadcast protocol
+	// (DirₙB) sets when its sharing pointers overflow: the sharer set is no
+	// longer precise in hardware, so the next write broadcasts. Only
+	// meaningful while State == Shared; SetState clears it on any
+	// transition out of Shared.
+	Bcast bool
 
 	// pastHolders tracks nodes whose copy of the block was invalidated —
 	// the KSR-1's "allocated but invalid" set that a post-store refills.
 	// Only maintained when the PostStore option is on.
-	pastHolders nodeSet
+	pastHolders NodeSet
 }
 
 // AccessKind classifies the outcome of a shared-memory access.
@@ -60,7 +85,9 @@ type Result struct {
 	Trap   bool // a software trap was taken
 }
 
-// Config configures a System.
+// Config configures a System. Protocol-specific options (Dir1SW's full-map
+// ablation, the dirn pointer counts) belong to the Protocol value passed to
+// New, not here.
 type Config struct {
 	Nodes     int
 	CacheSize int
@@ -73,16 +100,10 @@ type Config struct {
 	// broadcasts read-only copies to every node that previously had the
 	// block and lost it to an invalidation, instead of merely returning the
 	// block to Idle. Off by default — Dir1SW has no such operation — and
-	// exposed for the ablation study.
+	// exposed for the ablation study. Only meaningful with protocols whose
+	// directory tolerates an unbounded sharer set (Dir1SW); the simulator
+	// rejects the combination otherwise.
 	PostStore bool
-
-	// FullMap models a full-map hardware directory (the Dir_N class the
-	// Dir1SW work positions itself against): the directory knows every
-	// sharer, so no transition traps to software and invalidations are
-	// directed rather than broadcast. CICO directives still work but have
-	// far less to save — the ablation that shows the annotations' value is
-	// protocol-specific.
-	FullMap bool
 
 	// AddrSpace is the size in bytes of the laid-out shared address space
 	// (memory.Layout.TotalBytes). When non-zero, directory entries for
@@ -91,7 +112,8 @@ type Config struct {
 	// everything.
 	AddrSpace uint64
 
-	// Probe validates the coherence invariants on every block each public
+	// Probe validates the coherence invariants — the generic cache/directory
+	// ones plus the protocol's CheckEntry — on every block each public
 	// operation touches (see probe.go) and latches the first violation for
 	// ProbeError. O(nodes) per access — meant for differential testing, not
 	// performance runs.
@@ -104,18 +126,6 @@ type Config struct {
 	Recorder *obs.Recorder
 }
 
-// DefaultConfig is the paper's evaluated machine: 32 nodes, 256 KB 4-way
-// set-associative caches, 32-byte blocks (Section 6).
-func DefaultConfig() Config {
-	return Config{
-		Nodes:     32,
-		CacheSize: cache.DefaultSize,
-		Assoc:     cache.DefaultAssoc,
-		BlockSize: cache.DefaultBlockSize,
-		Costs:     DefaultCosts(),
-	}
-}
-
 // pending tracks an in-flight prefetch for one node.
 type pending struct {
 	arrival uint64
@@ -123,10 +133,13 @@ type pending struct {
 }
 
 // System is the full memory system: one shared-data cache per node plus the
-// Dir1SW directory. All methods are deterministic and must be called from a
-// single goroutine at a time (the simulator guarantees this).
+// directory, with the per-transition behaviour supplied by a Protocol. All
+// methods are deterministic and must be called from a single goroutine at a
+// time (the simulator guarantees this).
 type System struct {
-	cfg    Config
+	cfg   Config
+	proto Protocol
+
 	caches []*cache.Cache
 	// blockShift is log2(BlockSize) when the block size is a power of two
 	// (every real configuration), letting BlockOf shift instead of paying a
@@ -136,8 +149,8 @@ type System struct {
 	// address space (Config.AddrSpace), indexed by block number; dir is the
 	// fallback for everything else. Entries are zero-initialized to Idle and
 	// get their sharer sets on first touch.
-	dense []entry
-	dir   map[uint64]*entry
+	dense []Entry
+	dir   map[uint64]*Entry
 	// inflight[n] maps block -> pending prefetch for node n.
 	inflight []map[uint64]pending
 
@@ -145,7 +158,7 @@ type System struct {
 	// barrier): one view per cached block, stored in flat parallel arrays to
 	// keep the aggregation pass allocation-free. View i's sharer and
 	// exclusive-holder bitsets live at words [i*w, (i+1)*w) of checkHold and
-	// checkExcl, where w = words per nodeSet. Dense-range blocks find their
+	// checkExcl, where w = words per NodeSet. Dense-range blocks find their
 	// view via checkSlot (value = view index + 1, reset between calls);
 	// out-of-layout blocks go through checkIdx.
 	checkBlocks []uint64
@@ -167,18 +180,21 @@ type System struct {
 // a larger configured address space falls back to the map.
 const maxDenseBlocks = 1 << 24
 
-// New builds a System.
-func New(cfg Config) (*System, error) {
+// New builds a System running the given protocol.
+func New(cfg Config, proto Protocol) (*System, error) {
 	if cfg.Nodes <= 0 {
-		return nil, fmt.Errorf("dir1sw: need at least one node, got %d", cfg.Nodes)
+		return nil, fmt.Errorf("coherence: need at least one node, got %d", cfg.Nodes)
 	}
-	s := &System{cfg: cfg, dir: make(map[uint64]*entry), rec: cfg.Recorder, blockShift: -1}
+	if proto == nil {
+		return nil, fmt.Errorf("coherence: nil protocol")
+	}
+	s := &System{cfg: cfg, proto: proto, dir: make(map[uint64]*Entry), rec: cfg.Recorder, blockShift: -1}
 	if b := cfg.BlockSize; b > 0 && b&(b-1) == 0 {
 		s.blockShift = bits.TrailingZeros(uint(b))
 	}
 	if cfg.AddrSpace > 0 && cfg.BlockSize > 0 {
 		if blocks := (cfg.AddrSpace + uint64(cfg.BlockSize) - 1) / uint64(cfg.BlockSize); blocks <= maxDenseBlocks {
-			s.dense = make([]entry, blocks)
+			s.dense = make([]Entry, blocks)
 		}
 	}
 	for i := 0; i < cfg.Nodes; i++ {
@@ -193,8 +209,8 @@ func New(cfg Config) (*System, error) {
 }
 
 // MustNew is New but panics on error.
-func MustNew(cfg Config) *System {
-	s, err := New(cfg)
+func MustNew(cfg Config, proto Protocol) *System {
+	s, err := New(cfg, proto)
 	if err != nil {
 		panic(err)
 	}
@@ -210,8 +226,18 @@ func (s *System) BlockSize() int { return s.cfg.BlockSize }
 // CacheCapacity returns each node's cache capacity in bytes.
 func (s *System) CacheCapacity() int { return s.cfg.CacheSize }
 
-// Cache exposes a node's cache (read-only use by the simulator/tests).
+// Cache exposes a node's cache (protocol hooks, the simulator, and tests).
 func (s *System) Cache(node int) *cache.Cache { return s.caches[node] }
+
+// Costs returns the cost model.
+func (s *System) Costs() Costs { return s.cfg.Costs }
+
+// Recorder returns the observability recorder; nil (recording disabled) is
+// a valid receiver for every obs.Recorder method.
+func (s *System) Recorder() *obs.Recorder { return s.rec }
+
+// Protocol returns the protocol the system runs.
+func (s *System) Protocol() Protocol { return s.proto }
 
 // BlockOf returns the block number for an address.
 func (s *System) BlockOf(addr uint64) uint64 {
@@ -221,17 +247,17 @@ func (s *System) BlockOf(addr uint64) uint64 {
 	return addr / uint64(s.cfg.BlockSize)
 }
 
-func (s *System) entryFor(block uint64) *entry {
+func (s *System) entryFor(block uint64) *Entry {
 	if block < uint64(len(s.dense)) {
 		e := &s.dense[block]
-		if e.sharers.words == nil {
+		if e.Sharers.words == nil {
 			s.initEntry(e)
 		}
 		return e
 	}
 	e := s.dir[block]
 	if e == nil {
-		e = &entry{state: dirIdle}
+		e = &Entry{State: Idle}
 		s.initEntry(e)
 		s.dir[block] = e
 	}
@@ -239,64 +265,71 @@ func (s *System) entryFor(block uint64) *entry {
 }
 
 // initEntry gives a fresh directory entry its sharer sets.
-func (s *System) initEntry(e *entry) {
-	e.sharers = newNodeSet(s.cfg.Nodes)
+func (s *System) initEntry(e *Entry) {
+	e.Sharers = NewNodeSet(s.cfg.Nodes)
 	if s.cfg.PostStore {
-		e.pastHolders = newNodeSet(s.cfg.Nodes)
+		e.pastHolders = NewNodeSet(s.cfg.Nodes)
 	}
 }
 
-// noteInvalidated records that a node lost its copy to an invalidation, for
-// post-store's "allocated but invalid" set.
-func (s *System) noteInvalidated(e *entry, node int) {
+// NoteInvalidated records that a node lost its copy to an invalidation, for
+// post-store's "allocated but invalid" set. Protocol hooks call it for every
+// copy they invalidate.
+func (s *System) NoteInvalidated(e *Entry, node int) {
 	if s.cfg.PostStore {
-		e.pastHolders.add(node)
+		e.pastHolders.Add(node)
 	}
 }
 
-// dirOwner returns the entry's view for tests.
-func (s *System) dirView(block uint64) (state dirState, owner int, sharers []int) {
+// DirView returns the entry's directory view, for tests.
+func (s *System) DirView(block uint64) (state DirState, owner int, sharers []int) {
 	e := s.entryFor(block)
-	return e.state, e.owner, e.sharers.members()
+	return e.State, e.Owner, e.Sharers.Members()
 }
 
 // obsState maps a directory state to its observability-layer enum.
-func obsState(st dirState) obs.DirState {
+func obsState(st DirState) obs.DirState {
 	switch st {
-	case dirShared:
+	case Shared:
 		return obs.StateShared
-	case dirExclusive:
+	case Exclusive:
 		return obs.StateExclusive
 	}
 	return obs.StateIdle
 }
 
-// setState moves a directory entry to a new state, recording the
+// SetState moves a directory entry to a new state, recording the
 // transition. Exclusive-to-exclusive ownership handoffs are recorded too
 // (callers invoke it even when the state enum is unchanged but the owner
-// moves).
-func (s *System) setState(e *entry, to dirState) {
-	s.rec.DirTransition(obsState(e.state), obsState(to))
-	e.state = to
+// moves). Leaving Shared drops any broadcast bit: the sharer set is empty
+// or precisely one owner again.
+func (s *System) SetState(e *Entry, to DirState) {
+	s.rec.DirTransition(obsState(e.State), obsState(to))
+	s.Stats.DirEvents++
+	e.State = to
+	if to != Shared {
+		e.Bcast = false
+	}
 }
 
-// evict reconciles the directory with a cache eviction. Dir1SW requires
-// replacement notification so the counter stays exact.
+// evict reconciles the directory with a cache eviction. Every supported
+// protocol requires replacement notification so its sharer accounting stays
+// exact.
 func (s *System) evict(node int, v cache.Victim) {
 	if s.cfg.Probe {
 		defer s.probeAfter("evict", v.Block)
 	}
 	e := s.entryFor(v.Block)
-	switch e.state {
-	case dirShared:
-		e.sharers.remove(node)
+	switch e.State {
+	case Shared:
+		e.Sharers.Remove(node)
 		s.Stats.CtlMsgs++ // replacement notification
-		if e.sharers.count() == 0 {
-			s.setState(e, dirIdle)
+		if e.Sharers.Count() == 0 {
+			s.SetState(e, Idle)
 		}
-	case dirExclusive:
-		if e.owner == node {
-			s.setState(e, dirIdle)
+	case Exclusive:
+		if e.Owner == node {
+			s.SetState(e, Idle)
 			if v.Dirty {
 				s.Stats.Writebacks++
 				s.Stats.DataMsgs++
@@ -314,10 +347,10 @@ func (s *System) install(node int, block uint64, st cache.State) {
 	}
 }
 
-// cancelInflight drops a node's in-flight prefetch of block, if any. Used
-// when another node's access invalidates or downgrades the block before the
-// prefetched data was consumed.
-func (s *System) cancelInflight(node int, block uint64) {
+// CancelInflight drops a node's in-flight prefetch of block, if any. Called
+// by protocol hooks when another node's access invalidates or downgrades
+// the block before the prefetched data was consumed.
+func (s *System) CancelInflight(node int, block uint64) {
 	delete(s.inflight[node], block)
 }
 
@@ -347,6 +380,29 @@ func (s *System) checkInflight(node int, block uint64, now uint64, needExclusive
 	return stall, true
 }
 
+// fetchShared acquires a read-only copy for node via the protocol; the
+// caller installs it.
+func (s *System) fetchShared(node int, block uint64) (cost uint64, trap bool) {
+	e := s.entryFor(block)
+	s.Stats.ReqMsgs++
+	return s.proto.FetchShared(s, e, block, node)
+}
+
+// fetchExclusive acquires a writable copy for node via the protocol; the
+// caller installs it.
+func (s *System) fetchExclusive(node int, block uint64) (cost uint64, trap bool) {
+	e := s.entryFor(block)
+	s.Stats.ReqMsgs++
+	return s.proto.FetchExclusive(s, e, block, node)
+}
+
+// upgrade makes node's shared copy exclusive via the protocol.
+func (s *System) upgrade(node int, block uint64) (cost uint64, trap bool) {
+	e := s.entryFor(block)
+	s.Stats.ReqMsgs++
+	return s.proto.Upgrade(s, e, block, node)
+}
+
 // Read performs a shared-data read by node at addr, at local time now.
 func (s *System) Read(node int, addr uint64, now uint64) Result {
 	s.Stats.Reads++
@@ -371,42 +427,6 @@ func (s *System) Read(node int, addr uint64, now uint64) Result {
 	}
 	s.install(node, block, cache.Shared)
 	return Result{Cycles: cost, Kind: ReadMiss, Trap: trap}
-}
-
-// fetchShared acquires a read-only copy for node; the caller installs it.
-func (s *System) fetchShared(node int, block uint64) (cost uint64, trap bool) {
-	co := s.cfg.Costs
-	e := s.entryFor(block)
-	s.Stats.ReqMsgs++
-	switch e.state {
-	case dirIdle:
-		s.setState(e, dirShared)
-		e.sharers.add(node)
-		s.Stats.DataMsgs++
-		return co.cleanMiss(), false
-	case dirShared:
-		e.sharers.add(node)
-		s.Stats.DataMsgs++
-		return co.cleanMiss(), false
-	default: // dirExclusive by another node: trap, downgrade owner
-		owner := e.owner
-		s.cancelInflight(owner, block)
-		if s.caches[owner].Dirty(block) {
-			s.Stats.Writebacks++
-		}
-		s.caches[owner].SetState(block, cache.Shared)
-		s.setState(e, dirShared)
-		e.sharers.clear()
-		e.sharers.add(owner)
-		e.sharers.add(node)
-		s.Stats.CtlMsgs += 2 // downgrade request + ack
-		s.Stats.DataMsgs += 2
-		if s.cfg.FullMap {
-			return 4*co.NetHop + co.DirService + co.MemAccess, false
-		}
-		s.rec.Trap(obs.TrapDowngrade)
-		return co.Trap + 4*co.NetHop + co.DirService + co.MemAccess, true
-	}
 }
 
 // Write performs a shared-data write by node at addr, at local time now.
@@ -449,109 +469,6 @@ func (s *System) Write(node int, addr uint64, now uint64) Result {
 	s.install(node, block, cache.Exclusive)
 	c.MarkDirty(block)
 	return Result{Cycles: cost, Kind: WriteMiss, Trap: trap}
-}
-
-// upgrade makes node's shared copy exclusive, invalidating other sharers.
-// Dir1SW keeps one pointer plus a counter: when the requester is the sole
-// sharer the pointer check succeeds in hardware; otherwise software traps
-// and, because the counter does not say who the sharers are, BROADCASTS
-// invalidations to every other node (the protocol's key weakness, and the
-// reason check-ins pay off).
-func (s *System) upgrade(node int, block uint64) (cost uint64, trap bool) {
-	co := s.cfg.Costs
-	e := s.entryFor(block)
-	s.Stats.ReqMsgs++
-	others := 0
-	for _, sh := range e.sharers.members() {
-		if sh != node {
-			s.cancelInflight(sh, block)
-			s.caches[sh].Invalidate(block)
-			s.noteInvalidated(e, sh)
-			s.Stats.Invalidations++
-			others++
-		}
-	}
-	s.setState(e, dirExclusive)
-	e.owner = node
-	e.sharers.clear()
-	s.rec.Invalidations(node, uint64(others))
-	if others == 0 {
-		// Pointer check succeeds: hardware handles the sole-sharer upgrade.
-		return co.upgrade(), false
-	}
-	if s.cfg.FullMap {
-		// Full-map directory: directed invalidations in hardware, no trap.
-		s.Stats.CtlMsgs += 2 * uint64(others)
-		return co.upgrade() + uint64(others)*co.InvalMsg, false
-	}
-	bcast := uint64(s.cfg.Nodes - 1)
-	s.Stats.CtlMsgs += 2 * bcast // broadcast invalidations + acks
-	s.rec.Trap(obs.TrapUpgrade)
-	return co.Trap + co.upgrade() + bcast*co.InvalMsg, true
-}
-
-// fetchExclusive acquires a writable copy for node; the caller installs it.
-func (s *System) fetchExclusive(node int, block uint64) (cost uint64, trap bool) {
-	co := s.cfg.Costs
-	e := s.entryFor(block)
-	s.Stats.ReqMsgs++
-	switch e.state {
-	case dirIdle:
-		s.setState(e, dirExclusive)
-		e.owner = node
-		s.Stats.DataMsgs++
-		return co.cleanMiss(), false
-	case dirShared:
-		n := 0
-		for _, sh := range e.sharers.members() {
-			if sh != node {
-				s.cancelInflight(sh, block)
-				s.caches[sh].Invalidate(block)
-				s.noteInvalidated(e, sh)
-				s.Stats.Invalidations++
-				n++
-			}
-		}
-		s.setState(e, dirExclusive)
-		e.owner = node
-		e.sharers.clear()
-		s.rec.Invalidations(node, uint64(n))
-		s.Stats.DataMsgs++
-		if n == 0 {
-			return co.cleanMiss(), false
-		}
-		if s.cfg.FullMap {
-			s.Stats.CtlMsgs += 2 * uint64(n)
-			return co.cleanMiss() + uint64(n)*co.InvalMsg, false
-		}
-		// Trap + broadcast: the counter does not identify the sharers.
-		bcast := uint64(s.cfg.Nodes - 1)
-		s.Stats.CtlMsgs += 2 * bcast
-		s.rec.Trap(obs.TrapWriteBroadcast)
-		return co.Trap + co.cleanMiss() + bcast*co.InvalMsg, true
-	default: // dirExclusive by another node
-		owner := e.owner
-		s.cancelInflight(owner, block)
-		if s.caches[owner].Dirty(block) {
-			s.Stats.Writebacks++
-		}
-		s.caches[owner].Invalidate(block)
-		s.noteInvalidated(e, owner)
-		s.Stats.Invalidations++
-		// An ownership handoff is a transition even though the state enum
-		// is unchanged.
-		s.setState(e, dirExclusive)
-		e.owner = node
-		s.rec.Invalidations(node, 1)
-		s.Stats.CtlMsgs += 2
-		s.Stats.DataMsgs += 2
-		if s.cfg.FullMap {
-			// Hardware forwarding: same messages, no software trap.
-			return 4*co.NetHop + co.DirService + co.MemAccess, false
-		}
-		s.rec.Trap(obs.TrapSteal)
-		return co.Trap + 4*co.NetHop + co.DirService + co.MemAccess, true
-	}
 }
 
 // CheckOutX explicitly checks out addr's block exclusive. It is the
@@ -641,16 +558,16 @@ func (s *System) CheckIn(node int, addr uint64) Result {
 	}
 	e := s.entryFor(block)
 	cost := co.DirectiveOverhead
-	switch e.state {
-	case dirShared:
-		e.sharers.remove(node)
+	switch e.State {
+	case Shared:
+		e.Sharers.Remove(node)
 		s.Stats.CtlMsgs++
-		if e.sharers.count() == 0 {
-			s.setState(e, dirIdle)
+		if e.Sharers.Count() == 0 {
+			s.SetState(e, Idle)
 		}
-	case dirExclusive:
-		if e.owner == node {
-			s.setState(e, dirIdle)
+	case Exclusive:
+		if e.Owner == node {
+			s.SetState(e, Idle)
 			if dirty {
 				s.Stats.Writebacks++
 				s.Stats.DataMsgs++
@@ -671,8 +588,8 @@ func (s *System) CheckIn(node int, addr uint64) Result {
 // refill copies that are "allocated but in the invalid state"). The pushes
 // are asynchronous — the issuing processor does not stall — but each data
 // message is counted, and recipients become directory sharers.
-func (s *System) postStore(e *entry, block uint64, node int) {
-	for _, h := range e.pastHolders.members() {
+func (s *System) postStore(e *Entry, block uint64, node int) {
+	for _, h := range e.pastHolders.Members() {
 		if h == node {
 			continue
 		}
@@ -684,14 +601,14 @@ func (s *System) postStore(e *entry, block uint64, node int) {
 			continue
 		}
 		s.install(h, block, cache.Shared)
-		if e.state == dirIdle {
-			s.setState(e, dirShared)
+		if e.State == Idle {
+			s.SetState(e, Shared)
 		}
-		e.sharers.add(h)
+		e.Sharers.Add(h)
 		s.Stats.DataMsgs++
 		s.Stats.PostStores++
 	}
-	e.pastHolders.clear()
+	e.pastHolders.Clear()
 }
 
 // Prefetch initiates a non-blocking transfer of addr's block; exclusive
@@ -750,15 +667,15 @@ func (s *System) Prefetch(node int, addr uint64, now uint64, exclusive bool) Res
 func (s *System) FlushNode(node int) {
 	s.caches[node].FlushAll(func(block uint64, st cache.State, dirty bool) {
 		e := s.entryFor(block)
-		switch e.state {
-		case dirShared:
-			e.sharers.remove(node)
-			if e.sharers.count() == 0 {
-				s.setState(e, dirIdle)
+		switch e.State {
+		case Shared:
+			e.Sharers.Remove(node)
+			if e.Sharers.Count() == 0 {
+				s.SetState(e, Idle)
 			}
-		case dirExclusive:
-			if e.owner == node {
-				s.setState(e, dirIdle)
+		case Exclusive:
+			if e.Owner == node {
+				s.SetState(e, Idle)
 				if dirty {
 					s.Stats.Writebacks++
 				}
@@ -769,15 +686,15 @@ func (s *System) FlushNode(node int) {
 	// happened, so release them as if installed then flushed.
 	for block := range s.inflight[node] {
 		e := s.entryFor(block)
-		switch e.state {
-		case dirShared:
-			e.sharers.remove(node)
-			if e.sharers.count() == 0 {
-				s.setState(e, dirIdle)
+		switch e.State {
+		case Shared:
+			e.Sharers.Remove(node)
+			if e.Sharers.Count() == 0 {
+				s.SetState(e, Idle)
 			}
-		case dirExclusive:
-			if e.owner == node {
-				s.setState(e, dirIdle)
+		case Exclusive:
+			if e.Owner == node {
+				s.SetState(e, Idle)
 			}
 		}
 		delete(s.inflight[node], block)
@@ -785,15 +702,19 @@ func (s *System) FlushNode(node int) {
 }
 
 // CheckCoherence validates the protocol invariants: at most one exclusive
-// copy per block; cache states consistent with the directory. It returns an
-// error describing the first violation found. Tests and the simulator's
-// self-checks call this.
+// copy per block; cache states consistent with the directory; plus whatever
+// the protocol's CheckEntry adds (pointer-count bounds, broadcast-bit
+// consistency). It returns an error describing the first violation found.
+// Tests and the simulator's self-checks call this.
 //
 // The walk is driven by the caches' resident lines, O(resident) rather than
 // O(touched blocks × nodes): a directory entry with no cached copy passes
-// every invariant vacuously (Idle and Shared place no requirement without
-// holders, and an Exclusive entry only constrains copies that exist), so
-// only blocks that are actually cached somewhere need inspection.
+// the generic invariants vacuously (Idle and Shared place no requirement
+// without holders, and an Exclusive entry only constrains copies that
+// exist), so only blocks that are actually cached somewhere need
+// inspection. Protocol invariants constrain only the entry itself, so an
+// uncached block's entry cannot newly violate them either (it last changed
+// while probed or cached).
 func (s *System) CheckCoherence() error {
 	// Reset the slot scratch from the previous call's touched blocks, then
 	// rebuild the view list. The reset is O(previously cached blocks).
@@ -863,42 +784,45 @@ func (s *System) CheckCoherence() error {
 	}
 	s.checkBlocks, s.checkHold, s.checkExcl = blocks, hold, excl
 	for i, block := range blocks {
-		// Wrapping the arena windows in nodeSet reuses its ascending-order
-		// members() for error formatting; the happy path only pops counts.
-		holders := nodeSet{words: hold[i*w : (i+1)*w]}
-		exclusive := nodeSet{words: excl[i*w : (i+1)*w]}
-		ne := exclusive.count()
-		nh := holders.count()
+		// Wrapping the arena windows in NodeSet reuses its ascending-order
+		// Members() for error formatting; the happy path only pops counts.
+		holders := NodeSet{words: hold[i*w : (i+1)*w]}
+		exclusive := NodeSet{words: excl[i*w : (i+1)*w]}
+		ne := exclusive.Count()
+		nh := holders.Count()
 		if ne > 1 {
 			return fmt.Errorf("block %d exclusive in %d caches", block, ne)
 		}
 		if ne == 1 && nh > 0 {
-			return fmt.Errorf("block %d exclusive in node %d but shared in %v", block, exclusive.sole(), holders.members())
+			return fmt.Errorf("block %d exclusive in node %d but shared in %v", block, exclusive.Sole(), holders.Members())
 		}
 		e := s.entryFor(block)
-		switch e.state {
-		case dirIdle:
-			return fmt.Errorf("block %d idle in directory but cached by %v/%v", block, holders.members(), exclusive.members())
-		case dirShared:
+		switch e.State {
+		case Idle:
+			return fmt.Errorf("block %d idle in directory but cached by %v/%v", block, holders.Members(), exclusive.Members())
+		case Shared:
 			if ne > 0 {
-				return fmt.Errorf("block %d shared in directory but exclusive in node %d", block, exclusive.sole())
+				return fmt.Errorf("block %d shared in directory but exclusive in node %d", block, exclusive.Sole())
 			}
 			for hw, word := range holders.words {
 				for word != 0 {
 					h := hw*64 + bits.TrailingZeros64(word)
-					if !e.sharers.has(h) {
+					if !e.Sharers.Has(h) {
 						return fmt.Errorf("block %d cached shared by node %d missing from sharer set", block, h)
 					}
 					word &= word - 1
 				}
 			}
-		case dirExclusive:
-			if ne == 1 && exclusive.sole() != e.owner {
-				return fmt.Errorf("block %d owned by %d per directory but exclusive in %d", block, e.owner, exclusive.sole())
+		case Exclusive:
+			if ne == 1 && exclusive.Sole() != e.Owner {
+				return fmt.Errorf("block %d owned by %d per directory but exclusive in %d", block, e.Owner, exclusive.Sole())
 			}
 			if nh > 0 {
-				return fmt.Errorf("block %d exclusive in directory but shared in %v", block, holders.members())
+				return fmt.Errorf("block %d exclusive in directory but shared in %v", block, holders.Members())
 			}
+		}
+		if err := s.proto.CheckEntry(s, e, block); err != nil {
+			return fmt.Errorf("block %d: %s: %w", block, s.proto.Name(), err)
 		}
 	}
 	return nil

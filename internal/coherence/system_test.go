@@ -1,16 +1,26 @@
-package dir1sw
+package coherence_test
+
+// The behavioural tests for the shared memory system drive it through the
+// Dir1SW protocol (the paper's, and the machinery's original home): hits,
+// misses, directives, prefetch bookkeeping, evictions, flushes, and the
+// coherence checker are protocol-independent, and Dir1SW's trap behaviour
+// makes the expected costs easy to pin. Protocol-specific behaviour is
+// tested in internal/dir1sw and internal/dirn.
 
 import (
 	"testing"
 	"testing/quick"
+
+	"cachier/internal/coherence"
+	"cachier/internal/dir1sw"
 )
 
-func sys(t *testing.T, nodes int) *System {
+func sys(t *testing.T, nodes int) *coherence.System {
 	t.Helper()
-	cfg := DefaultConfig()
+	cfg := dir1sw.DefaultConfig()
 	cfg.Nodes = nodes
 	cfg.CacheSize = 1024 // small: 1024B = 8 sets x 4 ways x 32B
-	s, err := New(cfg)
+	s, err := dir1sw.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,15 +29,16 @@ func sys(t *testing.T, nodes int) *System {
 
 func TestReadMissThenHit(t *testing.T) {
 	s := sys(t, 2)
+	co := coherence.DefaultCosts()
 	r := s.Read(0, 64, 0)
-	if r.Kind != ReadMiss || r.Trap {
+	if r.Kind != coherence.ReadMiss || r.Trap {
 		t.Fatalf("first read: %+v", r)
 	}
-	if r.Cycles != s.cfg.Costs.cleanMiss() {
+	if r.Cycles != co.CleanMiss() {
 		t.Errorf("clean miss cost %d", r.Cycles)
 	}
 	r = s.Read(0, 72, 10) // same 32B block
-	if r.Kind != Hit || r.Cycles != s.cfg.Costs.CacheHit {
+	if r.Kind != coherence.Hit || r.Cycles != co.CacheHit {
 		t.Errorf("second read: %+v", r)
 	}
 	if s.Stats.ReadMisses != 1 || s.Stats.Hits != 1 {
@@ -37,19 +48,20 @@ func TestReadMissThenHit(t *testing.T) {
 
 func TestWriteFaultUpgrade(t *testing.T) {
 	s := sys(t, 2)
+	co := coherence.DefaultCosts()
 	s.Read(0, 64, 0)
 	r := s.Write(0, 64, 10)
-	if r.Kind != WriteFault {
+	if r.Kind != coherence.WriteFault {
 		t.Fatalf("write after read: %+v", r)
 	}
 	if r.Trap {
 		t.Error("sole-sharer upgrade should not trap (Dir1SW pointer check)")
 	}
-	if r.Cycles != s.cfg.Costs.upgrade() {
+	if r.Cycles != co.Upgrade() {
 		t.Errorf("upgrade cost %d", r.Cycles)
 	}
 	// Now exclusive: further writes hit.
-	if r := s.Write(0, 64, 20); r.Kind != Hit {
+	if r := s.Write(0, 64, 20); r.Kind != coherence.Hit {
 		t.Errorf("write to exclusive: %+v", r)
 	}
 }
@@ -60,14 +72,14 @@ func TestWriteFaultWithOtherSharersTraps(t *testing.T) {
 	s.Read(1, 64, 0)
 	s.Read(2, 64, 0)
 	r := s.Write(0, 64, 10)
-	if r.Kind != WriteFault || !r.Trap {
+	if r.Kind != coherence.WriteFault || !r.Trap {
 		t.Fatalf("upgrade with sharers: %+v", r)
 	}
 	if s.Stats.Invalidations != 2 {
 		t.Errorf("invalidations = %d, want 2", s.Stats.Invalidations)
 	}
 	// Other sharers lost their copies.
-	if r := s.Read(1, 64, 20); r.Kind != ReadMiss {
+	if r := s.Read(1, 64, 20); r.Kind != coherence.ReadMiss {
 		t.Errorf("node 1 after invalidation: %+v", r)
 	}
 	if err := s.CheckCoherence(); err != nil {
@@ -79,14 +91,14 @@ func TestReadFromExclusiveTrapsAndDowngrades(t *testing.T) {
 	s := sys(t, 2)
 	s.Write(0, 64, 0)
 	r := s.Read(1, 64, 10)
-	if r.Kind != ReadMiss || !r.Trap {
+	if r.Kind != coherence.ReadMiss || !r.Trap {
 		t.Fatalf("read of remote-exclusive: %+v", r)
 	}
 	if s.Stats.Writebacks != 1 {
 		t.Errorf("writebacks = %d (dirty owner copy must be written back)", s.Stats.Writebacks)
 	}
 	// Both nodes now share.
-	if r := s.Read(0, 64, 20); r.Kind != Hit {
+	if r := s.Read(0, 64, 20); r.Kind != coherence.Hit {
 		t.Errorf("owner post-downgrade: %+v", r)
 	}
 	if err := s.CheckCoherence(); err != nil {
@@ -98,10 +110,10 @@ func TestWriteToRemoteExclusiveTraps(t *testing.T) {
 	s := sys(t, 2)
 	s.Write(0, 64, 0)
 	r := s.Write(1, 64, 10)
-	if r.Kind != WriteMiss || !r.Trap {
+	if r.Kind != coherence.WriteMiss || !r.Trap {
 		t.Fatalf("write steal: %+v", r)
 	}
-	if r := s.Write(0, 64, 20); r.Kind != WriteMiss {
+	if r := s.Write(0, 64, 20); r.Kind != coherence.WriteMiss {
 		t.Errorf("node 0 lost its copy, expected write miss: %+v", r)
 	}
 	if err := s.CheckCoherence(); err != nil {
@@ -148,7 +160,7 @@ func TestCheckInAvoidsInvalidationTrap(t *testing.T) {
 	if r.Trap {
 		t.Error("write after check-in should not trap")
 	}
-	if r.Kind != WriteMiss {
+	if r.Kind != coherence.WriteMiss {
 		t.Errorf("kind = %v", r.Kind)
 	}
 	if cico.Stats.Writebacks != 1 {
@@ -184,13 +196,14 @@ func TestWastedDirectives(t *testing.T) {
 
 func TestPrefetchOverlapsLatency(t *testing.T) {
 	s := sys(t, 2)
+	co := coherence.DefaultCosts()
 	r := s.Prefetch(0, 64, 0, false)
-	if r.Cycles != s.cfg.Costs.PrefetchIssue {
+	if r.Cycles != co.PrefetchIssue {
 		t.Fatalf("prefetch issue cost %d", r.Cycles)
 	}
 	// Access long after arrival: full hit.
 	r = s.Read(0, 64, 10_000)
-	if r.Kind != Hit || r.Cycles != s.cfg.Costs.CacheHit {
+	if r.Kind != coherence.Hit || r.Cycles != co.CacheHit {
 		t.Errorf("post-arrival read: %+v", r)
 	}
 	if s.Stats.PrefetchHits != 1 {
@@ -200,9 +213,9 @@ func TestPrefetchOverlapsLatency(t *testing.T) {
 	// Access before arrival: partial stall.
 	s2 := sys(t, 2)
 	s2.Prefetch(0, 64, 0, false)
-	lat := s2.cfg.Costs.cleanMiss()
+	lat := co.CleanMiss()
 	r = s2.Read(0, 64, lat/2)
-	want := lat - lat/2 + s2.cfg.Costs.CacheHit
+	want := lat - lat/2 + co.CacheHit
 	if r.Cycles != want {
 		t.Errorf("partial stall = %d, want %d", r.Cycles, want)
 	}
@@ -212,7 +225,7 @@ func TestPrefetchSharedDoesNotSatisfyWrite(t *testing.T) {
 	s := sys(t, 2)
 	s.Prefetch(0, 64, 0, false)
 	r := s.Write(0, 64, 10_000)
-	if r.Kind == Hit {
+	if r.Kind == coherence.Hit {
 		t.Errorf("shared prefetch satisfied a write: %+v", r)
 	}
 	if err := s.CheckCoherence(); err != nil {
@@ -226,7 +239,7 @@ func TestPrefetchInvalidatedBeforeUse(t *testing.T) {
 	// Node 1 steals the block before node 0 consumes the prefetch.
 	s.Write(1, 64, 5)
 	r := s.Read(0, 64, 10_000)
-	if r.Kind != ReadMiss {
+	if r.Kind != coherence.ReadMiss {
 		t.Errorf("read after stolen prefetch: %+v", r)
 	}
 	if err := s.CheckCoherence(); err != nil {
@@ -235,11 +248,11 @@ func TestPrefetchInvalidatedBeforeUse(t *testing.T) {
 }
 
 func TestEvictionNotifiesDirectory(t *testing.T) {
-	cfg := DefaultConfig()
+	cfg := dir1sw.DefaultConfig()
 	cfg.Nodes = 2
 	cfg.CacheSize = 128 // 1 set x 4 ways
 	cfg.Assoc = 4
-	s := MustNew(cfg)
+	s := dir1sw.MustNew(cfg)
 	// Fill the single set, then one more insert evicts the LRU block.
 	for i := 0; i < 5; i++ {
 		s.Read(0, uint64(64+32*i), 0)
@@ -290,11 +303,11 @@ func TestCoherenceUnderRandomOps(t *testing.T) {
 		Which uint8
 	}
 	f := func(ops []op) bool {
-		cfg := DefaultConfig()
+		cfg := dir1sw.DefaultConfig()
 		cfg.Nodes = 4
 		cfg.CacheSize = 256 // tiny: forces evictions
 		cfg.Assoc = 2
-		s := MustNew(cfg)
+		s := dir1sw.MustNew(cfg)
 		now := uint64(0)
 		for _, o := range ops {
 			node := int(o.Node) % 4
@@ -320,42 +333,31 @@ func TestCoherenceUnderRandomOps(t *testing.T) {
 	}
 }
 
-func TestNodeSet(t *testing.T) {
-	s := newNodeSet(70)
-	if s.count() != 0 || s.sole() != -1 {
-		t.Error("empty set wrong")
+func TestDirView(t *testing.T) {
+	s := sys(t, 3)
+	s.Read(1, 64, 0)
+	s.Read(2, 64, 0)
+	if st, _, sh := s.DirView(2); st != coherence.Shared || len(sh) != 2 {
+		t.Errorf("after two reads: state %v sharers %v", st, sh)
 	}
-	s.add(3)
-	s.add(65)
-	if !s.has(3) || !s.has(65) || s.has(4) {
-		t.Error("membership wrong")
-	}
-	if s.count() != 2 || s.sole() != -1 {
-		t.Error("count/sole wrong")
-	}
-	got := s.members()
-	if len(got) != 2 || got[0] != 3 || got[1] != 65 {
-		t.Errorf("members = %v", got)
-	}
-	s.remove(3)
-	if s.sole() != 65 {
-		t.Errorf("sole = %d", s.sole())
-	}
-	s.clear()
-	if s.count() != 0 {
-		t.Error("clear failed")
+	s.Write(0, 64, 10)
+	if st, owner, sh := s.DirView(2); st != coherence.Exclusive || owner != 0 || len(sh) != 0 {
+		t.Errorf("after write: state %v owner %d sharers %v", st, owner, sh)
 	}
 }
 
 func TestBadConfig(t *testing.T) {
-	cfg := DefaultConfig()
+	cfg := dir1sw.DefaultConfig()
 	cfg.Nodes = 0
-	if _, err := New(cfg); err == nil {
+	if _, err := dir1sw.New(cfg); err == nil {
 		t.Error("zero nodes accepted")
 	}
-	cfg = DefaultConfig()
+	cfg = dir1sw.DefaultConfig()
 	cfg.CacheSize = 100
-	if _, err := New(cfg); err == nil {
+	if _, err := dir1sw.New(cfg); err == nil {
 		t.Error("bad cache size accepted")
+	}
+	if _, err := coherence.New(coherence.Config{Nodes: 2, CacheSize: 1024, Assoc: 2, BlockSize: 32}, nil); err == nil {
+		t.Error("nil protocol accepted")
 	}
 }

@@ -54,6 +54,40 @@ func TestParallelEquivalenceCorpus(t *testing.T) {
 	}
 }
 
+// TestProtocolEquivalenceCorpus runs the cross-protocol differential over
+// the full corpus: every seed's program, plain and annotated, under Dir1SW,
+// Dir1NB, Dir4NB, and Dir4B with protocol-specific invariant probes on —
+// all oracle-identical, differing only in time.
+func TestProtocolEquivalenceCorpus(t *testing.T) {
+	for seed := int64(0); seed < corpusSize; seed++ {
+		seed := seed
+		t.Run(seedName(seed), func(t *testing.T) {
+			t.Parallel()
+			if err := RunProtocolEquivalence(seed); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		})
+	}
+}
+
+// TestProtocolParallelCorpus keeps the epoch-parallel engine bit-identical
+// to the sequential scheduler under every non-default protocol (the default
+// is TestParallelEquivalenceCorpus's full-corpus job).
+func TestProtocolParallelCorpus(t *testing.T) {
+	for _, spec := range []string{"dirnnb:4", "dirnb:4"} {
+		spec := spec
+		for seed := int64(0); seed < 50; seed++ {
+			seed := seed
+			t.Run(spec+"/"+seedName(seed), func(t *testing.T) {
+				t.Parallel()
+				if err := RunParallelProtocol(seed, spec); err != nil {
+					t.Fatalf("seed %d under %s: %v", seed, spec, err)
+				}
+			})
+		}
+	}
+}
+
 func seedName(seed int64) string {
 	const digits = "0123456789"
 	if seed == 0 {
@@ -102,6 +136,19 @@ func FuzzParallelEquivalence(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, seed int64) {
 		if err := RunParallelEquivalence(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzProtocolEquivalence fuzzes the cross-protocol differential over the
+// generator's seed space.
+func FuzzProtocolEquivalence(f *testing.F) {
+	for seed := int64(0); seed < 10; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if err := RunProtocolEquivalence(seed); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -268,7 +268,7 @@ func RunAnnotatedEquivalence(seed int64) error {
 // fallback is legal but the fallback result must still match exactly.
 func RunParallelEquivalence(seed int64) error {
 	src := parcgen.Generate(seed)
-	if err := checkParallelSource("plain", src); err != nil {
+	if err := checkParallelSource("plain", src, ""); err != nil {
 		return err
 	}
 	prog, err := parseChecked(src)
@@ -283,12 +283,13 @@ func RunParallelEquivalence(seed int64) error {
 	if err != nil {
 		return fmt.Errorf("annotate: %w", err)
 	}
-	return checkParallelSource("annotated", res.Source)
+	return checkParallelSource("annotated", res.Source, "")
 }
 
-// checkParallelSource runs one source text on both engines and diffs every
-// observable surface.
-func checkParallelSource(name, src string) error {
+// checkParallelSource runs one source text on both engines, under the given
+// coherence protocol spec ("" is Dir1SW), and diffs every observable
+// surface.
+func checkParallelSource(name, src, protocol string) error {
 	prog, err := parseChecked(src)
 	if err != nil {
 		return fmt.Errorf("%s: source invalid: %w\n%s", name, err, src)
@@ -296,6 +297,7 @@ func checkParallelSource(name, src string) error {
 	run := func(parallel int) (*sim.Result, *obs.Recorder, error) {
 		cfg := simConfig(sim.ModePerf)
 		cfg.Parallel = parallel
+		cfg.Protocol = protocol
 		cfg.Recorder = obs.New(cfg.Nodes, cfg.BlockSize)
 		cfg.Recorder.EnableTimeline()
 		res, err := sim.Run(prog, cfg)

@@ -23,6 +23,11 @@ type ProtocolStats struct {
 	Invalidations uint64 `json:"invalidations"`
 	Writebacks    uint64 `json:"writebacks"`
 
+	// DirEvents counts directory state transitions performed by the
+	// protocol; omitted on snapshots replayed without a live directory
+	// (tracestat) and on pre-protocol golden files.
+	DirEvents uint64 `json:"dir_events,omitempty"`
+
 	ReqMsgs  uint64 `json:"req_msgs"`
 	DataMsgs uint64 `json:"data_msgs"`
 	CtlMsgs  uint64 `json:"ctl_msgs"`
@@ -167,6 +172,11 @@ type Snapshot struct {
 	Cycles    uint64 `json:"cycles"`
 	Barriers  int    `json:"barriers"`
 
+	// ProtocolName identifies the coherence protocol that produced the run
+	// ("Dir1SW", "Dir4NB", "Dir4B", ...). Empty on snapshots replayed
+	// without a live directory and on pre-protocol golden files.
+	ProtocolName string `json:"protocol_name,omitempty"`
+
 	Protocol   ProtocolStats    `json:"protocol"`
 	Directory  DirectoryStats   `json:"directory"`
 	Interp     InterpStats      `json:"interp"`
@@ -292,6 +302,18 @@ func (s *Snapshot) CheckConsistency() error {
 	}
 	if causes != p.Traps {
 		return fmt.Errorf("obs: trap causes sum to %d, protocol took %d traps", causes, p.Traps)
+	}
+	// Live-directory snapshots record every SetState twice: the protocol
+	// counts DirEvents, the recorder tallies the (from, to) transition.
+	// DirEvents == 0 marks a replayed or legacy snapshot with no directory.
+	if p.DirEvents > 0 {
+		var trans uint64
+		for _, tr := range s.Directory.Transitions {
+			trans += tr.Count
+		}
+		if trans != p.DirEvents {
+			return fmt.Errorf("obs: directory transitions sum to %d, protocol counted %d events", trans, p.DirEvents)
+		}
 	}
 	dirWant := map[string]uint64{
 		DirCheckOutX.String(): p.CheckOutX,

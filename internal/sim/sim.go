@@ -29,7 +29,9 @@ import (
 	"errors"
 	"fmt"
 
+	"cachier/internal/coherence"
 	"cachier/internal/dir1sw"
+	"cachier/internal/dirn"
 	"cachier/internal/interp"
 	"cachier/internal/memory"
 	"cachier/internal/obs"
@@ -93,8 +95,16 @@ type Config struct {
 	PostStore bool
 
 	// FullMap swaps Dir1SW for a full-map hardware directory (see
-	// dir1sw.Config.FullMap); used by the protocol-sensitivity ablation.
+	// dir1sw.Protocol); used by the protocol-sensitivity ablation. Only
+	// meaningful with the Dir1SW protocol.
 	FullMap bool
+
+	// Protocol selects the coherence protocol by spec string (see
+	// coherence.ParseSpec): "dir1sw" (the default for ""), "dirnnb[:n]"
+	// (n-pointer, broadcast-free), or "dirnb[:n]" (n-pointer, broadcast on
+	// overflow). FullMap and PostStore are Dir1SW-specific and reject any
+	// other protocol.
+	Protocol string
 
 	// Probe enables the Dir1SW per-access invariant probe
 	// (dir1sw.Config.Probe): every access and directive re-validates the
@@ -156,6 +166,10 @@ type Result struct {
 	// "sequential", "parallel", or "sequential (conflict fallback)" when a
 	// Parallel run hit a speculation conflict and was re-run sequentially.
 	Engine string
+
+	// Protocol is the coherence protocol's display name ("Dir1SW",
+	// "FullMap", "Dir4NB", "Dir4B", ...).
+	Protocol string
 
 	Cycles     uint64   // execution time: max node completion clock
 	NodeCycles []uint64 // per-node completion clocks
@@ -370,18 +384,21 @@ func newMachine(prog *parc.Program, cfg Config) (*Machine, []*interp.Context, er
 	if err != nil {
 		return nil, nil, err
 	}
-	sys, err := dir1sw.New(dir1sw.Config{
+	proto, err := protocolFor(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	sys, err := coherence.New(coherence.Config{
 		Nodes:     cfg.Nodes,
 		CacheSize: cfg.CacheSize,
 		Assoc:     cfg.Assoc,
 		BlockSize: cfg.BlockSize,
 		Costs:     cfg.Costs,
 		PostStore: cfg.PostStore,
-		FullMap:   cfg.FullMap,
 		AddrSpace: layout.TotalBytes(),
 		Probe:     cfg.Probe,
 		Recorder:  cfg.Recorder,
-	})
+	}, proto)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -416,6 +433,31 @@ func newMachine(prog *parc.Program, cfg Config) (*Machine, []*interp.Context, er
 	return m, ctxs, nil
 }
 
+// protocolFor resolves Config.Protocol (plus the Dir1SW-specific FullMap
+// and PostStore switches) into a coherence.Protocol.
+func protocolFor(cfg Config) (coherence.Protocol, error) {
+	spec, err := coherence.ParseSpec(cfg.Protocol)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if spec.Name != coherence.SpecDir1SW {
+		if cfg.FullMap {
+			return nil, fmt.Errorf("sim: FullMap is a Dir1SW ablation; protocol %q already has hardware pointers", spec)
+		}
+		if cfg.PostStore {
+			return nil, fmt.Errorf("sim: PostStore refills past holders behind the pointer directory and is only modelled for Dir1SW, not %q", spec)
+		}
+	}
+	switch spec.Name {
+	case coherence.SpecDirnNB:
+		return dirn.NB(spec.N), nil
+	case coherence.SpecDirnB:
+		return dirn.B(spec.N), nil
+	default:
+		return dir1sw.Protocol(cfg.FullMap), nil
+	}
+}
+
 // buildResult is the shared run epilogue: surface run errors, validate the
 // protocol probe, and assemble the Result (stats, snapshot, trace).
 func (m *Machine) buildResult(ctxs []*interp.Context) (*Result, error) {
@@ -429,6 +471,7 @@ func (m *Machine) buildResult(ctxs []*interp.Context) (*Result, error) {
 	}
 
 	res := &Result{
+		Protocol:     sys.Protocol().Name(),
 		NodeCycles:   make([]uint64, cfg.Nodes),
 		Stats:        sys.Stats,
 		Output:       m.outputs,
@@ -452,6 +495,7 @@ func (m *Machine) buildResult(ctxs []*interp.Context) (*Result, error) {
 			m.rec.SetOps(i, ctx.OpsDispatched())
 		}
 		res.Snapshot = m.rec.Snapshot(res.Cycles, res.NodeCycles, m.barriers, sys.Stats.Protocol())
+		res.Snapshot.ProtocolName = res.Protocol
 	}
 	if m.builder != nil {
 		vts := make([]uint64, cfg.Nodes)

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench protosweep check fuzz cover timeline
+.PHONY: all build test race vet bench benchcmp protosweep check fuzz cover timeline
 
 all: build
 
@@ -38,13 +38,21 @@ vet:
 # machine-readable result rows — BENCH_fig6.json records cycles, normalized
 # time, per-variant wall-clock, and engine per (benchmark, variant) so
 # performance can be tracked across commits. -ab measures every benchmark
-# on both the sequential and the epoch-parallel engine (cycle counts must
-# match bit-for-bit; the harness fails otherwise). BENCH_baseline.json at
-# the repo root is the checked-in reference — refresh it alongside
+# on the sequential, lane-batched, and epoch-parallel engines (cycle counts
+# must match bit-for-bit; the harness fails otherwise). BENCH_baseline.json
+# at the repo root is the checked-in reference — refresh it alongside
 # deliberate performance changes (see EXPERIMENTS.md).
 bench:
-	$(GO) test -run xxx -bench 'Fig6|Scheduler|DirectoryLookup|Interp' -benchtime 1x ./...
+	$(GO) test -run xxx -bench 'Fig6|Scheduler|DirectoryLookup|Interp|Lane' -benchtime 1x ./...
 	$(GO) run ./cmd/fig6 -ab -json BENCH_fig6.json
+
+# Bench-compare gate (cmd/benchcmp): the fresh BENCH_fig6.json against the
+# checked-in baseline. Cycles must match exactly — within the new file every
+# engine must agree per (benchmark, variant), and across files a changed
+# cycle count means the simulated machine changed, which must ship with a
+# deliberate baseline refresh. Wall clock gets a 20% per-cell tolerance.
+benchcmp:
+	$(GO) run ./cmd/benchcmp BENCH_baseline.json BENCH_fig6.json
 
 # Cross-protocol smoke sweep: the Figure 6 suite under Dir1SW, Dir4NB, and
 # Dir4B in one run. BENCH_protosweep.json carries one row per (benchmark,
@@ -68,14 +76,16 @@ check: build vet test race
 # Native fuzzing over the conformance harness: FuzzPipeline explores the
 # generator's seed space through the full trace/annotate/simulate pipeline,
 # FuzzAnnotatedEquivalence hammers the annotated artifact itself, and
-# FuzzParallelEquivalence diffs the epoch-parallel engine against the
-# sequential scheduler on every surface (cycles, stats, snapshot, timeline).
+# FuzzParallelEquivalence and FuzzLanesEquivalence diff the epoch-parallel
+# and lane-batched engines against the sequential scheduler on every surface
+# (cycles, stats, snapshot, timeline).
 # Raise FUZZTIME for long soaks (make fuzz FUZZTIME=10m).
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzPipeline$$' -fuzztime $(FUZZTIME) ./internal/conformance
 	$(GO) test -run '^$$' -fuzz '^FuzzAnnotatedEquivalence$$' -fuzztime $(FUZZTIME) ./internal/conformance
 	$(GO) test -run '^$$' -fuzz '^FuzzParallelEquivalence$$' -fuzztime $(FUZZTIME) ./internal/conformance
+	$(GO) test -run '^$$' -fuzz '^FuzzLanesEquivalence$$' -fuzztime $(FUZZTIME) ./internal/conformance
 	$(GO) test -run '^$$' -fuzz '^FuzzProtocolEquivalence$$' -fuzztime $(FUZZTIME) ./internal/conformance
 
 # Coverage with checked-in floors. The floors sit a few points under the

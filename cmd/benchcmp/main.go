@@ -1,0 +1,204 @@
+// Command benchcmp compares two Figure-6 result files (cmd/fig6 -json
+// rows, e.g. the checked-in BENCH_baseline.json against a fresh
+// BENCH_fig6.json) and fails when the new run regresses:
+//
+//   - Cycles are simulated-machine results and must be exact. Within the
+//     new file, every engine measuring the same (benchmark, variant,
+//     protocol) cell must report identical cycles — the engines are
+//     different schedules of the same machine, so any drift is a
+//     correctness bug, not noise. Across the two files, a cell present in
+//     both must report identical cycles; a deliberate model change must
+//     ship a refreshed baseline in the same commit.
+//   - Wall clock is host time and noisy, so it gets a tolerance: a cell
+//     whose wall time grew by more than -wall (default 0.20, i.e. +20%)
+//     over the baseline fails the run.
+//   - A cell present in the baseline but missing from the new file is a
+//     coverage regression and fails; new cells (a new engine or protocol)
+//     are reported and accepted.
+//
+// Usage:
+//
+//	benchcmp [-wall 0.20] BENCH_baseline.json BENCH_fig6.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// row mirrors cmd/fig6's jsonRow (the fields benchcmp compares).
+type row struct {
+	Benchmark string  `json:"benchmark"`
+	Variant   string  `json:"variant"`
+	Protocol  string  `json:"protocol"`
+	Cycles    uint64  `json:"cycles"`
+	Engine    string  `json:"engine"`
+	WallSecs  float64 `json:"wall_seconds"`
+}
+
+// cellKey identifies one simulated measurement: engines are schedules of
+// the same machine, so cycles key on the cell without the engine.
+type cellKey struct {
+	Benchmark, Variant, Protocol string
+}
+
+// runKey identifies one host measurement (cell × engine) for wall-clock
+// comparison.
+type runKey struct {
+	cellKey
+	Engine string
+}
+
+func (k cellKey) String() string {
+	s := k.Benchmark + "/" + k.Variant
+	if k.Protocol != "" {
+		s += "/" + k.Protocol
+	}
+	return s
+}
+
+func (k runKey) String() string {
+	return k.cellKey.String() + "[" + k.Engine + "]"
+}
+
+func load(path string) ([]row, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []row
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("%s: no rows", path)
+	}
+	return rows, nil
+}
+
+// index collapses rows to per-run wall clocks (last measurement wins, as
+// in a re-run) and checks within-file cross-engine cycle agreement.
+func index(path string, rows []row) (map[runKey]row, map[cellKey]uint64, error) {
+	runs := make(map[runKey]row)
+	cycles := make(map[cellKey]uint64)
+	firstEngine := make(map[cellKey]string)
+	for _, r := range rows {
+		ck := cellKey{r.Benchmark, r.Variant, r.Protocol}
+		runs[runKey{ck, r.Engine}] = r
+		if want, ok := cycles[ck]; ok {
+			if r.Cycles != want {
+				return nil, nil, fmt.Errorf(
+					"%s: %s: engine %q reports %d cycles, engine %q reported %d — engines diverged on the same machine",
+					path, ck, r.Engine, r.Cycles, firstEngine[ck], want)
+			}
+			continue
+		}
+		cycles[ck] = r.Cycles
+		firstEngine[ck] = r.Engine
+	}
+	return runs, cycles, nil
+}
+
+func main() {
+	wallTol := flag.Float64("wall", 0.20, "allowed fractional wall-clock growth per cell before failing")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchcmp [-wall frac] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldRows, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newRows, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	oldRuns, oldCycles, err := index(flag.Arg(0), oldRows)
+	if err != nil {
+		fatal(err)
+	}
+	newRuns, newCycles, err := index(flag.Arg(1), newRows)
+	if err != nil {
+		fatal(err)
+	}
+
+	var failures []string
+
+	// Exact-cycle comparison per cell across the two files.
+	cells := make([]cellKey, 0, len(oldCycles))
+	for ck := range oldCycles {
+		cells = append(cells, ck)
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].String() < cells[j].String() })
+	for _, ck := range cells {
+		got, ok := newCycles[ck]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: cell missing from %s", ck, flag.Arg(1)))
+			continue
+		}
+		if got != oldCycles[ck] {
+			failures = append(failures, fmt.Sprintf(
+				"%s: cycles changed %d -> %d (model change? refresh the baseline deliberately)",
+				ck, oldCycles[ck], got))
+		}
+	}
+
+	// Wall-clock comparison per run, with tolerance.
+	runs := make([]runKey, 0, len(oldRuns))
+	for rk := range oldRuns {
+		runs = append(runs, rk)
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].String() < runs[j].String() })
+	for _, rk := range runs {
+		old := oldRuns[rk]
+		cur, ok := newRuns[rk]
+		if !ok {
+			// The engine label is part of the measurement ("sequential
+			// (conflict fallback)" vs "parallel" are different schedules);
+			// a label change shows up as a missing run, which the cycle
+			// check above has not already flagged, so report it softly.
+			fmt.Printf("note: %s: no matching run in %s\n", rk, flag.Arg(1))
+			continue
+		}
+		if old.WallSecs <= 0 {
+			continue
+		}
+		ratio := cur.WallSecs / old.WallSecs
+		status := "ok"
+		if ratio > 1+*wallTol {
+			status = "REGRESSED"
+			failures = append(failures, fmt.Sprintf(
+				"%s: wall %.4fs -> %.4fs (%.2fx > allowed %.2fx)",
+				rk, old.WallSecs, cur.WallSecs, ratio, 1+*wallTol))
+		}
+		fmt.Printf("%-48s %9.4fs -> %9.4fs  %5.2fx  %s\n",
+			rk, old.WallSecs, cur.WallSecs, ratio, status)
+	}
+	for rk := range newRuns {
+		if _, ok := oldRuns[rk]; !ok {
+			fmt.Printf("note: %s: new run (no baseline)\n", rk)
+		}
+	}
+
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchcmp: %d failure(s):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchcmp: %d cells, %d runs compared: OK\n", len(cells), len(runs))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcmp:", err)
+	os.Exit(1)
+}

@@ -15,17 +15,20 @@
 // Usage:
 //
 //	fig6 [-bench NAME] [-sharing] [-stats] [-source] [-json FILE]
-//	     [-big] [-paper] [-parallel N] [-ab]
+//	     [-big] [-paper] [-parallel N] [-lanes] [-ab]
 //	     [-protocol SPEC] [-protosweep]
 //	     [-statsjson FILE] [-timeline FILE]
 //	     [-cpuprofile FILE] [-memprofile FILE]
 //
 // -parallel N simulates on the epoch-parallel engine with N workers (-1:
-// one per CPU); results are bit-identical to the sequential engine, only
-// host wall-clock changes. -ab runs the suite on both engines and writes
-// both measurements to -json, with engine and per-variant wall-clock on
-// every row. -big selects near-paper-scale inputs, -paper the paper-scale
-// ones (Section 6's problem sizes; expect minutes per benchmark).
+// one per CPU) and -lanes on the lane-batched engine (all nodes stepped as
+// lanes of one goroutine with batched access resolution); results are
+// bit-identical to the sequential engine either way, only host wall-clock
+// changes. -ab runs the suite on all three engines — sequential, lanes,
+// and parallel — and writes every measurement to -json, with engine and
+// per-variant wall-clock on every row. -big selects near-paper-scale
+// inputs, -paper the paper-scale ones (Section 6's problem sizes; expect
+// minutes per benchmark).
 //
 // -protocol SPEC simulates under a different coherence protocol ("dir1sw",
 // "dirnnb[:n]", "dirnb[:n]"; see internal/coherence). -protosweep runs the
@@ -83,9 +86,10 @@ func main() {
 		big        = flag.Bool("big", false, "near-paper-scale inputs (takes minutes)")
 		paper      = flag.Bool("paper", false, "paper-scale inputs (Section 6 problem sizes; takes minutes per benchmark)")
 		parallel   = flag.Int("parallel", 0, "epoch-parallel simulation workers (0 sequential, -1 one per CPU); results are bit-identical")
+		lanes      = flag.Bool("lanes", false, "simulate on the lane-batched engine; results are bit-identical")
 		protocol   = flag.String("protocol", "", `coherence protocol spec: "dir1sw" (the default), "dirnnb[:n]", or "dirnb[:n]"`)
 		protosweep = flag.Bool("protosweep", false, "run the suite once per protocol (dir1sw, dirnnb:4, dirnb:4) and print the cross-protocol table")
-		ab         = flag.Bool("ab", false, "A/B: run the suite on the sequential engine AND with -parallel workers (-1 if unset), emitting both in -json")
+		ab         = flag.Bool("ab", false, "A/B: run the suite on the sequential, lane-batched, AND epoch-parallel (-parallel workers, -1 if unset) engines, emitting all in -json")
 		jsonOut    = flag.String("json", "", "write machine-readable result rows to this file")
 		statsJSON  = flag.String("statsjson", "", "write the Cachier variant's stats snapshot (JSON) to this file (per-benchmark suffix when running several)")
 		timeline   = flag.String("timeline", "", "write the Cachier variant's Perfetto timeline (JSON) to this file (per-benchmark suffix when running several)")
@@ -141,15 +145,16 @@ func main() {
 	// runSuite measures every benchmark on one engine configuration.
 	// Benchmarks run concurrently (RunBenchmark bounds actual compute to
 	// the machine's CPUs); rows keep the listing order.
-	runSuite := func(workers int, proto string) ([]*bench.Row, []time.Duration) {
+	runSuite := func(workers int, useLanes bool, proto string) ([]*bench.Row, []time.Duration) {
 		rows := make([]*bench.Row, len(benches))
 		errs := make([]error, len(benches))
 		walls := make([]time.Duration, len(benches))
 		var wg sync.WaitGroup
 		for i, b := range benches {
 			b.Parallel = workers
+			b.Lanes = useLanes
 			b.Protocol = proto
-			fmt.Fprintf(os.Stderr, "running %s (%d nodes, parallel=%d, protocol=%s)...\n", b.Name, b.Nodes, workers, protoLabel(proto))
+			fmt.Fprintf(os.Stderr, "running %s (%d nodes, parallel=%d, lanes=%v, protocol=%s)...\n", b.Name, b.Nodes, workers, useLanes, protoLabel(proto))
 			wg.Add(1)
 			go func(i int, b *bench.Benchmark) {
 				defer wg.Done()
@@ -171,36 +176,43 @@ func main() {
 		return rows, walls
 	}
 
-	rows, walls := runSuite(*parallel, *protocol)
+	rows, walls := runSuite(*parallel, *lanes, *protocol)
 	jsonRows := collectRows(rows, walls, *parallel)
 
-	// A/B mode: re-run the whole suite on the other engine. The cycle
-	// counts are bit-identical by design (the conformance corpus pins
-	// that); only the host wall-clock differs.
+	// A/B mode: re-run the whole suite on the lane-batched and
+	// epoch-parallel engines. The cycle counts are bit-identical by design
+	// (the conformance corpus pins that); only the host wall-clock differs.
 	if *ab {
 		workers := *parallel
 		if workers == 0 {
 			workers = -1
 		}
-		abRows, abWalls := runSuite(workers, *protocol)
+		laneRows, laneWalls := runSuite(0, true, *protocol)
+		jsonRows = append(jsonRows, collectRows(laneRows, laneWalls, 0)...)
+		abRows, abWalls := runSuite(workers, false, *protocol)
 		jsonRows = append(jsonRows, collectRows(abRows, abWalls, workers)...)
-		fmt.Println("Engine A/B: per-variant simulation wall-clock, sequential vs parallel")
-		fmt.Printf("%-16s %-17s | %12s %12s %8s | %s\n",
-			"benchmark", "variant", "seq", "par", "ratio", "engines")
+		fmt.Println("Engine A/B: per-variant simulation wall-clock, sequential vs lanes vs parallel")
+		fmt.Printf("%-16s %-17s | %10s %10s %10s | %7s %7s | %s\n",
+			"benchmark", "variant", "seq", "lanes", "par", "lanes", "par", "engines")
 		for i, r := range rows {
 			for _, v := range bench.Variants() {
 				seqW := r.Walls[v].Seconds()
+				laneW := laneRows[i].Walls[v].Seconds()
 				parW := abRows[i].Walls[v].Seconds()
-				ratio := 0.0
+				laneR, parR := 0.0, 0.0
+				if laneW > 0 {
+					laneR = seqW / laneW
+				}
 				if parW > 0 {
-					ratio = seqW / parW
+					parR = seqW / parW
 				}
-				if r.Cycles[v] != abRows[i].Cycles[v] {
-					fatal(fmt.Errorf("A/B cycle divergence on %s/%s: %d vs %d",
-						r.Benchmark, v, r.Cycles[v], abRows[i].Cycles[v]))
+				if r.Cycles[v] != laneRows[i].Cycles[v] || r.Cycles[v] != abRows[i].Cycles[v] {
+					fatal(fmt.Errorf("A/B cycle divergence on %s/%s: seq %d, lanes %d, parallel %d",
+						r.Benchmark, v, r.Cycles[v], laneRows[i].Cycles[v], abRows[i].Cycles[v]))
 				}
-				fmt.Printf("%-16s %-17s | %11.3fs %11.3fs %7.2fx | %s -> %s\n",
-					r.Benchmark, v, seqW, parW, ratio, r.Engines[v], abRows[i].Engines[v])
+				fmt.Printf("%-16s %-17s | %9.3fs %9.3fs %9.3fs | %6.2fx %6.2fx | %s / %s / %s\n",
+					r.Benchmark, v, seqW, laneW, parW, laneR, parR,
+					r.Engines[v], laneRows[i].Engines[v], abRows[i].Engines[v])
 			}
 		}
 		fmt.Println()
@@ -217,7 +229,7 @@ func main() {
 	if *protosweep {
 		allRows := [][]*bench.Row{rows}
 		for _, spec := range bench.SweepSpecs()[1:] {
-			r2, w2 := runSuite(*parallel, spec)
+			r2, w2 := runSuite(*parallel, *lanes, spec)
 			jsonRows = append(jsonRows, collectRows(r2, w2, *parallel)...)
 			allRows = append(allRows, r2)
 		}

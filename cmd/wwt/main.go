@@ -24,6 +24,8 @@
 //	-protocol SPEC  coherence protocol: dir1sw (default), dirnnb[:n], dirnb[:n]
 //	-parallel N     epoch-parallel engine with N workers (-1: one per CPU);
 //	                results are bit-identical to the sequential engine
+//	-lanes          lane-batched engine: step all nodes as vector lanes in
+//	                one goroutine; results are bit-identical to sequential
 package main
 
 import (
@@ -54,6 +56,7 @@ func main() {
 		fullMap    = flag.Bool("fullmap", false, "full-map hardware directory instead of Dir1SW")
 		protocol   = flag.String("protocol", "", `coherence protocol spec: "dir1sw" (default), "dirnnb[:n]", or "dirnb[:n]"`)
 		parallel   = flag.Int("parallel", 0, "epoch-parallel engine workers (0 sequential, -1 one per CPU); results are bit-identical")
+		lanes      = flag.Bool("lanes", false, "lane-batched engine (DESIGN.md \u00a79); results are bit-identical")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -80,6 +83,7 @@ func main() {
 	cfg.FullMap = *fullMap
 	cfg.Protocol = *protocol
 	cfg.Parallel = *parallel
+	cfg.Lanes = *lanes
 	if *traceFile != "" {
 		cfg.Mode = sim.ModeTrace
 	}
@@ -98,7 +102,7 @@ func main() {
 	}
 	fmt.Printf("execution time: %d cycles on %d nodes (%d barriers, %s)\n",
 		res.Cycles, *nodes, res.Barriers, res.Protocol)
-	if *parallel != 0 {
+	if *parallel != 0 || *lanes {
 		fmt.Printf("engine: %s\n", res.Engine)
 	}
 	s := res.Stats

@@ -59,6 +59,11 @@ type Benchmark struct {
 	// changes.
 	Parallel int
 
+	// Lanes selects the simulator's lane-batched engine for every run of
+	// this benchmark (sim.Config.Lanes). Results are bit-identical either
+	// way; only host wall-clock changes.
+	Lanes bool
+
 	// Racy marks benchmarks whose ParC ports genuinely race (the paper
 	// runs them anyway; Section 3.1's epoch model tolerates them). The
 	// static race detector is expected to flag exactly these.

@@ -146,6 +146,7 @@ func RunBenchmarkObserved(b *Benchmark, timeline bool) (*Row, error) {
 func runBenchmark(b *Benchmark, observe, timeline bool) (*Row, error) {
 	cfg := machineConfig(b.Nodes)
 	cfg.Parallel = b.Parallel
+	cfg.Lanes = b.Lanes
 	cfg.Protocol = b.Protocol
 
 	// 1. Trace the unannotated program on the training input; both

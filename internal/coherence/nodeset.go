@@ -54,6 +54,17 @@ func (s NodeSet) Members() []int {
 	return out
 }
 
+// First returns the smallest member, or -1 when the set is empty. The lane
+// engine's epoch bucket pops released nodes in processor-ID order with it.
+func (s NodeSet) First() int {
+	for wi, w := range s.words {
+		if w != 0 {
+			return wi*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
 // Sole returns the single member if Count()==1, else -1.
 func (s NodeSet) Sole() int {
 	m := -1

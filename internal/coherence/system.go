@@ -170,6 +170,14 @@ type System struct {
 	// probeErr latches the first violation the per-access probe found.
 	probeErr error
 
+	// gen counts machine-wide state changes (any cache or directory
+	// mutation beyond reinforcing a most-recently-used line); memos holds
+	// the per-node access-run memo the lane engine's batched resolution
+	// uses. Both live in batch.go; memos stays nil until EnableAccessMemo.
+	gen      uint64
+	memos    [][]accessMemo
+	memoMask uint64
+
 	// rec is the observability recorder (nil when disabled).
 	rec *obs.Recorder
 
@@ -415,6 +423,8 @@ func (s *System) Read(node int, addr uint64, now uint64) Result {
 		s.Stats.Hits++
 		return Result{Cycles: s.cfg.Costs.CacheHit, Kind: Hit}
 	}
+	// Everything below installs, evicts, or moves directory state.
+	s.gen++
 	if stall, ok := s.checkInflight(node, block, now, false); ok {
 		s.Stats.Hits++
 		c.Touch(block)
@@ -446,6 +456,7 @@ func (s *System) Write(node int, addr uint64, now uint64) Result {
 	case cache.Shared:
 		// Write fault: upgrade the shared copy (paper Section 4.1). The
 		// explicit check_out_x directive exists to avoid exactly this.
+		s.gen++
 		cost, trap := s.upgrade(node, block)
 		s.Stats.WriteFaults++
 		if trap {
@@ -455,6 +466,8 @@ func (s *System) Write(node int, addr uint64, now uint64) Result {
 		c.MarkDirty(block)
 		return Result{Cycles: cost, Kind: WriteFault, Trap: trap}
 	}
+	// Invalid: everything below installs, evicts, or moves directory state.
+	s.gen++
 	if stall, ok := s.checkInflight(node, block, now, true); ok {
 		s.Stats.Hits++
 		c.Touch(block)
@@ -476,6 +489,7 @@ func (s *System) Write(node int, addr uint64, now uint64) Result {
 // reads-then-writes find the block already writable.
 func (s *System) CheckOutX(node int, addr uint64, now uint64) Result {
 	s.Stats.CheckOutX++
+	s.gen++
 	block := s.BlockOf(addr)
 	if s.cfg.Probe {
 		defer s.probeAfter("check_out_x", block)
@@ -519,6 +533,7 @@ func (s *System) CheckOutX(node int, addr uint64, now uint64) Result {
 // directive for Programmer CICO runs.
 func (s *System) CheckOutS(node int, addr uint64, now uint64) Result {
 	s.Stats.CheckOutS++
+	s.gen++
 	block := s.BlockOf(addr)
 	if s.cfg.Probe {
 		defer s.probeAfter("check_out_s", block)
@@ -545,6 +560,7 @@ func (s *System) CheckOutS(node int, addr uint64, now uint64) Result {
 // traps (the annotation's whole purpose as a directive).
 func (s *System) CheckIn(node int, addr uint64) Result {
 	s.Stats.CheckIns++
+	s.gen++
 	block := s.BlockOf(addr)
 	if s.cfg.Probe {
 		defer s.probeAfter("check_in", block)
@@ -621,6 +637,7 @@ func (s *System) Prefetch(node int, addr uint64, now uint64, exclusive bool) Res
 	} else {
 		s.Stats.PrefetchS++
 	}
+	s.gen++
 	block := s.BlockOf(addr)
 	if s.cfg.Probe {
 		defer s.probeAfter("prefetch", block)
@@ -665,6 +682,7 @@ func (s *System) Prefetch(node int, addr uint64, now uint64, exclusive bool) Res
 // blocks and reconciling the directory. The WWT-style tracer calls this for
 // all nodes at every barrier (paper Section 3.3).
 func (s *System) FlushNode(node int) {
+	s.gen++
 	s.caches[node].FlushAll(func(block uint64, st cache.State, dirty bool) {
 		e := s.entryFor(block)
 		switch e.State {

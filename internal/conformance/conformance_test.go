@@ -54,6 +54,23 @@ func TestParallelEquivalenceCorpus(t *testing.T) {
 	}
 }
 
+// TestLanesEquivalenceCorpus runs the lane-engine differential over the
+// full corpus: every seed's program (and its annotated form) must be
+// bit-identical — cycles, stats, memory, snapshot JSON, timeline JSON —
+// between the sequential scheduler and the lane-batched engine, and the
+// candidate run must actually report the "lanes" engine.
+func TestLanesEquivalenceCorpus(t *testing.T) {
+	for seed := int64(0); seed < corpusSize; seed++ {
+		seed := seed
+		t.Run(seedName(seed), func(t *testing.T) {
+			t.Parallel()
+			if err := RunLanesEquivalence(seed); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		})
+	}
+}
+
 // TestProtocolEquivalenceCorpus runs the cross-protocol differential over
 // the full corpus: every seed's program, plain and annotated, under Dir1SW,
 // Dir1NB, Dir4NB, and Dir4B with protocol-specific invariant probes on —
@@ -81,6 +98,26 @@ func TestProtocolParallelCorpus(t *testing.T) {
 			t.Run(spec+"/"+seedName(seed), func(t *testing.T) {
 				t.Parallel()
 				if err := RunParallelProtocol(seed, spec); err != nil {
+					t.Fatalf("seed %d under %s: %v", seed, spec, err)
+				}
+			})
+		}
+	}
+}
+
+// TestProtocolLanesCorpus keeps the lane-batched engine bit-identical to
+// the sequential scheduler under every non-default protocol, including the
+// degenerate one-pointer DirnNB (maximum directory churn, the hardest case
+// for the batched-resolution generation counter). The default protocol is
+// TestLanesEquivalenceCorpus's full-corpus job.
+func TestProtocolLanesCorpus(t *testing.T) {
+	for _, spec := range []string{"dirnnb:1", "dirnnb:4", "dirnb:4"} {
+		spec := spec
+		for seed := int64(0); seed < 50; seed++ {
+			seed := seed
+			t.Run(spec+"/"+seedName(seed), func(t *testing.T) {
+				t.Parallel()
+				if err := RunLanesProtocol(seed, spec); err != nil {
 					t.Fatalf("seed %d under %s: %v", seed, spec, err)
 				}
 			})
@@ -136,6 +173,19 @@ func FuzzParallelEquivalence(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, seed int64) {
 		if err := RunParallelEquivalence(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzLanesEquivalence fuzzes the sequential-vs-lanes engine differential
+// over the generator's seed space.
+func FuzzLanesEquivalence(f *testing.F) {
+	for seed := int64(0); seed < 10; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if err := RunLanesEquivalence(seed); err != nil {
 			t.Fatal(err)
 		}
 	})

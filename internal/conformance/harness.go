@@ -286,33 +286,88 @@ func RunParallelEquivalence(seed int64) error {
 	return checkParallelSource("annotated", res.Source, "")
 }
 
-// checkParallelSource runs one source text on both engines, under the given
-// coherence protocol spec ("" is Dir1SW), and diffs every observable
-// surface.
+// RunLanesEquivalence is the lane-engine differential: the lane-batched
+// engine (sim.Config.Lanes — resumable lane stepper, epoch-bucketed
+// barrier releases, batched access resolution) must be bit-identical to
+// the sequential scheduler on every observable surface. Like the parallel
+// differential it runs the generated program plain and in its
+// Performance+prefetch annotated form (directives exercise the generation
+// bumps that guard the access memo).
+func RunLanesEquivalence(seed int64) error {
+	src := parcgen.Generate(seed)
+	if err := checkLanesSource("plain", src, ""); err != nil {
+		return err
+	}
+	prog, err := parseChecked(src)
+	if err != nil {
+		return fmt.Errorf("generated program invalid: %w", err)
+	}
+	traceRes, err := sim.Run(prog, simConfig(sim.ModeTrace))
+	if err != nil {
+		return fmt.Errorf("trace run: %w", err)
+	}
+	res, err := core.Annotate(src, traceRes.Trace, core.Options{Style: core.StylePerformance, Prefetch: true})
+	if err != nil {
+		return fmt.Errorf("annotate: %w", err)
+	}
+	return checkLanesSource("annotated", res.Source, "")
+}
+
+// checkParallelSource runs one source text on the sequential and
+// epoch-parallel engines, under the given coherence protocol spec ("" is
+// Dir1SW), and diffs every observable surface. Generated programs are
+// race-free by construction, so a conflict fallback is legal, but the
+// fallback result must still match exactly.
 func checkParallelSource(name, src, protocol string) error {
+	return checkEngineSource(name, src, protocol, func(cfg *sim.Config) {
+		cfg.Parallel = sim.ParallelAuto
+	}, "")
+}
+
+// checkLanesSource is the same differential against the lane-batched
+// engine. Generated programs always compile, so a silent fallback to the
+// sequential engine would make the check vacuous — the candidate result
+// must come from the "lanes" engine.
+func checkLanesSource(name, src, protocol string) error {
+	return checkEngineSource(name, src, protocol, func(cfg *sim.Config) {
+		cfg.Lanes = true
+	}, "lanes")
+}
+
+// checkEngineSource runs one source text on the sequential engine and on a
+// candidate engine (selected by configure), under the given coherence
+// protocol spec ("" is Dir1SW), and diffs every observable surface. A
+// non-empty wantEngine additionally pins which engine must have produced
+// the candidate result.
+func checkEngineSource(name, src, protocol string, configure func(*sim.Config), wantEngine string) error {
 	prog, err := parseChecked(src)
 	if err != nil {
 		return fmt.Errorf("%s: source invalid: %w\n%s", name, err, src)
 	}
-	run := func(parallel int) (*sim.Result, *obs.Recorder, error) {
+	run := func(configure func(*sim.Config)) (*sim.Result, *obs.Recorder, error) {
 		cfg := simConfig(sim.ModePerf)
-		cfg.Parallel = parallel
 		cfg.Protocol = protocol
 		cfg.Recorder = obs.New(cfg.Nodes, cfg.BlockSize)
 		cfg.Recorder.EnableTimeline()
+		if configure != nil {
+			configure(&cfg)
+		}
 		res, err := sim.Run(prog, cfg)
 		return res, cfg.Recorder, err
 	}
-	seq, seqRec, seqErr := run(0)
-	par, parRec, parErr := run(sim.ParallelAuto)
+	seq, seqRec, seqErr := run(nil)
+	par, parRec, parErr := run(configure)
 	if (seqErr == nil) != (parErr == nil) {
-		return fmt.Errorf("%s: error divergence: sequential %v, parallel %v", name, seqErr, parErr)
+		return fmt.Errorf("%s: error divergence: sequential %v, candidate %v", name, seqErr, parErr)
 	}
 	if seqErr != nil {
 		if seqErr.Error() != parErr.Error() {
-			return fmt.Errorf("%s: error text divergence:\nsequential: %v\nparallel:   %v", name, seqErr, parErr)
+			return fmt.Errorf("%s: error text divergence:\nsequential: %v\ncandidate:  %v", name, seqErr, parErr)
 		}
 		return nil
+	}
+	if wantEngine != "" && par.Engine != wantEngine {
+		return fmt.Errorf("%s: candidate ran on engine %q, want %q", name, par.Engine, wantEngine)
 	}
 	if seq.Cycles != par.Cycles {
 		return fmt.Errorf("%s: cycles diverge: sequential %d, parallel %d (%s)", name, seq.Cycles, par.Cycles, par.Engine)

@@ -111,3 +111,12 @@ func RunProtocolEquivalence(seed int64) error {
 func RunParallelProtocol(seed int64, spec string) error {
 	return checkParallelSource("plain/"+spec, parcgen.Generate(seed), spec)
 }
+
+// RunLanesProtocol runs the seed's plain program under one protocol spec
+// on the sequential and lane-batched engines and diffs every observable
+// surface — the lane engine's batched access resolution leans on every
+// protocol bumping the state generation (coherence batch.go), and this
+// check keeps that true as protocols are added.
+func RunLanesProtocol(seed int64, spec string) error {
+	return checkLanesSource("plain/"+spec, parcgen.Generate(seed), spec)
+}

@@ -29,7 +29,10 @@
 // Dir1SW) so invalidations can be delivered; the pointer limit is enforced
 // behaviourally (evictions, broadcast bit) and as a checked invariant
 // (CheckEntry: sharer count ≤ n for NB, or the broadcast bit set and the
-// entry Shared for B).
+// entry Shared for B). Pointer eviction and broadcast handling behave
+// identically under the lane engine's batched access resolution
+// (coherence/batch.go): both run inside generation-bumped miss paths, so
+// no memoized access run ever spans them.
 package dirn
 
 import (

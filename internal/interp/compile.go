@@ -47,52 +47,52 @@ import (
 type op uint8
 
 const (
-	opNop       op = iota // hosts work charges only
-	opConst               // regs[a] = imm
-	opCoerce              // regs[a] = coerce(regs[b], base(n))
-	opJump                // ip = n
-	opJz                  // if !regs[a].Truthy() ip = n
-	opSCAnd               // if !regs[b].Truthy() { regs[a] = 0; ip = n }
-	opSCOr                // if regs[b].Truthy() { regs[a] = 1; ip = n }
-	opTruthy              // regs[a] = boolVal(regs[b].Truthy())
-	opNeg                 // regs[a] = -regs[b]
-	opNot                 // regs[a] = !regs[b]
-	opAdd                 // regs[a] = regs[b] + regs[c]
-	opSub                 // regs[a] = regs[b] - regs[c]
-	opMul                 // regs[a] = regs[b] * regs[c]
-	opDiv                 // regs[a] = regs[b] / regs[c] (int /0 errors)
-	opMod                 // regs[a] = regs[b] % regs[c] (int only)
-	opEq                  // regs[a] = compare(regs[b], regs[c]) == 0
-	opNe                  // ... != 0
-	opLt                  // ... < 0
-	opLe                  // ... <= 0
-	opGt                  // ... > 0
-	opGe                  // ... >= 0
-	opBuiltin             // regs[a] = builtin n(regs[b], regs[c])
-	opCall                // regs[a] = call aux.(*callPayload) (compiled or tree)
-	opRet                 // return regs[a] (a<0: fall-off-end/void)
-	opForPrep             // init hidden loop state for aux.(*forPayload)
-	opForCheck            // loop entry test; sets counter reg; exit to n
-	opForNext             // back edge: counter += step, re-test, continue to n+1
-	opAllocArr            // (re)allocate private array aux.(*allocPayload)
-	opArrNil              // error if private array a never allocated (msg aux)
-	opBounds              // bounds-check index regs[b] against size n
-	opFail                // unconditional runtime error aux.(*failPayload)
-	opDivGuardReg         // /= guard: rhs regs[b] int-zero and !regs[a].Float errors
-	opDivGuardInt         // /= guard: rhs regs[b] int-zero errors (dest statically int)
-	opAsgLocal            // regs[a] = applyOp(regs[a], AssignOp(n), regs[b], cur.Float)
-	opLoadArr             // regs[a] = private array element (aux *memAccess)
-	opAsgArr              // private array element op= regs[b] (aux *memAccess)
-	opLoadShared          // regs[a] = shared load (flush+Access; aux *memAccess)
-	opAsgShared           // shared store/compound (flush+Access(+read); aux *memAccess)
-	opBarrier             // flush; Barrier
-	opLock                // flush; Lock(regs[a].AsInt())
-	opUnlock              // flush; Unlock(regs[a].AsInt())
-	opPrint               // flush; Print (aux *printPayload)
-	opDirBegin            // reset directive clamp state (aux *dirPayload)
-	opDirDim              // clamp dim c from regs[a]:regs[b]; empty → ip = n
-	opDirEmit             // flush; Directive(scratch ranges)
-	opDirNil              // flush; Directive(nil) — range empty after clamping
+	opNop         op = iota // hosts work charges only
+	opConst                 // regs[a] = imm
+	opCoerce                // regs[a] = coerce(regs[b], base(n))
+	opJump                  // ip = n
+	opJz                    // if !regs[a].Truthy() ip = n
+	opSCAnd                 // if !regs[b].Truthy() { regs[a] = 0; ip = n }
+	opSCOr                  // if regs[b].Truthy() { regs[a] = 1; ip = n }
+	opTruthy                // regs[a] = boolVal(regs[b].Truthy())
+	opNeg                   // regs[a] = -regs[b]
+	opNot                   // regs[a] = !regs[b]
+	opAdd                   // regs[a] = regs[b] + regs[c]
+	opSub                   // regs[a] = regs[b] - regs[c]
+	opMul                   // regs[a] = regs[b] * regs[c]
+	opDiv                   // regs[a] = regs[b] / regs[c] (int /0 errors)
+	opMod                   // regs[a] = regs[b] % regs[c] (int only)
+	opEq                    // regs[a] = compare(regs[b], regs[c]) == 0
+	opNe                    // ... != 0
+	opLt                    // ... < 0
+	opLe                    // ... <= 0
+	opGt                    // ... > 0
+	opGe                    // ... >= 0
+	opBuiltin               // regs[a] = builtin n(regs[b], regs[c])
+	opCall                  // regs[a] = call aux.(*callPayload) (compiled or tree)
+	opRet                   // return regs[a] (a<0: fall-off-end/void)
+	opForPrep               // init hidden loop state for aux.(*forPayload)
+	opForCheck              // loop entry test; sets counter reg; exit to n
+	opForNext               // back edge: counter += step, re-test, continue to n+1
+	opAllocArr              // (re)allocate private array aux.(*allocPayload)
+	opArrNil                // error if private array a never allocated (msg aux)
+	opBounds                // bounds-check index regs[b] against size n
+	opFail                  // unconditional runtime error aux.(*failPayload)
+	opDivGuardReg           // /= guard: rhs regs[b] int-zero and !regs[a].Float errors
+	opDivGuardInt           // /= guard: rhs regs[b] int-zero errors (dest statically int)
+	opAsgLocal              // regs[a] = applyOp(regs[a], AssignOp(n), regs[b], cur.Float)
+	opLoadArr               // regs[a] = private array element (aux *memAccess)
+	opAsgArr                // private array element op= regs[b] (aux *memAccess)
+	opLoadShared            // regs[a] = shared load (flush+Access; aux *memAccess)
+	opAsgShared             // shared store/compound (flush+Access(+read); aux *memAccess)
+	opBarrier               // flush; Barrier
+	opLock                  // flush; Lock(regs[a].AsInt())
+	opUnlock                // flush; Unlock(regs[a].AsInt())
+	opPrint                 // flush; Print (aux *printPayload)
+	opDirBegin              // reset directive clamp state (aux *dirPayload)
+	opDirDim                // clamp dim c from regs[a]:regs[b]; empty → ip = n
+	opDirEmit               // flush; Directive(scratch ranges)
+	opDirNil                // flush; Directive(nil) — range empty after clamping
 
 	// Fused compare-and-branch forms: evaluate the comparison and jump to n
 	// when it is false, without materializing the boolean. Produced by the
@@ -216,8 +216,15 @@ type fnCode struct {
 // progCode is the compiled form of a Program, cached on the Program via
 // Artifact and shared by every Context that executes it.
 type progCode struct {
-	fns   map[*parc.FuncDecl]*fnCode
-	nfns  int
+	fns  map[*parc.FuncDecl]*fnCode
+	nfns int
+
+	// laneable reports that the whole program runs on compiled code — main
+	// compiled and no call site falls back to the tree-walker — so the
+	// resumable lane stepper (lane.go) can execute it. Computed once here;
+	// a non-laneable program makes NewLaneVM refuse and the lane engine
+	// fall back to the sequential engine.
+	laneable bool
 }
 
 // compileProgram lowers every function it can; uncompilable functions map
@@ -242,6 +249,19 @@ func compileProgram(prog *parc.Program) *progCode {
 		for i := range co.ins {
 			if cp, ok := co.ins[i].aux.(*callPayload); ok && cp.fn != nil {
 				cp.code = pc.fns[cp.fn]
+			}
+		}
+	}
+	pc.laneable = pc.fns[prog.FuncMap["main"]] != nil
+	for _, co := range pc.fns {
+		if co == nil || !pc.laneable {
+			continue
+		}
+		for i := range co.ins {
+			if cp, ok := co.ins[i].aux.(*callPayload); ok && cp.code == nil {
+				// A tree-walker fallback call cannot suspend/resume.
+				pc.laneable = false
+				break
 			}
 		}
 	}

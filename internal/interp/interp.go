@@ -45,8 +45,11 @@ type Context struct {
 	ops      uint64
 
 	// Bytecode engine state (vm.go). The tree-walker below stays the
-	// reference implementation; set treeWalk to force it.
+	// reference implementation; set treeWalk to force it. laneRun routes
+	// Run through the resumable lane stepper (lane.go) in run-to-completion
+	// mode instead of the recursive VM; see UseLaneVM.
 	treeWalk bool
+	laneRun  bool
 	pools    [][]*vmFrame // per-function frame free-lists
 	printBuf []Value      // print argument scratch
 	rangeBuf []AddrRange  // directive range scratch (valid during the call only)
@@ -61,6 +64,14 @@ type Context struct {
 // run them differentially); the tree-walker exists as the executable
 // specification and for debugging the compiler.
 func (c *Context) UseTreeWalker() { c.treeWalk = true }
+
+// UseLaneVM asks Run to execute on the resumable lane stepper (lane.go,
+// with a nil yielder: run-to-completion) instead of the recursive VM. The
+// two are observationally identical; the epoch-parallel engine uses this
+// when lanes are requested so that both composed engines exercise the same
+// interpreter. Ignored — Run falls back to the recursive VM or tree-walker
+// — when the program is not laneable.
+func (c *Context) UseLaneVM() { c.laneRun = true }
 
 // PrivateAccesses returns how many private-array loads and stores this
 // context performed; the simulator uses them to compute sharing degrees
@@ -127,6 +138,11 @@ func (c *Context) Run() error {
 	main := c.prog.FuncMap["main"]
 	if main == nil {
 		return fmt.Errorf("interp: program has no main")
+	}
+	if c.laneRun && !c.treeWalk {
+		if lv, ok := c.NewLaneVM(nil); ok {
+			return lv.RunToCompletion()
+		}
 	}
 	if !c.treeWalk {
 		pcm := c.prog.Artifact(func() any { return compileProgram(c.prog) }).(*progCode)

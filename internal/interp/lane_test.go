@@ -1,0 +1,197 @@
+package interp
+
+import (
+	"testing"
+
+	"cachier/internal/memory"
+	"cachier/internal/parc"
+)
+
+// poolSrc exercises every frame-pool compartment: kernel has named scalars
+// (the cleared prefix), literal constants (materialized into the constant
+// pool), temporaries, and a private array, and main calls it repeatedly so
+// frames cycle through the per-function free-list on both the recursive VM
+// and the lane stepper.
+const poolSrc = `
+shared float out[4];
+func kernel(n int) float {
+    var acc float = 0.0;
+    var buf float[8];
+    for i = 0 to 7 { buf[i] = float(i) * 2.5; }
+    for i = 1 to n { acc += buf[i % 8] + 3.25; }
+    return acc;
+}
+func main() {
+    var t float = 0.0;
+    for r = 0 to 3 { t += kernel(16); }
+    out[pid()] = t;
+}
+`
+
+func compileFor(t testing.TB, src string) (*parc.Program, *progCode) {
+	t.Helper()
+	prog := parc.MustParse(src)
+	if err := parc.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	return prog, prog.Artifact(func() any { return compileProgram(prog) }).(*progCode)
+}
+
+// checkFrameClean asserts the frame-pool reuse contract on a frame just
+// handed out by acquire: the named-scalar prefix reads as zero Values, the
+// constant pool still holds exactly the compiled literal values, and private
+// arrays are unbound but keep their cached backing storage.
+func checkFrameClean(t *testing.T, co *fnCode, fr *vmFrame) {
+	t.Helper()
+	for i := 0; i < co.clearRegs; i++ {
+		if fr.regs[i] != (Value{}) {
+			t.Errorf("%s: reg %d not cleared on reuse: %+v", co.fn.Name, i, fr.regs[i])
+		}
+	}
+	for i, v := range co.poolVals {
+		if got := fr.regs[int(co.poolBase)+i]; got != v {
+			t.Errorf("%s: constant-pool reg %d corrupted: got %+v want %+v",
+				co.fn.Name, int(co.poolBase)+i, got, v)
+		}
+	}
+	for i := range fr.arrays {
+		if fr.arrays[i].data != nil {
+			t.Errorf("%s: private array %d still bound on reuse", co.fn.Name, i)
+		}
+	}
+}
+
+// TestFramePoolCleanSlate pins the vmFrame pooling contract directly:
+// acquire a frame, scribble every mutable compartment, release it, and
+// verify the next acquire hands the same frame back with the named-scalar
+// prefix zeroed, the constant pool intact, and arrays unbound but with
+// their backing capacity retained. A pooling bug here would leak one
+// activation's register Values into the next and silently corrupt results,
+// so this must fail before any engine-level differential does.
+func TestFramePoolCleanSlate(t *testing.T) {
+	prog, pcm := compileFor(t, poolSrc)
+	co := pcm.fns[prog.FuncMap["kernel"]]
+	if co == nil {
+		t.Fatal("kernel did not compile")
+	}
+	if co.clearRegs == 0 || len(co.poolVals) == 0 || co.narrs == 0 {
+		t.Fatalf("test program misses a pool compartment: clearRegs=%d poolVals=%d narrs=%d",
+			co.clearRegs, len(co.poolVals), co.narrs)
+	}
+	layout, err := memory.New(prog, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewContext(prog, NewStore(layout.TotalBytes()), &mockMachine{}, 0, 1)
+	c.pools = make([][]*vmFrame, pcm.nfns)
+
+	fr := c.acquire(co)
+	for i, v := range co.poolVals {
+		if got := fr.regs[int(co.poolBase)+i]; got != v {
+			t.Fatalf("fresh frame constant-pool reg %d: got %+v want %+v", int(co.poolBase)+i, got, v)
+		}
+	}
+	// Scribble the cleared prefix and the temporaries, and bind a private
+	// array; the constant pool stays untouched, as in real execution (the
+	// compiler never emits a write to those registers), so release is
+	// entitled to preserve rather than restore it.
+	for i := 0; i < co.clearRegs; i++ {
+		fr.regs[i] = FloatVal(float64(i) + 0.5)
+	}
+	for i := int(co.poolBase) + len(co.poolVals); i < co.nregs; i++ {
+		fr.regs[i] = IntVal(int64(i) * 3)
+	}
+	for i := range fr.arrays {
+		data := make([]Value, 6)
+		for j := range data {
+			data[j] = IntVal(int64(j + 1))
+		}
+		fr.arrays[i] = privArray{base: parc.IntType, dims: []int{6}, data: data, cache: data}
+	}
+	c.release(co, fr)
+
+	got := c.acquire(co)
+	if got != fr {
+		t.Fatal("acquire did not reuse the released frame")
+	}
+	checkFrameClean(t, co, got)
+	for i := range got.arrays {
+		if cap(got.arrays[i].cache) == 0 {
+			t.Errorf("private array %d lost its cached backing storage", i)
+		}
+	}
+}
+
+// TestFramePoolCleanAfterRun runs the same program to completion on the
+// recursive VM and on the lane stepper, then audits every frame left in
+// every pool: both engines must honor the release contract on every path
+// (including the lane stepper's opRet and final-flush unwinding).
+func TestFramePoolCleanAfterRun(t *testing.T) {
+	for _, eng := range []struct {
+		name string
+		lane bool
+	}{{"vm", false}, {"lane", true}} {
+		t.Run(eng.name, func(t *testing.T) {
+			prog, pcm := compileFor(t, poolSrc)
+			layout, err := memory.New(prog, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := NewContext(prog, NewStore(layout.TotalBytes()), &mockMachine{}, 0, 1)
+			if eng.lane {
+				if !pcm.laneable {
+					t.Fatal("program not laneable")
+				}
+				ctx.UseLaneVM()
+			}
+			if err := ctx.Run(); err != nil {
+				t.Fatal(err)
+			}
+			audited := 0
+			for _, co := range pcm.fns {
+				if co == nil {
+					continue
+				}
+				for _, fr := range ctx.pools[co.idx] {
+					checkFrameClean(t, co, fr)
+					audited++
+				}
+			}
+			if audited == 0 {
+				t.Fatal("no pooled frames to audit")
+			}
+		})
+	}
+}
+
+// BenchmarkLaneStep compares the resumable lane stepper (run-to-completion
+// through Run's UseLaneVM route) against the recursive VM on the same
+// compute-bound program BenchmarkInterp uses, isolating the per-instruction
+// cost of the explicit-stack dispatch from the simulator around it.
+func BenchmarkLaneStep(b *testing.B) {
+	prog := parc.MustParse(interpBenchSrc)
+	if err := parc.Check(prog); err != nil {
+		b.Fatal(err)
+	}
+	layout, err := memory.New(prog, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, eng := range []struct {
+		name string
+		lane bool
+	}{{"vm", false}, {"lane", true}} {
+		b.Run(eng.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				store := NewStore(layout.TotalBytes())
+				ctx := NewContext(prog, store, &mockMachine{}, 0, 1)
+				if eng.lane {
+					ctx.UseLaneVM()
+				}
+				if err := ctx.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

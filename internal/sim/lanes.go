@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"fmt"
+
+	"cachier/internal/coherence"
+	"cachier/internal/interp"
+	"cachier/internal/parc"
+)
+
+// The lane-batched engine (Config.Lanes) is an SPMD reorganization of the
+// sequential engine's hot path. The sequential engine gives every simulated
+// processor its own goroutine and parks all but one; a context switch is a
+// channel handoff, which on a small host is a large fraction of the whole
+// simulation. Here all P processors are *lanes* of one goroutine: each has
+// a resumable interpreter (interp.LaneVM) whose frames live in per-function
+// SoA banks (the vmFrame pools), and a context switch just retargets which
+// lane Resume steps next — no parking, no channels, no runtime scheduler.
+//
+// Two structures keep the scheduler itself lane-shaped:
+//
+//   - mask is the execution mask: the set of lanes that are runnable
+//     (not parked at a barrier or lock, not done). It is maintained at
+//     every park/unpark seam and lets tests — and the deadlock report —
+//     see the engine's state as a vector predicate rather than a heap walk.
+//
+//   - bucket is the epoch bucket for barrier releases, the irregularity
+//     split: a barrier release makes every waiter runnable *at the same
+//     clock*, so instead of P-1 heap pushes the released lanes enter one
+//     NodeSet tagged with the shared release clock, and the scheduler pops
+//     them in processor-ID order — exactly the (clock, pid) order the heap
+//     would have produced, without the churn. Only the irregular minority
+//     (lock wakeups, quantum overruns) still goes through the (clock, pid)
+//     heap.
+//
+// The memory side batches too: the coherence layer's access memo
+// (coherence batch.go, enabled here) resolves same-block access runs with
+// one lookup per block instead of one cache-and-directory walk per access.
+//
+// Scheduling decisions are bit-identical to the sequential engine's —
+// min-(clock, pid) across heap and bucket, same quantum limit — so every
+// simulated result (cycles, per-node cycles, stats, memory image, output
+// order, Snapshot, timeline) is bit-identical. The conformance corpus
+// diffs the two engines end to end.
+type laneEngine struct {
+	m    *Machine
+	cur  *proc // the running lane
+	vms  []*interp.LaneVM
+	ctxs []*interp.Context
+
+	mask coherence.NodeSet // execution mask: runnable lanes
+
+	// Epoch bucket: lanes released by the last barrier, all runnable at
+	// bucketClock, popped in processor-ID order. Empty between barriers.
+	bucket      coherence.NodeSet
+	bucketClock uint64
+	bucketLen   int
+
+	halt bool
+}
+
+// LaneRunning implements interp.LaneYielder: a lane keeps executing only
+// while it is the engine's current lane.
+func (e *laneEngine) LaneRunning(node int) bool {
+	return !e.halt && e.cur.id == node
+}
+
+// runLanes drives the lane-batched engine. ok reports whether the engine
+// could run the program at all; on !ok the caller falls back to the
+// sequential engine (the stepper refuses tree-walk contexts and programs
+// with uncompiled functions).
+func runLanes(prog *parc.Program, cfg Config) (*Result, error, bool) {
+	m, ctxs, err := newMachine(prog, cfg)
+	if err != nil {
+		return nil, err, true
+	}
+	eng := &laneEngine{
+		m:      m,
+		ctxs:   ctxs,
+		vms:    make([]*interp.LaneVM, cfg.Nodes),
+		mask:   coherence.NewNodeSet(cfg.Nodes),
+		bucket: coherence.NewNodeSet(cfg.Nodes),
+	}
+	for i, ctx := range ctxs {
+		lv, ok := ctx.NewLaneVM(eng)
+		if !ok {
+			return nil, nil, false
+		}
+		eng.vms[i] = lv
+		eng.mask.Add(i)
+	}
+	m.lanes = eng
+	m.sys.EnableAccessMemo()
+
+	// Identical scheduler bootstrap to the sequential engine: processor 0
+	// runs, everyone else is parked runnable at clock 0.
+	for i := 1; i < cfg.Nodes; i++ {
+		m.ready.push(m.procs[i])
+	}
+	m.refreshLimit()
+	eng.cur = m.procs[0]
+
+	for !eng.halt {
+		p := eng.cur
+		if eng.vms[p.id].Resume() == interp.LaneDone && p.status != statusDone {
+			pr, pw := eng.ctxs[p.id].PrivateAccesses()
+			m.finishProc(p, eng.vms[p.id].Err(), pr, pw)
+		}
+	}
+
+	res, err := m.buildResult(ctxs)
+	if res != nil {
+		res.Engine = engineLanes
+	}
+	return res, err, true
+}
+
+// laneSwitch is the lane engine's yieldSwitch: pick the runnable lane with
+// the smallest (clock, processor ID) across the heap and the epoch bucket
+// and make it current. Identical decisions to the sequential heap-only
+// scheduler, since bucketed lanes would have sat in the heap at exactly
+// (bucketClock, id).
+func (e *laneEngine) laneSwitch(p *proc) {
+	m := e.m
+	if m.ready.len() == 0 && e.bucketLen == 0 {
+		// Nothing else is runnable and the caller cannot continue: the
+		// program completed, or every remaining lane is masked out
+		// (deadlock).
+		// Same diagnostic text as the sequential scheduler: the error is an
+		// observable surface the equivalence suites diff.
+		if m.done < len(m.procs) && m.runErr == nil {
+			m.runErr = fmt.Errorf("sim: deadlock: %d of %d nodes blocked (barrier waiters: %d)",
+				len(m.procs)-m.done, len(m.procs), m.waiting)
+		}
+		e.halt = true
+		return
+	}
+	m.rec.Handoff()
+	useBucket := e.bucketLen > 0
+	if useBucket && m.ready.len() > 0 {
+		if hm := m.ready.min(); hm.clock < e.bucketClock ||
+			(hm.clock == e.bucketClock && hm.id < e.bucket.First()) {
+			useBucket = false
+		}
+	}
+	if useBucket {
+		id := e.bucket.First()
+		e.bucket.Remove(id)
+		e.bucketLen--
+		if p.status == statusReady {
+			m.ready.push(p)
+		}
+		m.refreshLimit()
+		e.cur = m.procs[id]
+		return
+	}
+	q := m.ready.min()
+	if p.status == statusReady {
+		// The caller stays runnable: take the popped minimum's slot
+		// directly, same as the sequential engine's common handoff.
+		m.ready.replaceMin(p)
+	} else {
+		m.ready.pop()
+	}
+	m.refreshLimit()
+	e.cur = q
+}
+
+// kill retires a lane the machine faulted from inside one of its own calls
+// (an unlock of a lock the node does not hold): the stepper is marked done
+// so it never dispatches again, and the processor goes through the same
+// finishProc path the sequential engine's panic unwind reaches, with its
+// interpreter's live private-access counters.
+func (e *laneEngine) kill(node int) {
+	e.vms[node].Kill()
+	pr, pw := e.ctxs[node].PrivateAccesses()
+	e.m.finishProc(e.m.procs[node], errProcFault, pr, pw)
+}

@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cachier/internal/obs"
+)
+
+// checkLanesEquivalent asserts the lane-batched run of src is bit-identical
+// to the sequential run on every observable surface, and that it actually
+// executed on the lane engine (wantEngine engineLanes) rather than silently
+// falling back.
+func checkLanesEquivalent(t *testing.T, src string, wantEngine string, mutate func(*Config)) {
+	t.Helper()
+	seq, seqRec, seqErr := runEngine(t, src, 0, mutate)
+	lane, laneRec, laneErr := runEngine(t, src, 0, func(cfg *Config) {
+		cfg.Lanes = true
+		if mutate != nil {
+			mutate(cfg)
+		}
+	})
+
+	if (seqErr == nil) != (laneErr == nil) {
+		t.Fatalf("error divergence: sequential %v, lanes %v", seqErr, laneErr)
+	}
+	if seqErr != nil {
+		if seqErr.Error() != laneErr.Error() {
+			t.Fatalf("error text divergence:\nsequential: %v\nlanes:      %v", seqErr, laneErr)
+		}
+		return
+	}
+	if lane.Engine != wantEngine {
+		t.Fatalf("lanes run reported engine %q, want %q", lane.Engine, wantEngine)
+	}
+	if seq.Cycles != lane.Cycles {
+		t.Errorf("cycles: sequential %d, lanes %d", seq.Cycles, lane.Cycles)
+	}
+	if !reflect.DeepEqual(seq.NodeCycles, lane.NodeCycles) {
+		t.Errorf("node cycles diverge:\nsequential: %v\nlanes:      %v", seq.NodeCycles, lane.NodeCycles)
+	}
+	if seq.Stats != lane.Stats {
+		t.Errorf("stats diverge:\nsequential: %+v\nlanes:      %+v", seq.Stats, lane.Stats)
+	}
+	if !reflect.DeepEqual(seq.Output, lane.Output) {
+		t.Errorf("output diverges:\nsequential: %q\nlanes:      %q", seq.Output, lane.Output)
+	}
+	if seq.Barriers != lane.Barriers {
+		t.Errorf("barriers: sequential %d, lanes %d", seq.Barriers, lane.Barriers)
+	}
+	if !reflect.DeepEqual(seq.Store.Words(), lane.Store.Words()) {
+		t.Errorf("shared memory diverges")
+	}
+	seqSnap, err := seq.Snapshot.MarshalIndentJSON()
+	if err != nil {
+		t.Fatalf("marshal sequential snapshot: %v", err)
+	}
+	laneSnap, err := lane.Snapshot.MarshalIndentJSON()
+	if err != nil {
+		t.Fatalf("marshal lanes snapshot: %v", err)
+	}
+	if !bytes.Equal(seqSnap, laneSnap) {
+		t.Errorf("snapshots diverge:\nsequential:\n%s\nlanes:\n%s", seqSnap, laneSnap)
+	}
+	var seqTL, laneTL bytes.Buffer
+	if err := seqRec.Timeline("t").WriteJSON(&seqTL); err != nil {
+		t.Fatalf("sequential timeline: %v", err)
+	}
+	if err := laneRec.Timeline("t").WriteJSON(&laneTL); err != nil {
+		t.Fatalf("lanes timeline: %v", err)
+	}
+	if !bytes.Equal(seqTL.Bytes(), laneTL.Bytes()) {
+		t.Errorf("timelines diverge")
+	}
+}
+
+// TestLanesMaskedLockParkUnpark exercises the execution mask around lock
+// traps: every lane contends for one lock, so each acquisition parks the
+// losers (mask cleared, no stepping while parked) and the release unparks
+// exactly one waiter in FIFO order. The prints inside the critical section
+// pin the handoff order against the sequential scheduler's.
+func TestLanesMaskedLockParkUnpark(t *testing.T) {
+	checkLanesEquivalent(t, `
+shared int turn[1];
+func main() {
+    var spin int = 0;
+    for i = 0 to pid() * 7 { spin += i; }
+    lock(3);
+    print("enter", pid(), turn[0]);
+    turn[0] += 1;
+    unlock(3);
+    barrier;
+    if (pid() == 0) { print("total", turn[0]); }
+}
+`, engineLanes, nil)
+}
+
+// TestLanesBarrierQuiescenceOrder exercises the epoch bucket: lanes arrive
+// at the barrier at staggered clocks (different work before it), the last
+// arrival releases everyone at one clock, and the released lanes must then
+// step in pid order — observable as the print order after the barrier,
+// which the sequential oracle fixes.
+func TestLanesBarrierQuiescenceOrder(t *testing.T) {
+	checkLanesEquivalent(t, `
+shared int v[8];
+func main() {
+    var spin int = 0;
+    for i = 0 to (7 - pid()) * 11 { spin += i; }
+    v[pid()] = spin + pid();
+    barrier;
+    print("after", pid(), v[(pid() + 1) % 8]);
+    barrier;
+}
+`, engineLanes, nil)
+}
+
+// TestLanesUnlockFaultKillsLane: unlocking an unheld lock is a machine
+// fault; with no goroutine to panic-unwind, the lane engine must kill the
+// lane in place and report the same error text as the sequential engine.
+func TestLanesUnlockFault(t *testing.T) {
+	checkLanesEquivalent(t, `
+shared int v[8];
+func main() {
+    v[pid()] = pid();
+    if (pid() == 3) {
+        unlock(9);
+    }
+    v[pid()] = v[pid()] + 1;
+}
+`, engineLanes, nil)
+}
+
+// TestLanesDeadlock: a processor exits holding a lock the others want; the
+// lane scheduler must detect the empty heap+bucket with masked lanes still
+// waiting and produce the sequential engine's diagnostic.
+func TestLanesDeadlock(t *testing.T) {
+	checkLanesEquivalent(t, `
+func main() {
+    if (pid() == 0) {
+        lock(1);
+    }
+    if (pid() != 0) {
+        lock(1);
+        unlock(1);
+    }
+}
+`, engineLanes, nil)
+}
+
+// TestLanesSingleNode: one lane, mask of one — the degenerate machine must
+// still take the lane engine and agree with sequential.
+func TestLanesSingleNode(t *testing.T) {
+	checkLanesEquivalent(t, `
+shared int v[1];
+func main() {
+    for i = 0 to 63 { v[0] += i; }
+    print("v", v[0]);
+}
+`, engineLanes, func(cfg *Config) {
+		cfg.Nodes = 1
+		// runEngine sized its recorder for the default node count; rebuild
+		// it for the shrunken machine.
+		cfg.Recorder = obs.New(cfg.Nodes, cfg.BlockSize)
+		cfg.Recorder.EnableTimeline()
+	})
+}
+
+// TestLanesTreeWalkFallback: the tree-walker cannot suspend mid-statement,
+// so Lanes with TreeWalk must fall back to the sequential engine and say so
+// in the engine label.
+func TestLanesTreeWalkFallback(t *testing.T) {
+	checkLanesEquivalent(t, `
+shared int v[8];
+func main() {
+    v[pid()] = pid() * 2;
+    barrier;
+    if (pid() == 0) { print("v3", v[3]); }
+}
+`, engineLanesFallback, func(cfg *Config) { cfg.TreeWalk = true })
+}
+
+// TestLanesParallelComposition: Parallel takes precedence and runs the lane
+// stepper inside each epoch producer; the engine label stays "parallel" and
+// every observable matches the sequential oracle.
+func TestLanesParallelComposition(t *testing.T) {
+	src := `
+shared float a[16][16];
+func main() {
+    for i = pid() to 15 step nprocs() {
+        for j = 0 to 15 {
+            a[i][j] = i * j + pid();
+        }
+    }
+    barrier;
+    var acc float = 0.0;
+    for i = 0 to 15 {
+        acc += a[i][pid() % 16];
+    }
+    print("acc", acc);
+}
+`
+	seq, _, seqErr := runEngine(t, src, 0, nil)
+	both, _, bothErr := runEngine(t, src, 4, func(cfg *Config) { cfg.Lanes = true })
+	if seqErr != nil || bothErr != nil {
+		t.Fatalf("runs failed: sequential %v, lanes+parallel %v", seqErr, bothErr)
+	}
+	if both.Engine != engineParallel {
+		t.Fatalf("lanes+parallel run reported engine %q, want %q", both.Engine, engineParallel)
+	}
+	if seq.Cycles != both.Cycles || seq.Stats != both.Stats {
+		t.Fatalf("lanes+parallel diverges from sequential: cycles %d vs %d", seq.Cycles, both.Cycles)
+	}
+	if !reflect.DeepEqual(seq.Output, both.Output) {
+		t.Fatalf("lanes+parallel output diverges")
+	}
+	if !reflect.DeepEqual(seq.Store.Words(), both.Store.Words()) {
+		t.Fatalf("lanes+parallel memory diverges")
+	}
+}
+
+// TestLanesLockContentionFIFO pins the waiter queue order specifically: the
+// lock handoff must be first-come-first-served by simulated arrival, not by
+// pid or by lane stepping order. The enter prints encode the acquisition
+// sequence; both engines must produce the identical sequence.
+func TestLanesLockContentionFIFO(t *testing.T) {
+	src := `
+shared int order[9];
+func main() {
+    var spin int = 0;
+    for i = 0 to (pid() * 13) % 29 { spin += i; }
+    lock(5);
+    order[8] += 1;
+    order[order[8] - 1] = pid();
+    print("slot", order[8] - 1, pid());
+    unlock(5);
+    barrier;
+}
+`
+	seq, _, seqErr := runEngine(t, src, 0, nil)
+	lane, _, laneErr := runEngine(t, src, 0, func(cfg *Config) { cfg.Lanes = true })
+	if seqErr != nil || laneErr != nil {
+		t.Fatalf("runs failed: sequential %v, lanes %v", seqErr, laneErr)
+	}
+	if lane.Engine != engineLanes {
+		t.Fatalf("lanes run reported engine %q", lane.Engine)
+	}
+	if !reflect.DeepEqual(seq.Output, lane.Output) {
+		t.Fatalf("acquisition order diverges:\nsequential: %q\nlanes:      %q",
+			strings.Join(seq.Output, "; "), strings.Join(lane.Output, "; "))
+	}
+	if !reflect.DeepEqual(seq.Store.Words(), lane.Store.Words()) {
+		t.Fatalf("order array diverges")
+	}
+}

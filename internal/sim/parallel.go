@@ -230,6 +230,13 @@ func runParallel(prog *parc.Program, cfg Config) (res *Result, err error, ok boo
 		if cfg.TreeWalk {
 			ctxs[i].UseTreeWalker()
 		}
+		if cfg.Lanes {
+			// Lanes + Parallel compose at the interpreter: each producer
+			// runs the lane stepper to completion instead of the recursive
+			// VM. Results are identical either way, so the engine label
+			// stays "parallel".
+			ctxs[i].UseLaneVM()
+		}
 		ctxs[i].CountOps(cfg.Recorder != nil)
 		ctxs[i].SetMemory(n)
 		n.ctx = ctxs[i]

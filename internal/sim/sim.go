@@ -137,6 +137,19 @@ type Config struct {
 	// speculation conflict (a racy program whose cross-node data flow is not
 	// lock- or barrier-ordered) falls back to one sequential re-run.
 	Parallel int
+
+	// Lanes selects the lane-batched engine (see lanes.go): all node
+	// interpreters step as resumable lanes of one goroutine (SoA frame
+	// banks, an execution mask, and an epoch bucket for barrier releases
+	// instead of heap churn), and the memory system batches same-block
+	// access runs (coherence batch.go). Scheduling decisions, and therefore
+	// every simulated result — cycles, per-node cycles, stats, memory
+	// image, output, Snapshot, timeline — are bit-identical to the
+	// sequential engine's. A program the lane stepper cannot run (tree-walk
+	// forced, or a function that did not compile) falls back to one
+	// sequential run. When combined with Parallel, the epoch producers use
+	// the lane interpreter in run-to-completion mode.
+	Lanes bool
 }
 
 // ParallelAuto sizes Config.Parallel to runtime.GOMAXPROCS(0).
@@ -299,6 +312,12 @@ type Machine struct {
 	// scheduler seam in yieldSwitch consults it instead of parking.
 	par *parEngine
 
+	// lanes is non-nil when this machine is driven by the lane-batched
+	// engine (lanes.go): every processor is a resumable lane of one
+	// goroutine, context switches retarget which lane Resume steps next,
+	// and shared accesses resolve through the memory system's batched path.
+	lanes *laneEngine
+
 	added struct {
 		privReads  uint64
 		privWrites uint64
@@ -334,14 +353,34 @@ func Run(prog *parc.Program, cfg Config) (*Result, error) {
 		}
 		return res, err
 	}
+	if cfg.Lanes {
+		res, err, ok := runLanes(prog, cfg)
+		if ok {
+			return res, err
+		}
+		// The lane stepper refused the program (tree-walk forced, or a
+		// function fell back to the tree-walking interpreter). Re-run on
+		// the sequential engine after wiping anything the abandoned
+		// attempt fed the recorder.
+		if cfg.Recorder != nil {
+			cfg.Recorder.Reset()
+		}
+		res, err = runSequential(prog, cfg)
+		if res != nil {
+			res.Engine = engineLanesFallback
+		}
+		return res, err
+	}
 	return runSequential(prog, cfg)
 }
 
 // Engine names reported in Result.Engine.
 const (
-	engineSequential  = "sequential"
-	engineParallel    = "parallel"
-	engineSeqFallback = "sequential (conflict fallback)"
+	engineSequential    = "sequential"
+	engineParallel      = "parallel"
+	engineLanes         = "lanes"
+	engineSeqFallback   = "sequential (conflict fallback)"
+	engineLanesFallback = "sequential (lanes fallback)"
 )
 
 // runSequential is the original engine: one goroutine per simulated
@@ -544,6 +583,9 @@ func (m *Machine) finishProc(p *proc, err error, privReads, privWrites uint64) {
 	m.added.privReads += privReads
 	m.added.privWrites += privWrites
 	p.status = statusDone
+	if m.lanes != nil {
+		m.lanes.mask.Remove(p.id)
+	}
 	m.rec.NodeDone(p.id, p.clock)
 	m.done++
 	if err != nil && m.runErr == nil && !errors.Is(err, errProcFault) {
@@ -600,18 +642,30 @@ func (m *Machine) yield(p *proc) {
 }
 
 // refreshLimit recomputes the running processor's keep-running bound after a
-// heap mutation.
+// heap mutation. On the lane engine the barrier-release bucket also holds
+// runnable processors, so the bound covers it too.
 func (m *Machine) refreshLimit() {
-	if m.ready.len() == 0 {
-		m.limit = ^uint64(0)
+	lo := ^uint64(0)
+	if m.ready.len() > 0 {
+		lo = m.ready.min().clock
+	}
+	if m.lanes != nil && m.lanes.bucketLen > 0 && m.lanes.bucketClock < lo {
+		lo = m.lanes.bucketClock
+	}
+	if lo == ^uint64(0) {
+		m.limit = lo
 	} else {
-		m.limit = m.ready.min().clock + m.cfg.Quantum
+		m.limit = lo + m.cfg.Quantum
 	}
 }
 
 // yieldSwitch is yield's slow path: hand off to the heap minimum, or wake
 // the coordinator when nothing is runnable.
 func (m *Machine) yieldSwitch(p *proc) {
+	if m.lanes != nil {
+		m.lanes.laneSwitch(p)
+		return
+	}
 	if m.ready.len() == 0 {
 		// Nothing else is runnable, and the caller cannot continue (a
 		// runnable caller would have taken the fast path, since an empty
@@ -671,10 +725,18 @@ func (m *Machine) Access(node int, write bool, addr uint64, pc int) {
 	var r dir1sw.Result
 	if write {
 		m.sharedWrites[node]++
-		r = m.sys.Write(node, addr, p.clock)
+		if m.lanes != nil {
+			r = m.sys.WriteFast(node, addr, p.clock)
+		} else {
+			r = m.sys.Write(node, addr, p.clock)
+		}
 	} else {
 		m.sharedReads[node]++
-		r = m.sys.Read(node, addr, p.clock)
+		if m.lanes != nil {
+			r = m.sys.ReadFast(node, addr, p.clock)
+		} else {
+			r = m.sys.Read(node, addr, p.clock)
+		}
 	}
 	p.clock += r.Cycles
 	if m.builder != nil && r.Kind != dir1sw.Hit {
@@ -776,6 +838,9 @@ func (m *Machine) Barrier(node int, pc int) {
 	p := m.procs[node]
 	p.status = statusBarrier
 	p.arrival = p.clock
+	if m.lanes != nil {
+		m.lanes.mask.Remove(node)
+	}
 	m.waiting++
 	m.pendingBarrierPC = pc
 	if m.waiting == m.activeProcs() {
@@ -824,7 +889,20 @@ func (m *Machine) releaseBarrier(pc int, active int) {
 		if q.status == statusBarrier {
 			q.status = statusReady
 			q.clock = release
-			if q.id != active {
+			if m.lanes != nil {
+				// Lane engine: released lanes enter the epoch bucket —
+				// one shared clock and a node-set instead of per-proc heap
+				// pushes. The bucket is empty here: a barrier only releases
+				// when every non-done processor is parked at it, and a
+				// bucketed lane cannot have reached the barrier without
+				// first being scheduled out of the bucket.
+				m.lanes.mask.Add(q.id)
+				if q.id != active {
+					m.lanes.bucket.Add(q.id)
+					m.lanes.bucketLen++
+					m.lanes.bucketClock = release
+				}
+			} else if q.id != active {
 				m.ready.push(q)
 			}
 		}
@@ -877,12 +955,22 @@ func (m *Machine) Lock(node int, id int64, pc int) {
 	}
 	ls.waiters = append(ls.waiters, node)
 	p.status = statusLock
+	if m.lanes != nil {
+		m.lanes.mask.Remove(node)
+	}
 	m.yield(p)
 }
 
 // Unlock implements interp.Machine.
 func (m *Machine) Unlock(node int, id int64, pc int) {
 	if err := m.unlockCore(node, id); err != nil {
+		if m.lanes != nil {
+			// Lane engine: no goroutine to unwind. Mark the lane's stepper
+			// done so it never dispatches again and retire the processor —
+			// the same terminal state the sequential panic path reaches.
+			m.lanes.kill(node)
+			return
+		}
 		// Terminate this processor: unwind its interpreter so it cannot
 		// keep executing concurrently with whoever is scheduled next.
 		panic(err)
@@ -912,6 +1000,9 @@ func (m *Machine) unlockCore(node int, id int64) error {
 		q.status = statusReady
 		if t := p.clock + m.cfg.LockTransfer; t > q.clock {
 			q.clock = t
+		}
+		if m.lanes != nil {
+			m.lanes.mask.Add(w)
 		}
 		m.ready.push(q)
 		m.refreshLimit()

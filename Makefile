@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench benchcmp protosweep check fuzz cover timeline
+.PHONY: all build test race vet staticdiff bench benchcmp protosweep check fuzz cover timeline
 
 all: build
 
@@ -32,6 +32,15 @@ vet:
 	$(GO) run ./cmd/parcvet -q -bench all > /tmp/parcvet.dir1sw.out
 	$(GO) run ./cmd/parcvet -q -protocol dirnnb:4 -bench all | diff /tmp/parcvet.dir1sw.out -
 	$(GO) run ./cmd/parcvet -q -protocol dirnb:4 -bench all | diff /tmp/parcvet.dir1sw.out -
+
+# Trace-free placement differential (cmd/staticdiff): static inference must
+# annotate the checked-in ParC sources byte-identically to the trace-driven
+# pipeline (both are exact), and every Figure 6 port must satisfy its
+# conformance contract — exact ports place identically, widened ports keep
+# the footprint covering. See DESIGN.md section 10.
+staticdiff:
+	$(GO) run ./cmd/staticdiff examples/parc/jacobi_wholefit.parc examples/parc/race_demo.parc
+	$(GO) run ./cmd/staticdiff -bench all
 
 # One pass over the performance-tracking benchmarks (see EXPERIMENTS.md,
 # "Simulator performance"), then the Figure 6 harness with its
@@ -71,7 +80,7 @@ timeline:
 	$(GO) run ./cmd/fig6 -bench $(TIMELINE_BENCH) \
 		-timeline TIMELINE_fig6.json -statsjson STATS_fig6.json
 
-check: build vet test race
+check: build vet staticdiff test race
 
 # Native fuzzing over the conformance harness: FuzzPipeline explores the
 # generator's seed space through the full trace/annotate/simulate pipeline,

@@ -12,9 +12,10 @@
 //   - Wall clock is host time and noisy, so it gets a tolerance: a cell
 //     whose wall time grew by more than -wall (default 0.20, i.e. +20%)
 //     over the baseline fails the run.
-//   - A cell present in the baseline but missing from the new file is a
-//     coverage regression and fails; new cells (a new engine or protocol)
-//     are reported and accepted.
+//   - Cells present in only one of the two files are reported as notes and
+//     accepted: a new cell is a new engine or protocol label, and a
+//     baseline-only cell is coverage that moved (a renamed label shows up
+//     as one of each). Only cells present in both are compared.
 //
 // Usage:
 //
@@ -25,6 +26,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 )
@@ -102,53 +104,81 @@ func index(path string, rows []row) (map[runKey]row, map[cellKey]uint64, error) 
 	return runs, cycles, nil
 }
 
-func main() {
-	wallTol := flag.Float64("wall", 0.20, "allowed fractional wall-clock growth per cell before failing")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchcmp [-wall frac] old.json new.json\n")
-		flag.PrintDefaults()
+// run compares oldPath against newPath, printing the report to stdout and
+// failures to stderr. It returns an error when the comparison regresses
+// (the process exit seam for main and for tests).
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchcmp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	wallTol := fs.Float64("wall", 0.20, "allowed fractional wall-clock growth per cell before failing")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: benchcmp [-wall frac] old.json new.json\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	if flag.NArg() != 2 {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	oldRows, err := load(flag.Arg(0))
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return fmt.Errorf("expected 2 file arguments, got %d", fs.NArg())
+	}
+	oldPath, newPath := fs.Arg(0), fs.Arg(1)
+	oldRows, err := load(oldPath)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	newRows, err := load(flag.Arg(1))
+	newRows, err := load(newPath)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	oldRuns, oldCycles, err := index(flag.Arg(0), oldRows)
+	oldRuns, oldCycles, err := index(oldPath, oldRows)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	newRuns, newCycles, err := index(flag.Arg(1), newRows)
+	newRuns, newCycles, err := index(newPath, newRows)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	var failures []string
 
-	// Exact-cycle comparison per cell across the two files.
+	// Exact-cycle comparison per cell across the two files. One-sided
+	// cells — a new engine/protocol label, or a baseline row the new run
+	// no longer produces — are noted and accepted; only shared cells are
+	// held to exact equality.
 	cells := make([]cellKey, 0, len(oldCycles))
 	for ck := range oldCycles {
 		cells = append(cells, ck)
 	}
 	sort.Slice(cells, func(i, j int) bool { return cells[i].String() < cells[j].String() })
+	compared := 0
 	for _, ck := range cells {
 		got, ok := newCycles[ck]
 		if !ok {
-			failures = append(failures, fmt.Sprintf("%s: cell missing from %s", ck, flag.Arg(1)))
+			fmt.Fprintf(stdout, "note: %s: cell only in %s (label retired or not measured)\n", ck, oldPath)
 			continue
 		}
+		compared++
 		if got != oldCycles[ck] {
 			failures = append(failures, fmt.Sprintf(
 				"%s: cycles changed %d -> %d (model change? refresh the baseline deliberately)",
 				ck, oldCycles[ck], got))
 		}
+	}
+	newCells := make([]cellKey, 0, len(newCycles))
+	for ck := range newCycles {
+		if _, ok := oldCycles[ck]; !ok {
+			newCells = append(newCells, ck)
+		}
+	}
+	sort.Slice(newCells, func(i, j int) bool { return newCells[i].String() < newCells[j].String() })
+	for _, ck := range newCells {
+		fmt.Fprintf(stdout, "note: %s: new cell (no baseline)\n", ck)
+	}
+	if compared == 0 {
+		// Disjoint files compare nothing; that is almost certainly the
+		// wrong pair of files, not a clean bill of health.
+		return fmt.Errorf("no cell appears in both %s and %s", oldPath, newPath)
 	}
 
 	// Wall-clock comparison per run, with tolerance.
@@ -163,9 +193,8 @@ func main() {
 		if !ok {
 			// The engine label is part of the measurement ("sequential
 			// (conflict fallback)" vs "parallel" are different schedules);
-			// a label change shows up as a missing run, which the cycle
-			// check above has not already flagged, so report it softly.
-			fmt.Printf("note: %s: no matching run in %s\n", rk, flag.Arg(1))
+			// a label change shows up as a missing run, reported softly.
+			fmt.Fprintf(stdout, "note: %s: no matching run in %s\n", rk, newPath)
 			continue
 		}
 		if old.WallSecs <= 0 {
@@ -179,26 +208,29 @@ func main() {
 				"%s: wall %.4fs -> %.4fs (%.2fx > allowed %.2fx)",
 				rk, old.WallSecs, cur.WallSecs, ratio, 1+*wallTol))
 		}
-		fmt.Printf("%-48s %9.4fs -> %9.4fs  %5.2fx  %s\n",
+		fmt.Fprintf(stdout, "%-48s %9.4fs -> %9.4fs  %5.2fx  %s\n",
 			rk, old.WallSecs, cur.WallSecs, ratio, status)
 	}
 	for rk := range newRuns {
 		if _, ok := oldRuns[rk]; !ok {
-			fmt.Printf("note: %s: new run (no baseline)\n", rk)
+			fmt.Fprintf(stdout, "note: %s: new run (no baseline)\n", rk)
 		}
 	}
 
 	if len(failures) > 0 {
-		fmt.Fprintf(os.Stderr, "\nbenchcmp: %d failure(s):\n", len(failures))
+		fmt.Fprintf(stderr, "\nbenchcmp: %d failure(s):\n", len(failures))
 		for _, f := range failures {
-			fmt.Fprintf(os.Stderr, "  %s\n", f)
+			fmt.Fprintf(stderr, "  %s\n", f)
 		}
-		os.Exit(1)
+		return fmt.Errorf("%d failure(s)", len(failures))
 	}
-	fmt.Printf("benchcmp: %d cells, %d runs compared: OK\n", len(cells), len(runs))
+	fmt.Fprintf(stdout, "benchcmp: %d cells compared: OK\n", compared)
+	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "benchcmp:", err)
-	os.Exit(1)
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
 }

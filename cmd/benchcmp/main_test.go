@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeRows(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseRows = `[
+ {"benchmark":"Ocean","variant":"cachier","protocol":"","cycles":1000,"engine":"sequential","wall_seconds":0.5},
+ {"benchmark":"Ocean","variant":"none","protocol":"","cycles":2000,"engine":"sequential","wall_seconds":0.8}
+]`
+
+func runCmp(t *testing.T, args ...string) (stdout, stderr string, err error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err = run(args, &out, &errb)
+	return out.String(), errb.String(), err
+}
+
+func TestIdenticalFilesPass(t *testing.T) {
+	dir := t.TempDir()
+	old := writeRows(t, dir, "old.json", baseRows)
+	cur := writeRows(t, dir, "new.json", baseRows)
+	stdout, _, err := runCmp(t, old, cur)
+	if err != nil {
+		t.Fatalf("identical files failed: %v", err)
+	}
+	if !strings.Contains(stdout, "2 cells compared: OK") {
+		t.Errorf("missing OK summary in:\n%s", stdout)
+	}
+}
+
+func TestCycleChangeFails(t *testing.T) {
+	dir := t.TempDir()
+	old := writeRows(t, dir, "old.json", baseRows)
+	cur := writeRows(t, dir, "new.json", strings.Replace(baseRows, "1000", "1001", 1))
+	_, stderr, err := runCmp(t, old, cur)
+	if err == nil {
+		t.Fatal("changed cycles passed")
+	}
+	if !strings.Contains(stderr, "cycles changed 1000 -> 1001") {
+		t.Errorf("missing cycle failure in:\n%s", stderr)
+	}
+}
+
+// A row present only in the baseline (retired label) or only in the new
+// file (new engine/protocol) must be reported as a note, not a failure.
+func TestOneSidedCellsAreNotes(t *testing.T) {
+	dir := t.TempDir()
+	old := writeRows(t, dir, "old.json", `[
+ {"benchmark":"Ocean","variant":"cachier","protocol":"","cycles":1000,"engine":"sequential","wall_seconds":0.5},
+ {"benchmark":"Ocean","variant":"none","protocol":"dirnnb:4","cycles":3000,"engine":"sequential","wall_seconds":0.2}
+]`)
+	cur := writeRows(t, dir, "new.json", `[
+ {"benchmark":"Ocean","variant":"cachier","protocol":"","cycles":1000,"engine":"lanes","wall_seconds":0.4},
+ {"benchmark":"Ocean","variant":"cachier","protocol":"dirnb:4","cycles":4000,"engine":"sequential","wall_seconds":0.3}
+]`)
+	stdout, _, err := runCmp(t, old, cur)
+	if err != nil {
+		t.Fatalf("one-sided cells failed the run: %v", err)
+	}
+	for _, want := range []string{
+		"note: Ocean/none/dirnnb:4: cell only in",
+		"note: Ocean/cachier/dirnb:4: new cell (no baseline)",
+		"note: Ocean/cachier[sequential]: no matching run in",
+		"note: Ocean/cachier[lanes]: new run (no baseline)",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("missing %q in:\n%s", want, stdout)
+		}
+	}
+	if !strings.Contains(stdout, "1 cells compared: OK") {
+		t.Errorf("expected exactly the shared cell compared, got:\n%s", stdout)
+	}
+}
+
+// Fully disjoint files compare nothing and must fail loudly rather than
+// report success.
+func TestDisjointFilesFail(t *testing.T) {
+	dir := t.TempDir()
+	old := writeRows(t, dir, "old.json", baseRows)
+	cur := writeRows(t, dir, "new.json", `[
+ {"benchmark":"Barnes","variant":"hand","protocol":"","cycles":1,"engine":"sequential","wall_seconds":0.1}
+]`)
+	_, _, err := runCmp(t, old, cur)
+	if err == nil || !strings.Contains(err.Error(), "no cell appears in both") {
+		t.Fatalf("disjoint files: err = %v", err)
+	}
+}
+
+func TestWallRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	old := writeRows(t, dir, "old.json", baseRows)
+	cur := writeRows(t, dir, "new.json", strings.Replace(baseRows, `"wall_seconds":0.5`, `"wall_seconds":0.9`, 1))
+	_, stderr, err := runCmp(t, old, cur)
+	if err == nil {
+		t.Fatal("wall regression passed")
+	}
+	if !strings.Contains(stderr, "wall 0.5000s -> 0.9000s") {
+		t.Errorf("missing wall failure in:\n%s", stderr)
+	}
+	// The same growth passes under a loose tolerance.
+	if _, _, err := runCmp(t, "-wall", "1.0", old, cur); err != nil {
+		t.Errorf("loose tolerance still failed: %v", err)
+	}
+}
+
+func TestWithinFileEngineDivergenceFails(t *testing.T) {
+	dir := t.TempDir()
+	old := writeRows(t, dir, "old.json", baseRows)
+	cur := writeRows(t, dir, "new.json", `[
+ {"benchmark":"Ocean","variant":"cachier","protocol":"","cycles":1000,"engine":"sequential","wall_seconds":0.5},
+ {"benchmark":"Ocean","variant":"cachier","protocol":"","cycles":1009,"engine":"lanes","wall_seconds":0.4},
+ {"benchmark":"Ocean","variant":"none","protocol":"","cycles":2000,"engine":"sequential","wall_seconds":0.8}
+]`)
+	_, _, err := runCmp(t, old, cur)
+	if err == nil || !strings.Contains(err.Error(), "engines diverged") {
+		t.Fatalf("engine divergence: err = %v", err)
+	}
+}

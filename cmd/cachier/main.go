@@ -22,6 +22,11 @@
 //	-protocol SPEC  coherence protocol for -self tracing and -stats
 //	                simulation: dir1sw (default), dirnnb[:n], dirnb[:n];
 //	                annotation itself is protocol-independent
+//	-static         infer the trace statically (internal/staticanno) instead
+//	                of simulating or reading one; no trace input needed
+//	-static=verify  run both pipelines — trace-driven (from -trace or -self)
+//	                and static — and diff the annotated outputs in every
+//	                style; placement divergence is a nonzero exit
 package main
 
 import (
@@ -35,8 +40,46 @@ import (
 	"cachier/internal/obs"
 	"cachier/internal/parc"
 	"cachier/internal/sim"
+	"cachier/internal/staticanno"
 	"cachier/internal/trace"
 )
+
+// staticMode is the tri-state -static flag: off, on (annotate from the
+// statically inferred trace), or verify (run both pipelines and diff).
+type staticMode int
+
+const (
+	staticOff staticMode = iota
+	staticOn
+	staticVerify
+)
+
+func (m *staticMode) String() string {
+	switch *m {
+	case staticOn:
+		return "true"
+	case staticVerify:
+		return "verify"
+	}
+	return "false"
+}
+
+func (m *staticMode) Set(s string) error {
+	switch s {
+	case "", "true", "on", "1":
+		*m = staticOn
+	case "false", "off", "0":
+		*m = staticOff
+	case "verify":
+		*m = staticVerify
+	default:
+		return fmt.Errorf(`want "true", "false", or "verify"`)
+	}
+	return nil
+}
+
+// IsBoolFlag lets plain -static (no value) mean -static=true.
+func (m *staticMode) IsBoolFlag() bool { return true }
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
@@ -64,6 +107,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		stats     = fs.String("stats", "", "simulate the annotated program and write its stats snapshot (JSON) to this file")
 		protocol  = fs.String("protocol", "", `coherence protocol for -self/-stats simulations: "dir1sw" (default), "dirnnb[:n]", or "dirnb[:n]"`)
 	)
+	var static staticMode
+	fs.Var(&static, "static", `infer the trace statically: "true", or "verify" to diff against the trace-driven placement`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,8 +123,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	src := string(srcBytes)
 
+	staticCfg := staticanno.DefaultConfig()
+	staticCfg.Nodes = *nodes
+
 	var traces []*trace.Trace
 	switch {
+	case static == staticOn:
+		// Trace-free mode: synthesize the trace from the program alone.
+		prog, err := parc.Parse(src)
+		if err != nil {
+			return err
+		}
+		if err := parc.Check(prog); err != nil {
+			return err
+		}
+		inf, err := staticanno.Infer(prog, staticCfg)
+		if err != nil {
+			return fmt.Errorf("static inference: %w", err)
+		}
+		reportInexact(stderr, inf)
+		traces = []*trace.Trace{inf.Trace}
 	case *selfTrace:
 		prog, err := parc.Parse(src)
 		if err != nil {
@@ -111,7 +174,33 @@ func run(args []string, stdout, stderr io.Writer) error {
 			traces = append(traces, tr)
 		}
 	default:
-		return fmt.Errorf("either -trace FILE[,FILE...] or -self is required")
+		return fmt.Errorf("either -trace FILE[,FILE...], -self, or -static is required")
+	}
+
+	if static == staticVerify {
+		if len(traces) != 1 {
+			return fmt.Errorf("-static=verify compares against a single trace, got %d", len(traces))
+		}
+		diffs, inf, err := staticanno.Compare(src, traces[0], staticCfg)
+		if err != nil {
+			return fmt.Errorf("static verify: %w", err)
+		}
+		reportInexact(stderr, inf)
+		diverged := 0
+		for _, d := range diffs {
+			if d.Match {
+				fmt.Fprintf(stderr, "cachier: %s: static and trace-driven placements match (%d annotation(s))\n",
+					d.Name, d.Traced.Annotations)
+				continue
+			}
+			diverged++
+			fmt.Fprintf(stderr, "cachier: %s: placements DIVERGE (-trace-driven, +static):\n%s",
+				d.Name, d.Diff)
+		}
+		if diverged > 0 {
+			return fmt.Errorf("static placement diverges from trace-driven in %d of %d style(s)", diverged, len(diffs))
+		}
+		return nil
 	}
 
 	opts := core.DefaultOptions()
@@ -154,6 +243,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// reportInexact warns when static inference had to over-approximate, so the
+// user knows the annotations cover a superset of any real execution.
+func reportInexact(stderr io.Writer, inf *staticanno.Result) {
+	if inf.Exact {
+		return
+	}
+	fmt.Fprintln(stderr, "cachier: static inference is approximate; annotations cover a superset of the dynamic footprint:")
+	for _, n := range inf.Notes {
+		fmt.Fprintln(stderr, "cachier:   ", n)
+	}
 }
 
 // writeStats simulates the annotated program on the selected coherence

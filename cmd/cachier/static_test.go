@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const partitionSrc = `
+const N = 64;
+shared float A[N] label "A";
+shared float B[N] label "B";
+func main() {
+    var chunk int = N / nprocs();
+    var lo int = pid() * chunk;
+    for i = lo to lo + chunk - 1 {
+        A[i] = float(i);
+    }
+    barrier;
+    for i = lo to lo + chunk - 1 {
+        B[i] = A[i] * 2.0;
+    }
+    barrier;
+}`
+
+func writeProg(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.parc")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCachier(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), err
+}
+
+// TestStaticAnnotate: -static needs no trace input at all and produces an
+// annotated program.
+func TestStaticAnnotate(t *testing.T) {
+	prog := writeProg(t, partitionSrc)
+	stdout, stderr, err := runCachier(t, "-static", "-nodes", "4", prog)
+	if err != nil {
+		t.Fatalf("err=%v\nstderr:\n%s", err, stderr)
+	}
+	if !strings.Contains(stdout, "check_in") {
+		t.Errorf("static annotation placed nothing:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "inserted") {
+		t.Errorf("missing insertion summary:\n%s", stderr)
+	}
+}
+
+// TestStaticMatchesSelf: on a race-free enumerable program, -static and
+// -self must print byte-identical annotated output.
+func TestStaticMatchesSelf(t *testing.T) {
+	prog := writeProg(t, partitionSrc)
+	fromStatic, _, err := runCachier(t, "-static", "-nodes", "4", "-prefetch", prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSelf, _, err := runCachier(t, "-self", "-nodes", "4", "-prefetch", prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromStatic != fromSelf {
+		t.Errorf("-static and -self annotate differently:\n--- static ---\n%s\n--- self ---\n%s",
+			fromStatic, fromSelf)
+	}
+}
+
+// TestStaticVerifySelf: -static=verify -self runs both pipelines; on a
+// race-free enumerable program they must agree in every style.
+func TestStaticVerifySelf(t *testing.T) {
+	prog := writeProg(t, partitionSrc)
+	_, stderr, err := runCachier(t, "-static=verify", "-self", "-nodes", "4", prog)
+	if err != nil {
+		t.Fatalf("verify should pass: %v\nstderr:\n%s", err, stderr)
+	}
+	if strings.Count(stderr, "placements match") != 3 {
+		t.Errorf("expected all three styles to match:\n%s", stderr)
+	}
+}
+
+// TestStaticVerifyNeedsTrace: verify mode compares against a trace, so a
+// trace source is required.
+func TestStaticVerifyNeedsTrace(t *testing.T) {
+	prog := writeProg(t, partitionSrc)
+	_, _, err := runCachier(t, "-static=verify", prog)
+	if err == nil || !strings.Contains(err.Error(), "required") {
+		t.Errorf("expected missing-trace error, got %v", err)
+	}
+}
+
+// TestStaticFlagRejectsGarbage pins the tri-state flag's parsing.
+func TestStaticFlagRejectsGarbage(t *testing.T) {
+	prog := writeProg(t, partitionSrc)
+	if _, _, err := runCachier(t, "-static=sometimes", prog); err == nil {
+		t.Error("expected flag parse error")
+	}
+}
+
+// TestStaticInexactWarning: approximate inference must be called out on
+// stderr rather than silently over-annotating.
+func TestStaticInexactWarning(t *testing.T) {
+	prog := writeProg(t, `
+const N = 8;
+shared float A[N] label "A";
+shared int idx label "idx";
+func main() {
+    if pid() == 0 {
+        A[idx] = 1.0;
+    }
+    barrier;
+}`)
+	_, stderr, err := runCachier(t, "-static", "-nodes", "2", prog)
+	if err != nil {
+		t.Fatalf("err=%v\nstderr:\n%s", err, stderr)
+	}
+	if !strings.Contains(stderr, "approximate") {
+		t.Errorf("expected inexactness warning:\n%s", stderr)
+	}
+}

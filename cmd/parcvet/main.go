@@ -21,6 +21,9 @@
 //	                otherwise a no-op — races and CICO protocol misuse are
 //	                source properties, so verdicts are identical under
 //	                every protocol (make vet checks this stays true)
+//	-json           print one JSON array of diagnostics on stdout instead
+//	                of text (file, line, col, severity, kind, var, epoch,
+//	                nodes, msg per finding), for CI and tooling
 //	-q              print only errors, not warnings or infos
 //
 // Exit status: 0 clean (or expectations met), 1 findings of error
@@ -28,6 +31,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -37,6 +41,64 @@ import (
 	"cachier/internal/coherence"
 	"cachier/internal/vet"
 )
+
+// jsonDiag is one finding in -json output. The schema is part of the CLI
+// contract (see the golden test): kind is the vet rule name, severity one of
+// "info"/"warning"/"error", epoch -1 for non-epochal findings, and nodes the
+// racing node pair (omitted when no node is involved).
+type jsonDiag struct {
+	Program  string `json:"program"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Severity string `json:"severity"`
+	Kind     string `json:"kind"`
+	Var      string `json:"var,omitempty"`
+	Epoch    int    `json:"epoch"`
+	Nodes    []int  `json:"nodes,omitempty"`
+	Msg      string `json:"msg"`
+}
+
+// diags converts a report's findings for one program, honoring -q.
+func diags(program string, rep *vet.Report, quiet bool) []jsonDiag {
+	var out []jsonDiag
+	for _, f := range rep.Findings {
+		if quiet && f.Severity != vet.SevError {
+			continue
+		}
+		d := jsonDiag{
+			Program:  program,
+			File:     f.Pos.File,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Col,
+			Severity: f.Severity.String(),
+			Kind:     f.Rule,
+			Var:      f.Var,
+			Epoch:    f.Epoch,
+			Msg:      f.Msg,
+		}
+		if f.Nodes[0] >= 0 {
+			if f.Nodes[1] >= 0 {
+				d.Nodes = []int{f.Nodes[0], f.Nodes[1]}
+			} else {
+				d.Nodes = []int{f.Nodes[0]}
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// emitJSON writes the collected diagnostics as one indented JSON array.
+// An empty run still prints "[]" so consumers always get valid JSON.
+func emitJSON(w io.Writer, ds []jsonDiag) {
+	if ds == nil {
+		ds = []jsonDiag{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(ds)
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -52,6 +114,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		benchName   = fs.String("bench", "", `vet a built-in benchmark port by name, or "all"`)
 		expectRaces = fs.Bool("expect-races", false, "succeed only if every file has at least one race")
 		protocol    = fs.String("protocol", "", "coherence protocol the program targets (validated; verdicts are protocol-independent)")
+		jsonOut     = fs.Bool("json", false, "print diagnostics as one JSON array on stdout")
 		quiet       = fs.Bool("q", false, "print only error-severity findings")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -69,7 +132,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "parcvet: -bench takes no file arguments")
 			return 2
 		}
-		return runBench(*benchName, *quiet, stdout, stderr)
+		return runBench(*benchName, *quiet, *jsonOut, stdout, stderr)
 	}
 	if fs.NArg() == 0 {
 		fmt.Fprintln(stderr, "usage: parcvet [flags] program.parc...")
@@ -77,6 +140,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	status := 0
+	var all []jsonDiag
 	for _, file := range fs.Args() {
 		srcBytes, err := os.ReadFile(file)
 		if err != nil {
@@ -88,7 +152,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "parcvet:", err)
 			return 2
 		}
-		printReport(stdout, rep, *quiet)
+		if *jsonOut {
+			all = append(all, diags(file, rep, *quiet)...)
+		} else {
+			printReport(stdout, rep, *quiet)
+		}
 		if *expectRaces {
 			if len(rep.Races()) == 0 {
 				fmt.Fprintf(stderr, "parcvet: %s: expected at least one data race, found none\n", file)
@@ -100,13 +168,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			status = 1
 		}
 	}
+	if *jsonOut {
+		emitJSON(stdout, all)
+	}
 	return status
 }
 
 // runBench vets the built-in benchmark ports at their training inputs. For
 // "all", the exit status reports whether every port's verdict matches its
 // known classification: MatMul and Mp3d race, the rest are clean.
-func runBench(name string, quiet bool, stdout, stderr io.Writer) int {
+func runBench(name string, quiet, jsonOut bool, stdout, stderr io.Writer) int {
 	var targets []*bench.Benchmark
 	if name == "all" {
 		targets = bench.All()
@@ -119,6 +190,7 @@ func runBench(name string, quiet bool, stdout, stderr io.Writer) int {
 		targets = []*bench.Benchmark{b}
 	}
 	status := 0
+	var all []jsonDiag
 	for _, b := range targets {
 		src := b.Source(b.Train)
 		rep, err := vet.AnalyzeSource(b.Name+".parc", src, vet.Options{Nprocs: b.Nodes})
@@ -134,11 +206,18 @@ func runBench(name string, quiet bool, stdout, stderr io.Writer) int {
 		if b.Racy {
 			want = "racy"
 		}
-		fmt.Fprintf(stdout, "%s: %s (expected %s)\n", b.Name, verdict, want)
-		printReport(stdout, rep, quiet)
+		if jsonOut {
+			all = append(all, diags(b.Name, rep, quiet)...)
+		} else {
+			fmt.Fprintf(stdout, "%s: %s (expected %s)\n", b.Name, verdict, want)
+			printReport(stdout, rep, quiet)
+		}
 		if verdict != want {
 			status = 1
 		}
+	}
+	if jsonOut {
+		emitJSON(stdout, all)
 	}
 	return status
 }

@@ -1,11 +1,16 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
 
 func write(t *testing.T, name, src string) string {
 	t.Helper()
@@ -165,6 +170,97 @@ func main() {
 	}
 	if !strings.Contains(errOut.String(), "unknown") {
 		t.Fatalf("stderr should name the bad spec:\n%s", errOut.String())
+	}
+}
+
+// TestJSONGolden pins the -json output schema against a checked-in golden
+// file. The fixture produces findings of every severity, so the golden also
+// documents the severity vocabulary; run with -update to regenerate.
+func TestJSONGolden(t *testing.T) {
+	fixture := filepath.Join("testdata", "json_demo.parc")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-json", fixture}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d for the racy fixture, want 1\nstderr:\n%s", code, errOut.String())
+	}
+
+	// The output must be a valid JSON array of diagnostics before any
+	// golden comparison — the schema is the CLI contract.
+	var ds []jsonDiag
+	if err := json.Unmarshal(out.Bytes(), &ds); err != nil {
+		t.Fatalf("-json output is not a JSON array of diagnostics: %v\n%s", err, out.String())
+	}
+	if len(ds) == 0 {
+		t.Fatal("-json output is empty for a fixture with findings")
+	}
+	severities := map[string]bool{}
+	for _, d := range ds {
+		if d.File != fixture || d.Program != fixture {
+			t.Errorf("diagnostic file/program = %q/%q, want %q", d.File, d.Program, fixture)
+		}
+		if d.Line <= 0 || d.Col <= 0 {
+			t.Errorf("diagnostic %q has no position: line %d col %d", d.Kind, d.Line, d.Col)
+		}
+		severities[d.Severity] = true
+	}
+	for _, sev := range []string{"info", "warning", "error"} {
+		if !severities[sev] {
+			t.Errorf("fixture produced no %s-severity finding; the golden should cover all severities", sev)
+		}
+	}
+
+	goldenPath := filepath.Join("testdata", "json_demo.golden.json")
+	if *update {
+		if err := os.WriteFile(goldenPath, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("-json output diverged from golden (re-run with -update if intended)\n--- got ---\n%s\n--- want ---\n%s",
+			out.String(), want)
+	}
+}
+
+// TestJSONQuiet checks that -q filters the JSON stream down to errors and
+// that a clean program still yields a valid (empty) JSON array.
+func TestJSONQuiet(t *testing.T) {
+	fixture := filepath.Join("testdata", "json_demo.parc")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", "-q", fixture}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var ds []jsonDiag
+	if err := json.Unmarshal(out.Bytes(), &ds); err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) == 0 {
+		t.Fatal("-q dropped the error findings too")
+	}
+	for _, d := range ds {
+		if d.Severity != "error" {
+			t.Errorf("-q leaked a %s finding: %s", d.Severity, d.Msg)
+		}
+	}
+
+	clean := write(t, "clean.parc", `
+shared int x label "x";
+func main() {
+    if pid() == 0 {
+        x = 1;
+    }
+    barrier;
+}`)
+	out.Reset()
+	if code := run([]string{"-json", clean}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d for a clean program, want 0", code)
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Fatalf("clean program should print an empty JSON array, got:\n%s", out.String())
 	}
 }
 

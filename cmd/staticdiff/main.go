@@ -1,0 +1,181 @@
+// Command staticdiff compares trace-driven and trace-free CICO annotation
+// placement (the differential the paper's tool cannot run: it only had the
+// trace). For each input program it simulates a miss trace, infers one
+// statically (internal/staticanno), annotates from both in every style, and
+// reports whether the outputs are byte-identical, whether the inference was
+// exact, and how the miss-block footprints compare under the CICO cost
+// model. It exits nonzero if any program violates its guarantee: an exact
+// inference must place identically, and every inference — exact or widened
+// — must cover the simulated footprint.
+//
+// Usage:
+//
+//	staticdiff [-nodes N] [-diverge-ok] [-v] file.parc ...
+//	staticdiff -bench all|Name
+//	staticdiff -fidelity
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cachier/internal/bench"
+	"cachier/internal/cico"
+	"cachier/internal/conformance"
+	"cachier/internal/parc"
+	"cachier/internal/sim"
+	"cachier/internal/staticanno"
+	"cachier/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("staticdiff", flag.ContinueOnError)
+	nodes := fs.Int("nodes", 4, "simulated nodes for .parc file inputs")
+	benchName := fs.String("bench", "", "diff a Figure 6 port (`all` for the suite) at its own geometry")
+	fidelity := fs.Bool("fidelity", false, "run the bench static-fidelity harness (measured cycles, see EXPERIMENTS.md)")
+	divergeOK := fs.Bool("diverge-ok", false, "allow exact-inference placement divergence (racy inputs, where a trace is one schedule's story)")
+	verbose := fs.Bool("v", false, "print unified diffs for diverging styles")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *fidelity {
+		rows, err := bench.StaticFidelity()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "staticdiff:", err)
+			return 1
+		}
+		fmt.Fprint(out, bench.FormatStaticRows(rows))
+		return 0
+	}
+
+	type job struct {
+		name  string
+		src   string
+		nodes int
+		racy  bool
+	}
+	var jobs []job
+	if *benchName != "" {
+		ports := bench.All()
+		if *benchName != "all" {
+			b, err := bench.ByName(*benchName)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "staticdiff:", err)
+				return 2
+			}
+			ports = []*bench.Benchmark{b}
+		}
+		for _, b := range ports {
+			jobs = append(jobs, job{name: b.Name, src: b.Source(b.Train), nodes: b.Nodes, racy: b.Racy})
+		}
+	}
+	for _, path := range fs.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "staticdiff:", err)
+			return 2
+		}
+		jobs = append(jobs, job{name: path, src: string(src), nodes: *nodes, racy: *divergeOK})
+	}
+	if len(jobs) == 0 {
+		fmt.Fprintln(os.Stderr, "staticdiff: no inputs (give .parc files or -bench)")
+		return 2
+	}
+
+	fmt.Fprintf(out, "%-34s %6s %6s %7s %7s | %7s %8s %8s\n",
+		"program", "nodes", "exact", "styles", "covers", "blocks", "+static", "-static")
+	bad := 0
+	for _, j := range jobs {
+		if err := diffOne(out, j.name, j.src, j.nodes, j.racy, *verbose); err != nil {
+			fmt.Fprintf(os.Stderr, "staticdiff: %s: %v\n", j.name, err)
+			bad++
+		}
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+// diffOne runs the differential on one program and prints its row; the
+// returned error reports a violated guarantee (or a pipeline failure).
+func diffOne(out io.Writer, name, src string, nodes int, racy, verbose bool) error {
+	prog, err := parc.Parse(src)
+	if err != nil {
+		return err
+	}
+	if err := parc.Check(prog); err != nil {
+		return err
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Nodes = nodes
+	cfg.Mode = sim.ModeTrace
+	cfg.SelfCheck = false
+	traceRes, err := sim.Run(prog, cfg)
+	if err != nil {
+		return fmt.Errorf("trace run: %w", err)
+	}
+	scfg := staticanno.Config{
+		Nodes: nodes, CacheSize: cfg.CacheSize,
+		Assoc: cfg.Assoc, BlockSize: cfg.BlockSize,
+	}
+	diffs, inf, err := staticanno.Compare(src, traceRes.Trace, scfg)
+	if err != nil {
+		return fmt.Errorf("static compare: %w", err)
+	}
+	matched := 0
+	for _, d := range diffs {
+		if d.Match {
+			matched++
+		}
+	}
+	coverErr := conformance.StaticCoversResult(inf, traceRes.Trace)
+	both, staticOnly, tracedOnly := footprintOverlap(inf.Trace, traceRes.Trace)
+	fmt.Fprintf(out, "%-34s %6d %6v %4d/%d %7v | %7d %8d %8d\n",
+		name, nodes, inf.Exact, matched, len(diffs), coverErr == nil,
+		both, staticOnly, tracedOnly)
+	if verbose {
+		for _, n := range inf.Notes {
+			fmt.Fprintf(out, "  note: %s\n", n)
+		}
+		for _, d := range diffs {
+			if !d.Match {
+				fmt.Fprintf(out, "  %s (-trace-driven, +static):\n%s", d.Name, d.Diff)
+			}
+		}
+	}
+	if coverErr != nil {
+		return fmt.Errorf("covering violated: %w", coverErr)
+	}
+	if inf.Exact && matched != len(diffs) && !racy {
+		return fmt.Errorf("exact inference but %d/%d styles diverge", matched, len(diffs))
+	}
+	return nil
+}
+
+// footprintOverlap compares the two traces' miss-block footprints (all
+// nodes pooled): blocks both miss on, blocks only the static trace misses
+// on (the over-approximation's extra CICO check-outs), and blocks only the
+// simulation misses on (zero whenever the covering guarantee holds, which
+// pools per node and so is the stricter test).
+func footprintOverlap(static, traced *trace.Trace) (both, staticOnly, tracedOnly uint64) {
+	return cico.FootprintOverlap(missBlocks(static), missBlocks(traced))
+}
+
+func missBlocks(tr *trace.Trace) map[uint64]bool {
+	bs := uint64(tr.BlockSize)
+	blocks := make(map[uint64]bool)
+	for _, e := range tr.Epochs {
+		for _, m := range e.Misses {
+			blocks[m.Addr/bs] = true
+		}
+	}
+	return blocks
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExamples runs the differential over the checked-in ParC sources; both
+// must be exact with byte-identical placement in every style (race_demo
+// races, but the replay reproduces the simulator's deterministic schedule).
+func TestExamples(t *testing.T) {
+	var out strings.Builder
+	code := run([]string{
+		"../../examples/parc/jacobi_wholefit.parc",
+		"../../examples/parc/race_demo.parc",
+	}, &out)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out.String())
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n")[1:] {
+		if !strings.Contains(line, "true") || !strings.Contains(line, "3/3") {
+			t.Errorf("expected exact 3/3 row, got: %s", line)
+		}
+	}
+}
+
+// TestBenchPort runs one inexact Figure 6 port end to end: Mp3d widens, so
+// placement divergence is allowed, but the covering guarantee must hold and
+// the command must exit zero.
+func TestBenchPort(t *testing.T) {
+	var out strings.Builder
+	code := run([]string{"-bench", "Mp3d"}, &out)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "Mp3d") || !strings.Contains(out.String(), "false") {
+		t.Errorf("unexpected output:\n%s", out.String())
+	}
+}
+
+// TestBadUsage covers the error paths.
+func TestBadUsage(t *testing.T) {
+	var out strings.Builder
+	if code := run(nil, &out); code != 2 {
+		t.Errorf("no inputs: exit %d, want 2", code)
+	}
+	if code := run([]string{"no-such-file.parc"}, &out); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+	if code := run([]string{"-bench", "NoSuchBench"}, &out); code != 2 {
+		t.Errorf("unknown bench: exit %d, want 2", code)
+	}
+}

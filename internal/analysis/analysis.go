@@ -285,16 +285,74 @@ func TripCount(l *parc.ForStmt, consts map[string]int64) (uint64, bool) {
 		}
 		step = s
 	}
+	return TripCountBounds(from, to, step)
+}
+
+// TripCountBounds is TripCount on already-evaluated bounds; the vet abstract
+// interpreter uses it for loops whose bounds are node-concrete (pid-derived)
+// rather than program constants. A range so wide that to-from overflows int64
+// reports ok=false rather than folding a wrapped value.
+func TripCountBounds(from, to, step int64) (uint64, bool) {
+	if step == 0 {
+		return 0, false
+	}
 	if step > 0 {
 		if to < from {
 			return 0, true
 		}
-		return uint64((to-from)/step + 1), true
+		diff, ok := subOK(to, from)
+		if !ok {
+			return 0, false
+		}
+		return uint64(diff)/uint64(step) + 1, true
 	}
 	if from < to {
 		return 0, true
 	}
-	return uint64((from-to)/(-step) + 1), true
+	diff, ok := subOK(from, to)
+	if !ok {
+		return 0, false
+	}
+	// |step| computed in uint64 so MinInt64 needs no special case.
+	mag := uint64(-(step + 1)) + 1
+	return uint64(diff)/mag + 1, true
+}
+
+// addOK, subOK, mulOK, and negOK are int64 arithmetic with explicit overflow
+// reporting; ConstExpr must never fold a silently wrapped value into a trip
+// count or footprint.
+func addOK(x, y int64) (int64, bool) {
+	s := x + y
+	if (x > 0 && y > 0 && s < 0) || (x < 0 && y < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+func subOK(x, y int64) (int64, bool) {
+	d := x - y
+	if (y < 0 && d < x) || (y > 0 && d > x) {
+		return 0, false
+	}
+	return d, true
+}
+
+func mulOK(x, y int64) (int64, bool) {
+	if x == 0 || y == 0 {
+		return 0, true
+	}
+	p := x * y
+	if p/y != x {
+		return 0, false
+	}
+	return p, true
+}
+
+func negOK(x int64) (int64, bool) {
+	if x == -x && x != 0 { // MinInt64
+		return 0, false
+	}
+	return -x, true
 }
 
 // ConstExpr evaluates an expression that uses only literals and program
@@ -312,7 +370,10 @@ func ConstExpr(e parc.Expr, consts map[string]int64) (int64, bool) {
 			return 0, false
 		}
 		v, ok := ConstExpr(n.X, consts)
-		return -v, ok
+		if !ok {
+			return 0, false
+		}
+		return negOK(v)
 	case *parc.BinaryExpr:
 		x, okx := ConstExpr(n.X, consts)
 		y, oky := ConstExpr(n.Y, consts)
@@ -321,13 +382,16 @@ func ConstExpr(e parc.Expr, consts map[string]int64) (int64, bool) {
 		}
 		switch n.Op {
 		case parc.TokPlus:
-			return x + y, true
+			return addOK(x, y)
 		case parc.TokMinus:
-			return x - y, true
+			return subOK(x, y)
 		case parc.TokStar:
-			return x * y, true
+			return mulOK(x, y)
 		case parc.TokSlash:
 			if y == 0 {
+				return 0, false
+			}
+			if x == -x && x != 0 && y == -1 { // MinInt64 / -1 wraps
 				return 0, false
 			}
 			return x / y, true

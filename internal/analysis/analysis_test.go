@@ -236,3 +236,94 @@ func TestConstExpr(t *testing.T) {
 		t.Errorf("0-N = %d, %v", v, ok)
 	}
 }
+
+func TestConstExprOverflow(t *testing.T) {
+	const minI64, maxI64 = -9223372036854775808, 9223372036854775807
+	consts := map[string]int64{"MIN": minI64, "MAX": maxI64, "HALF": maxI64 / 2}
+	mk := func(src string) parc.Expr {
+		prog := parc.MustParse("shared float A[8]; func main() { " +
+			"var MIN int = 0; var MAX int = 0; var HALF int = 0; A[" + src + "] = 1.0; }")
+		asn := findStmt[*parc.AssignStmt](prog, func(*parc.AssignStmt) bool { return true })
+		return asn.LHS.Indices[0]
+	}
+	cases := []struct {
+		expr string
+		want int64
+		ok   bool
+	}{
+		{"MAX + 1", 0, false},
+		{"MIN - 1", 0, false},
+		{"MIN + MIN", 0, false},
+		{"MAX * 2", 0, false},
+		{"HALF * 2", maxI64 - 1, true},
+		{"MIN * 0 - 1", -1, true},
+		{"-MIN", 0, false},
+		{"-MAX", minI64 + 1, true},
+		{"MIN / (0 - 1)", 0, false}, // MinInt64 / -1 wraps
+		{"MIN / 1", minI64, true},
+		{"MAX + (0 - 1)", maxI64 - 1, true},
+		{"MIN - MIN", 0, true},
+	}
+	for _, c := range cases {
+		v, ok := ConstExpr(mk(c.expr), consts)
+		if ok != c.ok || (ok && v != c.want) {
+			t.Errorf("ConstExpr(%q) = %d, %v; want %d, %v", c.expr, v, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestTripCountBounds(t *testing.T) {
+	const minI64, maxI64 = -9223372036854775808, 9223372036854775807
+	cases := []struct {
+		from, to, step int64
+		want           uint64
+		ok             bool
+	}{
+		{0, 9, 1, 10, true},
+		{0, 9, 2, 5, true},
+		{0, 9, 3, 4, true},
+		{9, 0, -1, 10, true},
+		{9, 0, -3, 4, true},
+		{5, 4, 1, 0, true},  // empty ascending
+		{4, 5, -1, 0, true}, // empty descending
+		{0, 0, 5, 1, true},
+		{0, 0, 0, 0, false},                                   // zero step never terminates
+		{minI64, maxI64, 1, 0, false},                         // to-from overflows
+		{maxI64, minI64, -1, 0, false},                        // from-to overflows
+		{minI64 + 1, maxI64, maxI64, 0, false},                // diff exceeds int64 even though trips would be small
+		{0, maxI64, minI64, 0, true},                          // negative max-magnitude step, wrong direction
+		{maxI64, 0, minI64, 1, true},                          // |MinInt64| step covers the range in one trip
+		{maxI64 - 1, maxI64, 1, 2, true},                      // bounds at the edge, no overflow
+		{minI64, minI64 + 2, 1, 3, true},                      // negative edge
+		{-4, 4, 3, 3, true},                                   // crosses zero
+		{4, -4, -3, 3, true},                                  // crosses zero descending
+		{minI64 / 2, maxI64 / 2, 1, uint64(maxI64) + 1, true}, // diff = MaxInt64, trips still fit uint64
+	}
+	for _, c := range cases {
+		got, ok := TripCountBounds(c.from, c.to, c.step)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("TripCountBounds(%d, %d, %d) = %d, %v; want %d, %v",
+				c.from, c.to, c.step, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestTripCountForStmt(t *testing.T) {
+	consts := map[string]int64{"N": 8}
+	mk := func(head string) *parc.ForStmt {
+		prog := parc.MustParse("const N = 8; shared float A[N]; func main() { var j int = 3; " + head + " { A[0] = 1.0; } }")
+		return findStmt[*parc.ForStmt](prog, func(*parc.ForStmt) bool { return true })
+	}
+	if n, ok := TripCount(mk("for i = 0 to N - 1"), consts); !ok || n != 8 {
+		t.Errorf("0..N-1 = %d, %v", n, ok)
+	}
+	if n, ok := TripCount(mk("for i = N - 1 to 0 step -2"), consts); !ok || n != 4 {
+		t.Errorf("reverse step -2 = %d, %v", n, ok)
+	}
+	if _, ok := TripCount(mk("for i = 0 to N - 1 step 0 - 0"), consts); ok {
+		t.Error("zero step accepted")
+	}
+	if _, ok := TripCount(mk("for i = 0 to j"), consts); ok {
+		t.Error("non-const bound accepted")
+	}
+}

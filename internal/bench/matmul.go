@@ -20,7 +20,7 @@ func MatMul() *Benchmark {
 		// Paper scale: 256x256 matrices (Section 6).
 		PaperTrain: Params{N: 256, P: 4, Seed: 11},
 		PaperTest:  Params{N: 256, P: 4, Seed: 97},
-		Racy:     true,
+		Racy:       true,
 	}
 }
 

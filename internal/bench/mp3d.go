@@ -22,7 +22,7 @@ func Mp3d() *Benchmark {
 		// Paper scale: 10,000 particles (the Mp3d runs Section 6 reports).
 		PaperTrain: Params{N: 10000, Steps: 8, Seed: 9},
 		PaperTest:  Params{N: 10000, Steps: 8, Seed: 203},
-		Racy:     true,
+		Racy:       true,
 	}
 }
 

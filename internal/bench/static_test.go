@@ -1,0 +1,57 @@
+package bench
+
+import "testing"
+
+// TestStaticFidelity pins the trace-free pipeline's behaviour on every
+// Figure 6 port. The race-free, enumerable ports (Ocean; MatrixMultiply is
+// racy but the replay reproduces the simulator's deterministic schedule)
+// must be exact with byte-identical annotations and therefore identical
+// measured cycles. Barnes and Mp3d widen on data-dependent control and
+// their placements legitimately diverge — the asserted divergence — while
+// Tomcatv widens but still lands on the identical placement.
+func TestStaticFidelity(t *testing.T) {
+	rows, err := StaticFidelity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]struct {
+		exact    bool
+		matchAll bool
+	}{
+		"Barnes":         {exact: false, matchAll: false},
+		"Ocean":          {exact: true, matchAll: true},
+		"Mp3d":           {exact: false, matchAll: false},
+		"MatrixMultiply": {exact: true, matchAll: true},
+		"Tomcatv":        {exact: false, matchAll: true},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(want))
+	}
+	for _, r := range rows {
+		w, ok := want[r.Benchmark]
+		if !ok {
+			t.Errorf("%s: unexpected row", r.Benchmark)
+			continue
+		}
+		if r.Exact != w.exact {
+			t.Errorf("%s: exact = %v, want %v (notes: %v)", r.Benchmark, r.Exact, w.exact, r.Notes)
+		}
+		if got := r.StylesMatched == r.StylesTotal; got != w.matchAll {
+			t.Errorf("%s: %d/%d styles matched, want matchAll=%v",
+				r.Benchmark, r.StylesMatched, r.StylesTotal, w.matchAll)
+		}
+		if r.CyclesTrace == 0 || r.CyclesStatic == 0 {
+			t.Errorf("%s: zero measured cycles (trace %d, static %d)",
+				r.Benchmark, r.CyclesTrace, r.CyclesStatic)
+		}
+		// Byte-identical annotated sources must measure byte-identically.
+		if w.matchAll && r.CyclesStatic != r.CyclesTrace {
+			t.Errorf("%s: matched placement but cycles differ: trace %d, static %d",
+				r.Benchmark, r.CyclesTrace, r.CyclesStatic)
+		}
+		if !w.exact && len(r.Notes) == 0 {
+			t.Errorf("%s: inexact with no notes", r.Benchmark)
+		}
+	}
+	t.Logf("\n%s", FormatStaticRows(rows))
+}

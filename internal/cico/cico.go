@@ -81,6 +81,28 @@ func MatMulRestructuredCCheckouts(n, p, b int64) int64 { return 2 * n * (n / (b 
 // with b = 4.
 func MatMulRestructuredRacyCheckouts(n, p, b int64) int64 { return n * (n / (b * p)) * p * p }
 
+// FootprintOverlap compares two block-footprint sets (block numbers, as
+// BlocksTouched counts them): blocks in both, blocks only in a, and blocks
+// only in b. Under the CICO cost model the asymmetry prices an
+// over-approximation — every extra block one side would check out costs a
+// block transfer the other side does not pay — so differential harnesses
+// report onlyA/onlyB directly as communication-cost deltas.
+func FootprintOverlap(a, b map[uint64]bool) (both, onlyA, onlyB uint64) {
+	for blk := range a {
+		if b[blk] {
+			both++
+		} else {
+			onlyA++
+		}
+	}
+	for blk := range b {
+		if !a[blk] {
+			onlyB++
+		}
+	}
+	return both, onlyA, onlyB
+}
+
 // Costs attributes an abstract communication cost to CICO events, in the
 // spirit of the CICO cost model: checking out a block costs a full block
 // transfer, checking in costs a message, and a block-race re-checkout pays

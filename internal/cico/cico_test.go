@@ -73,3 +73,15 @@ func TestProgramCost(t *testing.T) {
 		t.Error("empty program has nonzero cost")
 	}
 }
+
+func TestFootprintOverlap(t *testing.T) {
+	a := map[uint64]bool{1: true, 2: true, 3: true}
+	b := map[uint64]bool{2: true, 3: true, 4: true, 5: true}
+	both, onlyA, onlyB := FootprintOverlap(a, b)
+	if both != 2 || onlyA != 1 || onlyB != 2 {
+		t.Errorf("overlap = (%d, %d, %d), want (2, 1, 2)", both, onlyA, onlyB)
+	}
+	if both, onlyA, onlyB = FootprintOverlap(nil, nil); both+onlyA+onlyB != 0 {
+		t.Error("empty sets overlap")
+	}
+}

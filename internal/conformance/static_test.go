@@ -1,0 +1,129 @@
+package conformance
+
+import (
+	"testing"
+
+	"cachier/internal/bench"
+	"cachier/internal/parcgen"
+	"cachier/internal/sim"
+	"cachier/internal/staticanno"
+)
+
+// TestStaticPlacementCorpus runs the trace-free placement differential over
+// the full corpus: on every seed the statically inferred trace must drive
+// core.Annotate to the byte-identical output the simulated trace does, in
+// all three styles — or, where the generated program is genuinely
+// data-dependent (an rnd()-driven guard), satisfy the footprint covering.
+func TestStaticPlacementCorpus(t *testing.T) {
+	for seed := int64(0); seed < corpusSize; seed++ {
+		seed := seed
+		t.Run(seedName(seed), func(t *testing.T) {
+			t.Parallel()
+			if err := RunStaticPlacement(parcgen.Generate(seed)); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		})
+	}
+}
+
+// TestStaticPlacementExactness pins which corpus programs the inference
+// widens on: seed 47's rnd()-derived guard is the only one. If generator or
+// inference changes move this set, the assertion localizes it immediately.
+func TestStaticPlacementExactness(t *testing.T) {
+	inexact := map[int64]bool{47: true}
+	for seed := int64(0); seed < corpusSize; seed++ {
+		seed := seed
+		t.Run(seedName(seed), func(t *testing.T) {
+			t.Parallel()
+			prog, err := parseChecked(parcgen.Generate(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			inf, err := staticanno.Infer(prog, staticConfig(Nodes))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if inf.Exact == inexact[seed] {
+				t.Fatalf("seed %d: exact = %v, want %v (notes: %v)",
+					seed, inf.Exact, !inexact[seed], inf.Notes)
+			}
+		})
+	}
+}
+
+// TestStaticPlacementBench checks the five Figure 6 ports at their own
+// machine geometry. Ocean is exact and byte-identical; MatrixMultiply
+// races, but the replay reproduces the simulator's deterministic schedule,
+// so it is exact and byte-identical too. Tomcatv widens yet still reaches
+// the identical placement. Barnes and Mp3d widen on data-dependent control
+// and their placements diverge — the documented divergence this test
+// asserts — while the covering guarantee must hold for every port.
+func TestStaticPlacementBench(t *testing.T) {
+	want := map[string]struct {
+		exact    bool
+		matchAll bool // all three styles byte-identical
+	}{
+		"Barnes":         {exact: false, matchAll: false},
+		"Ocean":          {exact: true, matchAll: true},
+		"Mp3d":           {exact: false, matchAll: false},
+		"MatrixMultiply": {exact: true, matchAll: true},
+		"Tomcatv":        {exact: false, matchAll: true},
+	}
+	ports := bench.All()
+	if len(ports) != len(want) {
+		t.Fatalf("bench suite has %d ports, expectations cover %d", len(ports), len(want))
+	}
+	for _, b := range ports {
+		b := b
+		w, ok := want[b.Name]
+		if !ok {
+			t.Fatalf("no expectation for bench port %s", b.Name)
+		}
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			src := b.Source(b.Train)
+			prog, err := parseChecked(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mc := simConfig(sim.ModeTrace)
+			mc.Nodes = b.Nodes
+			// The per-barrier coherence self-check is the corpus suite's job;
+			// at bench geometry it multiplies runtime without adding placement
+			// coverage.
+			mc.SelfCheck = false
+			traceRes, err := sim.Run(prog, mc)
+			if err != nil {
+				t.Fatalf("trace run: %v", err)
+			}
+			cfg := staticConfig(b.Nodes)
+			diffs, inf, err := staticanno.Compare(src, traceRes.Trace, cfg)
+			if err != nil {
+				t.Fatalf("static compare: %v", err)
+			}
+			if inf.Exact != w.exact {
+				t.Errorf("exact = %v, want %v (notes: %v)", inf.Exact, w.exact, inf.Notes)
+			}
+			matched := 0
+			for _, d := range diffs {
+				if d.Match {
+					matched++
+				}
+			}
+			if got := matched == len(diffs); got != w.matchAll {
+				var sample string
+				for _, d := range diffs {
+					if !d.Match {
+						sample = d.Name + ":\n" + d.Diff
+						break
+					}
+				}
+				t.Errorf("%d/%d styles matched, want matchAll=%v\n%s",
+					matched, len(diffs), w.matchAll, sample)
+			}
+			if err := StaticCoversResult(inf, traceRes.Trace); err != nil {
+				t.Errorf("covering violated: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,309 @@
+// Package staticanno infers CICO annotations without running the program.
+//
+// The trace-driven Cachier (internal/core) consumes a miss trace from a
+// simulation of the unannotated program. This package synthesizes that
+// trace statically: the vet abstract interpreter's inference mode
+// (vet.Summarize) reconstructs each node's barrier-delimited stream of
+// scheduler-visible events — shared accesses, locks, prints — directly
+// from the AST, and a coherent replay (replay.go) runs all the streams
+// through the real Dir1SW protocol under the simulator's own scheduling
+// rule, so cross-node interference on falsely-shared blocks produces the
+// same extra misses, kind flips, and write faults a simulated trace
+// carries. The synthetic trace then feeds the unchanged core.Annotate
+// pipeline, so every placement rule (hoisting, generated loops, pinned
+// conflict annotations) behaves identically whether the trace came from a
+// simulation or from this package.
+//
+// On programs the interpreter can enumerate exactly — concrete loop
+// bounds, concrete guards, affine subscripts — the synthetic trace matches
+// the simulator's and the annotated outputs match byte for byte (the
+// conformance harness asserts this over the generated corpus). Where the
+// program is input-dependent the summary widens, Result.Exact turns false,
+// and the trace over-approximates the footprint; racy programs
+// additionally diverge because a real trace observes one schedule's
+// interference and the inferred streams are another's.
+package staticanno
+
+import (
+	"fmt"
+	"strings"
+
+	"cachier/internal/core"
+	"cachier/internal/memory"
+	"cachier/internal/parc"
+	"cachier/internal/trace"
+	"cachier/internal/vet"
+)
+
+// Config selects the modeled machine; it must match the machine the
+// trace-driven pipeline would have simulated for the outputs to be
+// comparable.
+type Config struct {
+	Nodes     int
+	CacheSize int
+	Assoc     int
+	BlockSize int
+	// EnumLimit and Fuel bound the abstract interpreter's concrete
+	// enumeration; zero means vet's inference defaults.
+	EnumLimit int
+	Fuel      int
+}
+
+// DefaultConfig mirrors sim.DefaultConfig's machine: 32 nodes with 256 KB
+// 4-way caches of 32-byte blocks.
+func DefaultConfig() Config {
+	return Config{Nodes: 32, CacheSize: 256 * 1024, Assoc: 4, BlockSize: 32}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Nodes <= 0 {
+		c.Nodes = d.Nodes
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = d.CacheSize
+	}
+	if c.Assoc <= 0 {
+		c.Assoc = d.Assoc
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = d.BlockSize
+	}
+	return c
+}
+
+// Result is one inference run's output.
+type Result struct {
+	Trace *trace.Trace
+	// Exact reports that the event streams are the VM's own, so the
+	// coherent replay reconstructs the trace a simulation would record.
+	// Inexact traces over-approximate the footprint.
+	Exact bool
+	Notes []string
+	// Summary is the underlying per-node access inference.
+	Summary *vet.Summary
+}
+
+// Infer synthesizes the miss trace of prog on the configured machine.
+func Infer(prog *parc.Program, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	sum, err := vet.Summarize(prog, vet.InferOptions{
+		Nprocs: cfg.Nodes, EnumLimit: cfg.EnumLimit, Fuel: cfg.Fuel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := sum.CheckBarrierStructure(); err != nil {
+		return nil, fmt.Errorf("staticanno: %w", err)
+	}
+	layout, err := memory.New(prog, cfg.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	streams, err := flattenStreams(sum, layout)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := replay(cfg, layout, streams)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Trace: tr, Exact: sum.Exact, Notes: sum.Notes, Summary: sum}, nil
+}
+
+// elementAddrs expands one access's per-dimension element sets to byte
+// addresses, row-major ascending. Exact accesses expand to one address;
+// widened ones to their whole (bounds-clamped) footprint.
+func elementAddrs(region *memory.Region, dims []vet.IndexSet) ([]uint64, error) {
+	if len(dims) == 0 {
+		addr, err := region.AddrOf()
+		if err != nil {
+			return nil, err
+		}
+		return []uint64{addr}, nil
+	}
+	perDim := make([][]int64, len(dims))
+	total := 1
+	for d, s := range dims {
+		if s.Empty() {
+			return nil, nil // provably no element touched
+		}
+		limit := 1
+		if d < len(region.DimSizes) {
+			limit = region.DimSizes[d]
+		}
+		els, ok := s.Enumerate(limit)
+		if !ok {
+			// The interpreter clamps subscripts to the array bounds, so an
+			// unenumerable set here means a layout/summary mismatch.
+			return nil, fmt.Errorf("staticanno: subscript set %+v of %s not enumerable", s, region.Name)
+		}
+		perDim[d] = els
+		total *= len(els)
+	}
+	out := make([]uint64, 0, total)
+	ix := make([]int, len(dims))
+	var walk func(d int) error
+	walk = func(d int) error {
+		if d == len(dims) {
+			addr, err := region.AddrOf(ix...)
+			if err != nil {
+				return err
+			}
+			out = append(out, addr)
+			return nil
+		}
+		for _, v := range perDim[d] {
+			ix[d] = int(v)
+			if err := walk(d + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func traceLabels(l *memory.Layout) []trace.Label {
+	var out []trace.Label
+	for _, r := range l.Regions {
+		out = append(out, trace.Label{
+			Name: r.Label,
+			Base: r.BaseAddr,
+			Elem: parc.ElemSize,
+			Dims: append([]int(nil), r.DimSizes...),
+		})
+	}
+	return out
+}
+
+// Annotate runs the trace-free pipeline end to end: infer the trace, then
+// the unchanged core placement. The source is parsed twice (once here for
+// inference, once inside core.Annotate); both parses assign the same
+// statement IDs, the same assumption the simulation pipeline relies on.
+func Annotate(src string, cfg Config, opts core.Options) (*core.Result, *Result, error) {
+	prog, err := parseChecked(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	inf, err := Infer(prog, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := core.Annotate(src, inf.Trace, opts)
+	if err != nil {
+		return nil, inf, err
+	}
+	return res, inf, nil
+}
+
+// StyleDiff is one annotation style's static-vs-trace comparison.
+type StyleDiff struct {
+	Name   string // "performance", "performance+prefetch", "programmer"
+	Opts   core.Options
+	Match  bool
+	Diff   string // unified line diff, empty when Match
+	Static *core.Result
+	Traced *core.Result
+}
+
+// Styles are the three pipeline variants the conformance harness measures.
+func Styles() []StyleDiff {
+	return []StyleDiff{
+		{Name: "performance", Opts: core.Options{Style: core.StylePerformance}},
+		{Name: "performance+prefetch", Opts: core.Options{Style: core.StylePerformance, Prefetch: true}},
+		{Name: "programmer", Opts: core.Options{Style: core.StyleProgrammer}},
+	}
+}
+
+// Compare annotates src from the given simulation trace and from static
+// inference, in every style, and diffs the outputs. The caller supplies the
+// trace so it controls the traced machine; cfg must describe the same one.
+func Compare(src string, tr *trace.Trace, cfg Config) ([]StyleDiff, *Result, error) {
+	prog, err := parseChecked(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	inf, err := Infer(prog, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	styles := Styles()
+	for i := range styles {
+		traced, err := core.Annotate(src, tr, styles[i].Opts)
+		if err != nil {
+			return nil, inf, fmt.Errorf("staticanno: traced %s annotate: %w", styles[i].Name, err)
+		}
+		static, err := core.Annotate(src, inf.Trace, styles[i].Opts)
+		if err != nil {
+			return nil, inf, fmt.Errorf("staticanno: static %s annotate: %w", styles[i].Name, err)
+		}
+		styles[i].Traced, styles[i].Static = traced, static
+		styles[i].Match = traced.Source == static.Source
+		if !styles[i].Match {
+			styles[i].Diff = DiffLines(traced.Source, static.Source)
+		}
+	}
+	return styles, inf, nil
+}
+
+func parseChecked(src string) (*parc.Program, error) {
+	prog, err := parc.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := parc.Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// DiffLines renders a minimal unified diff of two texts ("-" lines from a,
+// "+" lines from b), with unchanged lines elided. Good enough for placement
+// divergence reports; not a general diff tool.
+func DiffLines(a, b string) string {
+	al := strings.Split(strings.TrimRight(a, "\n"), "\n")
+	bl := strings.Split(strings.TrimRight(b, "\n"), "\n")
+	// LCS table; the annotated programs are small.
+	n, m := len(al), len(bl)
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if al[i] == bl[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var out strings.Builder
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case al[i] == bl[j]:
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			fmt.Fprintf(&out, "-%4d %s\n", i+1, al[i])
+			i++
+		default:
+			fmt.Fprintf(&out, "+%4d %s\n", j+1, bl[j])
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		fmt.Fprintf(&out, "-%4d %s\n", i+1, al[i])
+	}
+	for ; j < m; j++ {
+		fmt.Fprintf(&out, "+%4d %s\n", j+1, bl[j])
+	}
+	return out.String()
+}

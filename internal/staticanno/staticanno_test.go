@@ -1,0 +1,194 @@
+package staticanno
+
+import (
+	"strings"
+	"testing"
+
+	"cachier/internal/core"
+	"cachier/internal/parc"
+	"cachier/internal/sim"
+	"cachier/internal/trace"
+)
+
+const partitionSrc = `
+const N = 64;
+shared float A[N] label "A";
+shared float B[N] label "B";
+func main() {
+    var chunk int = N / nprocs();
+    var lo int = pid() * chunk;
+    for i = lo to lo + chunk - 1 {
+        A[i] = float(i);
+    }
+    barrier;
+    for i = lo to lo + chunk - 1 {
+        B[i] = A[i] * 2.0;
+    }
+    barrier;
+}`
+
+func parseTest(t *testing.T, src string) *parc.Program {
+	t.Helper()
+	prog, err := parseChecked(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func simTrace(t *testing.T, src string, nodes int) *trace.Trace {
+	t.Helper()
+	prog := parseTest(t, src)
+	cfg := sim.DefaultConfig()
+	cfg.Nodes = nodes
+	cfg.Mode = sim.ModeTrace
+	res, err := sim.Run(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Trace
+}
+
+func testConfig(nodes int) Config {
+	c := DefaultConfig()
+	c.Nodes = nodes
+	return c
+}
+
+// sameMisses compares two traces' epoch structure and miss sets, ignoring
+// virtual times (the static trace has none).
+func sameMisses(t *testing.T, got, want *trace.Trace) {
+	t.Helper()
+	if len(got.Epochs) != len(want.Epochs) {
+		t.Fatalf("epoch count: static %d, simulated %d", len(got.Epochs), len(want.Epochs))
+	}
+	for i := range want.Epochs {
+		ge, we := got.Epochs[i], want.Epochs[i]
+		if ge.BarrierPC != we.BarrierPC {
+			t.Errorf("epoch %d barrier pc: static %d, simulated %d", i, ge.BarrierPC, we.BarrierPC)
+		}
+		if len(ge.Misses) != len(we.Misses) {
+			t.Fatalf("epoch %d: static has %d misses, simulated %d\nstatic:    %v\nsimulated: %v",
+				i, len(ge.Misses), len(we.Misses), ge.Misses, we.Misses)
+		}
+		for k := range we.Misses {
+			if ge.Misses[k] != we.Misses[k] {
+				t.Errorf("epoch %d miss %d: static %+v, simulated %+v", i, k, ge.Misses[k], we.Misses[k])
+			}
+		}
+	}
+}
+
+// TestInferMatchesSimulatedTrace is the tentpole's core claim in miniature:
+// on a race-free, concretely enumerable partition program the synthetic
+// trace carries exactly the misses a simulated trace run records.
+func TestInferMatchesSimulatedTrace(t *testing.T) {
+	const nodes = 4
+	inf, err := Infer(parseTest(t, partitionSrc), testConfig(nodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inf.Exact {
+		t.Fatalf("partition program should infer exactly; notes: %v", inf.Notes)
+	}
+	sameMisses(t, inf.Trace, simTrace(t, partitionSrc, nodes))
+}
+
+// TestInferLabels: the synthetic trace must carry the same labelling the
+// simulator attaches, or core.Annotate's label check rejects it.
+func TestInferLabels(t *testing.T) {
+	inf, err := Infer(parseTest(t, partitionSrc), testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := simTrace(t, partitionSrc, 4)
+	if len(inf.Trace.Labels) != len(sim.Labels) {
+		t.Fatalf("label count: static %d, simulated %d", len(inf.Trace.Labels), len(sim.Labels))
+	}
+	for i, l := range sim.Labels {
+		g := inf.Trace.Labels[i]
+		if g.Name != l.Name || g.Base != l.Base || g.Elem != l.Elem || len(g.Dims) != len(l.Dims) {
+			t.Errorf("label %d: static %+v, simulated %+v", i, g, l)
+		}
+	}
+}
+
+// TestCompareAllStylesMatch: end-to-end differential — both pipelines must
+// print byte-identical annotated sources in every style.
+func TestCompareAllStylesMatch(t *testing.T) {
+	diffs, inf, err := Compare(partitionSrc, simTrace(t, partitionSrc, 4), testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inf.Exact {
+		t.Fatalf("expected exact inference; notes: %v", inf.Notes)
+	}
+	for _, d := range diffs {
+		if !d.Match {
+			t.Errorf("%s placements diverge:\n%s", d.Name, d.Diff)
+		}
+		if d.Static.Annotations == 0 {
+			t.Errorf("%s: static pipeline placed no annotations", d.Name)
+		}
+	}
+}
+
+// TestAnnotateStandalone: the trace-free entry point works with no
+// simulation anywhere in the loop.
+func TestAnnotateStandalone(t *testing.T) {
+	res, inf, err := Annotate(partitionSrc, testConfig(4),
+		core.Options{Style: core.StylePerformance})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inf.Exact {
+		t.Fatalf("expected exact inference; notes: %v", inf.Notes)
+	}
+	if res.Annotations == 0 || !strings.Contains(res.Source, "check_in") {
+		t.Errorf("static annotation placed nothing:\n%s", res.Source)
+	}
+}
+
+// TestInferInexactOverapproximates: with an input-dependent subscript the
+// static trace must still cover the footprint any execution could touch.
+func TestInferInexactOverapproximates(t *testing.T) {
+	const src = `
+const N = 8;
+shared float A[N] label "A";
+shared int idx label "idx";
+func main() {
+    if pid() == 0 {
+        A[idx] = 1.0;
+    }
+    barrier;
+}`
+	inf, err := Infer(parseTest(t, src), testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf.Exact {
+		t.Fatal("input-dependent subscript should be inexact")
+	}
+	// Node 0's write misses must cover every block of A (misses record only
+	// first touches per block, as in a simulated trace: 8 elements of 8
+	// bytes span 2 blocks of 32).
+	blocks := map[uint64]bool{}
+	for _, m := range inf.Trace.Epochs[0].Misses {
+		if m.Node == 0 && m.Kind != trace.ReadMiss {
+			blocks[m.Addr/32] = true
+		}
+	}
+	if len(blocks) != 2 {
+		t.Errorf("widened write should touch both blocks of A, touched %d", len(blocks))
+	}
+}
+
+func TestDiffLines(t *testing.T) {
+	if d := DiffLines("a\nb\nc\n", "a\nb\nc\n"); d != "" {
+		t.Errorf("equal inputs diffed: %q", d)
+	}
+	d := DiffLines("a\nb\nc\n", "a\nx\nc\n")
+	if !strings.Contains(d, "-   2 b") || !strings.Contains(d, "+   2 x") {
+		t.Errorf("unexpected diff:\n%s", d)
+	}
+}

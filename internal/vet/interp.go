@@ -39,7 +39,20 @@ const (
 	evAccess eventKind = iota
 	evAnn
 	evBarrier
+	// Scheduler-visible events recorded only in inference mode: lock
+	// operations, prints, and local-work charges are context-switch points
+	// in the simulator, so a faithful static replay of its schedule needs
+	// them in the stream.
+	evLock
+	evUnlock
+	evPrint
+	evWork
 )
+
+// workFlushLimit mirrors the interpreter's local-work flush boundary
+// (interp.workFlushLimit): pending unit charges are reported to the
+// machine — a context-switch point — when they reach this many cycles.
+const workFlushLimit = 512
 
 // event is one element of a node's abstract execution stream.
 type event struct {
@@ -49,10 +62,13 @@ type event struct {
 	dims     []si
 	write    bool         // for evAccess
 	ann      parc.AnnKind // for evAnn
+	lockID   int64        // for evLock/evUnlock
+	work     uint64       // for evWork: local cycles reported to the machine
 	lockKey  string       // canonical "0,1" of concretely held locks
 	epoch    int
 	pos      parc.Pos
 	stmtID   int
+	encStmt  int // enclosing statement's ID — the VM's pc for this access
 	exprText string
 	iterCtx  int  // which loop-body instance produced it
 	variant  bool // dims depend on an abstract (non-constant) value
@@ -72,10 +88,10 @@ type aval struct {
 	set     si
 }
 
-func avC(c int64) aval   { return aval{set: siConst(c)} }
-func avInt(s si) aval    { return aval{set: s} }
-func avTopInt() aval     { return aval{set: siTop} }
-func avFloat() aval      { return aval{isFloat: true, set: siTop} }
+func avC(c int64) aval { return aval{set: siConst(c)} }
+func avInt(s si) aval  { return aval{set: s} }
+func avTopInt() aval   { return aval{set: siTop} }
+func avFloat() aval    { return aval{isFloat: true, set: siTop} }
 func avAff(slot int, coef, off int64) aval {
 	return aval{aff: true, slot: slot, coef: coef, off: off}
 }
@@ -196,6 +212,44 @@ type nodeRun struct {
 	rets     []*retAgg
 	lockStr  string
 	lockDirt bool
+	curStmt  int       // enclosing statement's ID, mirroring the VM's pc stamping
+	pending  uint64    // unreported local work cycles (inference mode)
+	infer    *inferRun // non-nil: trace-free inference mode (see infer.go)
+}
+
+// inferRun carries the inference-mode configuration and exactness state of
+// one nodeRun. In inference mode the interpreter mirrors the bytecode VM:
+// conditions short-circuit, while loops and large for loops are enumerated
+// concretely, and every widening or unknown branch is recorded as a reason
+// the event stream is an over-approximation rather than the VM's exact
+// access sequence.
+type inferRun struct {
+	opts  InferOptions
+	exact bool
+	notes []string
+}
+
+// inexact marks the inference result approximate, keeping the first few
+// distinct reasons for the summary's Notes.
+func (r *nodeRun) inexact(pos parc.Pos, format string, args ...any) {
+	if r.infer == nil {
+		return
+	}
+	r.infer.exact = false
+	if len(r.infer.notes) >= 8 {
+		return
+	}
+	loc := pos.String()
+	if !pos.IsValid() {
+		loc = "<generated>"
+	}
+	note := fmt.Sprintf("node %d: %s: %s", r.node, loc, fmt.Sprintf(format, args...))
+	for _, n := range r.infer.notes {
+		if n == note {
+			return
+		}
+	}
+	r.infer.notes = append(r.infer.notes, note)
 }
 
 func newNodeRun(v *vetter, node int) *nodeRun {
@@ -209,7 +263,8 @@ func (r *nodeRun) run(main *parc.FuncDecl) {
 	st := newState(main)
 	agg := &retAgg{}
 	r.rets = append(r.rets, agg)
-	r.evalStmt(st, main.Body)
+	r.evalBlock(st, main.Body)
+	r.flushWork() // mirror the interpreter's end-of-run flush of pending work
 	r.rets = r.rets[:len(r.rets)-1]
 	if r.outOfGas {
 		r.v.add(Finding{
@@ -238,9 +293,90 @@ func (r *nodeRun) emit(ev event) {
 	if r.suppress > 0 {
 		return
 	}
+	// The interpreter flushes pending local work before every machine call;
+	// mirror that so the replay yields at the same points with the same
+	// clocks. Annotation events stay out: inference runs on unannotated
+	// sources, where they never reach the machine.
+	if r.infer != nil && r.pending > 0 {
+		switch ev.kind {
+		case evAccess, evBarrier, evLock, evUnlock, evPrint:
+			w := event{kind: evWork, work: r.pending, epoch: r.epoch, iterCtx: r.iterCtx, encStmt: r.curStmt}
+			r.pending = 0
+			r.events = append(r.events, w)
+		}
+	}
 	ev.epoch = r.epoch
 	ev.iterCtx = r.iterCtx
+	ev.encStmt = r.curStmt
 	r.events = append(r.events, ev)
+}
+
+// charge replays n unit work charges exactly as the VM's chargeUnits does:
+// the pending counter flushes in whole workFlushLimit chunks, each flush a
+// Work call (and so a context-switch point) in the simulator. Charging is
+// inference-only and off during suppressed re-walks, which the concrete
+// interpreter never performs.
+func (r *nodeRun) charge(n uint64) {
+	if r.infer == nil || r.suppress > 0 {
+		return
+	}
+	tot := r.pending + n
+	for tot >= workFlushLimit {
+		r.pending = 0
+		r.emit(event{kind: evWork, work: workFlushLimit})
+		tot -= workFlushLimit
+	}
+	r.pending = tot
+}
+
+// flushWork reports any remaining pending work, mirroring the
+// interpreter's end-of-run flush.
+func (r *nodeRun) flushWork() {
+	if r.infer == nil || r.suppress > 0 || r.pending == 0 {
+		return
+	}
+	w := r.pending
+	r.pending = 0
+	r.emit(event{kind: evWork, work: w})
+}
+
+// runSnap is a rollback point for speculative concrete enumeration in
+// inference mode: everything a loop-body evaluation can mutate besides the
+// frame state itself.
+type runSnap struct {
+	st       *state
+	events   int
+	epoch    int
+	curStmt  int
+	lockTop  int
+	lockStr  string
+	lockDirt bool
+	locks    map[int64]int
+	pending  uint64
+}
+
+func (r *nodeRun) snapshot(st *state) runSnap {
+	locks := make(map[int64]int, len(r.locks))
+	for k, n := range r.locks {
+		locks[k] = n
+	}
+	return runSnap{
+		st: st.clone(), events: len(r.events), epoch: r.epoch,
+		curStmt: r.curStmt, lockTop: r.lockTop, lockStr: r.lockStr,
+		lockDirt: r.lockDirt, locks: locks, pending: r.pending,
+	}
+}
+
+func (r *nodeRun) rollback(st *state, s runSnap) {
+	*st = *s.st
+	r.events = r.events[:s.events]
+	r.epoch = s.epoch
+	r.curStmt = s.curStmt
+	r.lockTop = s.lockTop
+	r.lockStr = s.lockStr
+	r.lockDirt = s.lockDirt
+	r.locks = s.locks
+	r.pending = s.pending
 }
 
 func (r *nodeRun) lockKey() string {
@@ -361,10 +497,14 @@ func (r *nodeRun) evalExpr(st *state, e parc.Expr) aval {
 		return r.call(st, n)
 	case *parc.UnaryExpr:
 		if n.Op == parc.TokMinus {
-			return r.negVal(st, r.evalExpr(st, n.X))
+			a := r.evalExpr(st, n.X)
+			r.charge(1)
+			return r.negVal(st, a)
 		}
 		// Logical not: !x is x == 0.
-		return triVal(notTri(r.truth(st, n.X)))
+		t := r.truth(st, n.X)
+		r.charge(1)
+		return triVal(notTri(t))
 	case *parc.BinaryExpr:
 		return r.binary(st, n)
 	}
@@ -437,6 +577,7 @@ func (r *nodeRun) indexExpr(st *state, n *parc.IndexExpr) aval {
 	// Private array: evaluate indices for their side effects; the element
 	// value itself is untracked.
 	for _, ix := range n.Indices {
+		r.charge(1)
 		r.evalExpr(st, ix)
 	}
 	if b, ok := st.fn.Bindings[n.Name]; ok && b.Decl != nil && b.Decl.Base == parc.IntType {
@@ -452,6 +593,7 @@ func (r *nodeRun) indexDims(st *state, decl *parc.SharedDecl, name string, idxs 
 	var b strings.Builder
 	b.WriteString(name)
 	for d, ix := range idxs {
+		r.charge(1) // interpreter's offset() charges one unit per dimension
 		a := r.evalExpr(st, ix)
 		s := r.mat(st, a)
 		if d < len(decl.DimSizes) {
@@ -486,6 +628,7 @@ func (r *nodeRun) binary(st *state, n *parc.BinaryExpr) aval {
 	}
 	a := r.evalExpr(st, n.X)
 	b := r.evalExpr(st, n.Y)
+	r.charge(1)
 	return r.arith(st, n.Op, a, b)
 }
 
@@ -566,6 +709,7 @@ func (r *nodeRun) call(st *state, n *parc.CallExpr) aval {
 		for i, a := range n.Args {
 			args[i] = r.evalExpr(st, a)
 		}
+		r.charge(1)
 		return r.builtin(st, bi, args)
 	}
 	if fn == nil {
@@ -578,8 +722,10 @@ func (r *nodeRun) call(st *state, n *parc.CallExpr) aval {
 	for i, a := range n.Args {
 		args[i] = r.matv(st, r.evalExpr(st, a))
 	}
+	r.charge(2) // call overhead, as the interpreter charges at the call site
 	if r.depth >= maxCallDepth {
 		r.structural(n.Position(), "call depth limit reached at %s(); analysis truncated", n.Name)
+		r.inexact(n.Position(), "call depth limit reached at %s()", n.Name)
 		return avTopInt()
 	}
 	r.depth++
@@ -591,7 +737,11 @@ func (r *nodeRun) call(st *state, n *parc.CallExpr) aval {
 	}
 	agg := &retAgg{}
 	r.rets = append(r.rets, agg)
-	r.evalStmt(fst, fn.Body)
+	saveStmt := r.curStmt
+	r.evalBlock(fst, fn.Body)
+	// The callee's statements stamped their own IDs; accesses evaluated in
+	// the caller's statement after the call must carry the caller's pc again.
+	r.curStmt = saveStmt
 	r.rets = r.rets[:len(r.rets)-1]
 	r.depth--
 	if agg.has {
@@ -735,12 +885,28 @@ func (r *nodeRun) condTri(st *state, e parc.Expr) tri {
 	switch n := e.(type) {
 	case *parc.UnaryExpr:
 		if n.Op == parc.TokNot {
-			return notTri(r.condTri(st, n.X))
+			t := r.condTri(st, n.X)
+			r.charge(1)
+			return notTri(t)
 		}
 	case *parc.BinaryExpr:
 		switch n.Op {
 		case parc.TokAndAnd:
 			ta := r.condTri(st, n.X)
+			r.charge(1) // the VM charges after the left operand only
+			// Inference mode mirrors the VM's short-circuit: a concrete left
+			// operand decides whether the right one is evaluated (and whether
+			// its shared reads happen) at all. The race detector keeps the
+			// non-short-circuit over-approximation.
+			if r.infer != nil {
+				switch ta {
+				case triFalse:
+					return triFalse
+				case triTrue:
+					return r.condTri(st, n.Y)
+				}
+				r.inexact(n.Position(), "left operand of && is not concrete; both sides recorded")
+			}
 			tb := r.condTri(st, n.Y)
 			if ta == triFalse || tb == triFalse {
 				return triFalse
@@ -751,6 +917,16 @@ func (r *nodeRun) condTri(st *state, e parc.Expr) tri {
 			return triUnknown
 		case parc.TokOrOr:
 			ta := r.condTri(st, n.X)
+			r.charge(1) // the VM charges after the left operand only
+			if r.infer != nil {
+				switch ta {
+				case triTrue:
+					return triTrue
+				case triFalse:
+					return r.condTri(st, n.Y)
+				}
+				r.inexact(n.Position(), "left operand of || is not concrete; both sides recorded")
+			}
 			tb := r.condTri(st, n.Y)
 			if ta == triTrue || tb == triTrue {
 				return triTrue
@@ -762,6 +938,7 @@ func (r *nodeRun) condTri(st *state, e parc.Expr) tri {
 		case parc.TokEq, parc.TokNe, parc.TokLt, parc.TokLe, parc.TokGt, parc.TokGe:
 			a := r.evalExpr(st, n.X)
 			b := r.evalExpr(st, n.Y)
+			r.charge(1)
 			if a.isFloat || b.isFloat {
 				return triUnknown
 			}
@@ -936,7 +1113,7 @@ func (r *nodeRun) refineMod(st *state, x, y parc.Expr) bool {
 	}
 	cd := ((coef/d)%md + md) % md
 	_, p, _ := egcd(cd, md)
-	v0 := ((rhs / d % md * (((p % md) + md) % md)) % md + md) % md
+	v0 := ((rhs/d%md*(((p%md)+md)%md))%md + md) % md
 	cur := r.load(st, inner.slot)
 	if cur.isFloat {
 		return true
@@ -1069,14 +1246,17 @@ func (r *nodeRun) evalStmt(st *state, s parc.Stmt) {
 	if s == nil || st.dead || st.ret || r.spend() {
 		return
 	}
+	// Mirror the VM's pc discipline: every access emitted while this
+	// statement evaluates carries the statement's ID (loop back-edges reset
+	// it to the loop's own ID before guard re-evaluation, as the VM does).
+	r.curStmt = s.ID()
+	// Statement-dispatch work charge; the interpreter's block-body walks
+	// (function bodies, if-then, loop bodies) bypass dispatch and are
+	// mirrored by evalBlock, which does not charge.
+	r.charge(1)
 	switch n := s.(type) {
 	case *parc.Block:
-		for _, c := range n.Stmts {
-			if st.dead || st.ret || r.outOfGas {
-				return
-			}
-			r.evalStmt(st, c)
-		}
+		r.evalBlock(st, n)
 	case *parc.VarDeclStmt:
 		if n.Init != nil {
 			v := r.evalExpr(st, n.Init)
@@ -1100,9 +1280,9 @@ func (r *nodeRun) evalStmt(st *state, s parc.Stmt) {
 			r.epoch++
 		}
 	case *parc.LockStmt:
-		r.lockOp(st, n.LockID, 1)
+		r.lockOp(st, n.LockID, 1, n.ID())
 	case *parc.UnlockStmt:
-		r.lockOp(st, n.LockID, -1)
+		r.lockOp(st, n.LockID, -1, n.ID())
 	case *parc.ReturnStmt:
 		if n.Value != nil {
 			v := r.matv(st, r.evalExpr(st, n.Value))
@@ -1120,19 +1300,45 @@ func (r *nodeRun) evalStmt(st *state, s parc.Stmt) {
 		for _, a := range n.Args {
 			r.evalExpr(st, a)
 		}
+		if r.infer != nil {
+			r.emit(event{kind: evPrint, pos: n.Position(), stmtID: n.ID()})
+		}
 	case *parc.CICOStmt:
 		r.cico(st, n)
 	}
 }
 
-func (r *nodeRun) lockOp(st *state, idExpr parc.Expr, delta int) {
+// evalBlock walks a block's statements without the dispatch charge,
+// mirroring the interpreter's execBlock (used for function bodies, if-then
+// arms, and loop bodies, which are entered directly rather than dispatched).
+func (r *nodeRun) evalBlock(st *state, b *parc.Block) {
+	if b == nil {
+		return
+	}
+	for _, c := range b.Stmts {
+		if st.dead || st.ret || r.outOfGas {
+			return
+		}
+		r.evalStmt(st, c)
+	}
+}
+
+func (r *nodeRun) lockOp(st *state, idExpr parc.Expr, delta int, stmtID int) {
 	id, ok := r.matConst(st, r.evalExpr(st, idExpr))
 	if r.suppress > 0 {
 		return
 	}
 	if !ok {
+		r.inexact(idExpr.Position(), "lock id is not concrete")
 		r.lockTop += delta
 		return
+	}
+	if r.infer != nil {
+		kind := evLock
+		if delta < 0 {
+			kind = evUnlock
+		}
+		r.emit(event{kind: kind, lockID: id, pos: idExpr.Position(), stmtID: stmtID})
 	}
 	r.locks[id] += delta
 	if r.locks[id] < 0 {
@@ -1181,6 +1387,7 @@ func (r *nodeRun) assign(st *state, n *parc.AssignStmt) {
 		r.store(st, slot, nv)
 	case parc.RefArray:
 		for _, ix := range lv.Indices {
+			r.charge(1)
 			r.evalExpr(st, ix)
 		}
 	}
@@ -1245,14 +1452,15 @@ func (r *nodeRun) cico(st *state, n *parc.CICOStmt) {
 func (r *nodeRun) evalIf(st *state, n *parc.IfStmt) {
 	switch r.condTri(st, n.Cond) {
 	case triTrue:
-		r.evalStmt(st, n.Then)
+		r.evalBlock(st, n.Then)
 	case triFalse:
 		r.evalStmt(st, n.Else)
 	default:
+		r.inexact(n.Position(), "branch condition is not concrete; both arms recorded")
 		thenSt := st.clone()
 		r.refine(thenSt, n.Cond, true)
 		if !thenSt.dead {
-			r.evalStmt(thenSt, n.Then)
+			r.evalBlock(thenSt, n.Then)
 		}
 		elseSt := st.clone()
 		r.refine(elseSt, n.Cond, false)
@@ -1264,6 +1472,12 @@ func (r *nodeRun) evalIf(st *state, n *parc.IfStmt) {
 }
 
 func (r *nodeRun) evalWhile(st *state, n *parc.WhileStmt) {
+	if r.infer != nil {
+		if r.inferWhile(st, n) {
+			return
+		}
+		r.inexact(n.Position(), "while guard does not stay concrete; loop approximated")
+	}
 	hasBar := r.v.info.ContainsBarrier(n)
 	passes := 1
 	if hasBar {
@@ -1284,7 +1498,7 @@ func (r *nodeRun) evalWhile(st *state, n *parc.WhileStmt) {
 		if body.dead {
 			break
 		}
-		r.evalStmt(body, n.Body)
+		r.evalBlock(body, n.Body)
 		next := joinState(cur.clone(), body)
 		if i >= widenAfter {
 			next = widenState(cur, next)
@@ -1295,6 +1509,7 @@ func (r *nodeRun) evalWhile(st *state, n *parc.WhileStmt) {
 		cur = next
 	}
 	r.suppress--
+	r.curStmt = n.ID()          // guard reads carry the loop's pc
 	t := r.condTri(cur, n.Cond) // record guard reads once
 	if t != triFalse {
 		save := r.iterCtx
@@ -1305,13 +1520,49 @@ func (r *nodeRun) evalWhile(st *state, n *parc.WhileStmt) {
 				break
 			}
 			r.iterCtx = r.newIter()
-			r.evalStmt(body, n.Body)
+			r.evalBlock(body, n.Body)
 		}
 		r.iterCtx = save
 	}
 	*st = *cur
 	r.refine(st, n.Cond, false)
 	st.dead = false // the abstract exit state may be vacuous; execution continues
+}
+
+// inferWhile enumerates a while loop the way the VM executes it: evaluate
+// the guard (its shared reads are recorded with the loop statement's own ID,
+// matching the VM's back-edge pc), run the body concretely, repeat. If any
+// guard evaluation fails to fold to a constant, or the iteration cap is hit,
+// the whole attempt — events, epoch count, lock state, frame — is rolled
+// back and the caller falls to the abstract fixpoint. Reports success.
+func (r *nodeRun) inferWhile(st *state, n *parc.WhileStmt) bool {
+	snap := r.snapshot(st)
+	save := r.iterCtx
+	for i := 0; ; i++ {
+		if i >= r.infer.opts.EnumLimit || r.outOfGas {
+			r.rollback(st, snap)
+			r.iterCtx = save
+			return false
+		}
+		r.curStmt = n.ID()
+		switch r.condTri(st, n.Cond) {
+		case triFalse:
+			r.iterCtx = save
+			return true
+		case triTrue:
+		default:
+			r.rollback(st, snap)
+			r.iterCtx = save
+			return false
+		}
+		r.iterCtx = r.newIter()
+		r.evalBlock(st, n.Body)
+		if st.dead || st.ret {
+			r.iterCtx = save
+			return true
+		}
+		r.charge(1) // back-edge charge, as the interpreter's loop issues after each body
+	}
 }
 
 func (r *nodeRun) evalFor(st *state, n *parc.ForStmt) {
@@ -1327,6 +1578,28 @@ func (r *nodeRun) evalFor(st *state, n *parc.ForStmt) {
 		}
 	}
 	hasBar := r.v.info.ContainsBarrier(n)
+	if r.infer != nil {
+		// Inference enumerates any loop with node-constant bounds, up to its
+		// own (much larger) cap — including barrier loops: the VM needs no
+		// cross-node trip agreement to execute, and a genuine divergence
+		// surfaces later as a barrier-structure mismatch between the nodes'
+		// summaries.
+		if from.isConst() && to.isConst() && stepOK {
+			trip := int64(0)
+			if step > 0 && to.lo >= from.lo {
+				trip = (to.lo-from.lo)/step + 1
+			} else if step < 0 && from.lo >= to.lo {
+				trip = (from.lo-to.lo)/(-step) + 1
+			}
+			if trip <= int64(r.infer.opts.EnumLimit) {
+				r.enumFor(st, n, slot, from.lo, to.lo, step)
+				return
+			}
+			r.inexact(n.Position(), "trip count %d exceeds the enumeration limit", trip)
+		} else {
+			r.inexact(n.Position(), "loop bounds are not node-constant; loop approximated")
+		}
+	}
 	if hasBar {
 		// Epoch alignment across nodes requires a node-independent trip
 		// count, so only program-constant bounds may enumerate.
@@ -1363,7 +1636,10 @@ func (r *nodeRun) enumFor(st *state, n *parc.ForStmt, slot int, from, to, step i
 		}
 		r.store(st, slot, avC(v))
 		r.iterCtx = r.newIter()
-		r.evalStmt(st, n.Body)
+		r.evalBlock(st, n.Body)
+		if !st.dead && !st.ret {
+			r.charge(1) // back-edge charge, matching the interpreter's loop
+		}
 	}
 	r.iterCtx = save
 	if !st.dead && !st.ret {
@@ -1388,7 +1664,7 @@ func (r *nodeRun) approxFor(st *state, n *parc.ForStmt, slot int, from, to si, s
 		}
 		body := cur.clone()
 		r.store(body, slot, avInt(varSI))
-		r.evalStmt(body, n.Body)
+		r.evalBlock(body, n.Body)
 		next := joinState(cur.clone(), body)
 		if i >= widenAfter {
 			next = widenState(cur, next)
@@ -1407,7 +1683,7 @@ func (r *nodeRun) approxFor(st *state, n *parc.ForStmt, slot int, from, to si, s
 			break
 		}
 		r.iterCtx = r.newIter()
-		r.evalStmt(body, n.Body)
+		r.evalBlock(body, n.Body)
 	}
 	r.iterCtx = save
 	*st = *cur

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet staticdiff bench benchcmp protosweep check fuzz cover timeline
+.PHONY: all build test race vet staticdiff bench benchcmp protosweep check fuzz cover timeline serve-smoke
 
 all: build
 
@@ -10,12 +10,14 @@ build:
 test:
 	$(GO) test ./...
 
-# The bench package exercises the parallel Figure-6 harness, and sim hosts
-# the epoch-parallel engine (producer goroutines + committer); run all of it
-# under the race detector after touching sim, interp, dir1sw, or bench.
+# The bench package exercises the parallel Figure-6 harness, sim hosts the
+# epoch-parallel engine (producer goroutines + committer), and serve is the
+# HTTP layer (shared caches, singleflight, worker pool); run all of it
+# under the race detector after touching sim, interp, dir1sw, bench, or
+# serve.
 race:
 	$(GO) test -race ./internal/sim/... ./internal/coherence/... ./internal/dir1sw/... \
-		./internal/dirn/... ./internal/bench/...
+		./internal/dirn/... ./internal/bench/... ./internal/serve/...
 
 # Static checks: go vet over the Go code, then parcvet (the ParC static
 # race detector and CICO annotation linter, cmd/parcvet) over the checked-in
@@ -79,6 +81,20 @@ TIMELINE_BENCH ?= Ocean
 timeline:
 	$(GO) run ./cmd/fig6 -bench $(TIMELINE_BENCH) \
 		-timeline TIMELINE_fig6.json -statsjson STATS_fig6.json
+
+# Serving smoke: build the daemon, boot it on an ephemeral port, replay a
+# corpus slice through cmd/cachierload (every HTTP response byte-checked
+# against the in-process library result, cold and cached), SIGTERM it, and
+# require a clean drain. BENCH_serve.json records latency percentiles,
+# throughput, hit rate, and the cold/cached p50 speedup; -min-speedup makes
+# the cache's advantage a hard floor. Raise SERVE_SEEDS for the full corpus
+# (make serve-smoke SERVE_SEEDS=200).
+SERVE_SEEDS ?= 25
+SERVE_MIN_SPEEDUP ?= 10
+serve-smoke:
+	$(GO) build -o /tmp/cachierd ./cmd/cachierd
+	$(GO) run ./cmd/cachierload -boot /tmp/cachierd -seeds $(SERVE_SEEDS) \
+		-min-speedup $(SERVE_MIN_SPEEDUP) -json BENCH_serve.json
 
 check: build vet staticdiff test race
 

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cachier/internal/serve"
+)
+
+// TestLoadAgainstServer replays a small corpus against an in-process server
+// and checks the report: zero divergences, full hit rate on the cached
+// pass, all classes present.
+func TestLoadAgainstServer(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.DefaultConfig()).Handler())
+	defer ts.Close()
+
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var out, errb bytes.Buffer
+	err := run(context.Background(), []string{
+		"-addr", strings.TrimPrefix(ts.URL, "http://"),
+		"-seeds", "5", "-nodes", "4", "-concurrency", "4",
+		"-json", jsonPath,
+	}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v\nstdout:\n%s\nstderr:\n%s", err, &out, &errb)
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not JSON: %v", err)
+	}
+	// 6 programs (5 seeds + jacobi) × 4 classes.
+	if rep.RequestsCold != 24 || rep.RequestsCached != 24 {
+		t.Errorf("requests cold/cached = %d/%d, want 24/24", rep.RequestsCold, rep.RequestsCached)
+	}
+	if rep.Divergences != 0 {
+		t.Errorf("divergences = %d, want 0", rep.Divergences)
+	}
+	if rep.HitRate != 1 {
+		t.Errorf("hit rate = %v, want 1", rep.HitRate)
+	}
+	if rep.Truncated {
+		t.Error("report marked truncated")
+	}
+	for _, class := range []string{"vet", "annotate", "static", "simulate"} {
+		cs := rep.Classes[class]
+		if cs == nil || cs.Requests != 6 {
+			t.Errorf("class %s: %+v, want 6 requests", class, cs)
+		}
+	}
+	if rep.ColdUS.P50 <= 0 || rep.CachedUS.P50 <= 0 {
+		t.Errorf("latency percentiles missing: cold %+v cached %+v", rep.ColdUS, rep.CachedUS)
+	}
+}
+
+// TestLoadDetectsDivergence points the harness at a server that corrupts
+// one response and requires a nonzero exit plus a counted divergence.
+func TestLoadDetectsDivergence(t *testing.T) {
+	inner := serve.New(serve.DefaultConfig()).Handler()
+	corrupt := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/vet" {
+			rec := httptest.NewRecorder()
+			inner.ServeHTTP(rec, r)
+			body := bytes.Replace(rec.Body.Bytes(), []byte(`"findings"`), []byte(`"fudnings"`), 1)
+			for k, vs := range rec.Header() {
+				for _, v := range vs {
+					w.Header().Add(k, v)
+				}
+			}
+			w.WriteHeader(rec.Code)
+			w.Write(body)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(corrupt)
+	defer ts.Close()
+
+	var out, errb bytes.Buffer
+	err := run(context.Background(), []string{
+		"-addr", strings.TrimPrefix(ts.URL, "http://"),
+		"-seeds", "2", "-static=false", "-concurrency", "2",
+	}, &out, &errb)
+	if err == nil {
+		t.Fatalf("corrupted server not detected\nstdout:\n%s", &out)
+	}
+	if !strings.Contains(err.Error(), "divergence") {
+		t.Fatalf("error = %v, want a divergence report", err)
+	}
+	if !strings.Contains(errb.String(), "DIVERGENCE") {
+		t.Fatalf("stderr missing divergence details:\n%s", &errb)
+	}
+}
+
+// TestLoadTruncatesOnCancel: a pre-cancelled context still writes the
+// report, marked truncated, and exits nonzero.
+func TestLoadTruncatesOnCancel(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.DefaultConfig()).Handler())
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var out, errb bytes.Buffer
+	err := run(ctx, []string{
+		"-addr", strings.TrimPrefix(ts.URL, "http://"),
+		"-seeds", "3", "-json", jsonPath,
+	}, &out, &errb)
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("err = %v, want interrupted", err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("truncated run did not write the report: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("truncated report is not valid JSON: %v", err)
+	}
+	if !rep.Truncated {
+		t.Error("truncated run not marked truncated")
+	}
+}
+
+func TestLoadBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	for _, args := range [][]string{
+		{},                           // neither -addr nor -boot
+		{"-addr", "x", "-boot", "y"}, // both
+		{"-addr", "x", "-seeds", "0"},
+		{"-addr", "x", "stray"},
+	} {
+		if err := run(context.Background(), args, &buf, &buf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var us []int64
+	for i := int64(1); i <= 100; i++ {
+		us = append(us, i)
+	}
+	got := percentiles(us)
+	if got.P50 != 50 || got.P95 != 95 || got.P99 != 99 {
+		t.Errorf("percentiles = %+v, want 50/95/99", got)
+	}
+	if p := percentiles(nil); p != (latencyReport{}) {
+		t.Errorf("empty percentiles = %+v", p)
+	}
+	if p := percentiles([]int64{7}); p.P50 != 7 || p.P99 != 7 {
+		t.Errorf("singleton percentiles = %+v", p)
+	}
+}

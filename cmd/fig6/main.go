@@ -35,19 +35,27 @@
 // suite once per protocol in the standard sweep (Dir1SW, Dir4NB, Dir4B) and
 // prints the cross-protocol CICO-benefit table; with -json every row
 // carries its protocol.
+//
+// On SIGINT/SIGTERM the run stops at the next suite boundary and -json
+// still receives valid JSON: the rows measured so far plus a sentinel row
+// {"benchmark": "__truncated__", "variant": "interrupted"} marking the
+// truncation (cmd/benchcmp treats the one-sided rows as notes).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"cachier/internal/bench"
@@ -77,33 +85,61 @@ type jsonRow struct {
 	BenchWallSecs float64 `json:"bench_wall_seconds"`
 }
 
+// truncatedRow is the sentinel appended to a partial -json output when the
+// run is interrupted. It keeps the file a valid []jsonRow — consumers that
+// key rows by (benchmark, variant) see it as a one-sided note, and its
+// presence is the machine-readable truncation marker.
+func truncatedRow() jsonRow {
+	return jsonRow{Benchmark: "__truncated__", Variant: "interrupted", Interp: "vm", HostCPUs: runtime.NumCPU()}
+}
+
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		// After the first signal the run winds down at the next suite
+		// boundary; restoring the default disposition here lets a second
+		// ^C kill the process immediately instead of being swallowed.
+		<-ctx.Done()
+		stop()
+	}()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "fig6:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("fig6", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		only       = flag.String("bench", "", "run a single benchmark by name")
-		sharing    = flag.Bool("sharing", false, "print the sharing-degree table (Section 6)")
-		stats      = flag.Bool("stats", false, "print per-variant protocol statistics")
-		source     = flag.Bool("source", false, "print each Cachier-annotated program")
-		big        = flag.Bool("big", false, "near-paper-scale inputs (takes minutes)")
-		paper      = flag.Bool("paper", false, "paper-scale inputs (Section 6 problem sizes; takes minutes per benchmark)")
-		parallel   = flag.Int("parallel", 0, "epoch-parallel simulation workers (0 sequential, -1 one per CPU); results are bit-identical")
-		lanes      = flag.Bool("lanes", false, "simulate on the lane-batched engine; results are bit-identical")
-		protocol   = flag.String("protocol", "", `coherence protocol spec: "dir1sw" (the default), "dirnnb[:n]", or "dirnb[:n]"`)
-		protosweep = flag.Bool("protosweep", false, "run the suite once per protocol (dir1sw, dirnnb:4, dirnb:4) and print the cross-protocol table")
-		ab         = flag.Bool("ab", false, "A/B: run the suite on the sequential, lane-batched, AND epoch-parallel (-parallel workers, -1 if unset) engines, emitting all in -json")
-		jsonOut    = flag.String("json", "", "write machine-readable result rows to this file")
-		statsJSON  = flag.String("statsjson", "", "write the Cachier variant's stats snapshot (JSON) to this file (per-benchmark suffix when running several)")
-		timeline   = flag.String("timeline", "", "write the Cachier variant's Perfetto timeline (JSON) to this file (per-benchmark suffix when running several)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile (taken after the runs) to this file")
+		only       = fs.String("bench", "", "run a single benchmark by name")
+		sharing    = fs.Bool("sharing", false, "print the sharing-degree table (Section 6)")
+		stats      = fs.Bool("stats", false, "print per-variant protocol statistics")
+		source     = fs.Bool("source", false, "print each Cachier-annotated program")
+		big        = fs.Bool("big", false, "near-paper-scale inputs (takes minutes)")
+		paper      = fs.Bool("paper", false, "paper-scale inputs (Section 6 problem sizes; takes minutes per benchmark)")
+		parallel   = fs.Int("parallel", 0, "epoch-parallel simulation workers (0 sequential, -1 one per CPU); results are bit-identical")
+		lanes      = fs.Bool("lanes", false, "simulate on the lane-batched engine; results are bit-identical")
+		protocol   = fs.String("protocol", "", `coherence protocol spec: "dir1sw" (the default), "dirnnb[:n]", or "dirnb[:n]"`)
+		protosweep = fs.Bool("protosweep", false, "run the suite once per protocol (dir1sw, dirnnb:4, dirnb:4) and print the cross-protocol table")
+		ab         = fs.Bool("ab", false, "A/B: run the suite on the sequential, lane-batched, AND epoch-parallel (-parallel workers, -1 if unset) engines, emitting all in -json")
+		jsonOut    = fs.String("json", "", "write machine-readable result rows to this file")
+		statsJSON  = fs.String("statsjson", "", "write the Cachier variant's stats snapshot (JSON) to this file (per-benchmark suffix when running several)")
+		timeline   = fs.String("timeline", "", "write the Cachier variant's Perfetto timeline (JSON) to this file (per-benchmark suffix when running several)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile (taken after the runs) to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *protosweep {
 		if *ab || *statsJSON != "" || *timeline != "" {
-			fatal(fmt.Errorf("-protosweep cannot combine with -ab, -statsjson, or -timeline"))
+			return fmt.Errorf("-protosweep cannot combine with -ab, -statsjson, or -timeline")
 		}
 		if *protocol != "" {
-			fatal(fmt.Errorf("-protosweep runs its own protocol list; drop -protocol"))
+			return fmt.Errorf("-protosweep runs its own protocol list; drop -protocol")
 		}
 	}
 
@@ -115,7 +151,7 @@ func main() {
 	if *only != "" {
 		b, err := bench.ByName(*only)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		benches = []*bench.Benchmark{b}
 	} else {
@@ -125,11 +161,11 @@ func main() {
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+			return err
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -142,10 +178,25 @@ func main() {
 		}
 	}
 
+	var jsonRows []jsonRow
+	// interrupted flushes the rows measured so far (plus the truncation
+	// sentinel) to -json and reports why the run stopped. Suite boundaries
+	// call it so ^C during a long -paper or -protosweep run still leaves a
+	// valid, marked JSON file behind.
+	interrupted := func() error {
+		if *jsonOut != "" {
+			if werr := writeJSON(*jsonOut, append(jsonRows, truncatedRow())); werr != nil {
+				return fmt.Errorf("interrupted, and writing truncated %s failed: %w", *jsonOut, werr)
+			}
+			return fmt.Errorf("interrupted; wrote truncated %s (%d rows + sentinel)", *jsonOut, len(jsonRows))
+		}
+		return fmt.Errorf("interrupted: %w", ctx.Err())
+	}
+
 	// runSuite measures every benchmark on one engine configuration.
 	// Benchmarks run concurrently (RunBenchmark bounds actual compute to
 	// the machine's CPUs); rows keep the listing order.
-	runSuite := func(workers int, useLanes bool, proto string) ([]*bench.Row, []time.Duration) {
+	runSuite := func(workers int, useLanes bool, proto string) ([]*bench.Row, []time.Duration, error) {
 		rows := make([]*bench.Row, len(benches))
 		errs := make([]error, len(benches))
 		walls := make([]time.Duration, len(benches))
@@ -154,7 +205,7 @@ func main() {
 			b.Parallel = workers
 			b.Lanes = useLanes
 			b.Protocol = proto
-			fmt.Fprintf(os.Stderr, "running %s (%d nodes, parallel=%d, lanes=%v, protocol=%s)...\n", b.Name, b.Nodes, workers, useLanes, protoLabel(proto))
+			fmt.Fprintf(stderr, "running %s (%d nodes, parallel=%d, lanes=%v, protocol=%s)...\n", b.Name, b.Nodes, workers, useLanes, protoLabel(proto))
 			wg.Add(1)
 			go func(i int, b *bench.Benchmark) {
 				defer wg.Done()
@@ -170,14 +221,26 @@ func main() {
 		wg.Wait()
 		for _, err := range errs {
 			if err != nil {
-				fatal(err)
+				return nil, nil, err
 			}
 		}
-		return rows, walls
+		return rows, walls, nil
 	}
 
-	rows, walls := runSuite(*parallel, *lanes, *protocol)
-	jsonRows := collectRows(rows, walls, *parallel)
+	if ctx.Err() != nil {
+		return interrupted()
+	}
+	rows, walls, err := runSuite(*parallel, *lanes, *protocol)
+	if err != nil {
+		return err
+	}
+	jsonRows = collectRows(rows, walls, *parallel)
+	// A signal that arrived while the suite was running is honoured here:
+	// the rows measured so far are flushed with the truncation sentinel and
+	// the exit is nonzero, instead of silently completing the run.
+	if ctx.Err() != nil {
+		return interrupted()
+	}
 
 	// A/B mode: re-run the whole suite on the lane-batched and
 	// epoch-parallel engines. The cycle counts are bit-identical by design
@@ -187,12 +250,24 @@ func main() {
 		if workers == 0 {
 			workers = -1
 		}
-		laneRows, laneWalls := runSuite(0, true, *protocol)
+		if ctx.Err() != nil {
+			return interrupted()
+		}
+		laneRows, laneWalls, err := runSuite(0, true, *protocol)
+		if err != nil {
+			return err
+		}
 		jsonRows = append(jsonRows, collectRows(laneRows, laneWalls, 0)...)
-		abRows, abWalls := runSuite(workers, false, *protocol)
+		if ctx.Err() != nil {
+			return interrupted()
+		}
+		abRows, abWalls, err := runSuite(workers, false, *protocol)
+		if err != nil {
+			return err
+		}
 		jsonRows = append(jsonRows, collectRows(abRows, abWalls, workers)...)
-		fmt.Println("Engine A/B: per-variant simulation wall-clock, sequential vs lanes vs parallel")
-		fmt.Printf("%-16s %-17s | %10s %10s %10s | %7s %7s | %s\n",
+		fmt.Fprintln(stdout, "Engine A/B: per-variant simulation wall-clock, sequential vs lanes vs parallel")
+		fmt.Fprintf(stdout, "%-16s %-17s | %10s %10s %10s | %7s %7s | %s\n",
 			"benchmark", "variant", "seq", "lanes", "par", "lanes", "par", "engines")
 		for i, r := range rows {
 			for _, v := range bench.Variants() {
@@ -207,19 +282,19 @@ func main() {
 					parR = seqW / parW
 				}
 				if r.Cycles[v] != laneRows[i].Cycles[v] || r.Cycles[v] != abRows[i].Cycles[v] {
-					fatal(fmt.Errorf("A/B cycle divergence on %s/%s: seq %d, lanes %d, parallel %d",
-						r.Benchmark, v, r.Cycles[v], laneRows[i].Cycles[v], abRows[i].Cycles[v]))
+					return fmt.Errorf("A/B cycle divergence on %s/%s: seq %d, lanes %d, parallel %d",
+						r.Benchmark, v, r.Cycles[v], laneRows[i].Cycles[v], abRows[i].Cycles[v])
 				}
-				fmt.Printf("%-16s %-17s | %9.3fs %9.3fs %9.3fs | %6.2fx %6.2fx | %s / %s / %s\n",
+				fmt.Fprintf(stdout, "%-16s %-17s | %9.3fs %9.3fs %9.3fs | %6.2fx %6.2fx | %s / %s / %s\n",
 					r.Benchmark, v, seqW, laneW, parW, laneR, parR,
 					r.Engines[v], laneRows[i].Engines[v], abRows[i].Engines[v])
 			}
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
-	fmt.Println("Figure 6: execution time normalized to the unannotated version")
-	fmt.Print(bench.FormatRows(rows))
+	fmt.Fprintln(stdout, "Figure 6: execution time normalized to the unannotated version")
+	fmt.Fprint(stdout, bench.FormatRows(rows))
 
 	// Protocol sweep: re-run the whole suite under each remaining protocol
 	// (the run above covered the sweep's first spec, Dir1SW) and print the
@@ -229,16 +304,22 @@ func main() {
 	if *protosweep {
 		allRows := [][]*bench.Row{rows}
 		for _, spec := range bench.SweepSpecs()[1:] {
-			r2, w2 := runSuite(*parallel, *lanes, spec)
+			if ctx.Err() != nil {
+				return interrupted()
+			}
+			r2, w2, err := runSuite(*parallel, *lanes, spec)
+			if err != nil {
+				return err
+			}
 			jsonRows = append(jsonRows, collectRows(r2, w2, *parallel)...)
 			allRows = append(allRows, r2)
 		}
-		fmt.Println("\nProtocol sweep: unannotated vs Cachier cycles per protocol")
-		fmt.Printf("%-16s %-8s | %10s %10s %8s\n", "benchmark", "protocol", "none", "cachier", "benefit")
+		fmt.Fprintln(stdout, "\nProtocol sweep: unannotated vs Cachier cycles per protocol")
+		fmt.Fprintf(stdout, "%-16s %-8s | %10s %10s %8s\n", "benchmark", "protocol", "none", "cachier", "benefit")
 		for i := range rows {
 			for _, rs := range allRows {
 				r := rs[i]
-				fmt.Printf("%-16s %-8s | %10d %10d %7.1f%%\n",
+				fmt.Fprintf(stdout, "%-16s %-8s | %10d %10d %7.1f%%\n",
 					r.Benchmark, r.Protocol,
 					r.Cycles[bench.VariantNone], r.Cycles[bench.VariantCachier],
 					100*(1-r.Normalized(bench.VariantCachier)))
@@ -248,30 +329,30 @@ func main() {
 
 	if *jsonOut != "" {
 		if err := writeJSON(*jsonOut, jsonRows); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
 	if *sharing {
-		fmt.Println("\nSharing degree of the unannotated runs (cf. Section 6):")
+		fmt.Fprintln(stdout, "\nSharing degree of the unannotated runs (cf. Section 6):")
 		for _, r := range rows {
-			fmt.Printf("  %-16s %5.1f%% shared loads, %5.1f%% shared stores\n",
+			fmt.Fprintf(stdout, "  %-16s %5.1f%% shared loads, %5.1f%% shared stores\n",
 				r.Benchmark, 100*r.SharingLoads, 100*r.SharingStores)
 		}
 	}
 	if *stats {
 		for _, r := range rows {
-			fmt.Printf("\n%s protocol statistics:\n", r.Benchmark)
+			fmt.Fprintf(stdout, "\n%s protocol statistics:\n", r.Benchmark)
 			for _, v := range bench.Variants() {
 				s := r.Snapshots[v]
-				fmt.Printf("  %-17s cycles=%-10d misses=%-7d faults=%-6d traps=%-6d msgs=%d epochs=%d\n",
+				fmt.Fprintf(stdout, "  %-17s cycles=%-10d misses=%-7d faults=%-6d traps=%-6d msgs=%d epochs=%d\n",
 					v, s.Cycles, s.Protocol.Misses(), s.Protocol.WriteFaults,
 					s.Protocol.Traps, s.Protocol.TotalMsgs(), len(s.Epochs))
 			}
 			if len(r.Reports) > 0 {
-				fmt.Println("  conflicts flagged by Cachier:")
+				fmt.Fprintln(stdout, "  conflicts flagged by Cachier:")
 				for _, rep := range r.Reports {
-					fmt.Printf("    %s on %s (epoch %d)\n", rep.Kind, rep.Var, rep.Epoch)
+					fmt.Fprintf(stdout, "    %s on %s (epoch %d)\n", rep.Kind, rep.Var, rep.Epoch)
 				}
 			}
 		}
@@ -280,9 +361,9 @@ func main() {
 		for _, r := range rows {
 			path := perBenchPath(*statsJSON, r.Benchmark, len(rows))
 			if err := writeTo(path, r.Snapshots[bench.VariantCachier].WriteJSON); err != nil {
-				fatal(err)
+				return err
 			}
-			fmt.Fprintf(os.Stderr, "fig6: wrote stats snapshot %s\n", path)
+			fmt.Fprintf(stderr, "fig6: wrote stats snapshot %s\n", path)
 		}
 	}
 	if *timeline != "" {
@@ -293,28 +374,29 @@ func main() {
 				return rec.WriteTimeline(w, r.Benchmark)
 			})
 			if err != nil {
-				fatal(err)
+				return err
 			}
-			fmt.Fprintf(os.Stderr, "fig6: wrote timeline %s\n", path)
+			fmt.Fprintf(stderr, "fig6: wrote timeline %s\n", path)
 		}
 	}
 	if *source {
 		for _, r := range rows {
-			fmt.Printf("\n===== %s, Cachier-annotated =====\n%s\n", r.Benchmark, r.AnnotatedSource)
+			fmt.Fprintf(stdout, "\n===== %s, Cachier-annotated =====\n%s\n", r.Benchmark, r.AnnotatedSource)
 		}
 	}
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		runtime.GC() // flush garbage so the profile shows live data
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fatal(err)
+			return err
 		}
 	}
+	return nil
 }
 
 // collectRows flattens one suite run into JSON rows, one per (benchmark,
@@ -382,9 +464,4 @@ func protoLabel(spec string) string {
 		return "dir1sw"
 	}
 	return spec
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fig6:", err)
-	os.Exit(1)
 }

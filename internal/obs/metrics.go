@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Metrics is a small dependency-free metrics registry for the serving layer
+// (internal/serve, cmd/cachierd): named monotonic counters, callback gauges,
+// and power-of-two latency histograms built on this package's Histogram.
+//
+// Names are free-form and may carry Prometheus-style labels inline
+// (`requests_total{endpoint="annotate",code="200"}`); the registry treats
+// the whole string as the key, which keeps registration implicit and the
+// text exposition deterministic (keys render in sorted order). All methods
+// are safe for concurrent use.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]uint64
+	gauges   map[string]func() int64
+	hists    map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]uint64),
+		gauges:   make(map[string]func() int64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Inc adds 1 to the named counter, creating it at zero first.
+func (m *Metrics) Inc(name string) { m.Add(name, 1) }
+
+// Add adds delta to the named counter, creating it at zero first.
+func (m *Metrics) Add(name string, delta uint64) {
+	m.mu.Lock()
+	m.counters[name] += delta
+	m.mu.Unlock()
+}
+
+// Counter returns the named counter's current value (0 if never written).
+func (m *Metrics) Counter(name string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// RegisterGauge installs a callback gauge; the callback is invoked at
+// exposition time and must itself be safe for concurrent use.
+func (m *Metrics) RegisterGauge(name string, fn func() int64) {
+	m.mu.Lock()
+	m.gauges[name] = fn
+	m.mu.Unlock()
+}
+
+// Observe adds one sample to the named histogram, creating it first.
+func (m *Metrics) Observe(name string, v uint64) {
+	m.mu.Lock()
+	h := m.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		m.hists[name] = h
+	}
+	h.Observe(v)
+	m.mu.Unlock()
+}
+
+// quantile estimates the q-quantile (0 < q <= 1) from the histogram's
+// power-of-two buckets: the returned value is the upper bound of the bucket
+// holding the q-th sample, clamped to the observed maximum — coarse, but
+// monotone and cheap, which is all a /metrics page needs.
+func quantile(h *Histogram, q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.Count))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.Buckets {
+		seen += c
+		if seen >= rank {
+			if i == 0 {
+				return 0
+			}
+			ub := (uint64(1) << uint(i)) - 1
+			if ub > h.Max {
+				ub = h.Max
+			}
+			return ub
+		}
+	}
+	return h.Max
+}
+
+// Snapshot returns every counter, gauge, and histogram summary stat as one
+// flat sorted-key map — the JSON dump cmd/cachierd writes on shutdown.
+// Negative gauge values clamp to zero.
+func (m *Metrics) Snapshot() map[string]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]uint64, len(m.counters)+len(m.gauges)+4*len(m.hists))
+	for k, v := range m.counters {
+		out[k] = v
+	}
+	for k, fn := range m.gauges {
+		if v := fn(); v > 0 {
+			out[k] = uint64(v)
+		} else {
+			out[k] = 0
+		}
+	}
+	for k, h := range m.hists {
+		out[suffixed(k, "_count")] = h.Count
+		out[suffixed(k, "_sum")] = h.Sum
+		out[suffixed(k, "_p50")] = quantile(h, 0.50)
+		out[suffixed(k, "_p95")] = quantile(h, 0.95)
+		out[suffixed(k, "_p99")] = quantile(h, 0.99)
+	}
+	return out
+}
+
+// suffixed appends a stat suffix to a metric name, keeping any inline label
+// set at the end (`lat{e="x"}` + `_p50` → `lat_p50{e="x"}`).
+func suffixed(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+// WriteText renders the registry in Prometheus text exposition format
+// (untyped samples, one per line, sorted by name).
+func (m *Metrics) WriteText(w io.Writer) error {
+	snap := m.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s %d\n", k, snap[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestMetricsCounters(t *testing.T) {
+	m := NewMetrics()
+	if got := m.Counter("missing"); got != 0 {
+		t.Errorf("unset counter = %d, want 0", got)
+	}
+	m.Inc(`requests_total{endpoint="vet"}`)
+	m.Add(`requests_total{endpoint="vet"}`, 2)
+	if got := m.Counter(`requests_total{endpoint="vet"}`); got != 3 {
+		t.Errorf("counter = %d, want 3", got)
+	}
+}
+
+func TestMetricsGauges(t *testing.T) {
+	m := NewMetrics()
+	v := int64(5)
+	m.RegisterGauge("queue_depth", func() int64 { return v })
+	if got := m.Snapshot()["queue_depth"]; got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+	v = -3 // negative gauges clamp to zero in the snapshot
+	if got, ok := m.Snapshot()["queue_depth"]; !ok || got != 0 {
+		t.Errorf("negative gauge = %d (present %v), want 0", got, ok)
+	}
+}
+
+func TestMetricsHistograms(t *testing.T) {
+	m := NewMetrics()
+	for v := uint64(1); v <= 100; v++ {
+		m.Observe(`latency_us{endpoint="vet"}`, v)
+	}
+	snap := m.Snapshot()
+	if got := snap[`latency_us_count{endpoint="vet"}`]; got != 100 {
+		t.Errorf("count = %d, want 100", got)
+	}
+	if got := snap[`latency_us_sum{endpoint="vet"}`]; got != 5050 {
+		t.Errorf("sum = %d, want 5050", got)
+	}
+	// Power-of-two buckets: the p50 estimate is the enclosing bucket's
+	// upper bound; it must be monotone in q and never exceed the max.
+	p50 := snap[`latency_us_p50{endpoint="vet"}`]
+	p95 := snap[`latency_us_p95{endpoint="vet"}`]
+	p99 := snap[`latency_us_p99{endpoint="vet"}`]
+	if p50 < 50 || p50 > 100 {
+		t.Errorf("p50 = %d, want within [50,100]", p50)
+	}
+	if p50 > p95 || p95 > p99 {
+		t.Errorf("quantiles not monotone: p50=%d p95=%d p99=%d", p50, p95, p99)
+	}
+	if p99 > 100 {
+		t.Errorf("p99 = %d exceeds the observed max 100", p99)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if got := quantile(&Histogram{}, 0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %d, want 0", got)
+	}
+	h := &Histogram{}
+	h.Observe(0)
+	if got := quantile(h, 0.99); got != 0 {
+		t.Errorf("all-zero histogram p99 = %d, want 0", got)
+	}
+	h2 := &Histogram{}
+	h2.Observe(7)
+	if got := quantile(h2, 0.5); got != 7 {
+		t.Errorf("singleton p50 = %d, want clamped to max 7", got)
+	}
+}
+
+func TestSuffixed(t *testing.T) {
+	for _, c := range []struct{ name, suffix, want string }{
+		{"lat", "_p50", "lat_p50"},
+		{`lat{e="x"}`, "_p50", `lat_p50{e="x"}`},
+	} {
+		if got := suffixed(c.name, c.suffix); got != c.want {
+			t.Errorf("suffixed(%q,%q) = %q, want %q", c.name, c.suffix, got, c.want)
+		}
+	}
+}
+
+func TestWriteTextSortedAndStable(t *testing.T) {
+	m := NewMetrics()
+	m.Inc("b_total")
+	m.Inc("a_total")
+	m.RegisterGauge("c_gauge", func() int64 { return 1 })
+	var sb1, sb2 strings.Builder
+	if err := m.WriteText(&sb1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteText(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb1.String() != sb2.String() {
+		t.Error("exposition is not deterministic")
+	}
+	lines := strings.Split(strings.TrimSpace(sb1.String()), "\n")
+	want := []string{"a_total 1", "b_total 1", "c_gauge 1"}
+	if len(lines) != len(want) {
+		t.Fatalf("lines = %q, want %q", lines, want)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				m.Inc("n")
+				m.Observe("h", uint64(j))
+				m.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("n"); got != 800 {
+		t.Errorf("counter = %d, want 800", got)
+	}
+	if got := m.Snapshot()["h_count"]; got != 800 {
+		t.Errorf("histogram count = %d, want 800", got)
+	}
+}

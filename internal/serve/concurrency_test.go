@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"cachier/internal/parcgen"
+)
+
+// gate lets a test hold every heavy pipeline execution open: the executing
+// goroutine announces itself on entered and then blocks until release is
+// closed.
+type gate struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func newGate(n int) *gate {
+	return &gate{entered: make(chan struct{}, n), release: make(chan struct{})}
+}
+
+func (g *gate) hook() func() {
+	return func() {
+		g.entered <- struct{}{}
+		<-g.release
+	}
+}
+
+func (g *gate) waitEntered(t *testing.T) {
+	t.Helper()
+	select {
+	case <-g.entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no pipeline execution entered the gate")
+	}
+}
+
+// TestSingleflightCollapse submits the same program from many goroutines at
+// once while the pipeline execution is held open. Exactly one vet execution
+// must run, and every response must be byte-identical and successful.
+func TestSingleflightCollapse(t *testing.T) {
+	const n = 16
+	s, ts := newTestServer(t, DefaultConfig())
+	g := newGate(n)
+	s.eval.slow = g.hook()
+
+	src := parcgen.Generate(11)
+	req := &VetRequest{Source: src, Nodes: testNodes}
+
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	bodies := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], _, bodies[i] = post(t, ts.URL+"/v1/vet", req)
+		}(i)
+	}
+	// The leader is inside the pipeline; give the followers a moment to
+	// pile onto its flight, then let it finish.
+	g.waitEntered(t)
+	time.Sleep(50 * time.Millisecond)
+	close(g.release)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, codes[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("request %d: body diverges from request 0", i)
+		}
+	}
+	snap := s.metrics.Snapshot()
+	if got := snap[`pipeline_executions_total{phase="vet"}`]; got != 1 {
+		t.Fatalf("vet executed %d times, want exactly 1", got)
+	}
+	// Any extra attempts past the gate would have shown up here too.
+	if got := snap[`cache_misses_total{cache="response"}`]; got < 1 {
+		t.Fatalf("expected at least one response-cache miss, got %d", got)
+	}
+}
+
+// TestQueueFullBackpressure saturates a 1-worker, 0-queue server and checks
+// that the overflow request is rejected immediately with 429 + Retry-After
+// while the occupying request still completes.
+func TestQueueFullBackpressure(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: -1})
+	g := newGate(4)
+	s.eval.slow = g.hook()
+
+	type reply struct {
+		code int
+		body []byte
+	}
+	first := make(chan reply, 1)
+	go func() {
+		code, _, body := post(t, ts.URL+"/v1/vet", &VetRequest{Source: parcgen.Generate(21), Nodes: testNodes})
+		first <- reply{code, body}
+	}()
+	g.waitEntered(t) // the only worker slot is now held open
+
+	// A different program cannot join the first request's flight, needs a
+	// pool slot, and the queue bound is zero: explicit 429 on arrival.
+	body, err := MarshalResponse(&VetRequest{Source: parcgen.Generate(22), Nodes: testNodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/vet", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow request: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 response missing Retry-After")
+	}
+
+	close(g.release)
+	r := <-first
+	if r.code != http.StatusOK {
+		t.Fatalf("occupying request: status %d: %s", r.code, r.body)
+	}
+	snap := s.metrics.Snapshot()
+	if got := snap[`requests_total{endpoint="vet",code="429"}`]; got != 1 {
+		t.Fatalf("429 counter = %d, want 1", got)
+	}
+}
+
+// TestGracefulDrain holds a request in flight, starts Drain, and checks the
+// three-way contract: new requests get 503, the in-flight request completes
+// with 200, and Drain returns only after it does.
+func TestGracefulDrain(t *testing.T) {
+	s, ts := newTestServer(t, DefaultConfig())
+	g := newGate(1)
+	s.eval.slow = g.hook()
+
+	type reply struct {
+		code int
+		body []byte
+	}
+	inflight := make(chan reply, 1)
+	go func() {
+		code, _, body := post(t, ts.URL+"/v1/vet", &VetRequest{Source: parcgen.Generate(31), Nodes: testNodes})
+		inflight <- reply{code, body}
+	}()
+	g.waitEntered(t)
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+
+	// New work is refused while draining.
+	code, hdr, body := post(t, ts.URL+"/v1/vet", &VetRequest{Source: parcgen.Generate(32), Nodes: testNodes})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("request during drain: status %d: %s", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("503 response missing Retry-After")
+	}
+
+	// Drain must still be waiting on the in-flight request.
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned before the in-flight request finished: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(g.release)
+	r := <-inflight
+	if r.code != http.StatusOK {
+		t.Fatalf("in-flight request: status %d: %s", r.code, r.body)
+	}
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("Drain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drain did not return after the in-flight request finished")
+	}
+
+	// A bounded Drain on an already-drained server returns immediately.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("second Drain: %v", err)
+	}
+}
+
+// TestConcurrentMixedLoad hammers one server with distinct programs and a
+// simulate fan-out from many goroutines; under -race this is the data-race
+// probe for the shared caches and the batch path. Every response must match
+// the library result bytes.
+func TestConcurrentMixedLoad(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 256})
+	const seeds = 6
+	var wg sync.WaitGroup
+	errc := make(chan error, seeds*4)
+	for i := 0; i < seeds; i++ {
+		src := parcgen.Generate(int64(100 + i))
+		vreq := &VetRequest{Source: src, Nodes: testNodes}
+		sreq := &SimulateRequest{Source: src, Configs: []MachineSpec{
+			{Nodes: testNodes},
+			{Nodes: testNodes, Engine: EngineLanes},
+		}}
+		wantVet, err := EvalVet(vreq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantVetBytes, _ := MarshalResponse(wantVet)
+		wantSim, _, err := EvalSimulate(sreq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSimBytes, _ := MarshalResponse(wantSim)
+		// Two rounds each so both cold and cached paths are exercised
+		// concurrently.
+		for round := 0; round < 2; round++ {
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				code, _, body := post(t, ts.URL+"/v1/vet", vreq)
+				if code != http.StatusOK || !bytes.Equal(body, wantVetBytes) {
+					errc <- fmt.Errorf("vet: status %d or body divergence", code)
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				code, _, body := post(t, ts.URL+"/v1/simulate", sreq)
+				if code != http.StatusOK || !bytes.Equal(body, wantSimBytes) {
+					errc <- fmt.Errorf("simulate: status %d or body divergence", code)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"cachier/internal/parcgen"
+)
+
+func mustHash(t *testing.T, src string) string {
+	t.Helper()
+	pi, err := CanonicalProgram(src)
+	if err != nil {
+		t.Fatalf("CanonicalProgram: %v\nsource:\n%s", err, src)
+	}
+	return pi.Hash
+}
+
+// reformat rewrites src without changing its meaning: comments, blank
+// lines, and trailing whitespace.
+func reformat(src string) string {
+	var b strings.Builder
+	b.WriteString("// reformatted copy\n\n")
+	for _, line := range strings.Split(src, "\n") {
+		b.WriteString(line)
+		if strings.TrimSpace(line) != "" {
+			b.WriteString(" // note")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("/* trailing\n   block comment */\n")
+	return b.String()
+}
+
+// TestHashFormattingInvariance: formatting-only rewrites of corpus programs
+// hash identically, and canonicalization is a fixed point (reprinting the
+// canonical text does not move the hash).
+func TestHashFormattingInvariance(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		src := parcgen.Generate(seed)
+		h := mustHash(t, src)
+		if got := mustHash(t, reformat(src)); got != h {
+			t.Errorf("seed %d: reformatted source hashes %s, want %s", seed, got, h)
+		}
+		pi, err := CanonicalProgram(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := mustHash(t, pi.Canonical); got != h {
+			t.Errorf("seed %d: canonical text re-hashes to %s, want %s (canonicalization is not a fixed point)", seed, got, h)
+		}
+	}
+}
+
+// TestHashSemanticSensitivity: a semantic mutation (an integer literal
+// perturbed by parcgen.Mutate, which re-validates the program) must change
+// the content hash. This is the property that makes content-addressed cache
+// reuse safe.
+func TestHashSemanticSensitivity(t *testing.T) {
+	mutated := 0
+	for seed := int64(1); seed <= 40; seed++ {
+		src := parcgen.Generate(seed)
+		m := parcgen.Mutate(src, seed)
+		if m == "" {
+			continue // no literal could be perturbed into a valid program
+		}
+		mutated++
+		if m == src {
+			t.Fatalf("seed %d: Mutate returned the input unchanged", seed)
+		}
+		if mustHash(t, m) == mustHash(t, src) {
+			t.Errorf("seed %d: semantic mutation did not change the hash\n--- original ---\n%s\n--- mutated ---\n%s", seed, src, m)
+		}
+	}
+	// The property test is vacuous if Mutate never fires on the corpus.
+	if mutated < 10 {
+		t.Fatalf("only %d/40 corpus programs were mutable; property test is too weak", mutated)
+	}
+}
+
+// TestHashRejectsInvalid: programs the front end rejects never get a hash.
+func TestHashRejectsInvalid(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"func main() {",
+		"shared int x;\nfunc main() { y = 1; }",
+	} {
+		if _, err := CanonicalProgram(src); err == nil {
+			t.Errorf("CanonicalProgram accepted invalid source %q", src)
+		}
+	}
+}
+
+// TestMutateValidity: every non-empty Mutate result must itself be a valid
+// program (parse + check), i.e. Mutate stays inside the language.
+func TestMutateValidity(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		src := parcgen.Generate(seed)
+		m := parcgen.Mutate(src, seed)
+		if m == "" {
+			continue
+		}
+		if _, err := CanonicalProgram(m); err != nil {
+			t.Errorf("seed %d: Mutate produced an invalid program: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cachier/internal/bench"
+	"cachier/internal/parcgen"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSeed is the fixed corpus seed the API goldens pin; testNodes is the
+// conformance harness's machine size (generated programs partition by 4).
+const (
+	goldenSeed = 7
+	testNodes  = 4
+)
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch (re-run with -update if the change is intended)\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+// jacobiSource is the unannotated Jacobi worked example on its default
+// 4-node instance.
+func jacobiSource() string {
+	return bench.JacobiUnannotated(bench.JacobiParams)
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// post sends one JSON request and returns the status, headers, and body.
+func post(t *testing.T, url string, req any) (int, http.Header, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, data
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// TestGoldenEndpoints pins one golden response per endpoint for the fixed
+// corpus seed and for the Jacobi example, and checks the full serving
+// contract on each: the HTTP body must equal the in-process library result
+// byte for byte, and an immediately repeated request must be a cache hit
+// with an identical body.
+func TestGoldenEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, DefaultConfig())
+	sources := []struct {
+		name string
+		src  string
+	}{
+		{"seed7", parcgen.Generate(goldenSeed)},
+		{"jacobi", jacobiSource()},
+	}
+	for _, sc := range sources {
+		machine := MachineSpec{Nodes: testNodes}
+		annReq := &AnnotateRequest{Source: sc.src, Prefetch: true, Machine: machine}
+		simReq := &SimulateRequest{Source: sc.src, Configs: []MachineSpec{
+			{Nodes: testNodes},
+			{Nodes: testNodes, Engine: EngineLanes},
+			{Nodes: testNodes, Protocol: "dirnnb:4"},
+		}}
+		vetReq := &VetRequest{Source: sc.src, Nodes: testNodes}
+
+		wantAnn, err := EvalAnnotate(annReq)
+		if err != nil {
+			t.Fatalf("%s: EvalAnnotate: %v", sc.name, err)
+		}
+		wantStatic, err := EvalStatic(annReq)
+		if err != nil {
+			t.Fatalf("%s: EvalStatic: %v", sc.name, err)
+		}
+		wantVet, err := EvalVet(vetReq)
+		if err != nil {
+			t.Fatalf("%s: EvalVet: %v", sc.name, err)
+		}
+		wantSim, wantSnaps, err := EvalSimulate(simReq)
+		if err != nil {
+			t.Fatalf("%s: EvalSimulate: %v", sc.name, err)
+		}
+
+		cases := []struct {
+			endpoint string
+			req      any
+			want     any
+		}{
+			{"annotate", annReq, wantAnn},
+			{"static", annReq, wantStatic},
+			{"vet", vetReq, wantVet},
+			{"simulate", simReq, wantSim},
+		}
+		for _, c := range cases {
+			t.Run(c.endpoint+"_"+sc.name, func(t *testing.T) {
+				wantBytes, err := MarshalResponse(c.want)
+				if err != nil {
+					t.Fatal(err)
+				}
+				url := ts.URL + "/v1/" + c.endpoint
+				code, hdr, body := post(t, url, c.req)
+				if code != http.StatusOK {
+					t.Fatalf("status %d: %s", code, body)
+				}
+				if !bytes.Equal(body, wantBytes) {
+					t.Fatalf("HTTP body diverges from library result\n--- http ---\n%s\n--- library ---\n%s", body, wantBytes)
+				}
+				if got := hdr.Get("X-Cachier-Cache"); got != "miss" && got != "flight" {
+					t.Fatalf("cold response cache status %q", got)
+				}
+				checkGolden(t, fmt.Sprintf("%s_%s.golden.json", c.endpoint, sc.name), body)
+
+				// Cached repeat: byte-identical body, hit status.
+				code2, hdr2, body2 := post(t, url, c.req)
+				if code2 != http.StatusOK {
+					t.Fatalf("repeat status %d", code2)
+				}
+				if hdr2.Get("X-Cachier-Cache") != "hit" {
+					t.Fatalf("repeat cache status %q, want hit", hdr2.Get("X-Cachier-Cache"))
+				}
+				if !bytes.Equal(body, body2) {
+					t.Fatalf("cached response differs from cold response")
+				}
+			})
+		}
+
+		// Every snapshot the simulate response references must be served
+		// byte-identically to the library's snapshot bytes.
+		t.Run("snapshot_"+sc.name, func(t *testing.T) {
+			for _, r := range wantSim.Results {
+				code, body := get(t, ts.URL+"/v1/snapshot/"+r.SnapshotID)
+				if code != http.StatusOK {
+					t.Fatalf("snapshot %s: status %d: %s", r.SnapshotID, code, body)
+				}
+				if !bytes.Equal(body, wantSnaps[r.SnapshotID]) {
+					t.Fatalf("snapshot %s diverges from library bytes", r.SnapshotID)
+				}
+			}
+		})
+	}
+}
+
+// TestFormattingInvariantCache pins the content-addressing contract at the
+// HTTP layer: a formatting-only rewrite of the program (comments, blank
+// lines) is a response-cache hit on first submission, because every key
+// derives from the canonical AST print.
+func TestFormattingInvariantCache(t *testing.T) {
+	_, ts := newTestServer(t, DefaultConfig())
+	src := parcgen.Generate(3)
+	reformatted := "// a formatting-only rewrite\n\n" + src + "\n/* trailing comment */\n"
+
+	url := ts.URL + "/v1/vet"
+	code, _, body := post(t, url, &VetRequest{Source: src, Nodes: testNodes})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	code2, hdr2, body2 := post(t, url, &VetRequest{Source: reformatted, Nodes: testNodes})
+	if code2 != http.StatusOK {
+		t.Fatalf("status %d: %s", code2, body2)
+	}
+	if hdr2.Get("X-Cachier-Cache") != "hit" {
+		t.Fatalf("reformatted submission cache status %q, want hit", hdr2.Get("X-Cachier-Cache"))
+	}
+	if !bytes.Equal(body, body2) {
+		t.Fatalf("reformatted submission changed the response")
+	}
+}
+
+// TestErrorResponses covers the 4xx surface: malformed JSON, programs the
+// front end rejects, bad machine specs, unknown snapshots.
+func TestErrorResponses(t *testing.T) {
+	_, ts := newTestServer(t, DefaultConfig())
+	checkErr := func(name string, code, wantCode int, body []byte) {
+		t.Helper()
+		if code != wantCode {
+			t.Fatalf("%s: status %d, want %d (%s)", name, code, wantCode, body)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+			t.Fatalf("%s: body is not an error response: %s", name, body)
+		}
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/annotate", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	checkErr("malformed body", resp.StatusCode, 400, data)
+
+	code, _, body := post(t, ts.URL+"/v1/annotate", &AnnotateRequest{Source: "func main() { nope"})
+	checkErr("parse error", code, 400, body)
+
+	code, _, body = post(t, ts.URL+"/v1/annotate", &AnnotateRequest{Source: parcgen.Generate(1), Style: "bogus"})
+	checkErr("bad style", code, 400, body)
+
+	code, _, body = post(t, ts.URL+"/v1/simulate", &SimulateRequest{
+		Source:  parcgen.Generate(1),
+		Configs: []MachineSpec{{Nodes: testNodes, Engine: "warp"}},
+	})
+	checkErr("bad engine", code, 400, body)
+
+	code, _, body = post(t, ts.URL+"/v1/simulate", &SimulateRequest{
+		Source:  parcgen.Generate(1),
+		Configs: []MachineSpec{{Nodes: testNodes, Protocol: "dir9000"}},
+	})
+	checkErr("bad protocol", code, 400, body)
+
+	code, body = get(t, ts.URL+"/v1/snapshot/deadbeef")
+	checkErr("unknown snapshot", code, 404, body)
+}
+
+// TestHealthzAndMetrics covers the operational endpoints, including the
+// draining flip.
+func TestHealthzAndMetrics(t *testing.T) {
+	s, ts := newTestServer(t, DefaultConfig())
+	code, body := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK || !bytes.Contains(body, []byte(`"ok"`)) {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+
+	// One request so the counters are non-empty.
+	post(t, ts.URL+"/v1/vet", &VetRequest{Source: parcgen.Generate(2), Nodes: testNodes})
+	code, body = get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	for _, want := range []string{
+		`requests_total{endpoint="vet",code="200"} 1`,
+		`pipeline_executions_total{phase="vet"} 1`,
+		"queue_depth 0",
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	code, body = get(t, ts.URL+"/healthz")
+	if code != http.StatusServiceUnavailable || !bytes.Contains(body, []byte("draining")) {
+		t.Fatalf("draining healthz: %d %s", code, body)
+	}
+}

@@ -1,0 +1,362 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cachier/internal/obs"
+)
+
+// Config sizes the server's concurrency and caches.
+type Config struct {
+	// Workers bounds concurrently executing heavy pipeline phases
+	// (trace/annotate/simulate/vet). Default: GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds how many phase executions may wait for a worker
+	// slot before new arrivals are rejected with 429. Default 64.
+	QueueDepth int
+	// RequestTimeout is the per-request deadline, covering queue wait and
+	// pipeline execution. Default 60s.
+	RequestTimeout time.Duration
+	// CacheEntries is each content-addressed cache's entry capacity.
+	// Default 512.
+	CacheEntries int
+	// MaxBodyBytes bounds a request body. Default 4 MiB.
+	MaxBodyBytes int64
+}
+
+// DefaultConfig returns the production defaults.
+func DefaultConfig() Config {
+	return Config{
+		Workers:        runtime.GOMAXPROCS(0),
+		QueueDepth:     64,
+		RequestTimeout: 60 * time.Second,
+		CacheEntries:   512,
+		MaxBodyBytes:   4 << 20,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Workers <= 0 {
+		c.Workers = d.Workers
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = d.QueueDepth
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = d.RequestTimeout
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = d.CacheEntries
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = d.MaxBodyBytes
+	}
+	return c
+}
+
+// Server is the annotation-as-a-service front end: an http.Handler exposing
+// the pipeline endpoints over the cached, pooled evaluator. Create one with
+// New, mount Handler on an http.Server, and call Drain before exit.
+type Server struct {
+	cfg      Config
+	eval     *evaluator
+	resp     *lruCache // (endpoint, program hash, options) → response bytes
+	metrics  *obs.Metrics
+	mux      *http.ServeMux
+	draining atomic.Bool
+	inflight sync.WaitGroup
+}
+
+// New builds a Server with its caches, worker pool, and routes.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := obs.NewMetrics()
+	p := newPool(cfg.Workers, cfg.QueueDepth)
+	s := &Server{
+		cfg: cfg,
+		eval: &evaluator{
+			programs: newLRU(cfg.CacheEntries),
+			vets:     newLRU(cfg.CacheEntries),
+			traces:   newLRU(cfg.CacheEntries),
+			annos:    newLRU(cfg.CacheEntries),
+			sims:     newLRU(cfg.CacheEntries),
+			snaps:    newLRU(cfg.CacheEntries),
+			flight:   newFlightGroup(),
+			pool:     p,
+			metrics:  m,
+		},
+		resp:    newLRU(4 * cfg.CacheEntries),
+		metrics: m,
+		mux:     http.NewServeMux(),
+	}
+	m.RegisterGauge("queue_depth", p.depth)
+	m.RegisterGauge("workers_busy", p.busy)
+	s.routes()
+	return s
+}
+
+// Handler returns the server's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's metrics registry (also rendered at
+// /metrics); tests and cmd/cachierd's shutdown dump read it directly.
+func (s *Server) Metrics() *obs.Metrics { return s.metrics }
+
+// Drain stops accepting new requests (everything but /metrics answers 503)
+// and waits for in-flight requests to complete or ctx to expire. Call it
+// before http.Server.Shutdown so clients see explicit draining rather than
+// connection resets.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %w", ctx.Err())
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/annotate", s.postHandler("annotate", s.buildAnnotate(false)))
+	s.mux.HandleFunc("POST /v1/static", s.postHandler("static", s.buildAnnotate(true)))
+	s.mux.HandleFunc("POST /v1/vet", s.postHandler("vet", s.buildVet))
+	s.mux.HandleFunc("POST /v1/simulate", s.postHandler("simulate", s.buildSimulate))
+	s.mux.HandleFunc("GET /v1/snapshot/{id}", s.handleSnapshot)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// builder turns a decoded request body into a response cache key and a
+// compute closure. Key derivation is cheap (at most a cached parse); the
+// closure is the expensive part that caching and singleflight collapse.
+type builder func(ctx context.Context, body []byte) (key string, compute func(context.Context) ([]byte, error), err error)
+
+// postHandler wires one POST endpoint: draining check, body bound, timing,
+// response cache + singleflight, error mapping, and counters.
+func (s *Server) postHandler(endpoint string, build builder) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if s.draining.Load() {
+			s.finish(w, endpoint, start, "", nil, &apiError{code: http.StatusServiceUnavailable, msg: "server is draining"})
+			return
+		}
+		s.inflight.Add(1)
+		defer s.inflight.Done()
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+		if err != nil {
+			s.finish(w, endpoint, start, "", nil, &apiError{code: http.StatusRequestEntityTooLarge, msg: err.Error()})
+			return
+		}
+		key, compute, err := build(ctx, body)
+		if err != nil {
+			s.finish(w, endpoint, start, "", nil, err)
+			return
+		}
+		key = cacheKey(endpoint, key)
+		if data, ok := s.resp.get(key); ok {
+			s.metrics.Inc(`cache_hits_total{cache="response"}`)
+			s.finish(w, endpoint, start, "hit", data.([]byte), nil)
+			return
+		}
+		s.metrics.Inc(`cache_misses_total{cache="response"}`)
+		v, shared, err := s.eval.flight.do(cacheKey("resp", key), func() (any, error) {
+			data, err := compute(ctx)
+			if err != nil {
+				return nil, err
+			}
+			s.resp.put(key, data)
+			return data, nil
+		})
+		status := "miss"
+		if shared {
+			status = "flight"
+			s.metrics.Inc("singleflight_shared_total")
+		}
+		if err != nil {
+			s.finish(w, endpoint, start, "", nil, err)
+			return
+		}
+		s.finish(w, endpoint, start, status, v.([]byte), nil)
+	}
+}
+
+// finish writes the response (success or mapped error) and records metrics.
+func (s *Server) finish(w http.ResponseWriter, endpoint string, start time.Time, cacheStatus string, data []byte, err error) {
+	code := http.StatusOK
+	if err != nil {
+		var ae *apiError
+		switch {
+		case errors.As(err, &ae):
+			code = ae.code
+		case errors.Is(err, errBusy):
+			code = http.StatusTooManyRequests
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			code = http.StatusServiceUnavailable
+		default:
+			code = http.StatusInternalServerError
+		}
+		data, _ = MarshalResponse(&ErrorResponse{Error: err.Error()})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if cacheStatus != "" {
+		w.Header().Set("X-Cachier-Cache", cacheStatus)
+	}
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(code)
+	w.Write(data)
+	s.metrics.Inc(fmt.Sprintf("requests_total{endpoint=%q,code=\"%d\"}", endpoint, code))
+	s.metrics.Observe(fmt.Sprintf("latency_us{endpoint=%q}", endpoint), uint64(time.Since(start).Microseconds()))
+}
+
+// buildAnnotate serves /v1/annotate (trace-driven) and /v1/static.
+func (s *Server) buildAnnotate(static bool) builder {
+	return func(ctx context.Context, body []byte) (string, func(context.Context) ([]byte, error), error) {
+		var req AnnotateRequest
+		if err := unmarshalRequest(body, &req); err != nil {
+			return "", nil, err
+		}
+		_, styleName, err := parseStyle(req.Style)
+		if err != nil {
+			return "", nil, err
+		}
+		machine, err := req.Machine.resolved()
+		if err != nil {
+			return "", nil, err
+		}
+		pi, err := s.eval.program(req.Source)
+		if err != nil {
+			return "", nil, err
+		}
+		key := cacheKey(pi.Hash, styleName, fmt.Sprintf("p%v.s%v", req.Prefetch, static), machine.key())
+		return key, func(ctx context.Context) ([]byte, error) {
+			resp, err := s.eval.annotate(ctx, &req, static)
+			if err != nil {
+				return nil, err
+			}
+			return MarshalResponse(resp)
+		}, nil
+	}
+}
+
+func (s *Server) buildVet(ctx context.Context, body []byte) (string, func(context.Context) ([]byte, error), error) {
+	var req VetRequest
+	if err := unmarshalRequest(body, &req); err != nil {
+		return "", nil, err
+	}
+	nodes := req.Nodes
+	if nodes == 0 {
+		nodes = defaultNodes()
+	}
+	if nodes < 1 || nodes > 1024 {
+		return "", nil, &apiError{code: 400, msg: fmt.Sprintf("nodes %d out of range [1,1024]", nodes)}
+	}
+	pi, err := s.eval.program(req.Source)
+	if err != nil {
+		return "", nil, err
+	}
+	key := cacheKey(pi.Hash, fmt.Sprint(nodes))
+	return key, func(ctx context.Context) ([]byte, error) {
+		fs, err := s.eval.vet(ctx, pi, nodes)
+		if err != nil {
+			return nil, err
+		}
+		return MarshalResponse(&VetResponse{ProgramHash: pi.Hash, Nodes: nodes, Findings: fs})
+	}, nil
+}
+
+func (s *Server) buildSimulate(ctx context.Context, body []byte) (string, func(context.Context) ([]byte, error), error) {
+	var req SimulateRequest
+	if err := unmarshalRequest(body, &req); err != nil {
+		return "", nil, err
+	}
+	pi, err := s.eval.program(req.Source)
+	if err != nil {
+		return "", nil, err
+	}
+	configs := req.Configs
+	if len(configs) == 0 {
+		configs = []MachineSpec{{}}
+	}
+	keyParts := []string{pi.Hash}
+	for _, c := range configs {
+		rc, err := c.resolved()
+		if err != nil {
+			return "", nil, err
+		}
+		keyParts = append(keyParts, rc.key())
+	}
+	return cacheKey(keyParts...), func(ctx context.Context) ([]byte, error) {
+		resp, _, err := s.eval.simulate(ctx, &req)
+		if err != nil {
+			return nil, err
+		}
+		return MarshalResponse(resp)
+	}, nil
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if s.draining.Load() {
+		s.finish(w, "snapshot", start, "", nil, &apiError{code: http.StatusServiceUnavailable, msg: "server is draining"})
+		return
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	id := r.PathValue("id")
+	if v, ok := s.eval.snaps.get(id); ok {
+		s.metrics.Inc(`cache_hits_total{cache="snapshot"}`)
+		s.finish(w, "snapshot", start, "hit", v.([]byte), nil)
+		return
+	}
+	s.finish(w, "snapshot", start, "", nil,
+		&apiError{code: http.StatusNotFound, msg: fmt.Sprintf("unknown snapshot %q (snapshots are published by /v1/simulate and bounded by the cache)", id)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "{\n  \"status\": \"draining\"\n}\n")
+		return
+	}
+	io.WriteString(w, "{\n  \"status\": \"ok\"\n}\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WriteText(w)
+}
+
+// unmarshalRequest decodes a JSON request body as a 400 on failure.
+func unmarshalRequest(body []byte, v any) error {
+	if err := jsonUnmarshal(body, v); err != nil {
+		return &apiError{code: 400, msg: fmt.Sprintf("bad request body: %v", err)}
+	}
+	return nil
+}
